@@ -1,0 +1,189 @@
+// Package approxcount is a Go implementation of optimal approximate
+// counting, reproducing "Optimal bounds for approximate counting" by Jelani
+// Nelson and Huacheng Yu (PODS 2022, arXiv:2010.02116).
+//
+// An approximate counter answers "how many times was Increment called?"
+// within a factor (1±ε) with probability 1−δ, using exponentially less
+// state than the ⌈log2 N⌉ bits an exact counter needs. This package
+// provides:
+//
+//   - NelsonYu — the paper's Algorithm 1, optimal at
+//     O(log log N + log(1/ε) + log log(1/δ)) state bits (Theorems 1.1, 2.3),
+//   - Morris — the classical 1978 Morris counter Morris(a),
+//   - MorrisPlus — Morris(a) with the paper's deterministic prefix tweak,
+//     which Theorem 1.2 shows also achieves the optimal bound (and
+//     Appendix A shows the tweak is necessary),
+//   - Csuros — the fixed-width floating-point counter of [Csu10], the
+//     "simplified Algorithm 1" from the paper's Figure 1 experiment,
+//   - an exact baseline, merge support (Remark 2.4), and bit-exact state
+//     serialization for every counter.
+//
+// # Quick start
+//
+//	f := approxcount.NewFamily(42)           // deterministic seed
+//	c, err := f.NelsonYu(0.05, 1e-6)         // ε = 5%, δ = 10^-6
+//	if err != nil { ... }
+//	for i := 0; i < 1_000_000; i++ {
+//		c.Increment()
+//	}
+//	fmt.Println(c.Estimate(), c.StateBits()) // ≈ 1e6 in ~25 bits of state
+//
+// All counters in a Family share one deterministic PRNG stream, so entire
+// experiments replay exactly from a seed. Counters are not individually
+// safe for concurrent use; for a concurrent multi-counter registry see the
+// packed CounterBank pattern in the webanalytics example.
+package approxcount
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitpack"
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/csuros"
+	"repro/internal/exact"
+	"repro/internal/morris"
+	"repro/internal/xrand"
+)
+
+// Counter is the interface every counter implements: increments, estimates,
+// and honest state-size accounting. See the counter package documentation
+// reproduced on each method.
+type Counter = counter.Counter
+
+// Mergeable is implemented by counters supporting the distribution-
+// preserving merge of the paper's Remark 2.4.
+type Mergeable = counter.Mergeable
+
+// Serializable is implemented by counters whose state round-trips through a
+// bit-exact encoding.
+type Serializable = counter.Serializable
+
+// NelsonYu is the paper's Algorithm 1 (see repro/internal/core).
+type NelsonYu = core.Counter
+
+// NelsonYuConfig parameterizes a NelsonYu counter.
+type NelsonYuConfig = core.Config
+
+// Morris is the classical Morris(a) counter (see repro/internal/morris).
+type Morris = morris.Counter
+
+// MorrisPlus is Morris(a) plus the paper's deterministic-prefix tweak.
+type MorrisPlus = morris.Plus
+
+// Csuros is the fixed-width floating-point counter of [Csu10].
+type Csuros = csuros.Counter
+
+// Exact is the deterministic ⌈log2 N⌉-bit baseline.
+type Exact = exact.Counter
+
+// Family is a factory of counters sharing one seeded PRNG stream, making
+// every run exactly reproducible.
+type Family struct {
+	rng *xrand.Rand
+}
+
+// NewFamily returns a Family seeded deterministically.
+func NewFamily(seed uint64) *Family {
+	return &Family{rng: xrand.NewSeeded(seed)}
+}
+
+// DeltaLog converts a failure probability δ ∈ (0, 1) to the integer
+// Δ = ⌈log2(1/δ)⌉ the NelsonYu counter stores (per the paper's Remark 2.2,
+// the algorithm receives Δ, never δ).
+func DeltaLog(delta float64) (int, error) {
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("approxcount: delta = %v out of (0, 1)", delta)
+	}
+	return int(math.Ceil(math.Log2(1 / delta))), nil
+}
+
+// NelsonYu returns the paper's optimal counter with accuracy ε and failure
+// probability δ.
+func (f *Family) NelsonYu(eps, delta float64) (*NelsonYu, error) {
+	dl, err := DeltaLog(delta)
+	if err != nil {
+		return nil, err
+	}
+	if dl < 1 {
+		dl = 1
+	}
+	return core.New(core.Config{Eps: eps, DeltaLog: dl}, f.rng)
+}
+
+// NelsonYuWithConfig returns a NelsonYu counter with explicit Config
+// (including the constant C for ablation studies).
+func (f *Family) NelsonYuWithConfig(cfg NelsonYuConfig) (*NelsonYu, error) {
+	return core.New(cfg, f.rng)
+}
+
+// Morris returns Morris(a). Panics unless a ∈ (0, 1].
+func (f *Family) Morris(a float64) *Morris {
+	return morris.New(a, f.rng)
+}
+
+// MorrisChebyshev returns Morris(2ε²δ), the classical parameterization with
+// O(log(1/δ)) space dependence.
+func (f *Family) MorrisChebyshev(eps, delta float64) *Morris {
+	return morris.NewChebyshev(eps, delta, f.rng)
+}
+
+// MorrisPlus returns Morris+ with a = ε²/(8 ln(1/δ)), the paper's optimal
+// Morris parameterization (Theorem 1.2).
+func (f *Family) MorrisPlus(eps, delta float64) *MorrisPlus {
+	return morris.NewPlusForError(eps, delta, f.rng)
+}
+
+// MorrisPlusWithBase returns Morris+ over Morris(a) with the standard
+// cutoff 8/a.
+func (f *Family) MorrisPlusWithBase(a float64) *MorrisPlus {
+	return morris.NewPlus(a, f.rng)
+}
+
+// Csuros returns a floating-point counter with the given total width and
+// mantissa bits.
+func (f *Family) Csuros(width, mantissa int) *Csuros {
+	return csuros.New(width, mantissa, f.rng)
+}
+
+// CsurosForBudget returns the most accurate floating-point counter fitting
+// a total bit budget while representing counts up to maxN.
+func (f *Family) CsurosForBudget(width int, maxN uint64) *Csuros {
+	return csuros.NewForBudget(width, maxN, f.rng)
+}
+
+// Exact returns the deterministic baseline counter.
+func (f *Family) Exact() *Exact { return exact.New() }
+
+// Merge folds src into dst when both support merging with identical
+// parameters; src must not be used afterwards.
+func Merge(dst, src Counter) error {
+	m, ok := dst.(Mergeable)
+	if !ok {
+		return fmt.Errorf("approxcount: %T does not support merge", dst)
+	}
+	return m.Merge(src)
+}
+
+// MarshalState serializes a counter's state to bytes, returning the payload
+// and its exact length in bits.
+func MarshalState(c Counter) (data []byte, bits int, err error) {
+	s, ok := c.(Serializable)
+	if !ok {
+		return nil, 0, fmt.Errorf("approxcount: %T does not support serialization", c)
+	}
+	w := bitpack.NewWriter()
+	s.EncodeState(w)
+	return w.Bytes(), w.Len(), nil
+}
+
+// UnmarshalState restores state produced by MarshalState into a counter
+// constructed with identical parameters.
+func UnmarshalState(c Counter, data []byte, bits int) error {
+	s, ok := c.(Serializable)
+	if !ok {
+		return fmt.Errorf("approxcount: %T does not support serialization", c)
+	}
+	return s.DecodeState(bitpack.NewReader(data, bits))
+}

@@ -1,0 +1,216 @@
+package approxcount
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestFamilyDeterministicReplay(t *testing.T) {
+	run := func() (float64, float64, float64) {
+		f := NewFamily(7)
+		ny, err := f.NelsonYu(0.1, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := f.Morris(0.01)
+		p := f.MorrisPlus(0.1, 1e-4)
+		ny.IncrementBy(100000)
+		m.IncrementBy(100000)
+		p.IncrementBy(100000)
+		return ny.Estimate(), m.Estimate(), p.Estimate()
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatal("same seed did not replay identically")
+	}
+}
+
+func TestDeltaLog(t *testing.T) {
+	cases := []struct {
+		delta float64
+		want  int
+	}{{0.5, 1}, {0.25, 2}, {1e-6, 20}, {0.3, 2}}
+	for _, c := range cases {
+		got, err := DeltaLog(c.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("DeltaLog(%v) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		if _, err := DeltaLog(bad); err == nil {
+			t.Fatalf("DeltaLog(%v) accepted", bad)
+		}
+	}
+}
+
+func TestAllCountersRoughlyAccurate(t *testing.T) {
+	f := NewFamily(11)
+	const N = 200000
+	ny, err := f.NelsonYu(0.1, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := []Counter{
+		ny,
+		f.Morris(0.001),
+		f.MorrisPlus(0.1, 1e-4),
+		f.Csuros(20, 14),
+		f.CsurosForBudget(17, N),
+		f.Exact(),
+		f.MorrisChebyshev(0.2, 0.05),
+		f.MorrisPlusWithBase(0.001),
+	}
+	for _, c := range counters {
+		c.IncrementBy(N)
+		if re := stats.RelativeError(c.Estimate(), N); re > 0.5 {
+			t.Fatalf("%s: estimate %v off by %v", c.Name(), c.Estimate(), re)
+		}
+	}
+}
+
+func TestApproximateCountersBeatExactOnState(t *testing.T) {
+	f := NewFamily(13)
+	const N = 1 << 26
+	ex := f.Exact()
+	ny, err := f.NelsonYu(0.45, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := f.MorrisPlusWithBase(0.5)
+	ex.IncrementBy(N)
+	ny.IncrementBy(N)
+	mp.IncrementBy(N)
+	if ny.MaxStateBits() >= ex.MaxStateBits() {
+		t.Fatalf("NelsonYu %d bits not below exact %d", ny.MaxStateBits(), ex.MaxStateBits())
+	}
+	if mp.MaxStateBits() >= ex.MaxStateBits() {
+		t.Fatalf("Morris+ %d bits not below exact %d", mp.MaxStateBits(), ex.MaxStateBits())
+	}
+}
+
+func TestMergeHelper(t *testing.T) {
+	f := NewFamily(17)
+	a, err := f.NelsonYu(0.2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.NelsonYu(0.2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.IncrementBy(50000)
+	b.IncrementBy(70000)
+	if err := Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if re := stats.RelativeError(a.Estimate(), 120000); re > 1 {
+		t.Fatalf("merged estimate %v", a.Estimate())
+	}
+	// Csuros merges too (the [CY20]-style extension) — but only across
+	// identical shapes.
+	c1, c2 := f.Csuros(17, 12), f.Csuros(17, 12)
+	c1.IncrementBy(3000)
+	c2.IncrementBy(4000)
+	if err := Merge(c1, c2); err != nil {
+		t.Fatalf("same-shape Csuros merge rejected: %v", err)
+	}
+	if re := stats.RelativeError(c1.Estimate(), 7000); re > 0.5 {
+		t.Fatalf("Csuros merge estimate %v", c1.Estimate())
+	}
+	if err := Merge(f.Csuros(17, 12), f.Csuros(17, 11)); err == nil {
+		t.Fatal("mismatched Csuros merge accepted")
+	}
+}
+
+func TestMarshalStateRoundTrip(t *testing.T) {
+	f := NewFamily(19)
+	src, err := f.NelsonYu(0.15, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.IncrementBy(300000)
+	data, bits, err := MarshalState(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits <= 0 || len(data) == 0 {
+		t.Fatalf("empty marshaled state: %d bits", bits)
+	}
+	dst, err := f.NelsonYu(0.15, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalState(dst, data, bits); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Estimate() != src.Estimate() {
+		t.Fatal("round trip changed estimate")
+	}
+	// The wire size is within the self-delimiting overhead (≤ 2×+3) of the
+	// claimed state size — the state accounting is physical.
+	if bits > 2*src.StateBits()+3 {
+		t.Fatalf("marshaled %d bits vs state %d bits", bits, src.StateBits())
+	}
+}
+
+func TestMarshalUnsupported(t *testing.T) {
+	f := NewFamily(23)
+	av := unserializable{f.Exact()}
+	if _, _, err := MarshalState(av); err == nil {
+		t.Fatal("unserializable counter accepted")
+	}
+	if err := UnmarshalState(av, nil, 0); err == nil {
+		t.Fatal("unserializable counter accepted for decode")
+	}
+}
+
+// unserializable exposes only the plain Counter surface of an exact counter
+// (no embedding, so Encode/DecodeState are not promoted).
+type unserializable struct{ inner *Exact }
+
+func (u unserializable) Increment()             { u.inner.Increment() }
+func (u unserializable) IncrementBy(n uint64)   { u.inner.IncrementBy(n) }
+func (u unserializable) Estimate() float64      { return u.inner.Estimate() }
+func (u unserializable) EstimateUint64() uint64 { return u.inner.EstimateUint64() }
+func (u unserializable) StateBits() int         { return u.inner.StateBits() }
+func (u unserializable) MaxStateBits() int      { return u.inner.MaxStateBits() }
+func (u unserializable) Name() string           { return "unserializable" }
+
+func TestNelsonYuRejectsBadParams(t *testing.T) {
+	f := NewFamily(29)
+	if _, err := f.NelsonYu(0.7, 1e-3); err == nil {
+		t.Fatal("eps ≥ 0.5 accepted")
+	}
+	if _, err := f.NelsonYu(0.1, 2); err == nil {
+		t.Fatal("delta ≥ 1 accepted")
+	}
+}
+
+func TestHeadlineStateSeparation(t *testing.T) {
+	// The package-level claim: at small δ the classical Chebyshev
+	// parameterization pays ≈ log2(1/δ) state bits while NelsonYu pays
+	// ≈ log2 log2(1/δ). Parameters keep a·N ≳ 1 so the Chebyshev counter is
+	// measured in its intended regime rather than degenerating to an exact
+	// counter (the min in Theorem 1.1).
+	f := NewFamily(31)
+	const eps = 0.45
+	delta := math.Ldexp(1, -20)
+	cheb := f.MorrisChebyshev(eps, delta)
+	ny, err := f.NelsonYu(eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 1 << 26
+	cheb.IncrementBy(N)
+	ny.IncrementBy(N)
+	if ny.MaxStateBits() >= cheb.MaxStateBits() {
+		t.Fatalf("NelsonYu %d bits not below Chebyshev-Morris %d at δ=2^-20",
+			ny.MaxStateBits(), cheb.MaxStateBits())
+	}
+}

@@ -1,0 +1,193 @@
+// Benchmarks for the reproduction. Two kinds:
+//
+//   - Per-operation microbenchmarks (BenchmarkIncrement*, BenchmarkMerge*)
+//     measuring the counters themselves, including the skip-ahead ablation
+//     called out in DESIGN.md §5.
+//   - One benchmark per experiment table/figure (BenchmarkE1Fig1 ...,
+//     matching DESIGN.md §3's index): each iteration regenerates the
+//     experiment at reduced trial counts, so `go test -bench=.` exercises
+//     every harness end to end and reports its cost.
+package approxcount_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/csuros"
+	"repro/internal/experiments"
+	"repro/internal/morris"
+	"repro/internal/xrand"
+)
+
+// --- Per-operation microbenchmarks -----------------------------------------
+
+func BenchmarkIncrementNelsonYu(b *testing.B) {
+	c := core.MustNew(core.Config{Eps: 0.1, DeltaLog: 20}, xrand.NewSeeded(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Increment()
+	}
+}
+
+func BenchmarkIncrementMorris(b *testing.B) {
+	c := morris.New(0.01, xrand.NewSeeded(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Increment()
+	}
+}
+
+func BenchmarkIncrementMorrisPlus(b *testing.B) {
+	c := morris.NewPlus(0.01, xrand.NewSeeded(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Increment()
+	}
+}
+
+func BenchmarkIncrementCsuros(b *testing.B) {
+	c := csuros.New(17, 14, xrand.NewSeeded(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Saturated() {
+			c.Reset() // keep measuring the live path, not the saturated no-op
+		}
+		c.Increment()
+	}
+}
+
+func BenchmarkIncrementExact(b *testing.B) {
+	f := approxcount.NewFamily(1)
+	c := f.Exact()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Increment()
+	}
+}
+
+// BenchmarkIncrementByVsLoop is the skip-ahead ablation (DESIGN.md §5):
+// driving a Morris counter through 100k events by geometric jumps vs by
+// 100k per-event coin flips. Identical output law, very different cost.
+func BenchmarkIncrementByVsLoop(b *testing.B) {
+	const n = 100_000
+	b.Run("skip-ahead", func(b *testing.B) {
+		rng := xrand.NewSeeded(2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := morris.New(0.01, rng)
+			c.IncrementBy(n)
+		}
+	})
+	b.Run("per-event", func(b *testing.B) {
+		rng := xrand.NewSeeded(2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := morris.New(0.01, rng)
+			for j := 0; j < n; j++ {
+				c.Increment()
+			}
+		}
+	})
+}
+
+func BenchmarkMergeNelsonYu(b *testing.B) {
+	rng := xrand.NewSeeded(3)
+	cfg := core.Config{Eps: 0.2, DeltaLog: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c1 := core.MustNew(cfg, rng)
+		c1.IncrementBy(100_000)
+		c2 := core.MustNew(cfg, rng)
+		c2.IncrementBy(100_000)
+		if err := c1.Merge(c2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeMorris(b *testing.B) {
+	rng := xrand.NewSeeded(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c1 := morris.New(0.01, rng)
+		c1.IncrementBy(100_000)
+		c2 := morris.New(0.01, rng)
+		c2.IncrementBy(100_000)
+		if err := c1.Merge(c2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeNelsonYu(b *testing.B) {
+	rng := xrand.NewSeeded(5)
+	c := core.MustNew(core.Config{Eps: 0.1, DeltaLog: 20}, rng)
+	c.IncrementBy(1_000_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := approxcount.MarshalState(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per experiment table/figure (DESIGN.md §3) --------------
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(name, 42, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no data", name)
+		}
+	}
+}
+
+// BenchmarkE1Fig1 regenerates Figure 1 (Section 4).
+func BenchmarkE1Fig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkE2NYSpace regenerates the Theorem 2.1+2.3 sweep.
+func BenchmarkE2NYSpace(b *testing.B) { benchExperiment(b, "nyspace") }
+
+// BenchmarkE3MorrisPlus regenerates the Theorem 1.2 sweep.
+func BenchmarkE3MorrisPlus(b *testing.B) { benchExperiment(b, "morrisplus") }
+
+// BenchmarkE4DeltaScaling regenerates the log(1/δ) → log log(1/δ) table.
+func BenchmarkE4DeltaScaling(b *testing.B) { benchExperiment(b, "deltascaling") }
+
+// BenchmarkE5Tweak regenerates the Appendix A necessity table.
+func BenchmarkE5Tweak(b *testing.B) { benchExperiment(b, "tweak") }
+
+// BenchmarkE6LowerBound regenerates the Theorem 3.1 table.
+func BenchmarkE6LowerBound(b *testing.B) { benchExperiment(b, "lowerbound") }
+
+// BenchmarkE7Merge regenerates the Remark 2.4 table.
+func BenchmarkE7Merge(b *testing.B) { benchExperiment(b, "merge") }
+
+// BenchmarkE8Averaging regenerates the [Fla85] §5 comparison.
+func BenchmarkE8Averaging(b *testing.B) { benchExperiment(b, "averaging") }
+
+// BenchmarkE9aMoments regenerates the frequency-moments application table.
+func BenchmarkE9aMoments(b *testing.B) { benchExperiment(b, "moments") }
+
+// BenchmarkE9bHeavyHitters regenerates the heavy-hitters application table.
+func BenchmarkE9bHeavyHitters(b *testing.B) { benchExperiment(b, "heavyhitters") }
+
+// BenchmarkE9cReservoir regenerates the reservoir-sampling application table.
+func BenchmarkE9cReservoir(b *testing.B) { benchExperiment(b, "reservoir") }
+
+// BenchmarkE9dInversions regenerates the inversion-counting application table.
+func BenchmarkE9dInversions(b *testing.B) { benchExperiment(b, "inversions") }
+
+// BenchmarkAblateNYConst regenerates the C-constant ablation.
+func BenchmarkAblateNYConst(b *testing.B) { benchExperiment(b, "nyconst") }
+
+// BenchmarkExtRandBits regenerates the randomness-consumption table.
+func BenchmarkExtRandBits(b *testing.B) { benchExperiment(b, "randbits") }
+
+// BenchmarkExtInterp regenerates the interpolated-estimator ablation.
+func BenchmarkExtInterp(b *testing.B) { benchExperiment(b, "interp") }

@@ -1,0 +1,70 @@
+// Command approxbench regenerates every experiment table and figure of the
+// reproduction (DESIGN.md §3, EXPERIMENTS.md). With no flags it runs the
+// full suite at paper-scale trial counts; -quick cuts trial counts for a
+// fast smoke run; -experiment selects a comma-separated subset; -csv emits
+// machine-readable output instead of aligned tables.
+//
+// Usage:
+//
+//	approxbench                         # everything, paper scale
+//	approxbench -quick                  # everything, reduced trials
+//	approxbench -experiment fig1,merge  # a subset
+//	approxbench -list                   # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("experiment", "all", "comma-separated experiment names, or 'all'")
+		seed     = flag.Uint64("seed", 42, "PRNG seed (runs replay exactly per seed)")
+		quick    = flag.Bool("quick", false, "reduce trial counts for a fast smoke run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		listOnly = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var names []string
+	if *expFlag == "all" {
+		names = experiments.Names()
+	} else {
+		for _, n := range strings.Split(*expFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "approxbench: no experiments selected")
+		os.Exit(2)
+	}
+
+	for _, name := range names {
+		tables, err := experiments.Run(name, *seed, experiments.Quick(*quick))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: %v\n", err)
+			os.Exit(2)
+		}
+		for _, tb := range tables {
+			if *csv {
+				tb.CSV(os.Stdout)
+			} else {
+				tb.Render(os.Stdout)
+			}
+		}
+	}
+}

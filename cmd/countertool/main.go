@@ -1,0 +1,98 @@
+// Command countertool simulates a single approximate counter: pick an
+// algorithm and parameters, drive it through N increments, and inspect the
+// estimate, error, and state footprint. Useful for getting a feel for the
+// accuracy/space trade-off before wiring a counter into a system.
+//
+// Examples:
+//
+//	countertool -algo ny -eps 0.05 -delta 1e-6 -n 1000000
+//	countertool -algo morris -a 0.01 -n 1000000
+//	countertool -algo morris+ -eps 0.1 -delta 1e-4 -n 500000 -trials 100
+//	countertool -algo csuros -bits 17 -n 750000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		algo   = flag.String("algo", "ny", "algorithm: ny | morris | morris+ | csuros | exact")
+		eps    = flag.Float64("eps", 0.1, "target relative accuracy (ny, morris+)")
+		delta  = flag.Float64("delta", 1e-4, "target failure probability (ny, morris+)")
+		a      = flag.Float64("a", 0.01, "Morris base parameter (morris)")
+		bits   = flag.Int("bits", 17, "state budget in bits (csuros)")
+		n      = flag.Uint64("n", 1000000, "number of increments")
+		trials = flag.Int("trials", 1, "independent runs to summarize")
+		seed   = flag.Uint64("seed", 42, "PRNG seed")
+	)
+	flag.Parse()
+
+	family := approxcount.NewFamily(*seed)
+	newCounter := func() (approxcount.Counter, error) {
+		switch *algo {
+		case "ny":
+			return family.NelsonYu(*eps, *delta)
+		case "morris":
+			return family.Morris(*a), nil
+		case "morris+":
+			return family.MorrisPlus(*eps, *delta), nil
+		case "csuros":
+			return family.CsurosForBudget(*bits, *n), nil
+		case "exact":
+			return family.Exact(), nil
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", *algo)
+		}
+	}
+
+	var errSummary stats.Summary
+	var bitsSummary stats.Summary
+	var last approxcount.Counter
+	for i := 0; i < *trials; i++ {
+		c, err := newCounter()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "countertool: %v\n", err)
+			os.Exit(2)
+		}
+		c.IncrementBy(*n)
+		errSummary.Add(stats.SignedRelativeError(c.Estimate(), float64(*n)))
+		bitsSummary.Add(float64(c.MaxStateBits()))
+		last = c
+	}
+
+	fmt.Printf("algorithm      %s\n", last.Name())
+	fmt.Printf("true N         %d\n", *n)
+	if *trials == 1 {
+		fmt.Printf("estimate       %.1f\n", last.Estimate())
+		fmt.Printf("rel. error     %+.4f%%\n", 100*errSummary.Mean())
+		fmt.Printf("state bits     %d (exact counter would need %d)\n",
+			last.MaxStateBits(), bitLen(*n))
+	} else {
+		fmt.Printf("trials         %d\n", *trials)
+		fmt.Printf("rel. error     mean %+.4f%%  std %.4f%%  worst %+.4f%%\n",
+			100*errSummary.Mean(), 100*errSummary.StdDev(), 100*maxAbs(errSummary))
+		fmt.Printf("state bits     mean %.1f  max %.0f (exact counter would need %d)\n",
+			bitsSummary.Mean(), bitsSummary.Max(), bitLen(*n))
+	}
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for ; v > 0; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+func maxAbs(s stats.Summary) float64 {
+	if -s.Min() > s.Max() {
+		return s.Min()
+	}
+	return s.Max()
+}

@@ -1,0 +1,48 @@
+// Moments: frequency-moment estimation over a heavy stream with
+// approximate counters as the counting subroutine — the application the
+// paper cites from [GS09]. The AMS sketch's per-copy occurrence counter is
+// swapped from exact to Morris, shrinking sketch state while preserving the
+// estimate; the win grows with the per-item counts, which is exactly the
+// "long data streams" regime [GS09] targets.
+//
+// Run with: go run ./examples/moments
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/freqmoments"
+	"repro/internal/morris"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func main() {
+	rng := xrand.NewSeeded(5)
+
+	// A long stream over few distinct items: per-copy occurrence counts
+	// reach the tens of thousands, where log N vs log log N bites.
+	src := stream.NewZipf(10, 1.1, rng)
+	items := stream.Materialize(src, 300_000)
+	truth := freqmoments.ExactMoment(stream.ExactCounts(items), 2)
+	fmt.Printf("exact F₂ (hash map over full stream): %.4g\n\n", truth)
+
+	run := func(label string, factory freqmoments.NewCounterFunc) {
+		ams := freqmoments.NewAMS(2, 600, factory, rng)
+		for _, it := range items {
+			ams.Process(it)
+		}
+		est := ams.Estimate()
+		fmt.Printf("%-22s F₂ ≈ %.4g  (error %+.1f%%, counter state %d bits)\n",
+			label, est, 100*(est-truth)/truth, ams.CounterStateBits())
+	}
+
+	run("AMS + exact counters", freqmoments.ExactCounters())
+	run("AMS + Morris counters", func() counter.Counter {
+		return morris.New(0.05, rng)
+	})
+
+	fmt.Println("\nBoth sketches land within AMS sampling error; the Morris version")
+	fmt.Println("pays O(log log r) instead of O(log r) bits per occurrence counter.")
+}

@@ -1,0 +1,57 @@
+// Quickstart: count a million events in a handful of bits.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A Family owns one seeded PRNG stream; everything built from it
+	// replays exactly.
+	family := approxcount.NewFamily(2022)
+
+	// The paper's optimal counter: 5% accuracy, one-in-a-million failures.
+	counter, err := family.NelsonYu(0.05, 1e-6)
+	if err != nil {
+		panic(err)
+	}
+
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		counter.Increment()
+	}
+
+	fmt.Printf("true count:      %d\n", n)
+	fmt.Printf("estimate:        %.0f\n", counter.Estimate())
+	fmt.Printf("relative error:  %+.3f%%\n", 100*(counter.Estimate()-n)/n)
+	fmt.Printf("state bits:      %d (an exact counter needs 20)\n", counter.MaxStateBits())
+
+	// The same counter state round-trips through a bit-exact encoding —
+	// the state accounting is physical, not bookkeeping.
+	data, bits, err := approxcount.MarshalState(counter)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("serialized:      %d bits (%d bytes on the wire)\n", bits, len(data))
+
+	restored, err := family.NelsonYu(0.05, 1e-6)
+	if err != nil {
+		panic(err)
+	}
+	if err := approxcount.UnmarshalState(restored, data, bits); err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored:        %.0f (identical)\n", restored.Estimate())
+
+	// Compare against the classical counters on the same workload.
+	morris := family.Morris(0.001)
+	morrisPlus := family.MorrisPlus(0.05, 1e-6)
+	morris.IncrementBy(n)     // IncrementBy uses distribution-preserving skip-ahead
+	morrisPlus.IncrementBy(n) // — same law as n Increment calls, far faster
+	fmt.Printf("\nmorris(0.001):   %.0f in %d bits\n", morris.Estimate(), morris.MaxStateBits())
+	fmt.Printf("morris+:         %.0f in %d bits\n", morrisPlus.Estimate(), morrisPlus.MaxStateBits())
+}

@@ -1,0 +1,363 @@
+// Package bank implements the paper's motivating application (Section 1):
+// an analytics system maintaining a very large number of approximate
+// counters — e.g. visits to every page of Wikipedia — where shaving bits per
+// counter multiplies into real memory savings.
+//
+// A Bank packs n fixed-width counter registers physically contiguously in a
+// bitpack.Array (no per-counter Go object, no padding), so SizeBytes is the
+// true footprint. The per-register transition function is pluggable: the
+// bounded Morris(a) register, a Csűrös floating-point register, or an exact
+// saturating register for baseline comparisons. A string-keyed Map sits on
+// top for the "page name → count" interface.
+//
+// Banks are safe for concurrent use; a single mutex guards the packed array
+// (the contention profile of a metrics registry, where increments are cheap,
+// makes finer sharding an orthogonal concern — see the sharding example,
+// which gives each shard its own Bank and merges).
+package bank
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bitpack"
+	"repro/internal/xrand"
+)
+
+// Algorithm defines a fixed-width register counter: a transition function on
+// register values plus an estimator. Implementations must be pure state
+// machines — all randomness comes from the supplied rng — so registers can
+// live in packed storage.
+type Algorithm interface {
+	// Width returns the register width in bits (1..62).
+	Width() int
+	// Step returns the register value after one increment.
+	Step(reg uint64, rng *xrand.Rand) uint64
+	// Estimate returns N̂ for a register value.
+	Estimate(reg uint64) float64
+	// Name identifies the algorithm.
+	Name() string
+}
+
+// MergeAlgorithm is implemented by algorithms whose registers can be merged
+// (Remark 2.4 / [CY20]).
+type MergeAlgorithm interface {
+	Algorithm
+	// MergeRegs returns a register distributed as a counter that saw both
+	// registers' streams.
+	MergeRegs(a, b uint64, rng *xrand.Rand) uint64
+}
+
+// MorrisAlg is the bounded Morris(a) register: the register holds X,
+// saturating at 2^width − 1.
+type MorrisAlg struct {
+	a      float64
+	lnBase float64
+	width  int
+	cap    uint64
+}
+
+var _ MergeAlgorithm = MorrisAlg{}
+
+// NewMorrisAlg returns a Morris(a) register algorithm of the given width.
+func NewMorrisAlg(a float64, width int) MorrisAlg {
+	if !(a > 0 && a <= 1) {
+		panic(fmt.Sprintf("bank: morris a = %v out of (0, 1]", a))
+	}
+	if width < 1 || width > 62 {
+		panic(fmt.Sprintf("bank: width %d out of [1, 62]", width))
+	}
+	return MorrisAlg{a: a, lnBase: math.Log1p(a), width: width, cap: 1<<uint(width) - 1}
+}
+
+// Width implements Algorithm.
+func (m MorrisAlg) Width() int { return m.width }
+
+// Step implements Algorithm.
+func (m MorrisAlg) Step(reg uint64, rng *xrand.Rand) uint64 {
+	if reg >= m.cap {
+		return reg
+	}
+	p := math.Exp(-float64(reg) * m.lnBase)
+	if p >= 1e-300 && rng.Bernoulli(p) {
+		return reg + 1
+	}
+	return reg
+}
+
+// Estimate implements Algorithm.
+func (m MorrisAlg) Estimate(reg uint64) float64 {
+	return math.Expm1(float64(reg)*m.lnBase) / m.a
+}
+
+// Name implements Algorithm.
+func (m MorrisAlg) Name() string { return "morris" }
+
+// MergeRegs implements MergeAlgorithm via the [CY20] subsampling merge.
+func (m MorrisAlg) MergeRegs(a, b uint64, rng *xrand.Rand) uint64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	x := hi
+	for i := uint64(0); i < lo; i++ {
+		p := math.Exp(-float64(x-i) * m.lnBase)
+		if rng.Bernoulli(p) && x < m.cap {
+			x++
+		}
+	}
+	return x
+}
+
+// CsurosAlg is the Csűrös floating-point register (see internal/csuros).
+type CsurosAlg struct {
+	d     uint
+	width int
+	cap   uint64
+}
+
+var _ Algorithm = CsurosAlg{}
+
+// NewCsurosAlg returns a Csűrös register algorithm with the given total
+// width and mantissa bits.
+func NewCsurosAlg(width, mantissa int) CsurosAlg {
+	if width < 2 || width > 62 {
+		panic(fmt.Sprintf("bank: csuros width %d out of [2, 62]", width))
+	}
+	if mantissa < 1 || mantissa >= width {
+		panic(fmt.Sprintf("bank: csuros mantissa %d out of [1, %d)", mantissa, width))
+	}
+	return CsurosAlg{d: uint(mantissa), width: width, cap: 1<<uint(width) - 1}
+}
+
+// Width implements Algorithm.
+func (c CsurosAlg) Width() int { return c.width }
+
+// Step implements Algorithm.
+func (c CsurosAlg) Step(reg uint64, rng *xrand.Rand) uint64 {
+	if reg >= c.cap {
+		return reg
+	}
+	if rng.BernoulliPow2(uint(reg >> c.d)) {
+		return reg + 1
+	}
+	return reg
+}
+
+// Estimate implements Algorithm.
+func (c CsurosAlg) Estimate(reg uint64) float64 {
+	m := float64(uint64(1) << c.d)
+	u := float64(reg & (1<<c.d - 1))
+	t := float64(reg >> c.d)
+	return (m+u)*math.Pow(2, t) - m
+}
+
+// Name implements Algorithm.
+func (c CsurosAlg) Name() string { return "csuros" }
+
+// ExactAlg is a saturating exact register — the baseline whose width must
+// reach ⌈log2 N⌉ to stay accurate.
+type ExactAlg struct {
+	width int
+	cap   uint64
+}
+
+var _ Algorithm = ExactAlg{}
+
+// NewExactAlg returns an exact saturating register algorithm.
+func NewExactAlg(width int) ExactAlg {
+	if width < 1 || width > 62 {
+		panic(fmt.Sprintf("bank: width %d out of [1, 62]", width))
+	}
+	return ExactAlg{width: width, cap: 1<<uint(width) - 1}
+}
+
+// Width implements Algorithm.
+func (e ExactAlg) Width() int { return e.width }
+
+// Step implements Algorithm.
+func (e ExactAlg) Step(reg uint64, _ *xrand.Rand) uint64 {
+	if reg >= e.cap {
+		return reg
+	}
+	return reg + 1
+}
+
+// Estimate implements Algorithm.
+func (e ExactAlg) Estimate(reg uint64) float64 { return float64(reg) }
+
+// Name implements Algorithm.
+func (e ExactAlg) Name() string { return "exact" }
+
+// Bank is a packed array of n registers sharing one Algorithm and one RNG.
+type Bank struct {
+	mu  sync.Mutex
+	alg Algorithm
+	arr *bitpack.Array
+	rng *xrand.Rand
+}
+
+// New allocates a Bank of n registers.
+func New(n int, alg Algorithm, rng *xrand.Rand) *Bank {
+	if n <= 0 {
+		panic("bank: non-positive size")
+	}
+	if rng == nil {
+		panic("bank: nil rng")
+	}
+	return &Bank{alg: alg, arr: bitpack.NewArray(n, alg.Width()), rng: rng}
+}
+
+// Len returns the number of registers.
+func (b *Bank) Len() int { return b.arr.Len() }
+
+// Increment advances register i by one event.
+func (b *Bank) Increment(i int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arr.Set(i, b.alg.Step(b.arr.Get(i), b.rng))
+}
+
+// IncrementBy advances register i by n events (per-event transitions; the
+// registers are fixed-width automata, so there is no generic skip-ahead).
+func (b *Bank) IncrementBy(i int, n uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reg := b.arr.Get(i)
+	for k := uint64(0); k < n; k++ {
+		reg = b.alg.Step(reg, b.rng)
+	}
+	b.arr.Set(i, reg)
+}
+
+// Estimate returns N̂ for register i.
+func (b *Bank) Estimate(i int) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.alg.Estimate(b.arr.Get(i))
+}
+
+// Register returns the raw register value (for tests and serialization).
+func (b *Bank) Register(i int) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.arr.Get(i)
+}
+
+// SizeBytes returns the physical footprint of the packed registers.
+func (b *Bank) SizeBytes() int { return b.arr.SizeBytes() }
+
+// BitsPerCounter returns the per-register width.
+func (b *Bank) BitsPerCounter() int { return b.alg.Width() }
+
+// Algorithm returns the bank's register algorithm.
+func (b *Bank) Algorithm() Algorithm { return b.alg }
+
+// Merge folds other into the receiver register-by-register. Both banks must
+// have the same length and a common MergeAlgorithm.
+func (b *Bank) Merge(other *Bank) error {
+	ma, ok := b.alg.(MergeAlgorithm)
+	if !ok {
+		return fmt.Errorf("bank: algorithm %q does not support merge", b.alg.Name())
+	}
+	if other.alg != b.alg {
+		return errors.New("bank: algorithm mismatch")
+	}
+	if other.Len() != b.Len() {
+		return fmt.Errorf("bank: length mismatch %d vs %d", b.Len(), other.Len())
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	for i := 0; i < b.arr.Len(); i++ {
+		b.arr.Set(i, ma.MergeRegs(b.arr.Get(i), other.arr.Get(i), b.rng))
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the packed register payload plus the metadata
+// needed to restore it. The payload is exactly SizeBytes() long — the
+// bank's state really is that many bytes.
+func (b *Bank) Snapshot() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w := bitpack.NewWriter()
+	for i := 0; i < b.arr.Len(); i++ {
+		w.WriteBits(b.arr.Get(i), b.arr.Width())
+	}
+	return w.Bytes()
+}
+
+// Restore loads a payload produced by Snapshot on a bank with identical
+// shape (length, width, algorithm). It returns an error if the payload is
+// too short or any register exceeds the field width.
+func (b *Bank) Restore(data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := bitpack.NewReader(data, b.arr.Len()*b.arr.Width())
+	for i := 0; i < b.arr.Len(); i++ {
+		v, err := r.ReadBits(b.arr.Width())
+		if err != nil {
+			return fmt.Errorf("bank: restore register %d: %w", i, err)
+		}
+		b.arr.Set(i, v)
+	}
+	return nil
+}
+
+// Map is a string-keyed view over a Bank: the "page name → approximate
+// count" interface of the motivating analytics system. Keys are assigned
+// dense slots on first use; inserting beyond the bank's capacity returns an
+// error from Inc.
+type Map struct {
+	mu    sync.Mutex
+	bank  *Bank
+	index map[string]int
+}
+
+// NewMap returns a Map over a fresh Bank of the given capacity.
+func NewMap(capacity int, alg Algorithm, rng *xrand.Rand) *Map {
+	return &Map{bank: New(capacity, alg, rng), index: make(map[string]int, capacity)}
+}
+
+// Inc counts one event for key, allocating a slot on first sight.
+func (m *Map) Inc(key string) error {
+	m.mu.Lock()
+	slot, ok := m.index[key]
+	if !ok {
+		if len(m.index) >= m.bank.Len() {
+			m.mu.Unlock()
+			return fmt.Errorf("bank: map full (%d keys)", m.bank.Len())
+		}
+		slot = len(m.index)
+		m.index[key] = slot
+	}
+	m.mu.Unlock()
+	m.bank.Increment(slot)
+	return nil
+}
+
+// Count returns the approximate count for key (0 if never seen).
+func (m *Map) Count(key string) float64 {
+	m.mu.Lock()
+	slot, ok := m.index[key]
+	m.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return m.bank.Estimate(slot)
+}
+
+// Keys returns the number of distinct keys seen.
+func (m *Map) Keys() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.index)
+}
+
+// CounterBytes returns the footprint of the packed counters (excluding the
+// key dictionary, which any exact system needs too).
+func (m *Map) CounterBytes() int { return m.bank.SizeBytes() }

@@ -1,0 +1,75 @@
+package bitpack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReaderNeverPanics feeds arbitrary byte soup and read schedules to the
+// Reader: every outcome must be a value or ErrOutOfBits, never a panic.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte{0x01, 0xff, 0x80}, uint8(3))
+	f.Add([]byte{}, uint8(64))
+	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0x01}, uint8(17))
+	f.Fuzz(func(t *testing.T, data []byte, widthSeed uint8) {
+		r := NewReader(data, len(data)*8)
+		width := int(widthSeed)%64 + 1
+		for i := 0; i < 200; i++ {
+			if _, err := r.ReadBits(width); err != nil {
+				if err != ErrOutOfBits {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				break
+			}
+		}
+		// Uvarint decoding over garbage must also return cleanly.
+		r2 := NewReader(data, len(data)*8)
+		for i := 0; i < 50; i++ {
+			if _, err := r2.ReadUvarint(); err != nil {
+				break
+			}
+		}
+	})
+}
+
+// FuzzWriteReadRoundTrip checks that any sequence of (value, width) fields
+// written is read back identically.
+func FuzzWriteReadRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(1), uint64(12345), uint8(20))
+	f.Add(^uint64(0), uint8(64), uint64(1), uint8(1))
+	f.Fuzz(func(t *testing.T, v1 uint64, w1 uint8, v2 uint64, w2 uint8) {
+		width1 := int(w1)%64 + 1
+		width2 := int(w2)%64 + 1
+		if width1 < 64 {
+			v1 &= 1<<uint(width1) - 1
+		}
+		if width2 < 64 {
+			v2 &= 1<<uint(width2) - 1
+		}
+		w := NewWriter()
+		w.WriteBits(v1, width1)
+		w.WriteUvarint(v2)
+		w.WriteBits(v2, width2)
+		r := NewReader(w.Bytes(), w.Len())
+		got1, err := r.ReadBits(width1)
+		if err != nil || got1 != v1 {
+			t.Fatalf("field1: %d %v", got1, err)
+		}
+		gotU, err := r.ReadUvarint()
+		if err != nil || gotU != v2 {
+			t.Fatalf("uvarint: %d %v", gotU, err)
+		}
+		got2, err := r.ReadBits(width2)
+		if err != nil || got2 != v2 {
+			t.Fatalf("field2: %d %v", got2, err)
+		}
+		// Re-encoding must be byte-identical (canonical encoding).
+		w2nd := NewWriter()
+		w2nd.WriteBits(v1, width1)
+		w2nd.WriteUvarint(v2)
+		w2nd.WriteBits(v2, width2)
+		if !bytes.Equal(w.Bytes(), w2nd.Bytes()) {
+			t.Fatal("encoding not canonical")
+		}
+	})
+}

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitpack"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func mk(t *testing.T, eps float64, deltaLog int, seed uint64) *Counter {
+	t.Helper()
+	c, err := New(Config{Eps: eps, DeltaLog: deltaLog}, xrand.NewSeeded(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	rng := xrand.NewSeeded(1)
+	bad := []Config{
+		{Eps: 0, DeltaLog: 4},
+		{Eps: 0.5, DeltaLog: 4},
+		{Eps: -0.1, DeltaLog: 4},
+		{Eps: 0.1, DeltaLog: 0},
+		{Eps: 0.1, DeltaLog: 4, C: 0.5},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, rng); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(Config{Eps: 0.1, DeltaLog: 4}, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestConfigDelta(t *testing.T) {
+	cfg := Config{Eps: 0.1, DeltaLog: 10}
+	if got := cfg.Delta(); math.Abs(got-1.0/1024) > 1e-18 {
+		t.Fatalf("Delta = %v", got)
+	}
+}
+
+func TestEpochZeroIsExact(t *testing.T) {
+	// While X == X₀ (α = 1) the query answer is the exact count.
+	c := mk(t, 0.2, 10, 2)
+	// T₀ = ⌈(1+ε)^X₀⌉ ≥ C·ln(1/δ)/ε³; stay well below it.
+	limit := uint64(c.bigT(c.x0)) / 2
+	if limit == 0 {
+		t.Skip("degenerate T₀")
+	}
+	if limit > 5000 {
+		limit = 5000
+	}
+	for i := uint64(1); i <= limit; i++ {
+		c.Increment()
+		if got := c.EstimateUint64(); got != i {
+			t.Fatalf("epoch 0 not exact at N=%d: got %d", i, got)
+		}
+	}
+}
+
+func TestX0MatchesFormula(t *testing.T) {
+	for _, tc := range []struct {
+		eps      float64
+		deltaLog int
+	}{{0.1, 10}, {0.3, 4}, {0.05, 30}, {0.45, 1}} {
+		c := mk(t, tc.eps, tc.deltaLog, 3)
+		arg := DefaultC * float64(tc.deltaLog) * math.Ln2 / math.Pow(tc.eps, 3)
+		want := uint64(math.Ceil(math.Log(arg) / math.Log1p(tc.eps)))
+		if c.X0() != want {
+			t.Fatalf("eps=%v Δ=%d: X₀ = %d, want %d", tc.eps, tc.deltaLog, c.X0(), want)
+		}
+	}
+}
+
+func TestAccuracyGuarantee(t *testing.T) {
+	// Theorem 2.1: P(|N̂−N| > Cε·N) < Cδ with the theorem's constant ≈ 1.5
+	// on ε. Empirically require rel. error ≤ 2ε in almost all trials.
+	rng := xrand.NewSeeded(4)
+	const eps = 0.2
+	const deltaLog = 7 // δ ≈ 0.0078
+	const N = 100000
+	const trials = 2000
+	fails := 0
+	for i := 0; i < trials; i++ {
+		c := MustNew(Config{Eps: eps, DeltaLog: deltaLog}, rng)
+		c.IncrementBy(N)
+		if stats.RelativeError(c.Estimate(), N) > 2*eps {
+			fails++
+		}
+	}
+	// Allow the theorem's O(δ) with a small constant.
+	if rate := float64(fails) / trials; rate > 4*math.Ldexp(1, -deltaLog) {
+		t.Fatalf("failure rate %v too high for δ = 2^-%d", rate, deltaLog)
+	}
+}
+
+func TestAccuracyAcrossScales(t *testing.T) {
+	rng := xrand.NewSeeded(5)
+	const eps = 0.25
+	for _, N := range []uint64{100, 1000, 10000, 1000000} {
+		var worst float64
+		for trial := 0; trial < 200; trial++ {
+			c := MustNew(Config{Eps: eps, DeltaLog: 10}, rng)
+			c.IncrementBy(N)
+			if re := stats.RelativeError(c.Estimate(), float64(N)); re > worst {
+				worst = re
+			}
+		}
+		if worst > 3*eps {
+			t.Fatalf("N=%d: worst relative error %v over 200 trials (ε=%v)", N, worst, eps)
+		}
+	}
+}
+
+func TestIncrementAndIncrementByAgree(t *testing.T) {
+	// Skip-ahead must induce the same law on (X, Y). Compare the estimate
+	// distributions of the two paths.
+	rngA := xrand.NewSeeded(6)
+	rngB := xrand.NewSeeded(7)
+	const N = 30000
+	const trials = 1500
+	cfg := Config{Eps: 0.3, DeltaLog: 5}
+	estA := make([]float64, trials)
+	estB := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		a := MustNew(cfg, rngA)
+		for j := 0; j < N; j++ {
+			a.Increment()
+		}
+		estA[i] = a.Estimate()
+		b := MustNew(cfg, rngB)
+		b.IncrementBy(N)
+		estB[i] = b.Estimate()
+	}
+	ks := stats.KolmogorovSmirnov(estA, estB)
+	if crit := stats.KSCritical(0.001, trials, trials); ks > crit {
+		t.Fatalf("per-event vs skip-ahead KS %v > critical %v", ks, crit)
+	}
+}
+
+func TestStateBitsScaling(t *testing.T) {
+	// Theorem 2.3: state is O(log log N + log 1/ε + log log 1/δ) whp.
+	rng := xrand.NewSeeded(8)
+	const eps = 0.25
+	const deltaLog = 20
+	c := MustNew(Config{Eps: eps, DeltaLog: deltaLog}, rng)
+	c.IncrementBy(10_000_000)
+	n := 1e7
+	predicted := math.Log2(math.Log2(n)) + 3*math.Log2(1/eps) + math.Log2(deltaLog) + math.Log2(DefaultC)
+	// X needs log2(log_{1+ε} N) + ... bits; allow constant-factor headroom.
+	if float64(c.MaxStateBits()) > 3*predicted+24 {
+		t.Fatalf("state bits %d, predicted scale %v", c.MaxStateBits(), predicted)
+	}
+}
+
+func TestStateBitsDeltaScalingIsDoublyLogarithmic(t *testing.T) {
+	// Squaring 1/δ (doubling Δ) must add O(1) state bits, not double them —
+	// the paper's headline improvement.
+	rng := xrand.NewSeeded(9)
+	const eps = 0.25
+	const N = 1 << 20
+	bitsAt := func(deltaLog int) int {
+		worst := 0
+		for trial := 0; trial < 20; trial++ {
+			c := MustNew(Config{Eps: eps, DeltaLog: deltaLog}, rng)
+			c.IncrementBy(N)
+			if b := c.MaxStateBits(); b > worst {
+				worst = b
+			}
+		}
+		return worst
+	}
+	b10, b40, b160 := bitsAt(10), bitsAt(40), bitsAt(160)
+	if b40 > b10+6 || b160 > b40+6 {
+		t.Fatalf("state bits grew too fast in Δ: Δ=10→%d, Δ=40→%d, Δ=160→%d", b10, b40, b160)
+	}
+	if b160 <= b10-6 {
+		t.Fatalf("state bits decreased in Δ: %d vs %d", b10, b160)
+	}
+}
+
+func TestAlphaMonotoneNonIncreasing(t *testing.T) {
+	// The sampling rate must never increase across epochs (merge relies on
+	// it). Walk the deterministic schedule directly.
+	c := mk(t, 0.1, 12, 10)
+	prev := uint(0)
+	count := 0
+	c.schedule(func(st epochState) bool {
+		if st.t < prev {
+			t.Fatalf("t decreased at level %d: %d → %d", st.x, prev, st.t)
+		}
+		prev = st.t
+		count++
+		return count < 500
+	})
+}
+
+func TestScheduleStartsAtX0WithAlphaOne(t *testing.T) {
+	c := mk(t, 0.2, 8, 11)
+	c.schedule(func(st epochState) bool {
+		if st.x != c.X0() || st.t != 0 || st.yStart != 0 {
+			t.Fatalf("schedule epoch 0 = %+v", st)
+		}
+		return false
+	})
+}
+
+func TestThresholdMatchesFloorAlphaT(t *testing.T) {
+	c := mk(t, 0.3, 6, 12)
+	for _, x := range []uint64{c.x0, c.x0 + 1, c.x0 + 10, c.x0 + 100} {
+		for _, tt := range []uint{0, 1, 5} {
+			want := uint64(math.Floor(c.bigT(x) / math.Pow(2, float64(tt))))
+			if got := c.threshold(x, tt); got != want {
+				t.Fatalf("threshold(x=%d,t=%d) = %d, want %d", x, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestMergePreservesDistribution(t *testing.T) {
+	rng := xrand.NewSeeded(13)
+	cfg := Config{Eps: 0.3, DeltaLog: 6}
+	const n1, n2, trials = 20000, 50000, 2500
+	merged := make([]float64, trials)
+	direct := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		c1 := MustNew(cfg, rng)
+		c1.IncrementBy(n1)
+		c2 := MustNew(cfg, rng)
+		c2.IncrementBy(n2)
+		if err := c1.Merge(c2); err != nil {
+			t.Fatal(err)
+		}
+		merged[i] = c1.Estimate()
+		d := MustNew(cfg, rng)
+		d.IncrementBy(n1 + n2)
+		direct[i] = d.Estimate()
+	}
+	ks := stats.KolmogorovSmirnov(merged, direct)
+	if crit := stats.KSCritical(0.001, trials, trials); ks > crit {
+		t.Fatalf("merge distribution drift: KS %v > critical %v", ks, crit)
+	}
+}
+
+func TestMergeSmallerIntoLarger(t *testing.T) {
+	// Merge must work regardless of which side is more advanced.
+	rng := xrand.NewSeeded(14)
+	cfg := Config{Eps: 0.3, DeltaLog: 6}
+	for _, swap := range []bool{false, true} {
+		n1, n2 := uint64(1000), uint64(100000)
+		if swap {
+			n1, n2 = n2, n1
+		}
+		c1 := MustNew(cfg, rng)
+		c1.IncrementBy(n1)
+		c2 := MustNew(cfg, rng)
+		c2.IncrementBy(n2)
+		if err := c1.Merge(c2); err != nil {
+			t.Fatal(err)
+		}
+		total := float64(n1 + n2)
+		if re := stats.RelativeError(c1.Estimate(), total); re > 1 {
+			t.Fatalf("swap=%v: merged estimate %v vs total %v", swap, c1.Estimate(), total)
+		}
+	}
+}
+
+func TestMergeEpochZeroPair(t *testing.T) {
+	// Two epoch-0 counters merge to an exact sum when it stays in epoch 0.
+	rng := xrand.NewSeeded(15)
+	cfg := Config{Eps: 0.2, DeltaLog: 10}
+	c1 := MustNew(cfg, rng)
+	c2 := MustNew(cfg, rng)
+	c1.IncrementBy(10)
+	c2.IncrementBy(20)
+	if err := c1.Merge(c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.EstimateUint64() != 30 {
+		t.Fatalf("epoch-0 merge: %d, want 30", c1.EstimateUint64())
+	}
+}
+
+func TestMergeParameterMismatch(t *testing.T) {
+	rng := xrand.NewSeeded(16)
+	c1 := MustNew(Config{Eps: 0.2, DeltaLog: 10}, rng)
+	c2 := MustNew(Config{Eps: 0.3, DeltaLog: 10}, rng)
+	if err := c1.Merge(c2); err == nil {
+		t.Fatal("eps mismatch accepted")
+	}
+	c3 := MustNew(Config{Eps: 0.2, DeltaLog: 11}, rng)
+	if err := c1.Merge(c3); err == nil {
+		t.Fatal("delta mismatch accepted")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := xrand.NewSeeded(17)
+	cfg := Config{Eps: 0.15, DeltaLog: 12}
+	c := MustNew(cfg, rng)
+	c.IncrementBy(500000)
+	w := bitpack.NewWriter()
+	c.EncodeState(w)
+	d := MustNew(cfg, rng)
+	if err := d.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if d.X() != c.X() || d.Y() != c.Y() || d.T() != c.T() {
+		t.Fatalf("round trip mismatch: (%d,%d,%d) vs (%d,%d,%d)",
+			d.X(), d.Y(), d.T(), c.X(), c.Y(), c.T())
+	}
+	if d.Estimate() != c.Estimate() {
+		t.Fatal("estimates differ after round trip")
+	}
+	// The decoded counter must continue evolving correctly.
+	d.IncrementBy(500000)
+	if re := stats.RelativeError(d.Estimate(), 1e6); re > 1 {
+		t.Fatalf("decoded counter diverged: estimate %v for N=1e6", d.Estimate())
+	}
+}
+
+func TestDecodeRejectsCorruptState(t *testing.T) {
+	rng := xrand.NewSeeded(18)
+	cfg := Config{Eps: 0.15, DeltaLog: 12}
+	c := MustNew(cfg, rng)
+	w := bitpack.NewWriter()
+	w.WriteUvarint(1) // X below X₀
+	w.WriteUvarint(0)
+	w.WriteUvarint(0)
+	if err := c.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err == nil {
+		t.Fatal("X below X₀ accepted")
+	}
+	w.Reset()
+	w.WriteUvarint(c.X0() + 1)
+	w.WriteUvarint(0)
+	w.WriteUvarint(63) // t beyond cap
+	if err := c.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err == nil {
+		t.Fatal("t beyond cap accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mk(t, 0.2, 8, 19)
+	c.IncrementBy(100000)
+	c.Reset()
+	if c.X() != c.X0() || c.Y() != 0 || c.T() != 0 {
+		t.Fatal("Reset did not restore initial state")
+	}
+	if c.Estimate() != 0 {
+		t.Fatalf("estimate after reset = %v", c.Estimate())
+	}
+}
+
+func TestEstimateMonotoneInIncrements(t *testing.T) {
+	rng := xrand.NewSeeded(20)
+	c := MustNew(Config{Eps: 0.25, DeltaLog: 6}, rng)
+	prev := -1.0
+	for i := 0; i < 50; i++ {
+		c.IncrementBy(5000)
+		est := c.Estimate()
+		if est < prev {
+			t.Fatalf("estimate decreased: %v → %v", prev, est)
+		}
+		prev = est
+	}
+}
+
+func TestLargerCMeansMoreYBits(t *testing.T) {
+	// The C ablation: doubling C roughly doubles the Y ceiling, costing ≈ 1
+	// state bit, while pushing the failure probability down.
+	rng := xrand.NewSeeded(21)
+	run := func(cc float64) int {
+		c := MustNew(Config{Eps: 0.25, DeltaLog: 8, C: cc}, rng)
+		c.IncrementBy(1 << 20)
+		return c.MaxStateBits()
+	}
+	small, large := run(4), run(64)
+	if large <= small {
+		t.Fatalf("C=64 state (%d bits) not above C=4 state (%d bits)", large, small)
+	}
+	if large > small+10 {
+		t.Fatalf("C=64 state (%d) implausibly above C=4 (%d)", large, small)
+	}
+}
+
+func TestNameAndAccessors(t *testing.T) {
+	c := mk(t, 0.2, 8, 22)
+	if c.Name() != "ny" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.Config().Eps != 0.2 || c.Config().DeltaLog != 8 {
+		t.Fatalf("Config = %+v", c.Config())
+	}
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh Epoch = %d", c.Epoch())
+	}
+	c.IncrementBy(1 << 22)
+	if c.Epoch() == 0 {
+		t.Fatal("Epoch did not advance after 4M increments")
+	}
+	if c.X() != c.X0()+c.Epoch() {
+		t.Fatal("X ≠ X₀ + epoch")
+	}
+}
+
+func TestEstimateInterpolatedBeatsGrid(t *testing.T) {
+	// The interpolated estimator must have a substantially lower mean
+	// absolute relative error than the grid-quantized Query() answer.
+	rng := xrand.NewSeeded(40)
+	cfg := Config{Eps: 0.3, DeltaLog: 8}
+	var gridErr, interpErr stats.Summary
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Range(50000, 200000)
+		c := MustNew(cfg, rng)
+		c.IncrementBy(n)
+		gridErr.Add(stats.RelativeError(c.Estimate(), float64(n)))
+		interpErr.Add(stats.RelativeError(c.EstimateInterpolated(), float64(n)))
+	}
+	if interpErr.Mean() >= gridErr.Mean() {
+		t.Fatalf("interpolated mean error %v not below grid %v",
+			interpErr.Mean(), gridErr.Mean())
+	}
+	if interpErr.Mean() > 0.6*gridErr.Mean() {
+		t.Fatalf("interpolation gain too small: %v vs %v", interpErr.Mean(), gridErr.Mean())
+	}
+}
+
+func TestEstimateInterpolatedEpochZero(t *testing.T) {
+	c := mk(t, 0.2, 10, 41)
+	c.IncrementBy(100)
+	if c.Epoch() != 0 {
+		t.Skip("left epoch 0 unexpectedly")
+	}
+	if c.EstimateInterpolated() != 100 {
+		t.Fatalf("epoch-0 interpolated estimate %v", c.EstimateInterpolated())
+	}
+}
+
+func TestEstimateInterpolatedMonotone(t *testing.T) {
+	rng := xrand.NewSeeded(42)
+	c := MustNew(Config{Eps: 0.25, DeltaLog: 6}, rng)
+	prev := -1.0
+	for i := 0; i < 100; i++ {
+		c.IncrementBy(2000)
+		est := c.EstimateInterpolated()
+		if est < prev {
+			t.Fatalf("interpolated estimate decreased: %v → %v at step %d", prev, est, i)
+		}
+		prev = est
+	}
+}
+
+// Property: for any increment pattern, Y never exceeds its threshold after
+// an operation completes, t never decreases, X never decreases.
+func TestQuickInvariants(t *testing.T) {
+	rng := xrand.NewSeeded(23)
+	f := func(steps []uint16) bool {
+		c := MustNew(Config{Eps: 0.3, DeltaLog: 5}, rng)
+		var prevX uint64
+		var prevT uint
+		for _, s := range steps {
+			c.IncrementBy(uint64(s))
+			if c.y > c.thr {
+				return false
+			}
+			if c.X() < prevX || c.T() < prevT {
+				return false
+			}
+			prevX, prevT = c.X(), c.T()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips from any reachable state.
+func TestQuickSerializationAnyState(t *testing.T) {
+	rng := xrand.NewSeeded(24)
+	cfg := Config{Eps: 0.25, DeltaLog: 6}
+	f := func(n uint32) bool {
+		c := MustNew(cfg, rng)
+		c.IncrementBy(uint64(n))
+		w := bitpack.NewWriter()
+		c.EncodeState(w)
+		d := MustNew(cfg, rng)
+		if err := d.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err != nil {
+			return false
+		}
+		return d.X() == c.X() && d.Y() == c.Y() && d.T() == c.T() &&
+			d.Estimate() == c.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

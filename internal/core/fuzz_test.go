@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitpack"
+	"repro/internal/xrand"
+)
+
+// FuzzDecodeState throws arbitrary bytes at the NY counter's state decoder:
+// it must reject or accept cleanly — and if it accepts, the counter must
+// remain a consistent, usable state machine (invariants hold, operations
+// don't panic).
+func FuzzDecodeState(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x2a, 0x01, 0x80, 0x7f, 0x55})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rng := xrand.NewSeeded(1)
+		c := MustNew(Config{Eps: 0.25, DeltaLog: 8}, rng)
+		if err := c.DecodeState(bitpack.NewReader(data, len(data)*8)); err != nil {
+			return
+		}
+		// Accepted: the decoded state must satisfy the structural
+		// invariants and keep operating.
+		if c.X() < c.X0() {
+			t.Fatalf("decoded X=%d below X0=%d", c.X(), c.X0())
+		}
+		if c.T() > maxT {
+			t.Fatalf("decoded t=%d above cap", c.T())
+		}
+		c.IncrementBy(1000)
+		if c.Estimate() < 0 {
+			t.Fatalf("negative estimate %v", c.Estimate())
+		}
+		_ = c.StateBits()
+		_ = c.EstimateInterpolated()
+	})
+}
+
+// FuzzIncrementPattern drives a counter through arbitrary batch sizes and
+// checks the monotone invariants after every step.
+func FuzzIncrementPattern(f *testing.F) {
+	f.Add(uint16(1), uint16(1000), uint16(7))
+	f.Add(uint16(65535), uint16(0), uint16(65535))
+	f.Fuzz(func(t *testing.T, a, b, c16 uint16) {
+		rng := xrand.NewSeeded(2)
+		c := MustNew(Config{Eps: 0.3, DeltaLog: 5}, rng)
+		var prevX uint64
+		var prevT uint
+		for _, n := range []uint16{a, b, c16} {
+			c.IncrementBy(uint64(n))
+			if c.y > c.thr {
+				t.Fatal("Y above threshold after operation")
+			}
+			if c.X() < prevX || c.T() < prevT {
+				t.Fatal("X or t decreased")
+			}
+			prevX, prevT = c.X(), c.T()
+		}
+	})
+}

@@ -1,0 +1,92 @@
+// Package counter defines the interface every approximate (and exact)
+// counter in this repository implements, so that experiment harnesses,
+// benchmarks and the counter bank can treat the paper's algorithm, the
+// Morris variants, the Csűrös counter and the exact baseline uniformly.
+package counter
+
+import (
+	"math/bits"
+
+	"repro/internal/bitpack"
+)
+
+// Counter is an increment-only approximate counter.
+//
+// Estimate returns N̂, the counter's estimate of the number of Increment
+// calls so far. StateBits returns the number of bits of program state the
+// counter needs *right now* — the quantity whose growth the paper bounds —
+// and MaxStateBits the high-water mark over the counter's lifetime. State
+// accounting follows the paper's Remark 2.2: only the mutable program state
+// (e.g. X, Y and the exponent t of a dyadic sampling rate) counts; fixed
+// program constants (ε, Δ, the base a) do not, exactly as in the finite
+// automaton / branching program view.
+type Counter interface {
+	// Increment records one event.
+	Increment()
+	// IncrementBy records n events. Implementations use distribution-
+	// preserving skip-ahead where available (geometric jumps), making this
+	// dramatically faster than n calls to Increment with exactly the same
+	// output law.
+	IncrementBy(n uint64)
+	// Estimate returns the current estimate N̂ of the true count.
+	Estimate() float64
+	// EstimateUint64 returns the estimate rounded to the nearest integer,
+	// saturating at MaxUint64.
+	EstimateUint64() uint64
+	// StateBits returns the current number of state bits.
+	StateBits() int
+	// MaxStateBits returns the lifetime maximum of StateBits.
+	MaxStateBits() int
+	// Name identifies the algorithm (for table rows).
+	Name() string
+}
+
+// Mergeable is implemented by counters supporting the merge operation of
+// the paper's Remark 2.4: Merge(other) leaves the receiver distributed as a
+// counter that saw both increment streams.
+type Mergeable interface {
+	Counter
+	// Merge folds other into the receiver. other must have been created
+	// with identical parameters; implementations return an error otherwise.
+	// other is consumed and must not be used afterwards.
+	Merge(other Counter) error
+}
+
+// Serializable is implemented by counters whose state round-trips through a
+// bit-exact encoding, proving the StateBits accounting is physical.
+type Serializable interface {
+	Counter
+	// EncodeState appends the counter's state to w. The number of bits
+	// written must equal StateBits().
+	EncodeState(w *bitpack.Writer)
+	// DecodeState restores state previously written by EncodeState on a
+	// counter constructed with the same parameters.
+	DecodeState(r *bitpack.Reader) error
+}
+
+// BitLen returns the number of bits needed to store v: ⌈log2(v+1)⌉, with
+// BitLen(0) == 0. This is the information-theoretic width used throughout
+// the state accounting.
+func BitLen(v uint64) int { return bits.Len64(v) }
+
+// SaturatingAdd returns a+b, clamping at MaxUint64.
+func SaturatingAdd(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		return ^uint64(0)
+	}
+	return s
+}
+
+// Float64ToUint64 rounds f to the nearest unsigned integer, saturating at
+// MaxUint64 and clamping negatives (which approximate counters can produce
+// only through pathological parameterizations) to zero.
+func Float64ToUint64(f float64) uint64 {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 18446744073709551615.0 {
+		return ^uint64(0)
+	}
+	return uint64(f + 0.5)
+}

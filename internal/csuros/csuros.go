@@ -1,0 +1,236 @@
+// Package csuros implements Csűrös's floating-point approximate counter
+// [Csu10], the algorithm the paper's Section 4 says its "simplified version
+// of the algorithm of Subsection 2.1" resembles; it is the second curve of
+// Figure 1.
+//
+// The entire state is one w-bit integer c whose low d bits are a mantissa u
+// and whose high bits are an exponent t:
+//
+//	c = t·2^d + u,   estimate n̂ = (2^d + u)·2^t − 2^d.
+//
+// Each event increments c with probability 2^-t. Incrementing a full
+// mantissa carries into the exponent automatically, which both halves the
+// effective sampling rate and rescales the mantissa — exactly the epoch
+// advance of the paper's Algorithm 1 with base (1+ε) specialized to 2 and
+// the rescale ⌊Y·α_{k+1}/α_k⌋ realized by the carry. The estimator is
+// unbiased (E[n̂] = n, [Csu10, Prop. 1]).
+//
+// While t = 0 the counter is exact, so — like Morris+ and like Algorithm 1's
+// epoch 0 — it needs no separate deterministic prefix.
+package csuros
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitpack"
+	"repro/internal/counter"
+	"repro/internal/xrand"
+)
+
+// Counter is a fixed-width Csűrös floating-point counter.
+type Counter struct {
+	d     uint   // mantissa bits
+	width uint   // total state bits (mantissa + exponent field)
+	c     uint64 // packed state: exponent(high) ‖ mantissa(low d bits)
+	max   uint64 // saturation value: 2^width − 1
+	rng   *xrand.Rand
+}
+
+var _ counter.Mergeable = (*Counter)(nil)
+var _ counter.Serializable = (*Counter)(nil)
+
+// New returns a Csűrös counter with the given total state width and
+// mantissa size, both in bits. Requires 1 ≤ mantissa < width ≤ 62 and an
+// exponent field small enough that 2^t cannot overflow (width−mantissa ≤ 6,
+// i.e. t ≤ 63, always true for width ≤ 62).
+func New(width, mantissa int, rng *xrand.Rand) *Counter {
+	if width < 2 || width > 62 {
+		panic(fmt.Sprintf("csuros: width %d out of [2, 62]", width))
+	}
+	if mantissa < 1 || mantissa >= width {
+		panic(fmt.Sprintf("csuros: mantissa %d out of [1, %d)", mantissa, width))
+	}
+	if rng == nil {
+		panic("csuros: nil rng")
+	}
+	return &Counter{
+		d:     uint(mantissa),
+		width: uint(width),
+		max:   (1 << uint(width)) - 1,
+		rng:   rng,
+	}
+}
+
+// NewForBudget returns the most accurate Csűrös counter that fits the given
+// total bit budget while being able to represent counts up to maxN with
+// headroom: it chooses the largest mantissa whose remaining exponent field
+// still reaches 2·maxN. This mirrors how the paper's Figure 1 experiment
+// parameterizes "17 bits of memory".
+func NewForBudget(width int, maxN uint64, rng *xrand.Rand) *Counter {
+	d := MantissaBitsFor(width, maxN)
+	return New(width, d, rng)
+}
+
+// MantissaBitsFor returns the mantissa size NewForBudget would choose.
+func MantissaBitsFor(width int, maxN uint64) int {
+	if width < 2 || width > 62 {
+		panic(fmt.Sprintf("csuros: width %d out of [2, 62]", width))
+	}
+	if maxN == 0 {
+		panic("csuros: maxN = 0")
+	}
+	need := float64(maxN) * 2
+	best := 1
+	for d := 1; d < width; d++ {
+		e := width - d
+		// Max exponent value representable in the field, capped so the
+		// capacity computation cannot overflow float64.
+		tMax := math.Pow(2, float64(e)) - 1
+		if tMax > 200 {
+			tMax = 200
+		}
+		capacity := math.Pow(2, float64(d)+tMax+1) // ≈ (2^d+u)·2^tMax upper range
+		if capacity >= need {
+			best = d
+		}
+	}
+	return best
+}
+
+// exponent returns t = c >> d.
+func (c *Counter) exponent() uint { return uint(c.c >> c.d) }
+
+// mantissa returns u = c mod 2^d.
+func (c *Counter) mantissa() uint64 { return c.c & ((1 << c.d) - 1) }
+
+// Increment records one event: with probability 2^-t, c increases by one
+// (mantissa carry rolls into the exponent). Saturates at the width cap.
+func (c *Counter) Increment() {
+	if c.c >= c.max {
+		return
+	}
+	if c.rng.BernoulliPow2(c.exponent()) {
+		c.c++
+	}
+}
+
+// IncrementBy records n events via geometric skip-ahead between c-bumps;
+// memorylessness makes the law identical to n calls of Increment.
+func (c *Counter) IncrementBy(n uint64) {
+	for n > 0 {
+		if c.c >= c.max {
+			return
+		}
+		t := c.exponent()
+		if t == 0 {
+			// Exact region: every event bumps c, up to the next carry or cap.
+			room := (uint64(1) << c.d) - c.c // events until exponent becomes 1
+			if headroom := c.max - c.c; headroom < room {
+				room = headroom
+			}
+			if n < room {
+				c.c += n
+				return
+			}
+			c.c += room
+			n -= room
+			continue
+		}
+		z := c.rng.Geometric(math.Ldexp(1, -int(t)))
+		if z > n {
+			return
+		}
+		n -= z
+		c.c++
+	}
+}
+
+// Estimate returns n̂ = (2^d + u)·2^t − 2^d.
+func (c *Counter) Estimate() float64 {
+	m := float64(uint64(1) << c.d)
+	return (m+float64(c.mantissa()))*math.Pow(2, float64(c.exponent())) - m
+}
+
+// EstimateUint64 returns the estimate rounded to the nearest integer.
+func (c *Counter) EstimateUint64() uint64 {
+	return counter.Float64ToUint64(c.Estimate())
+}
+
+// StateBits returns the fixed register width — the counter is a single
+// packed field, exactly as a hardware implementation would allocate it.
+func (c *Counter) StateBits() int { return int(c.width) }
+
+// MaxStateBits equals StateBits (fixed-width register).
+func (c *Counter) MaxStateBits() int { return int(c.width) }
+
+// Name implements counter.Counter.
+func (c *Counter) Name() string { return "csuros" }
+
+// Saturated reports whether the register hit its cap and stopped counting.
+func (c *Counter) Saturated() bool { return c.c >= c.max }
+
+// MantissaBits returns d.
+func (c *Counter) MantissaBits() int { return int(c.d) }
+
+// Raw returns the packed register value (exposed for tests).
+func (c *Counter) Raw() uint64 { return c.c }
+
+// Merge folds other into the receiver so that the result is distributed as
+// a single counter over both streams — an *extension* of [Csu10] using the
+// same subsampling argument as the paper's Remark 2.4 / [CY20]: the donor's
+// survivors are deterministic given its register (exponent level i
+// witnesses one survivor per mantissa slot, each sampled at rate 2^-i), and
+// each is re-inserted into the receiver with probability
+// 2^(i − t_receiver), advancing the receiver's exponent as carries occur.
+// Both counters must have identical width and mantissa size; other is
+// consumed.
+func (c *Counter) Merge(other counter.Counter) error {
+	o, ok := other.(*Counter)
+	if !ok {
+		return fmt.Errorf("csuros: cannot merge with %T", other)
+	}
+	if o.d != c.d || o.width != c.width {
+		return fmt.Errorf("csuros: merge shape mismatch: %d/%d vs %d/%d",
+			c.width, c.d, o.width, o.d)
+	}
+	// Receiver must be the more-advanced register so its sampling rate is a
+	// lower bound on every donor level's rate.
+	if c.c < o.c {
+		c.c, o.c = o.c, c.c
+	}
+	reinsert := func(level uint, survivors uint64) {
+		for k := uint64(0); k < survivors; k++ {
+			if c.c >= c.max {
+				return
+			}
+			d := c.exponent() - level // receiver exponent only grows
+			if c.rng.BernoulliPow2(d) {
+				c.c++
+			}
+		}
+	}
+	mantissaSlots := uint64(1) << c.d
+	for i := uint(0); i < o.exponent(); i++ {
+		reinsert(i, mantissaSlots)
+	}
+	reinsert(o.exponent(), o.mantissa())
+	return nil
+}
+
+// EncodeState writes the fixed-width register.
+func (c *Counter) EncodeState(w *bitpack.Writer) { w.WriteBits(c.c, int(c.width)) }
+
+// DecodeState restores a register written by EncodeState on an identically
+// shaped counter.
+func (c *Counter) DecodeState(r *bitpack.Reader) error {
+	v, err := r.ReadBits(int(c.width))
+	if err != nil {
+		return err
+	}
+	c.c = v
+	return nil
+}
+
+// Reset zeroes the register.
+func (c *Counter) Reset() { c.c = 0 }

@@ -1,0 +1,307 @@
+package csuros
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitpack"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := xrand.NewSeeded(1)
+	bad := []struct{ w, d int }{{1, 1}, {63, 4}, {8, 0}, {8, 8}, {8, 9}}
+	for _, tc := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) did not panic", tc.w, tc.d)
+				}
+			}()
+			New(tc.w, tc.d, rng)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil rng accepted")
+			}
+		}()
+		New(8, 4, nil)
+	}()
+}
+
+func TestExactWhileExponentZero(t *testing.T) {
+	rng := xrand.NewSeeded(2)
+	c := New(17, 10, rng)
+	for i := uint64(1); i < 1024; i++ { // stays below 2^10
+		c.Increment()
+		if c.EstimateUint64() != i {
+			t.Fatalf("not exact at %d: %d", i, c.EstimateUint64())
+		}
+	}
+}
+
+func TestEstimateFormula(t *testing.T) {
+	rng := xrand.NewSeeded(3)
+	c := New(17, 8, rng)
+	// c = t·2^d + u with t=3, u=5: estimate = (256+5)·8 − 256 = 1832.
+	c.c = 3<<8 | 5
+	if got := c.Estimate(); got != 1832 {
+		t.Fatalf("Estimate = %v, want 1832", got)
+	}
+	if c.exponent() != 3 || c.mantissa() != 5 {
+		t.Fatalf("exponent/mantissa = %d/%d", c.exponent(), c.mantissa())
+	}
+}
+
+func TestUnbiasedness(t *testing.T) {
+	// [Csu10, Prop. 1]: E[n̂] = n for all n.
+	rng := xrand.NewSeeded(4)
+	const N, trials = 100000, 20000
+	var sum stats.Summary
+	for i := 0; i < trials; i++ {
+		c := New(17, 10, rng)
+		c.IncrementBy(N)
+		sum.Add(c.Estimate())
+	}
+	tol := 6 * sum.StdErr()
+	if math.Abs(sum.Mean()-N) > tol {
+		t.Fatalf("mean estimate %v, want %v ± %v", sum.Mean(), float64(N), tol)
+	}
+}
+
+func TestIncrementAndIncrementByAgree(t *testing.T) {
+	rngA := xrand.NewSeeded(5)
+	rngB := xrand.NewSeeded(6)
+	const N, trials = 20000, 1000
+	estA := make([]float64, trials)
+	estB := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		a := New(17, 9, rngA)
+		for j := 0; j < N; j++ {
+			a.Increment()
+		}
+		estA[i] = a.Estimate()
+		b := New(17, 9, rngB)
+		b.IncrementBy(N)
+		estB[i] = b.Estimate()
+	}
+	ks := stats.KolmogorovSmirnov(estA, estB)
+	if crit := stats.KSCritical(0.001, trials, trials); ks > crit {
+		t.Fatalf("per-event vs skip-ahead KS %v > %v", ks, crit)
+	}
+}
+
+func TestRelativeErrorScale(t *testing.T) {
+	// Relative std ≈ 2^{-(d+1)/2}·O(1); with d = 14 at N = 750k it must be
+	// well below 1.5% and the counter must not saturate.
+	rng := xrand.NewSeeded(7)
+	const N, trials = 750000, 1200
+	var errs stats.Summary
+	for i := 0; i < trials; i++ {
+		c := New(17, 14, rng)
+		c.IncrementBy(N)
+		if c.Saturated() {
+			t.Fatal("17/14 counter saturated at 750k")
+		}
+		errs.Add(stats.SignedRelativeError(c.Estimate(), N))
+	}
+	if errs.StdDev() > 0.015 {
+		t.Fatalf("relative error std %v, want < 1.5%%", errs.StdDev())
+	}
+	if math.Abs(errs.Mean()) > 4*errs.StdErr()+1e-4 {
+		t.Fatalf("relative error biased: mean %v", errs.Mean())
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	rng := xrand.NewSeeded(8)
+	c := New(4, 2, rng) // tiny: cap = 15
+	c.IncrementBy(1 << 30)
+	if !c.Saturated() {
+		t.Fatal("tiny counter did not saturate")
+	}
+	if c.Raw() != 15 {
+		t.Fatalf("raw = %d, want cap 15", c.Raw())
+	}
+	est := c.Estimate()
+	c.IncrementBy(1000)
+	if c.Estimate() != est {
+		t.Fatal("saturated counter kept moving")
+	}
+}
+
+func TestMantissaBitsFor(t *testing.T) {
+	// 17 bits, maxN just under 10^6 (the Figure 1 setting): the chooser
+	// must leave enough exponent range while maximizing the mantissa.
+	d := MantissaBitsFor(17, 999999)
+	if d < 10 || d > 15 {
+		t.Fatalf("MantissaBitsFor(17, 999999) = %d, implausible", d)
+	}
+	// The resulting counter must be able to represent 2× maxN.
+	rng := xrand.NewSeeded(9)
+	c := NewForBudget(17, 999999, rng)
+	c.IncrementBy(999999)
+	if c.Saturated() {
+		t.Fatal("budgeted counter saturated at maxN")
+	}
+	// Monotone: more budget → at least as large a mantissa.
+	if MantissaBitsFor(20, 999999) < d {
+		t.Fatal("larger budget chose smaller mantissa")
+	}
+}
+
+func TestStateBitsFixed(t *testing.T) {
+	rng := xrand.NewSeeded(10)
+	c := New(17, 12, rng)
+	if c.StateBits() != 17 || c.MaxStateBits() != 17 {
+		t.Fatalf("StateBits = %d/%d", c.StateBits(), c.MaxStateBits())
+	}
+	c.IncrementBy(1 << 20)
+	if c.StateBits() != 17 {
+		t.Fatalf("StateBits moved to %d", c.StateBits())
+	}
+	if c.MantissaBits() != 12 {
+		t.Fatalf("MantissaBits = %d", c.MantissaBits())
+	}
+	if c.Name() != "csuros" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := xrand.NewSeeded(11)
+	c := New(17, 11, rng)
+	c.IncrementBy(500000)
+	w := bitpack.NewWriter()
+	c.EncodeState(w)
+	if w.Len() != 17 {
+		t.Fatalf("encoded %d bits, want 17", w.Len())
+	}
+	d := New(17, 11, rng)
+	if err := d.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if d.Raw() != c.Raw() || d.Estimate() != c.Estimate() {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReset(t *testing.T) {
+	rng := xrand.NewSeeded(12)
+	c := New(17, 11, rng)
+	c.IncrementBy(100000)
+	c.Reset()
+	if c.Raw() != 0 || c.Estimate() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMergePreservesDistribution(t *testing.T) {
+	// The [CY20]-style merge extension: merged ~ directly incremented.
+	rng := xrand.NewSeeded(15)
+	const n1, n2, trials = 3000, 9000, 3000
+	merged := make([]float64, trials)
+	direct := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		c1 := New(17, 8, rng)
+		c1.IncrementBy(n1)
+		c2 := New(17, 8, rng)
+		c2.IncrementBy(n2)
+		if err := c1.Merge(c2); err != nil {
+			t.Fatal(err)
+		}
+		merged[i] = c1.Estimate()
+		d := New(17, 8, rng)
+		d.IncrementBy(n1 + n2)
+		direct[i] = d.Estimate()
+	}
+	ks := stats.KolmogorovSmirnov(merged, direct)
+	if crit := stats.KSCritical(0.001, trials, trials); ks > crit {
+		t.Fatalf("csuros merge distribution drift: KS %v > %v", ks, crit)
+	}
+}
+
+func TestMergeExactRegion(t *testing.T) {
+	// Two counters still in the exact (t = 0) region merge to an exact sum.
+	rng := xrand.NewSeeded(16)
+	c1 := New(17, 10, rng)
+	c2 := New(17, 10, rng)
+	c1.IncrementBy(100)
+	c2.IncrementBy(200)
+	if err := c1.Merge(c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.EstimateUint64() != 300 {
+		t.Fatalf("exact-region merge: %d, want 300", c1.EstimateUint64())
+	}
+}
+
+func TestMergeSwapsWhenDonorAhead(t *testing.T) {
+	rng := xrand.NewSeeded(17)
+	small := New(17, 8, rng)
+	small.IncrementBy(500)
+	big := New(17, 8, rng)
+	big.IncrementBy(80000)
+	if err := small.Merge(big); err != nil {
+		t.Fatal(err)
+	}
+	if re := stats.RelativeError(small.Estimate(), 80500); re > 0.5 {
+		t.Fatalf("merge with advanced donor: estimate %v", small.Estimate())
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	rng := xrand.NewSeeded(18)
+	a := New(17, 8, rng)
+	b := New(17, 9, rng)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mantissa mismatch accepted")
+	}
+	c := New(16, 8, rng)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+// Property: the raw register never exceeds the cap and the estimate is
+// monotone in the register value.
+func TestQuickRegisterBounded(t *testing.T) {
+	rng := xrand.NewSeeded(13)
+	f := func(steps []uint16) bool {
+		c := New(10, 6, rng)
+		prevEst := -1.0
+		for _, s := range steps {
+			c.IncrementBy(uint64(s))
+			if c.Raw() > c.max {
+				return false
+			}
+			est := c.Estimate()
+			if est < prevEst {
+				return false
+			}
+			prevEst = est
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: estimate is exact for any n below the mantissa capacity.
+func TestQuickExactBelowMantissa(t *testing.T) {
+	rng := xrand.NewSeeded(14)
+	f := func(n uint16) bool {
+		c := New(20, 16, rng)
+		nn := uint64(n) // < 2^16 = mantissa capacity
+		c.IncrementBy(nn)
+		return c.EstimateUint64() == nn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

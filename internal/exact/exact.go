@@ -1,0 +1,147 @@
+// Package exact provides deterministic counters: the ⌈log2 N⌉-bit baseline
+// that the paper's lower bound (Theorem 1.1) says is optimal when
+// log n ≤ log log n + log(1/ε) + log log(1/δ), and the fixed-width
+// saturating counter used as the deterministic prefix inside Morris+.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/counter"
+)
+
+// Counter is an exact, unbounded deterministic counter. Its state is the
+// binary representation of N itself, so StateBits grows like ⌈log2(N+1)⌉.
+type Counter struct {
+	n       uint64
+	maxBits int
+}
+
+var _ counter.Mergeable = (*Counter)(nil)
+var _ counter.Serializable = (*Counter)(nil)
+
+// New returns a zeroed exact counter.
+func New() *Counter { return &Counter{} }
+
+// Increment adds one event.
+func (c *Counter) Increment() { c.IncrementBy(1) }
+
+// IncrementBy adds n events.
+func (c *Counter) IncrementBy(n uint64) {
+	c.n = counter.SaturatingAdd(c.n, n)
+	if b := counter.BitLen(c.n); b > c.maxBits {
+		c.maxBits = b
+	}
+}
+
+// Estimate returns N exactly.
+func (c *Counter) Estimate() float64 { return float64(c.n) }
+
+// EstimateUint64 returns N exactly.
+func (c *Counter) EstimateUint64() uint64 { return c.n }
+
+// StateBits returns ⌈log2(N+1)⌉.
+func (c *Counter) StateBits() int { return counter.BitLen(c.n) }
+
+// MaxStateBits returns the lifetime maximum of StateBits.
+func (c *Counter) MaxStateBits() int { return c.maxBits }
+
+// Name implements counter.Counter.
+func (c *Counter) Name() string { return "exact" }
+
+// Merge adds other's exact count into the receiver.
+func (c *Counter) Merge(other counter.Counter) error {
+	o, ok := other.(*Counter)
+	if !ok {
+		return fmt.Errorf("exact: cannot merge with %T", other)
+	}
+	c.IncrementBy(o.n)
+	return nil
+}
+
+// EncodeState writes N in self-delimiting form.
+func (c *Counter) EncodeState(w *bitpack.Writer) { w.WriteUvarint(c.n) }
+
+// DecodeState restores N.
+func (c *Counter) DecodeState(r *bitpack.Reader) error {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	c.n = n
+	if b := counter.BitLen(n); b > c.maxBits {
+		c.maxBits = b
+	}
+	return nil
+}
+
+// Saturating is a deterministic counter of fixed width w bits that sticks at
+// 2^w − 1 once reached. Morris+ uses one (width ⌈log2(N_a+2)⌉) as the exact
+// prefix up to N_a = 8/a, per Section 1 and Appendix A of the paper.
+type Saturating struct {
+	n     uint64
+	width int
+	cap   uint64
+}
+
+// NewSaturating returns a saturating counter of the given width (1..63).
+func NewSaturating(width int) *Saturating {
+	if width < 1 || width > 63 {
+		panic(fmt.Sprintf("exact: invalid saturating width %d", width))
+	}
+	return &Saturating{width: width, cap: (1 << uint(width)) - 1}
+}
+
+// NewSaturatingFor returns the narrowest saturating counter able to
+// distinguish all values 0..limit and "≥ limit+1" (width ⌈log2(limit+2)⌉).
+func NewSaturatingFor(limit uint64) *Saturating {
+	width := counter.BitLen(limit + 1)
+	if width < 1 {
+		width = 1
+	}
+	return NewSaturating(width)
+}
+
+// Increment adds one event, saturating at the cap.
+func (s *Saturating) Increment() { s.IncrementBy(1) }
+
+// IncrementBy adds n events, saturating at the cap.
+func (s *Saturating) IncrementBy(n uint64) {
+	v := counter.SaturatingAdd(s.n, n)
+	if v > s.cap {
+		v = s.cap
+	}
+	s.n = v
+}
+
+// Value returns the stored (possibly saturated) count.
+func (s *Saturating) Value() uint64 { return s.n }
+
+// Saturated reports whether the counter has hit its cap and therefore no
+// longer tracks the true count.
+func (s *Saturating) Saturated() bool { return s.n == s.cap }
+
+// Cap returns the saturation value 2^width − 1.
+func (s *Saturating) Cap() uint64 { return s.cap }
+
+// Width returns the fixed width in bits; this is the counter's state size
+// regardless of the stored value, matching a hardware register.
+func (s *Saturating) Width() int { return s.width }
+
+// EncodeState writes the fixed-width value.
+func (s *Saturating) EncodeState(w *bitpack.Writer) { w.WriteBits(s.n, s.width) }
+
+// DecodeState restores a value written by EncodeState with the same width.
+func (s *Saturating) DecodeState(r *bitpack.Reader) error {
+	v, err := r.ReadBits(s.width)
+	if err != nil {
+		return err
+	}
+	if v > s.cap {
+		return errors.New("exact: decoded value exceeds cap")
+	}
+	s.n = v
+	return nil
+}

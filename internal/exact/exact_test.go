@@ -1,0 +1,220 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitpack"
+	"repro/internal/counter"
+)
+
+func TestCounterExactness(t *testing.T) {
+	c := New()
+	for i := 1; i <= 1000; i++ {
+		c.Increment()
+		if c.EstimateUint64() != uint64(i) {
+			t.Fatalf("after %d increments: %d", i, c.EstimateUint64())
+		}
+	}
+	if c.Estimate() != 1000 {
+		t.Fatalf("Estimate = %v", c.Estimate())
+	}
+}
+
+func TestCounterIncrementByMatchesLoop(t *testing.T) {
+	a, b := New(), New()
+	a.IncrementBy(12345)
+	for i := 0; i < 12345; i++ {
+		b.Increment()
+	}
+	if a.EstimateUint64() != b.EstimateUint64() {
+		t.Fatalf("IncrementBy %d vs loop %d", a.EstimateUint64(), b.EstimateUint64())
+	}
+}
+
+func TestCounterStateBits(t *testing.T) {
+	c := New()
+	if c.StateBits() != 0 {
+		t.Fatalf("zero counter StateBits = %d", c.StateBits())
+	}
+	c.IncrementBy(1)
+	if c.StateBits() != 1 {
+		t.Fatalf("StateBits(1) = %d", c.StateBits())
+	}
+	c.IncrementBy(6) // N = 7
+	if c.StateBits() != 3 {
+		t.Fatalf("StateBits(7) = %d", c.StateBits())
+	}
+	c.IncrementBy(1) // N = 8
+	if c.StateBits() != 4 {
+		t.Fatalf("StateBits(8) = %d", c.StateBits())
+	}
+	if c.MaxStateBits() != 4 {
+		t.Fatalf("MaxStateBits = %d", c.MaxStateBits())
+	}
+}
+
+func TestCounterSaturatingAddAtMax(t *testing.T) {
+	c := New()
+	c.IncrementBy(^uint64(0))
+	c.Increment()
+	if c.EstimateUint64() != ^uint64(0) {
+		t.Fatal("exact counter overflowed instead of saturating")
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	a, b := New(), New()
+	a.IncrementBy(100)
+	b.IncrementBy(23)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.EstimateUint64() != 123 {
+		t.Fatalf("merged = %d", a.EstimateUint64())
+	}
+	if err := a.Merge(NewSaturatingAsCounter()); err == nil {
+		t.Fatal("merge with foreign type did not error")
+	}
+}
+
+// NewSaturatingAsCounter adapts a Saturating to counter.Counter for the
+// type-mismatch test above.
+func NewSaturatingAsCounter() counter.Counter { return &satAdapter{NewSaturating(8)} }
+
+type satAdapter struct{ *Saturating }
+
+func (s *satAdapter) Estimate() float64      { return float64(s.Value()) }
+func (s *satAdapter) EstimateUint64() uint64 { return s.Value() }
+func (s *satAdapter) StateBits() int         { return s.Width() }
+func (s *satAdapter) MaxStateBits() int      { return s.Width() }
+func (s *satAdapter) Name() string           { return "saturating" }
+
+func TestCounterSerializationRoundTrip(t *testing.T) {
+	c := New()
+	c.IncrementBy(987654321)
+	w := bitpack.NewWriter()
+	c.EncodeState(w)
+	d := New()
+	if err := d.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if d.EstimateUint64() != 987654321 {
+		t.Fatalf("decoded %d", d.EstimateUint64())
+	}
+}
+
+func TestSaturatingBasics(t *testing.T) {
+	s := NewSaturating(3) // cap 7
+	for i := 1; i <= 7; i++ {
+		s.Increment()
+		if s.Value() != uint64(i) {
+			t.Fatalf("Value after %d = %d", i, s.Value())
+		}
+	}
+	if !s.Saturated() {
+		t.Fatal("not saturated at cap")
+	}
+	s.Increment()
+	if s.Value() != 7 {
+		t.Fatalf("saturated counter moved to %d", s.Value())
+	}
+	if s.Cap() != 7 || s.Width() != 3 {
+		t.Fatalf("Cap/Width = %d/%d", s.Cap(), s.Width())
+	}
+}
+
+func TestSaturatingIncrementByJumpsOverCap(t *testing.T) {
+	s := NewSaturating(4)
+	s.IncrementBy(1000)
+	if s.Value() != 15 || !s.Saturated() {
+		t.Fatalf("Value = %d", s.Value())
+	}
+	s2 := NewSaturating(10)
+	s2.IncrementBy(^uint64(0))
+	if s2.Value() != 1023 {
+		t.Fatalf("Value = %d", s2.Value())
+	}
+}
+
+func TestSaturatingForDistinguishesLimitPlusOne(t *testing.T) {
+	// NewSaturatingFor(limit) must represent every value 0..limit exactly
+	// and still have a distinct "overflowed" value, i.e. cap >= limit+1.
+	for _, limit := range []uint64{1, 2, 7, 8, 100, 1000} {
+		s := NewSaturatingFor(limit)
+		if s.Cap() < limit+1 {
+			t.Fatalf("limit %d: cap %d cannot mark overflow", limit, s.Cap())
+		}
+		s.IncrementBy(limit)
+		if s.Value() != limit || s.Saturated() {
+			t.Fatalf("limit %d: value %d saturated=%v", limit, s.Value(), s.Saturated())
+		}
+	}
+}
+
+func TestSaturatingWidthPanics(t *testing.T) {
+	for _, w := range []int{0, -1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width %d did not panic", w)
+				}
+			}()
+			NewSaturating(w)
+		}()
+	}
+}
+
+func TestSaturatingSerializationRoundTrip(t *testing.T) {
+	s := NewSaturating(13)
+	s.IncrementBy(777)
+	w := bitpack.NewWriter()
+	s.EncodeState(w)
+	if w.Len() != 13 {
+		t.Fatalf("encoded %d bits, want 13", w.Len())
+	}
+	d := NewSaturating(13)
+	if err := d.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if d.Value() != 777 {
+		t.Fatalf("decoded %d", d.Value())
+	}
+}
+
+// Property: exact counter always reports the true count, any interleaving.
+func TestQuickCounterAlwaysExact(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := New()
+		var truth uint64
+		for _, s := range steps {
+			c.IncrementBy(uint64(s))
+			truth += uint64(s)
+		}
+		return c.EstimateUint64() == truth && c.StateBits() == counter.BitLen(truth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: saturating counter equals min(truth, cap).
+func TestQuickSaturatingIsMin(t *testing.T) {
+	f := func(widthSeed uint8, steps []uint16) bool {
+		width := int(widthSeed)%20 + 1
+		s := NewSaturating(width)
+		var truth uint64
+		for _, st := range steps {
+			s.IncrementBy(uint64(st))
+			truth += uint64(st)
+		}
+		want := truth
+		if want > s.Cap() {
+			want = s.Cap()
+		}
+		return s.Value() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

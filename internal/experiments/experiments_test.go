@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := Table{
+		ID:      "T/test",
+		Title:   "demo",
+		Columns: []string{"a", "bee"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333") // short row pads
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T/test", "demo", "a note", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tb.CSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "a,bee" || lines[1] != "1,2" || lines[2] != "333," {
+		t.Fatalf("csv output: %q", lines)
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent cell %q: %v", s, err)
+	}
+	return v / 100
+}
+
+func TestFig1Shape(t *testing.T) {
+	// The reproduction target: the two ECDFs nearly coincide and the max
+	// relative error at 17 bits stays in the paper's low-single-digit
+	// percent regime.
+	res := Fig1(Fig1Config{Trials: 1500, Seed: 1})
+	if len(res.MorrisErrors) != 1500 || len(res.CsurosErrors) != 1500 {
+		t.Fatal("wrong sample sizes")
+	}
+	maxM, maxC := 0.0, 0.0
+	for i := range res.MorrisErrors {
+		if res.MorrisErrors[i] > maxM {
+			maxM = res.MorrisErrors[i]
+		}
+		if res.CsurosErrors[i] > maxC {
+			maxC = res.CsurosErrors[i]
+		}
+	}
+	if maxM > 0.06 || maxC > 0.06 {
+		t.Fatalf("max rel errors %v / %v exceed 6%% at 17 bits", maxM, maxC)
+	}
+	if maxM < 0.002 || maxC < 0.002 {
+		t.Fatalf("max rel errors %v / %v implausibly small — wrong parameterization?", maxM, maxC)
+	}
+	// Median (50th percentile row) of both algorithms within a factor ~3 of
+	// each other: "nearly identical" curves.
+	tbl := res.Table
+	mid := tbl.Rows[len(tbl.Rows)/2-1]
+	m := parsePct(t, mid[1])
+	c := parsePct(t, mid[2])
+	if m > 3*c+0.001 || c > 3*m+0.001 {
+		t.Fatalf("median errors diverge: morris %v vs csuros %v", m, c)
+	}
+	// ECDF rows are monotone.
+	prevM, prevC := -1.0, -1.0
+	for _, row := range tbl.Rows {
+		mm, cc := parsePct(t, row[1]), parsePct(t, row[2])
+		if mm < prevM || cc < prevC {
+			t.Fatalf("non-monotone ECDF rows")
+		}
+		prevM, prevC = mm, cc
+	}
+}
+
+func TestNYSpaceShape(t *testing.T) {
+	tb := NYSpace(SpaceConfig{Trials: 60, Seed: 2})
+	if len(tb.Rows) != 7 {
+		t.Fatalf("row count %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		fail, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fail > 0.2 {
+			t.Fatalf("NY failure rate %v in row %v", fail, row)
+		}
+	}
+}
+
+func TestMorrisPlusSpaceShape(t *testing.T) {
+	tb := MorrisPlusSpace(SpaceConfig{Trials: 60, Seed: 3})
+	for _, row := range tb.Rows {
+		fail, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fail > 0.2 {
+			t.Fatalf("Morris+ failure rate %v in row %v", fail, row)
+		}
+	}
+}
+
+func TestDeltaScalingShape(t *testing.T) {
+	tb := DeltaScaling(SpaceConfig{Seed: 4})
+	if len(tb.Rows) != 7 {
+		t.Fatalf("row count %d", len(tb.Rows))
+	}
+	// NY measured bits must be nearly flat: last minus first ≤ 6 bits.
+	first, err := strconv.Atoi(tb.Rows[0][5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.Atoi(tb.Rows[len(tb.Rows)-1][5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last-first > 6 {
+		t.Fatalf("NY bits grew %d → %d across δ sweep", first, last)
+	}
+	// Chebyshev predicted bits must grow substantially.
+	p0, err := strconv.ParseFloat(tb.Rows[0][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p6, err := strconv.ParseFloat(tb.Rows[len(tb.Rows)-1][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p6-p0 < 10 {
+		t.Fatalf("Chebyshev predicted bits grew only %v → %v", p0, p6)
+	}
+}
+
+func TestTweakNecessityShape(t *testing.T) {
+	tb := TweakNecessity(TweakConfig{Trials: 50000, Seed: 5})
+	for _, row := range tb.Rows {
+		vanilla, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plus, err := strconv.ParseFloat(row[7], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target, err := strconv.ParseFloat(row[8], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The Appendix A separation: vanilla fails many orders of magnitude
+		// above δ; Morris+ never.
+		if vanilla < 1000*target {
+			t.Fatalf("vanilla failure %v not ≫ δ %v", vanilla, target)
+		}
+		if plus != 0 {
+			t.Fatalf("Morris+ failed with rate %v", plus)
+		}
+		// The Monte-Carlo estimate must agree with the exact DP probability
+		// within sampling noise (Wilson 4σ).
+		if exact <= 0 {
+			t.Fatalf("exact DP failure probability %v not positive", exact)
+		}
+		if vanilla > 5*exact || exact > 5*vanilla {
+			t.Fatalf("Monte-Carlo %v and exact %v disagree grossly", vanilla, exact)
+		}
+	}
+}
+
+func TestLowerBoundShape(t *testing.T) {
+	tb := LowerBound(LowerBoundConfig{Trials: 60, Seed: 6})
+	foundWitness := false
+	for _, row := range tb.Rows {
+		if !strings.Contains(row[3], "none") {
+			foundWitness = true
+		}
+	}
+	if !foundWitness {
+		t.Fatal("no pumping witness found in any configuration")
+	}
+	// Derandomized failure rates are massive in every configuration.
+	for _, row := range tb.Rows {
+		det, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det < 0.3 {
+			t.Fatalf("derandomized failure rate %v suspiciously low: %v", det, row)
+		}
+	}
+}
+
+func TestMergeExpShape(t *testing.T) {
+	tb := MergeExp(MergeConfig{Trials: 600, Seed: 7})
+	if len(tb.Rows) != 6 {
+		t.Fatalf("row count %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[5] != "pass" {
+			t.Fatalf("merge row failed KS test: %v", row)
+		}
+	}
+}
+
+func TestAveragingShape(t *testing.T) {
+	tb := Averaging(AveragingConfig{Trials: 40, Seed: 8})
+	// Row layout: per target, [averaged, chebyshev, morris+, nelson-yu].
+	if len(tb.Rows) != 8 {
+		t.Fatalf("row count %d", len(tb.Rows))
+	}
+	for i := 0; i < len(tb.Rows); i += 4 {
+		avBits, err := strconv.Atoi(tb.Rows[i][4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < 4; j++ {
+			bits, err := strconv.Atoi(tb.Rows[i+j][4])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bits*4 > avBits {
+				t.Fatalf("method %s bits %d not ≪ averaging bits %d",
+					tb.Rows[i+j][2], bits, avBits)
+			}
+		}
+	}
+}
+
+func TestNYConstShape(t *testing.T) {
+	tb := NYConst(SpaceConfig{Trials: 60, Seed: 9})
+	if len(tb.Rows) != 6 {
+		t.Fatalf("row count %d", len(tb.Rows))
+	}
+	// Bits grow with C.
+	firstBits, err := strconv.Atoi(tb.Rows[0][3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastBits, err := strconv.Atoi(tb.Rows[len(tb.Rows)-1][3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastBits <= firstBits {
+		t.Fatalf("bits did not grow with C: %d → %d", firstBits, lastBits)
+	}
+}
+
+func TestAppsExperimentsRun(t *testing.T) {
+	// Smoke: all four application tables produce fully populated rows.
+	for _, tb := range []Table{
+		Moments(AppsConfig{Seed: 10, Quick: true}),
+		HeavyHitters(AppsConfig{Seed: 11, Quick: true}),
+		Reservoir(AppsConfig{Seed: 12}),
+		Inversions(AppsConfig{Seed: 13}),
+	} {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: no rows", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			for i, cell := range row {
+				if cell == "" {
+					t.Fatalf("%s: empty cell %d in %v", tb.ID, i, row)
+				}
+			}
+		}
+	}
+}
+
+func TestHeavyHittersRecallHigh(t *testing.T) {
+	tb := HeavyHitters(AppsConfig{Seed: 14, Quick: true})
+	for _, row := range tb.Rows {
+		recall, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recall < 0.7 {
+			t.Fatalf("recall %v in row %v", recall, row)
+		}
+	}
+}
+
+func TestReservoirPValuesSane(t *testing.T) {
+	tb := Reservoir(AppsConfig{Seed: 15})
+	for _, row := range tb.Rows {
+		p, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.0001 {
+			t.Fatalf("uniformity rejected: %v", row)
+		}
+	}
+}
+
+func TestRandBitsShape(t *testing.T) {
+	tb := RandBits(20)
+	if len(tb.Rows) != 8 {
+		t.Fatalf("row count %d", len(tb.Rows))
+	}
+	// For every algorithm, skip-ahead must consume fewer words than
+	// per-event; for Morris the gap must be at least 100×.
+	for i := 0; i < len(tb.Rows); i += 2 {
+		skip, err := strconv.ParseUint(tb.Rows[i][2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per, err := strconv.ParseUint(tb.Rows[i+1][2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skip >= per {
+			t.Fatalf("%s: skip-ahead %d not below per-event %d", tb.Rows[i][0], skip, per)
+		}
+		if strings.HasPrefix(tb.Rows[i][0], "morris(") && per < 100*skip {
+			t.Fatalf("morris skip-ahead gap only %d vs %d", skip, per)
+		}
+	}
+}
+
+func TestInterpShape(t *testing.T) {
+	tb := Interp(SpaceConfig{Trials: 100, Seed: 21})
+	for _, row := range tb.Rows {
+		grid := parsePct(t, row[2])
+		interp := parsePct(t, row[3])
+		if interp >= grid {
+			t.Fatalf("interpolation did not improve: %v", row)
+		}
+	}
+}
+
+func TestRegistryRunsEverythingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick registry sweep still takes a few seconds")
+	}
+	for _, name := range Names() {
+		tables, err := Run(name, 42, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", name)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced empty table %s", name, tb.ID)
+			}
+			var buf bytes.Buffer
+			tb.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatalf("%s rendered nothing", tb.ID)
+			}
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", 1, true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

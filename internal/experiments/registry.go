@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quick scales an experiment down for smoke tests and fast CLI runs.
+type Quick bool
+
+// Runner produces one or more tables for an experiment.
+type Runner func(seed uint64, quick Quick) []Table
+
+// Registry maps experiment names (as accepted by approxbench -experiment)
+// to their runners, in the order of DESIGN.md's experiment index.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1": func(seed uint64, q Quick) []Table {
+			cfg := Fig1Config{Seed: seed}
+			if q {
+				cfg.Trials = 400
+			}
+			return []Table{Fig1(cfg).Table}
+		},
+		"nyspace": func(seed uint64, q Quick) []Table {
+			cfg := SpaceConfig{Seed: seed}
+			if q {
+				cfg.Trials = 60
+			}
+			return []Table{NYSpace(cfg)}
+		},
+		"morrisplus": func(seed uint64, q Quick) []Table {
+			cfg := SpaceConfig{Seed: seed}
+			if q {
+				cfg.Trials = 60
+			}
+			return []Table{MorrisPlusSpace(cfg)}
+		},
+		"deltascaling": func(seed uint64, q Quick) []Table {
+			budget := 3e7
+			if q {
+				budget = 2e6
+			}
+			return []Table{deltaScaling(SpaceConfig{Seed: seed}, budget)}
+		},
+		"tweak": func(seed uint64, q Quick) []Table {
+			cfg := TweakConfig{Seed: seed}
+			if q {
+				cfg.Trials = 50000
+			}
+			return []Table{TweakNecessity(cfg)}
+		},
+		"lowerbound": func(seed uint64, q Quick) []Table {
+			cfg := LowerBoundConfig{Seed: seed}
+			if q {
+				cfg.Trials = 60
+			}
+			return []Table{LowerBound(cfg)}
+		},
+		"merge": func(seed uint64, q Quick) []Table {
+			cfg := MergeConfig{Seed: seed}
+			if q {
+				cfg.Trials = 600
+			}
+			return []Table{MergeExp(cfg)}
+		},
+		"averaging": func(seed uint64, q Quick) []Table {
+			cfg := AveragingConfig{Seed: seed}
+			if q {
+				cfg.Trials = 40
+			}
+			return []Table{Averaging(cfg)}
+		},
+		"nyconst": func(seed uint64, q Quick) []Table {
+			cfg := SpaceConfig{Seed: seed}
+			if q {
+				cfg.Trials = 60
+			}
+			return []Table{NYConst(cfg)}
+		},
+		"randbits": func(seed uint64, q Quick) []Table {
+			return []Table{RandBits(seed)}
+		},
+		"interp": func(seed uint64, q Quick) []Table {
+			cfg := SpaceConfig{Seed: seed}
+			if q {
+				cfg.Trials = 60
+			}
+			return []Table{Interp(cfg)}
+		},
+		"moments": func(seed uint64, q Quick) []Table {
+			return []Table{Moments(AppsConfig{Seed: seed, Quick: bool(q)})}
+		},
+		"heavyhitters": func(seed uint64, q Quick) []Table {
+			return []Table{HeavyHitters(AppsConfig{Seed: seed, Quick: bool(q)})}
+		},
+		"reservoir": func(seed uint64, q Quick) []Table {
+			return []Table{Reservoir(AppsConfig{Seed: seed, Quick: bool(q)})}
+		},
+		"inversions": func(seed uint64, q Quick) []Table {
+			return []Table{Inversions(AppsConfig{Seed: seed, Quick: bool(q)})}
+		},
+	}
+}
+
+// Names returns the registry keys in stable order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one named experiment.
+func Run(name string, seed uint64, quick Quick) ([]Table, error) {
+	r, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(seed, quick), nil
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/morris"
+	"repro/internal/spacebound"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// SpaceConfig parameterizes the accuracy/space sweeps (E2, E3).
+type SpaceConfig struct {
+	Trials int
+	Seed   uint64
+}
+
+func (c SpaceConfig) withDefaults() SpaceConfig {
+	if c.Trials == 0 {
+		c.Trials = 400
+	}
+	return c
+}
+
+// NYSpace reproduces the guarantees of Theorems 2.1 and 2.3 (experiment E2):
+// across a sweep of (N, ε, δ), the Nelson–Yu counter's empirical failure
+// rate P(|N̂−N| > 2εN) stays at or below O(δ) while its measured maximum
+// state bits track the predicted C(log log N + log 1/ε + log log 1/δ).
+//
+// Expected shape: "fail rate" ≤ "δ" up to the theorem's constant, and
+// "max bits" within a small factor of "predicted bits" across the sweep.
+func NYSpace(cfg SpaceConfig) Table {
+	cfg = cfg.withDefaults()
+	rng := xrand.NewSeeded(cfg.Seed)
+	tb := Table{
+		ID:    "E2/nyspace",
+		Title: "Theorems 2.1+2.3: Nelson–Yu accuracy and state bits across (N, ε, δ)",
+		Columns: []string{
+			"N", "eps", "delta", "fail rate(>2eps)", "mean rel.err",
+			"max bits", "predicted bits",
+		},
+	}
+	type pt struct {
+		n        uint64
+		eps      float64
+		deltaLog int
+	}
+	sweep := []pt{
+		{10000, 0.3, 7},
+		{100000, 0.3, 7},
+		{1000000, 0.3, 7},
+		{100000, 0.2, 7},
+		{100000, 0.1, 7},
+		{100000, 0.3, 14},
+		{100000, 0.3, 28},
+	}
+	for _, p := range sweep {
+		fails := 0
+		maxBits := 0
+		var errs stats.Summary
+		for tr := 0; tr < cfg.Trials; tr++ {
+			c := core.MustNew(core.Config{Eps: p.eps, DeltaLog: p.deltaLog}, rng)
+			c.IncrementBy(p.n)
+			re := stats.RelativeError(c.Estimate(), float64(p.n))
+			errs.Add(re)
+			if re > 2*p.eps {
+				fails++
+			}
+			if b := c.MaxStateBits(); b > maxBits {
+				maxBits = b
+			}
+		}
+		pred := spacebound.NYPredict(p.eps, p.deltaLog, core.DefaultC, p.n)
+		tb.AddRow(
+			fmtU(p.n), fmtF(p.eps), fmtE(math.Ldexp(1, -p.deltaLog)),
+			fmtF(float64(fails)/float64(cfg.Trials)), fmtPct(errs.Mean()),
+			fmtI(maxBits), fmtBits(pred.Bits),
+		)
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("trials=%d per row; failure threshold 2ε matches Theorem 2.1's Cε with C≈1.5 plus margin", cfg.Trials),
+		"expected: fail rate ≤ O(δ); max bits tracks predicted within a small constant",
+		"mean rel.err reflects the (1+ε)^k answer grid: for a fixed N the same epoch wins almost every trial, so the mean is that grid point's offset (anything below ≈1.5ε is nominal)",
+	)
+	return tb
+}
+
+// MorrisPlusSpace reproduces Theorem 1.2 (experiment E3): Morris+ with
+// a = ε²/(8 ln(1/δ)) is (1±2ε)-accurate with probability ≥ 1−2δ in
+// near-optimal state.
+func MorrisPlusSpace(cfg SpaceConfig) Table {
+	cfg = cfg.withDefaults()
+	rng := xrand.NewSeeded(cfg.Seed)
+	tb := Table{
+		ID:    "E3/morrisplus",
+		Title: "Theorem 1.2: Morris+ (a = ε²/(8 ln 1/δ)) accuracy and state bits",
+		Columns: []string{
+			"N", "eps", "delta", "a", "fail rate(>2eps)",
+			"max bits", "predicted bits",
+		},
+	}
+	type pt struct {
+		n     uint64
+		eps   float64
+		delta float64
+	}
+	sweep := []pt{
+		{10000, 0.3, 0.01},
+		{100000, 0.3, 0.01},
+		{1000000, 0.3, 0.01},
+		{100000, 0.15, 0.01},
+		{100000, 0.3, 1e-4},
+		{100000, 0.3, 1e-8},
+	}
+	for _, p := range sweep {
+		a := spacebound.MorrisImprovedA(p.eps, p.delta)
+		fails := 0
+		maxBits := 0
+		for tr := 0; tr < cfg.Trials; tr++ {
+			c := morris.NewPlus(a, rng)
+			c.IncrementBy(p.n)
+			if stats.RelativeError(c.Estimate(), float64(p.n)) > 2*p.eps {
+				fails++
+			}
+			if b := c.MaxStateBits(); b > maxBits {
+				maxBits = b
+			}
+		}
+		tb.AddRow(
+			fmtU(p.n), fmtF(p.eps), fmtE(p.delta), fmtE(a),
+			fmtF(float64(fails)/float64(cfg.Trials)),
+			fmtI(maxBits), fmtBits(spacebound.MorrisPlusStateBits(a, p.n)),
+		)
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("trials=%d per row", cfg.Trials),
+		"expected: fail rate ≤ 2δ; bits grow with log(1/ε) and log log(1/δ), not log(1/δ)",
+	)
+	return tb
+}
+
+// DeltaScaling reproduces the paper's headline separation (experiment E4):
+// at fixed ε, state bits of Morris(2ε²δ) grow linearly in log(1/δ) while
+// Morris+ and Nelson–Yu grow doubly-logarithmically. Measurements run where
+// feasible (the Chebyshev counter degenerates toward an exact counter as δ
+// shrinks, which is itself the point); predictions cover the full range.
+// MeasureBudget caps the per-row simulation cost (number of geometric draws
+// the degenerate Chebyshev counter may take); 0 means the default 3e7.
+func DeltaScaling(cfg SpaceConfig) Table {
+	return deltaScaling(cfg, 3e7)
+}
+
+func deltaScaling(cfg SpaceConfig, measureBudget float64) Table {
+	cfg = cfg.withDefaults()
+	rng := xrand.NewSeeded(cfg.Seed)
+	const eps = 0.45
+	const n = 1 << 26
+	tb := Table{
+		ID:    "E4/deltascaling",
+		Title: "log(1/δ) → log log(1/δ): state bits vs δ at fixed ε",
+		Columns: []string{
+			"delta", "cheb bits(meas)", "cheb bits(pred)",
+			"morris+ bits(meas)", "morris+ bits(pred)",
+			"ny bits(meas)", "ny bits(pred)",
+		},
+	}
+	for _, dl := range []int{5, 10, 15, 20, 25, 30, 40} {
+		delta := math.Ldexp(1, -dl)
+		chebA := spacebound.MorrisChebyshevA(eps, delta)
+		chebMeas := "-"
+		// Measuring is feasible while the typical X (≈ number of geometric
+		// draws in skip-ahead) stays small; beyond that, report prediction
+		// only.
+		if xTyp := spacebound.MorrisTypicalX(chebA, n); xTyp < measureBudget {
+			c := morris.NewChebyshev(eps, delta, rng)
+			c.IncrementBy(n)
+			chebMeas = fmtI(c.MaxStateBits())
+		}
+		plusA := spacebound.MorrisImprovedA(eps, delta)
+		plus := morris.NewPlus(plusA, rng)
+		plus.IncrementBy(n)
+		ny := core.MustNew(core.Config{Eps: eps, DeltaLog: dl}, rng)
+		ny.IncrementBy(n)
+		tb.AddRow(
+			fmt.Sprintf("2^-%d", dl),
+			chebMeas, fmtBits(spacebound.MorrisStateBits(chebA, n)),
+			fmtI(plus.MaxStateBits()), fmtBits(spacebound.MorrisPlusStateBits(plusA, n)),
+			fmtI(ny.MaxStateBits()), fmtBits(spacebound.NYPredict(eps, dl, core.DefaultC, n).Bits),
+		)
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("eps=%.2f N=%d; '-' = Chebyshev-Morris too degenerate to simulate (X≈N)", eps, n),
+		"expected: cheb column grows ≈ linearly in log(1/δ) until it saturates at log2 N; morris+/ny columns are nearly flat",
+	)
+	return tb
+}
+
+// NYConst is the C-constant ablation called out in DESIGN.md §5: larger C
+// lowers the failure rate but inflates Y (≈ +1 state bit per doubling).
+func NYConst(cfg SpaceConfig) Table {
+	cfg = cfg.withDefaults()
+	rng := xrand.NewSeeded(cfg.Seed)
+	const eps = 0.25
+	const deltaLog = 10
+	const n = 1 << 20
+	tb := Table{
+		ID:      "E-ablate/nyconst",
+		Title:   "Ablation: Algorithm 1 constant C vs error spread and state",
+		Columns: []string{"C", "fail rate(>eps)", "p99 rel.err", "max bits"},
+	}
+	for _, cc := range []float64{1, 2, 4, 8, 16, 32} {
+		fails, maxBits := 0, 0
+		errs := make([]float64, 0, cfg.Trials)
+		for tr := 0; tr < cfg.Trials; tr++ {
+			c := core.MustNew(core.Config{Eps: eps, DeltaLog: deltaLog, C: cc}, rng)
+			// Random totals so the (1+ε)^k answer grid is sampled across its
+			// offsets rather than at one fixed point.
+			total := rng.Range(n, 2*n)
+			c.IncrementBy(total)
+			re := stats.RelativeError(c.Estimate(), float64(total))
+			errs = append(errs, re)
+			if re > eps {
+				fails++
+			}
+			if b := c.MaxStateBits(); b > maxBits {
+				maxBits = b
+			}
+		}
+		p99 := stats.NewECDF(errs).Quantile(0.99)
+		tb.AddRow(
+			fmt.Sprintf("%.0f", cc),
+			fmtF(float64(fails)/float64(cfg.Trials)),
+			fmtPct(p99),
+			fmtI(maxBits),
+		)
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("eps=%.2f delta=2^-%d N∈[%d,%d] trials=%d", eps, deltaLog, n, 2*n, cfg.Trials),
+		"expected: bits rise ≈ 1 per doubling of C; the >ε rate and p99 are dominated by the (1+ε)^k answer grid (≤ ≈1.5ε per Theorem 2.1) — at these parameters even C=1 concentrates, so the extra bits of large C buy margin, not visible accuracy",
+	)
+	return tb
+}

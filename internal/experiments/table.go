@@ -1,0 +1,100 @@
+// Package experiments contains the harnesses that regenerate every figure
+// and quantitative claim of the paper (see DESIGN.md §3 for the experiment
+// index E1–E9). Each harness returns a Table; the cmd/approxbench and
+// cmd/fig1 tools render them as aligned text or CSV, and the repository's
+// benchmarks wrap them so `go test -bench` reproduces the same rows.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: typed enough to render, simple enough
+// to assert on in tests.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1/fig1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row, len == len(Columns).
+	Rows [][]string
+	// Notes are free-form lines printed under the table (expected shape,
+	// caveats, parameter choices).
+	Notes []string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as RFC-4180-ish CSV (cells here never contain commas
+// or quotes, so no escaping is needed).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Cell formatting helpers shared by the harnesses.
+
+func fmtF(v float64) string    { return fmt.Sprintf("%.4f", v) }
+func fmtPct(v float64) string  { return fmt.Sprintf("%.3f%%", 100*v) }
+func fmtE(v float64) string    { return fmt.Sprintf("%.3g", v) }
+func fmtU(v uint64) string     { return fmt.Sprintf("%d", v) }
+func fmtI(v int) string        { return fmt.Sprintf("%d", v) }
+func fmtBits(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,141 @@
+// Package freqmoments implements frequency-moment estimation over
+// insertion-only streams with approximate counters as the counting
+// subroutine — the application of approximate counting the paper cites from
+// [AMS99] and [GS09] (and, for p ∈ (0,1], [JW19]).
+//
+// The estimator is the classical AMS sketch for F_k = Σᵢ fᵢ^k: sample a
+// uniformly random stream position (by reservoir-style replacement, so the
+// stream length need not be known in advance), count the occurrences r of
+// the sampled item from that position onward, and output m·(r^k − (r−1)^k),
+// averaged over many independent copies. [GS09]'s observation, reproduced
+// here, is that the per-copy occurrence counter r can itself be an
+// *approximate* counter (Morris), shrinking the per-copy state from
+// O(log m) to O(log log m) bits while preserving the estimate's shape.
+package freqmoments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/counter"
+	"repro/internal/exact"
+	"repro/internal/xrand"
+)
+
+// ExactMoment computes F_k = Σᵢ fᵢ^k from an exact frequency table.
+// F_0 is the number of distinct items.
+func ExactMoment(counts map[uint64]uint64, k int) float64 {
+	if k < 0 {
+		panic("freqmoments: negative moment")
+	}
+	var f float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		f += math.Pow(float64(c), float64(k))
+	}
+	return f
+}
+
+// NewCounterFunc constructs the per-copy occurrence counter. Plug in
+// exact.New for the classical AMS sketch or a Morris+/NY factory for the
+// [GS09]-style small-state variant.
+type NewCounterFunc func() counter.Counter
+
+// ExactCounters returns a factory for exact occurrence counters.
+func ExactCounters() NewCounterFunc {
+	return func() counter.Counter { return exact.New() }
+}
+
+// amsCopy is one independent AMS estimator: a sampled item and the counter
+// of its occurrences since it was sampled.
+type amsCopy struct {
+	item uint64
+	r    counter.Counter
+	live bool
+}
+
+// AMS is an s-copy AMS estimator of F_k with pluggable occurrence counters.
+type AMS struct {
+	k      int
+	m      uint64 // stream length so far
+	copies []amsCopy
+	newC   NewCounterFunc
+	rng    *xrand.Rand
+}
+
+// NewAMS returns an AMS estimator for F_k using s independent copies.
+func NewAMS(k, s int, newC NewCounterFunc, rng *xrand.Rand) *AMS {
+	if k < 2 {
+		panic(fmt.Sprintf("freqmoments: AMS needs k ≥ 2, got %d", k))
+	}
+	if s < 1 {
+		panic("freqmoments: AMS needs s ≥ 1 copies")
+	}
+	if rng == nil {
+		panic("freqmoments: nil rng")
+	}
+	return &AMS{k: k, copies: make([]amsCopy, s), newC: newC, rng: rng}
+}
+
+// Process feeds one stream item to every copy.
+func (a *AMS) Process(item uint64) {
+	a.m++
+	for i := range a.copies {
+		c := &a.copies[i]
+		// Reservoir-style position sampling: replace the sample with the
+		// current position with probability 1/m, making the sampled
+		// position uniform over the stream so far.
+		if !c.live || a.rng.Uint64n(a.m) == 0 {
+			c.item = item
+			c.r = a.newC()
+			c.r.Increment()
+			c.live = true
+			continue
+		}
+		if c.item == item {
+			c.r.Increment()
+		}
+	}
+}
+
+// Estimate returns the averaged AMS estimate of F_k. It returns 0 before
+// any item is processed.
+func (a *AMS) Estimate() float64 {
+	if a.m == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a.copies {
+		c := &a.copies[i]
+		if !c.live {
+			continue
+		}
+		r := c.r.Estimate()
+		if r < 1 {
+			r = 1
+		}
+		kf := float64(a.k)
+		sum += float64(a.m) * (math.Pow(r, kf) - math.Pow(r-1, kf))
+	}
+	return sum / float64(len(a.copies))
+}
+
+// StreamLength returns the number of items processed.
+func (a *AMS) StreamLength() uint64 { return a.m }
+
+// Copies returns the number of independent estimator copies.
+func (a *AMS) Copies() int { return len(a.copies) }
+
+// CounterStateBits returns the total current state bits across all
+// occurrence counters — the quantity approximate counters shrink.
+func (a *AMS) CounterStateBits() int {
+	total := 0
+	for i := range a.copies {
+		if a.copies[i].live {
+			total += a.copies[i].r.StateBits()
+		}
+	}
+	return total
+}

@@ -1,0 +1,173 @@
+package freqmoments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/morris"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func TestExactMoment(t *testing.T) {
+	counts := map[uint64]uint64{1: 3, 2: 2, 3: 1}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 3},  // distinct items
+		{1, 6},  // stream length
+		{2, 14}, // 9+4+1
+		{3, 36}, // 27+8+1
+	}
+	for _, c := range cases {
+		if got := ExactMoment(counts, c.k); got != c.want {
+			t.Fatalf("F_%d = %v, want %v", c.k, got, c.want)
+		}
+	}
+	if got := ExactMoment(map[uint64]uint64{}, 2); got != 0 {
+		t.Fatalf("empty F_2 = %v", got)
+	}
+}
+
+func TestAMSExactCountersUnbiased(t *testing.T) {
+	// With exact counters the AMS estimator is unbiased for F_2; with many
+	// copies the average concentrates.
+	rng := xrand.NewSeeded(1)
+	src := stream.NewZipf(100, 1.1, rng)
+	items := stream.Materialize(src, 20000)
+	truth := ExactMoment(stream.ExactCounts(items), 2)
+	const reps = 30
+	var errs stats.Summary
+	for rep := 0; rep < reps; rep++ {
+		ams := NewAMS(2, 400, ExactCounters(), rng)
+		for _, it := range items {
+			ams.Process(it)
+		}
+		errs.Add(stats.SignedRelativeError(ams.Estimate(), truth))
+	}
+	if math.Abs(errs.Mean()) > 0.15 {
+		t.Fatalf("AMS mean relative error %v, want ≈ 0", errs.Mean())
+	}
+}
+
+func TestAMSF3(t *testing.T) {
+	rng := xrand.NewSeeded(2)
+	src := stream.NewZipf(50, 1.3, rng)
+	items := stream.Materialize(src, 10000)
+	truth := ExactMoment(stream.ExactCounts(items), 3)
+	ams := NewAMS(3, 800, ExactCounters(), rng)
+	for _, it := range items {
+		ams.Process(it)
+	}
+	if re := stats.RelativeError(ams.Estimate(), truth); re > 0.5 {
+		t.Fatalf("F_3 relative error %v", re)
+	}
+}
+
+func TestAMSWithApproximateCounters(t *testing.T) {
+	// The [GS09] point: swapping exact occurrence counters for Morris+
+	// preserves the estimate while shrinking counter state.
+	rng := xrand.NewSeeded(3)
+	src := stream.NewZipf(100, 1.2, rng)
+	items := stream.Materialize(src, 20000)
+	truth := ExactMoment(stream.ExactCounts(items), 2)
+	approxFactory := func() counter.Counter {
+		return morris.NewPlus(0.001, rng)
+	}
+	const reps = 20
+	var errs stats.Summary
+	for rep := 0; rep < reps; rep++ {
+		ams := NewAMS(2, 400, approxFactory, rng)
+		for _, it := range items {
+			ams.Process(it)
+		}
+		errs.Add(stats.SignedRelativeError(ams.Estimate(), truth))
+	}
+	if math.Abs(errs.Mean()) > 0.2 {
+		t.Fatalf("approx-counter AMS mean rel err %v", errs.Mean())
+	}
+}
+
+func TestAMSStreamLengthAndCopies(t *testing.T) {
+	rng := xrand.NewSeeded(4)
+	ams := NewAMS(2, 7, ExactCounters(), rng)
+	for i := 0; i < 100; i++ {
+		ams.Process(uint64(i % 5))
+	}
+	if ams.StreamLength() != 100 {
+		t.Fatalf("StreamLength = %d", ams.StreamLength())
+	}
+	if ams.Copies() != 7 {
+		t.Fatalf("Copies = %d", ams.Copies())
+	}
+	if ams.CounterStateBits() <= 0 {
+		t.Fatal("CounterStateBits not positive after processing")
+	}
+}
+
+func TestAMSEmptyStream(t *testing.T) {
+	rng := xrand.NewSeeded(5)
+	ams := NewAMS(2, 10, ExactCounters(), rng)
+	if ams.Estimate() != 0 {
+		t.Fatalf("empty estimate = %v", ams.Estimate())
+	}
+}
+
+func TestAMSConstantStream(t *testing.T) {
+	// Single item repeated m times: F_k = m^k exactly, and every copy
+	// samples that item, so the estimate with exact counters is
+	// m·(r^k − (r−1)^k) where r is uniform over 1..m — whose mean is m^k.
+	rng := xrand.NewSeeded(6)
+	const m = 1000
+	var errs stats.Summary
+	for rep := 0; rep < 50; rep++ {
+		ams := NewAMS(2, 200, ExactCounters(), rng)
+		for i := 0; i < m; i++ {
+			ams.Process(42)
+		}
+		errs.Add(stats.SignedRelativeError(ams.Estimate(), m*m))
+	}
+	if math.Abs(errs.Mean()) > 0.05 {
+		t.Fatalf("constant-stream mean rel err %v", errs.Mean())
+	}
+}
+
+func TestAMSValidation(t *testing.T) {
+	rng := xrand.NewSeeded(7)
+	cases := []func(){
+		func() { NewAMS(1, 10, ExactCounters(), rng) },
+		func() { NewAMS(2, 0, ExactCounters(), rng) },
+		func() { NewAMS(2, 10, ExactCounters(), nil) },
+		func() { ExactMoment(nil, -1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestApproxCounterStateSmaller(t *testing.T) {
+	// On a heavy stream the Morris-based occurrence counters use fewer
+	// total state bits than exact ones.
+	rng := xrand.NewSeeded(8)
+	items := make([]uint64, 50000) // single hot item → large r per copy
+	exactAMS := NewAMS(2, 100, ExactCounters(), rng)
+	morrisAMS := NewAMS(2, 100, func() counter.Counter { return morris.New(0.05, rng) }, rng)
+	for _, it := range items {
+		exactAMS.Process(it)
+		morrisAMS.Process(it)
+	}
+	if morrisAMS.CounterStateBits() >= exactAMS.CounterStateBits() {
+		t.Fatalf("morris counters (%d bits) not smaller than exact (%d bits)",
+			morrisAMS.CounterStateBits(), exactAMS.CounterStateBits())
+	}
+}

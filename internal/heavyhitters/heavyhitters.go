@@ -1,0 +1,238 @@
+// Package heavyhitters implements ℓ₁ heavy-hitter detection over
+// insertion-only streams — the application the paper cites from [BDW19],
+// whose optimal algorithm drives down per-item counter cost by replacing
+// exact counters with Morris counters.
+//
+// Two structures are provided:
+//
+//   - SpaceSaving, the classical top-k summary, generic over the counter
+//     type: with exact counters it is the textbook algorithm; with Morris+
+//     counters (the [BDW19] flavor) each slot holds O(log log m) instead of
+//     O(log m) bits. Eviction transfers the victim's counter to the new
+//     item (the standard overestimate-preserving takeover) so any
+//     increment-only counter works.
+//   - MisraGries, the deterministic frequent-elements baseline.
+package heavyhitters
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/counter"
+	"repro/internal/exact"
+	"repro/internal/morris"
+	"repro/internal/xrand"
+)
+
+// NewCounterFunc constructs a per-slot counter.
+type NewCounterFunc func() counter.Counter
+
+// ExactCounters returns an exact per-slot counter factory.
+func ExactCounters() NewCounterFunc {
+	return func() counter.Counter { return exact.New() }
+}
+
+// Entry is one reported heavy hitter.
+type Entry struct {
+	Item  uint64
+	Count float64 // estimated occurrences (an overestimate for SpaceSaving)
+}
+
+// SpaceSaving maintains the k most frequent items with pluggable counters.
+type SpaceSaving struct {
+	k     int
+	slots map[uint64]counter.Counter
+	newC  NewCounterFunc
+	n     uint64
+}
+
+// NewSpaceSaving returns a SpaceSaving summary of capacity k.
+func NewSpaceSaving(k int, newC NewCounterFunc) *SpaceSaving {
+	if k < 1 {
+		panic(fmt.Sprintf("heavyhitters: capacity %d < 1", k))
+	}
+	return &SpaceSaving{k: k, slots: make(map[uint64]counter.Counter, k), newC: newC}
+}
+
+// Process feeds one stream item.
+func (s *SpaceSaving) Process(item uint64) {
+	s.n++
+	if c, ok := s.slots[item]; ok {
+		c.Increment()
+		return
+	}
+	if len(s.slots) < s.k {
+		c := s.newC()
+		c.Increment()
+		s.slots[item] = c
+		return
+	}
+	// Evict the slot with the smallest estimate; the newcomer inherits its
+	// counter (the SpaceSaving overestimate invariant) and increments it.
+	var victim uint64
+	best := -1.0
+	for it, c := range s.slots {
+		if est := c.Estimate(); best < 0 || est < best {
+			victim, best = it, est
+		}
+	}
+	c := s.slots[victim]
+	delete(s.slots, victim)
+	c.Increment()
+	s.slots[item] = c
+}
+
+// Count returns the estimated count for item (0 if not tracked). For
+// tracked items the estimate is ≥ the true count in the exact-counter
+// instantiation (the classical guarantee), up to counter noise otherwise.
+func (s *SpaceSaving) Count(item uint64) float64 {
+	if c, ok := s.slots[item]; ok {
+		return c.Estimate()
+	}
+	return 0
+}
+
+// Top returns the tracked items sorted by decreasing estimate.
+func (s *SpaceSaving) Top() []Entry {
+	out := make([]Entry, 0, len(s.slots))
+	for it, c := range s.slots {
+		out = append(out, Entry{Item: it, Count: c.Estimate()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// StreamLength returns the number of items processed.
+func (s *SpaceSaving) StreamLength() uint64 { return s.n }
+
+// Capacity returns k.
+func (s *SpaceSaving) Capacity() int { return s.k }
+
+// CounterStateBits totals the per-slot counter state — the resource
+// approximate counters shrink.
+func (s *SpaceSaving) CounterStateBits() int {
+	total := 0
+	for _, c := range s.slots {
+		total += c.StateBits()
+	}
+	return total
+}
+
+// MorrisCounters returns a Morris+ slot-counter factory with base parameter
+// a, sharing rng.
+func MorrisCounters(a float64, rng *xrand.Rand) NewCounterFunc {
+	return func() counter.Counter { return morris.NewPlus(a, rng) }
+}
+
+// MisraGries is the deterministic frequent-elements summary: any item with
+// true frequency > n/(k+1) is guaranteed to be present, and reported counts
+// underestimate by at most n/(k+1).
+type MisraGries struct {
+	k      int
+	counts map[uint64]uint64
+	n      uint64
+}
+
+// NewMisraGries returns a summary of capacity k.
+func NewMisraGries(k int) *MisraGries {
+	if k < 1 {
+		panic(fmt.Sprintf("heavyhitters: capacity %d < 1", k))
+	}
+	return &MisraGries{k: k, counts: make(map[uint64]uint64, k+1)}
+}
+
+// Process feeds one stream item.
+func (m *MisraGries) Process(item uint64) {
+	m.n++
+	if _, ok := m.counts[item]; ok {
+		m.counts[item]++
+		return
+	}
+	if len(m.counts) < m.k {
+		m.counts[item] = 1
+		return
+	}
+	// Decrement all; drop zeros.
+	for it := range m.counts {
+		m.counts[it]--
+		if m.counts[it] == 0 {
+			delete(m.counts, it)
+		}
+	}
+}
+
+// Count returns the (under)estimate for item.
+func (m *MisraGries) Count(item uint64) uint64 { return m.counts[item] }
+
+// Top returns tracked items sorted by decreasing count.
+func (m *MisraGries) Top() []Entry {
+	out := make([]Entry, 0, len(m.counts))
+	for it, c := range m.counts {
+		out = append(out, Entry{Item: it, Count: float64(c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// StreamLength returns the number of items processed.
+func (m *MisraGries) StreamLength() uint64 { return m.n }
+
+// Recall measures what fraction of trueTop (by exact counts) appears in the
+// summary's top len(trueTop) report.
+func Recall(reported []Entry, trueTop []uint64) float64 {
+	if len(trueTop) == 0 {
+		return 1
+	}
+	limit := len(trueTop)
+	if limit > len(reported) {
+		limit = len(reported)
+	}
+	in := make(map[uint64]bool, limit)
+	for _, e := range reported[:limit] {
+		in[e.Item] = true
+	}
+	hits := 0
+	for _, it := range trueTop {
+		if in[it] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(trueTop))
+}
+
+// TrueTop returns the L most frequent items of an exact frequency table,
+// ties broken by smaller item id.
+func TrueTop(counts map[uint64]uint64, l int) []uint64 {
+	type kv struct {
+		item uint64
+		c    uint64
+	}
+	all := make([]kv, 0, len(counts))
+	for it, c := range counts {
+		all = append(all, kv{it, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].item < all[j].item
+	})
+	if l > len(all) {
+		l = len(all)
+	}
+	out := make([]uint64, l)
+	for i := 0; i < l; i++ {
+		out[i] = all[i].item
+	}
+	return out
+}

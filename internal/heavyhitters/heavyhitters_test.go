@@ -1,0 +1,197 @@
+package heavyhitters
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func TestSpaceSavingExactSmallStream(t *testing.T) {
+	ss := NewSpaceSaving(3, ExactCounters())
+	// Stream: a×5, b×3, c×1 — all fit, counts exact.
+	for i := 0; i < 5; i++ {
+		ss.Process(1)
+	}
+	for i := 0; i < 3; i++ {
+		ss.Process(2)
+	}
+	ss.Process(3)
+	if ss.Count(1) != 5 || ss.Count(2) != 3 || ss.Count(3) != 1 {
+		t.Fatalf("counts: %v %v %v", ss.Count(1), ss.Count(2), ss.Count(3))
+	}
+	top := ss.Top()
+	if len(top) != 3 || top[0].Item != 1 || top[1].Item != 2 || top[2].Item != 3 {
+		t.Fatalf("top = %+v", top)
+	}
+	if ss.StreamLength() != 9 || ss.Capacity() != 3 {
+		t.Fatalf("length/capacity = %d/%d", ss.StreamLength(), ss.Capacity())
+	}
+}
+
+func TestSpaceSavingEviction(t *testing.T) {
+	ss := NewSpaceSaving(2, ExactCounters())
+	ss.Process(1)
+	ss.Process(1)
+	ss.Process(2)
+	ss.Process(3) // evicts item 2 (count 1); item 3 inherits count 1 and bumps to 2
+	if ss.Count(2) != 0 {
+		t.Fatalf("evicted item still tracked: %v", ss.Count(2))
+	}
+	if ss.Count(3) != 2 {
+		t.Fatalf("newcomer count %v, want inherited 2", ss.Count(3))
+	}
+}
+
+func TestSpaceSavingOverestimateInvariant(t *testing.T) {
+	// With exact counters, tracked counts never underestimate the truth.
+	rng := xrand.NewSeeded(1)
+	src := stream.NewZipf(500, 1.2, rng)
+	items := stream.Materialize(src, 50000)
+	truth := stream.ExactCounts(items)
+	ss := NewSpaceSaving(50, ExactCounters())
+	for _, it := range items {
+		ss.Process(it)
+	}
+	for _, e := range ss.Top() {
+		if e.Count < float64(truth[e.Item]) {
+			t.Fatalf("item %d: reported %v < true %d", e.Item, e.Count, truth[e.Item])
+		}
+	}
+}
+
+func TestSpaceSavingRecallOnZipf(t *testing.T) {
+	rng := xrand.NewSeeded(2)
+	src := stream.NewZipf(1000, 1.3, rng)
+	items := stream.Materialize(src, 100000)
+	truth := stream.ExactCounts(items)
+	trueTop := TrueTop(truth, 10)
+	ss := NewSpaceSaving(100, ExactCounters())
+	for _, it := range items {
+		ss.Process(it)
+	}
+	if r := Recall(ss.Top(), trueTop); r < 0.9 {
+		t.Fatalf("exact SpaceSaving recall %v on easy Zipf", r)
+	}
+}
+
+func TestSpaceSavingWithMorrisCounters(t *testing.T) {
+	// The [BDW19] configuration: Morris slot counters. Recall on a skewed
+	// stream must stay high despite count noise.
+	rng := xrand.NewSeeded(3)
+	src := stream.NewZipf(1000, 1.3, rng)
+	items := stream.Materialize(src, 100000)
+	truth := stream.ExactCounts(items)
+	trueTop := TrueTop(truth, 10)
+	ss := NewSpaceSaving(100, MorrisCounters(0.01, rng))
+	for _, it := range items {
+		ss.Process(it)
+	}
+	if r := Recall(ss.Top(), trueTop); r < 0.8 {
+		t.Fatalf("Morris SpaceSaving recall %v", r)
+	}
+}
+
+func TestMorrisCountersUseFewerBits(t *testing.T) {
+	rng := xrand.NewSeeded(4)
+	src := stream.NewZipf(20, 1.5, rng) // tiny universe → huge per-slot counts
+	items := stream.Materialize(src, 200000)
+	// A coarse base (a = 0.5) keeps both the X register and the Morris+
+	// deterministic prefix tiny; the log N vs log log N gap then shows even
+	// at 10^5-scale counts.
+	exactSS := NewSpaceSaving(20, ExactCounters())
+	morrisSS := NewSpaceSaving(20, MorrisCounters(0.5, rng))
+	for _, it := range items {
+		exactSS.Process(it)
+		morrisSS.Process(it)
+	}
+	if morrisSS.CounterStateBits() >= exactSS.CounterStateBits() {
+		t.Fatalf("Morris slots (%d bits) not below exact slots (%d bits)",
+			morrisSS.CounterStateBits(), exactSS.CounterStateBits())
+	}
+}
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	// Any item with frequency > n/(k+1) must be present, and counts
+	// underestimate by at most n/(k+1).
+	rng := xrand.NewSeeded(5)
+	src := stream.NewZipf(200, 1.5, rng)
+	items := stream.Materialize(src, 50000)
+	truth := stream.ExactCounts(items)
+	const k = 20
+	mg := NewMisraGries(k)
+	for _, it := range items {
+		mg.Process(it)
+	}
+	n := uint64(len(items))
+	bound := n / (k + 1)
+	for it, f := range truth {
+		if f > bound {
+			got := mg.Count(it)
+			if got == 0 {
+				t.Fatalf("frequent item %d (f=%d > %d) missing", it, f, bound)
+			}
+			if got > f {
+				t.Fatalf("MisraGries overestimated: %d > %d", got, f)
+			}
+			if f-got > bound {
+				t.Fatalf("underestimate %d exceeds bound %d", f-got, bound)
+			}
+		}
+	}
+	if mg.StreamLength() != n {
+		t.Fatalf("StreamLength = %d", mg.StreamLength())
+	}
+}
+
+func TestMisraGriesSmallCase(t *testing.T) {
+	mg := NewMisraGries(2)
+	// a a a b c : a must survive with count ≥ 1.
+	for _, it := range []uint64{1, 1, 1, 2, 3} {
+		mg.Process(it)
+	}
+	if mg.Count(1) == 0 {
+		t.Fatal("majority-ish item lost")
+	}
+	top := mg.Top()
+	if len(top) == 0 || top[0].Item != 1 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestRecallEdgeCases(t *testing.T) {
+	if r := Recall(nil, nil); r != 1 {
+		t.Fatalf("empty recall = %v", r)
+	}
+	if r := Recall([]Entry{{Item: 1}}, []uint64{1, 2}); r != 0.5 {
+		t.Fatalf("partial recall = %v", r)
+	}
+}
+
+func TestTrueTop(t *testing.T) {
+	counts := map[uint64]uint64{10: 5, 20: 9, 30: 9, 40: 1}
+	top := TrueTop(counts, 3)
+	// Ties (20, 30) break by item id.
+	if len(top) != 3 || top[0] != 20 || top[1] != 30 || top[2] != 10 {
+		t.Fatalf("TrueTop = %v", top)
+	}
+	if got := TrueTop(counts, 100); len(got) != 4 {
+		t.Fatalf("over-asking length = %d", len(got))
+	}
+}
+
+func TestConstructorsPanic(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewSpaceSaving(0, ExactCounters()) },
+		func() { NewMisraGries(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,151 @@
+// Package inversions implements inversion counting over a streamed
+// permutation — the application the paper cites from [AJKS02]. The exact
+// baseline is a Fenwick (binary-indexed) tree; the streaming estimator
+// samples positions and tracks, for each sampled position, the number of
+// later smaller elements with a pluggable (approximate) counter, scaling the
+// sampled total back up. With Morris counters each tracked position costs
+// O(log log n) instead of O(log n) bits.
+package inversions
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/exact"
+	"repro/internal/xrand"
+)
+
+// Fenwick is a binary-indexed tree over values 0..n−1 supporting point
+// updates and prefix-sum queries in O(log n) — the exact substrate.
+type Fenwick struct {
+	tree []uint64
+}
+
+// NewFenwick returns a Fenwick tree over n values.
+func NewFenwick(n int) *Fenwick {
+	if n < 1 {
+		panic(fmt.Sprintf("inversions: Fenwick size %d < 1", n))
+	}
+	return &Fenwick{tree: make([]uint64, n+1)}
+}
+
+// Add increases the count of value v by 1.
+func (f *Fenwick) Add(v int) {
+	for i := v + 1; i < len(f.tree); i += i & (-i) {
+		f.tree[i]++
+	}
+}
+
+// PrefixSum returns the number of recorded values ≤ v.
+func (f *Fenwick) PrefixSum(v int) uint64 {
+	var s uint64
+	for i := v + 1; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// ExactCount returns the exact number of inversions of p (pairs i < j with
+// p[i] > p[j]), streaming right-to-left over a Fenwick tree in O(n log n).
+func ExactCount(p []int) uint64 {
+	if len(p) == 0 {
+		return 0
+	}
+	f := NewFenwick(len(p))
+	var inv uint64
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] > 0 {
+			inv += f.PrefixSum(p[i] - 1)
+		}
+		f.Add(p[i])
+	}
+	return inv
+}
+
+// NewCounterFunc constructs a per-sample counter.
+type NewCounterFunc func() counter.Counter
+
+// ExactCounters returns an exact per-sample counter factory.
+func ExactCounters() NewCounterFunc {
+	return func() counter.Counter { return exact.New() }
+}
+
+// sample tracks one sampled position: its value and the counter of later,
+// smaller elements.
+type sample struct {
+	value int
+	c     counter.Counter
+}
+
+// Estimator streams a permutation of known length n and estimates its
+// inversion count from s uniformly sampled positions.
+type Estimator struct {
+	n       int
+	pos     int
+	targets map[int]bool
+	samples []sample
+	newC    NewCounterFunc
+}
+
+// NewEstimator returns an estimator over permutations of length n using s
+// sampled positions (without replacement).
+func NewEstimator(n, s int, newC NewCounterFunc, rng *xrand.Rand) *Estimator {
+	if n < 1 {
+		panic(fmt.Sprintf("inversions: n = %d < 1", n))
+	}
+	if s < 1 || s > n {
+		panic(fmt.Sprintf("inversions: sample size %d out of [1, %d]", s, n))
+	}
+	if rng == nil {
+		panic("inversions: nil rng")
+	}
+	// Floyd's algorithm for a uniform s-subset of {0, ..., n−1}.
+	targets := make(map[int]bool, s)
+	for j := n - s; j < n; j++ {
+		v := rng.Intn(j + 1)
+		if targets[v] {
+			v = j
+		}
+		targets[v] = true
+	}
+	return &Estimator{n: n, targets: targets, newC: newC}
+}
+
+// Process feeds the next permutation element.
+func (e *Estimator) Process(value int) {
+	if e.pos >= e.n {
+		panic("inversions: stream longer than declared length")
+	}
+	for i := range e.samples {
+		if value < e.samples[i].value {
+			e.samples[i].c.Increment()
+		}
+	}
+	if e.targets[e.pos] {
+		e.samples = append(e.samples, sample{value: value, c: e.newC()})
+	}
+	e.pos++
+}
+
+// Estimate returns the inversion estimate (n/s)·Σ sampled counters. It is
+// unbiased with exact counters: each position's inversion contribution is
+// included with probability s/n.
+func (e *Estimator) Estimate() float64 {
+	var sum float64
+	for i := range e.samples {
+		sum += e.samples[i].c.Estimate()
+	}
+	return sum * float64(e.n) / float64(len(e.targets))
+}
+
+// Samples returns the number of sampled positions.
+func (e *Estimator) Samples() int { return len(e.targets) }
+
+// CounterStateBits totals the per-sample counter state.
+func (e *Estimator) CounterStateBits() int {
+	total := 0
+	for i := range e.samples {
+		total += e.samples[i].c.StateBits()
+	}
+	return total
+}

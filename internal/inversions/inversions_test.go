@@ -1,0 +1,222 @@
+package inversions
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/counter"
+	"repro/internal/morris"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func naiveInversions(p []int) uint64 {
+	var inv uint64
+	for i := 0; i < len(p); i++ {
+		for j := i + 1; j < len(p); j++ {
+			if p[i] > p[j] {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+func TestFenwickPrefixSums(t *testing.T) {
+	f := NewFenwick(10)
+	for _, v := range []int{3, 3, 7, 0, 9} {
+		f.Add(v)
+	}
+	cases := []struct {
+		v    int
+		want uint64
+	}{{0, 1}, {2, 1}, {3, 3}, {6, 3}, {7, 4}, {9, 5}}
+	for _, c := range cases {
+		if got := f.PrefixSum(c.v); got != c.want {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestExactCountKnownCases(t *testing.T) {
+	cases := []struct {
+		p    []int
+		want uint64
+	}{
+		{nil, 0},
+		{[]int{0}, 0},
+		{[]int{0, 1, 2, 3}, 0},
+		{[]int{3, 2, 1, 0}, 6},
+		{[]int{1, 0, 3, 2}, 2},
+		{[]int{2, 0, 1}, 2},
+	}
+	for _, c := range cases {
+		if got := ExactCount(c.p); got != c.want {
+			t.Fatalf("ExactCount(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestExactCountMatchesNaive(t *testing.T) {
+	rng := xrand.NewSeeded(1)
+	for trial := 0; trial < 50; trial++ {
+		p := stream.Permutation(200, rng)
+		if got, want := ExactCount(p), naiveInversions(p); got != want {
+			t.Fatalf("Fenwick %d vs naive %d on %v", got, want, p)
+		}
+	}
+}
+
+func TestExactCountExtremes(t *testing.T) {
+	n := 1000
+	if got := ExactCount(stream.SortedPermutation(n)); got != 0 {
+		t.Fatalf("sorted permutation has %d inversions", got)
+	}
+	want := uint64(n) * uint64(n-1) / 2
+	if got := ExactCount(stream.ReversedPermutation(n)); got != want {
+		t.Fatalf("reversed permutation: %d, want %d", got, want)
+	}
+}
+
+func TestEstimatorFullSamplingIsExact(t *testing.T) {
+	// s = n with exact counters counts every pair: exactly the truth.
+	rng := xrand.NewSeeded(2)
+	p := stream.Permutation(300, rng)
+	e := NewEstimator(300, 300, ExactCounters(), rng)
+	for _, v := range p {
+		e.Process(v)
+	}
+	if got := e.Estimate(); got != float64(ExactCount(p)) {
+		t.Fatalf("full sampling estimate %v vs exact %d", got, ExactCount(p))
+	}
+}
+
+func TestEstimatorUnbiased(t *testing.T) {
+	rng := xrand.NewSeeded(3)
+	p := stream.Permutation(2000, rng)
+	truth := float64(ExactCount(p))
+	var errs stats.Summary
+	for trial := 0; trial < 200; trial++ {
+		e := NewEstimator(2000, 200, ExactCounters(), rng)
+		for _, v := range p {
+			e.Process(v)
+		}
+		errs.Add(stats.SignedRelativeError(e.Estimate(), truth))
+	}
+	if math.Abs(errs.Mean()) > 6*errs.StdErr()+0.01 {
+		t.Fatalf("sampled estimator biased: mean rel err %v", errs.Mean())
+	}
+}
+
+func TestEstimatorWithMorrisCounters(t *testing.T) {
+	rng := xrand.NewSeeded(4)
+	p := stream.Permutation(2000, rng)
+	truth := float64(ExactCount(p))
+	var errs stats.Summary
+	for trial := 0; trial < 100; trial++ {
+		e := NewEstimator(2000, 200, func() counter.Counter { return morris.NewPlus(0.01, rng) }, rng)
+		for _, v := range p {
+			e.Process(v)
+		}
+		errs.Add(stats.SignedRelativeError(e.Estimate(), truth))
+	}
+	if math.Abs(errs.Mean()) > 0.05 {
+		t.Fatalf("Morris estimator mean rel err %v", errs.Mean())
+	}
+}
+
+func TestEstimatorStructured(t *testing.T) {
+	// Reversed permutation: every sampled position i holds value n−1−i and
+	// sees n−1−i later smaller elements.
+	rng := xrand.NewSeeded(5)
+	const n = 1000
+	e := NewEstimator(n, 100, ExactCounters(), rng)
+	for _, v := range stream.ReversedPermutation(n) {
+		e.Process(v)
+	}
+	truth := float64(n) * float64(n-1) / 2
+	if re := stats.RelativeError(e.Estimate(), truth); re > 0.3 {
+		t.Fatalf("reversed permutation estimate off by %v", re)
+	}
+	// Sorted permutation: exactly zero.
+	e2 := NewEstimator(n, 100, ExactCounters(), rng)
+	for _, v := range stream.SortedPermutation(n) {
+		e2.Process(v)
+	}
+	if e2.Estimate() != 0 {
+		t.Fatalf("sorted permutation estimate %v", e2.Estimate())
+	}
+}
+
+func TestEstimatorSampleCount(t *testing.T) {
+	rng := xrand.NewSeeded(6)
+	e := NewEstimator(100, 37, ExactCounters(), rng)
+	if e.Samples() != 37 {
+		t.Fatalf("Samples = %d", e.Samples())
+	}
+}
+
+func TestEstimatorPanics(t *testing.T) {
+	rng := xrand.NewSeeded(7)
+	for i, fn := range []func(){
+		func() { NewEstimator(0, 1, ExactCounters(), rng) },
+		func() { NewEstimator(10, 0, ExactCounters(), rng) },
+		func() { NewEstimator(10, 11, ExactCounters(), rng) },
+		func() { NewEstimator(10, 5, ExactCounters(), nil) },
+		func() { NewFenwick(0) },
+		func() {
+			e := NewEstimator(2, 1, ExactCounters(), rng)
+			e.Process(0)
+			e.Process(1)
+			e.Process(0) // beyond declared length
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Fenwick-based exact count matches the naive quadratic count on
+// arbitrary small permutations.
+func TestQuickExactMatchesNaive(t *testing.T) {
+	rng := xrand.NewSeeded(8)
+	f := func(nSeed uint8) bool {
+		n := int(nSeed)%60 + 1
+		p := stream.Permutation(n, rng)
+		return ExactCount(p) == naiveInversions(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Floyd sampling always yields exactly s distinct positions in
+// range.
+func TestQuickFloydSampling(t *testing.T) {
+	rng := xrand.NewSeeded(9)
+	f := func(nSeed, sSeed uint8) bool {
+		n := int(nSeed)%100 + 1
+		s := int(sSeed)%n + 1
+		e := NewEstimator(n, s, ExactCounters(), rng)
+		if len(e.targets) != s {
+			return false
+		}
+		for pos := range e.targets {
+			if pos < 0 || pos >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

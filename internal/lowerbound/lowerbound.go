@@ -1,0 +1,363 @@
+// Package lowerbound makes the proof of the paper's Theorem 3.1 executable.
+//
+// The theorem says any counter with P(|N−N̂| > εN) < δ on {1,...,n} needs
+// Ω(min{log n, log log n + log(1/ε) + log log(1/δ)}) bits. Its proof has two
+// constructions, both finite and both implemented here:
+//
+//  1. Derandomization + pumping: view an S-bit counter as a randomized
+//     automaton on 2^S states; replace every random transition by its
+//     most-probable outcome (ties broken lexicographically) to get a DFA
+//     C_det. Any DFA on 2^S ≤ √T states repeats a state within the first
+//     T/2 increments (pigeonhole), and repeating states pump: the DFA is in
+//     the same state after N₁ and after N₁ + k(N₂−N₁) increments for all k,
+//     so some N₃ ∈ [2T, 4T] is indistinguishable from N₁ ≤ T/2 — the
+//     counter cannot be correct on both.
+//  2. State counting: with random bits fixed, a correct counter must land
+//     in distinct states after N_j = ⌈(e^{16εj}−1)/ε⌉ increments for a
+//     constant fraction of the j's, forcing 2^S ≥ Ω((1/ε)·log(εn+1)).
+//
+// The package provides the automaton abstraction, a faithful bounded-Morris
+// automaton to instantiate it, the derandomization, cycle detection (Brent),
+// pumping-witness search, and Monte-Carlo harnesses measuring how badly the
+// derandomized and undersized machines actually fail — the empirical face
+// of the lower bound.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Transition is one outcome of a randomized step: move to State with
+// probability P.
+type Transition struct {
+	State int
+	P     float64
+}
+
+// Machine is a randomized counter automaton with a finite state space —
+// the model of computation in the proof of Theorem 3.1. States are
+// 0..NumStates()−1; state 0 is the canonical initial state returned by a
+// deterministic Init (randomized initial states add nothing for the
+// machines studied here and keep the API small).
+type Machine interface {
+	// NumStates returns the size of the state space (≤ 2^S for an S-bit
+	// algorithm).
+	NumStates() int
+	// Step returns the distribution of the next state from state s. The
+	// probabilities must sum to 1.
+	Step(s int) []Transition
+	// Estimate returns the query answer N̂ from state s.
+	Estimate(s int) float64
+}
+
+// StateBits returns S = ⌈log2(NumStates)⌉ for a machine.
+func StateBits(m Machine) int {
+	n := m.NumStates()
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// MorrisMachine is Morris(a) truncated to S bits: states are X ∈
+// {0, ..., 2^S−1}; from X < top the machine moves to X+1 with probability
+// (1+a)^-X, and the top state is absorbing. This is exactly the automaton
+// an S-bit register implementation of the Morris counter realizes.
+type MorrisMachine struct {
+	a      float64
+	lnBase float64
+	states int
+}
+
+var _ Machine = (*MorrisMachine)(nil)
+
+// NewMorrisMachine returns an S-bit bounded Morris(a) automaton.
+func NewMorrisMachine(sBits int, a float64) *MorrisMachine {
+	if sBits < 1 || sBits > 24 {
+		panic(fmt.Sprintf("lowerbound: sBits = %d out of [1, 24] (state space must be enumerable)", sBits))
+	}
+	if !(a > 0 && a <= 1) {
+		panic(fmt.Sprintf("lowerbound: a = %v out of (0, 1]", a))
+	}
+	return &MorrisMachine{a: a, lnBase: math.Log1p(a), states: 1 << uint(sBits)}
+}
+
+// NumStates implements Machine.
+func (m *MorrisMachine) NumStates() int { return m.states }
+
+// Step implements Machine.
+func (m *MorrisMachine) Step(s int) []Transition {
+	if s >= m.states-1 {
+		return []Transition{{State: s, P: 1}}
+	}
+	p := math.Exp(-float64(s) * m.lnBase)
+	return []Transition{{State: s, P: 1 - p}, {State: s + 1, P: p}}
+}
+
+// Estimate implements Machine: N̂ = ((1+a)^X − 1)/a.
+func (m *MorrisMachine) Estimate(s int) float64 {
+	return math.Expm1(float64(s)*m.lnBase) / m.a
+}
+
+// DFA is a derandomized counter: a deterministic transition function plus
+// the original query map.
+type DFA struct {
+	next []int
+	est  []float64
+}
+
+// Derandomize builds C_det from m exactly as in the proof: each transition
+// goes to the most probable successor, ties broken toward the
+// lexicographically (numerically) smallest state.
+func Derandomize(m Machine) *DFA {
+	n := m.NumStates()
+	d := &DFA{next: make([]int, n), est: make([]float64, n)}
+	for s := 0; s < n; s++ {
+		best, bestP := -1, -1.0
+		for _, tr := range m.Step(s) {
+			if tr.P > bestP || (tr.P == bestP && tr.State < best) {
+				best, bestP = tr.State, tr.P
+			}
+		}
+		d.next[s] = best
+		d.est[s] = m.Estimate(s)
+	}
+	return d
+}
+
+// NumStates returns the DFA's state count.
+func (d *DFA) NumStates() int { return len(d.next) }
+
+// Estimate returns the query answer from state s.
+func (d *DFA) Estimate(s int) float64 { return d.est[s] }
+
+// StateAfter returns the DFA state after n increments from state 0,
+// in O(min(n, NumStates)) time by detecting the ρ-shape (tail + cycle) of
+// the deterministic orbit and reducing n modulo the cycle length.
+func (d *DFA) StateAfter(n uint64) int {
+	tail, cycle := d.Rho()
+	if n < uint64(len(tail)) {
+		return tail[n]
+	}
+	return cycle[(n-uint64(len(tail)))%uint64(len(cycle))]
+}
+
+// Rho returns the orbit of state 0 split into its aperiodic tail and its
+// cycle: the state after n steps is tail[n] for n < len(tail) and
+// cycle[(n−len(tail)) mod len(cycle)] otherwise. Every deterministic orbit
+// on a finite state space has this shape — the heart of the pumping
+// argument.
+func (d *DFA) Rho() (tail, cycle []int) {
+	seenAt := make(map[int]int, len(d.next))
+	var orbit []int
+	s := 0
+	for {
+		if at, ok := seenAt[s]; ok {
+			return orbit[:at], orbit[at:]
+		}
+		seenAt[s] = len(orbit)
+		orbit = append(orbit, s)
+		s = d.next[s]
+	}
+}
+
+// PumpingWitness certifies indistinguishability: the DFA is in State after
+// both N1 and N2 increments (N1 < N2 ≤ T/2), hence also after
+// N3 = N1 + k(N2−N1) ∈ [2T, 4T] — so it answers identically for a count in
+// [1, T/2] and one in [2T, 4T], which a (1±ε<1/2)-correct counter never may.
+type PumpingWitness struct {
+	N1, N2, N3 uint64
+	State      int
+}
+
+// FindPumpingWitness searches for the proof's witness against threshold T.
+// It succeeds whenever the orbit repeats a state within the first T/2 steps
+// — guaranteed by pigeonhole when NumStates ≤ T/2, and in particular when
+// 2^S ≤ √T as in the proof.
+func FindPumpingWitness(d *DFA, T uint64) (PumpingWitness, bool) {
+	if T < 2 {
+		return PumpingWitness{}, false
+	}
+	tail, cycle := d.Rho()
+	mu := uint64(len(tail))
+	lambda := uint64(len(cycle))
+	// First repeat: state cycle[0] occurs at step mu and again at mu+lambda.
+	n1, n2 := mu, mu+lambda
+	if n1 == 0 {
+		// The proof needs N1 ≥ 1; shift one full cycle.
+		n1, n2 = lambda, 2*lambda
+	}
+	if n2 > T/2 {
+		return PumpingWitness{}, false
+	}
+	dGap := n2 - n1
+	// Smallest k with N1 + k·gap ≥ 2T; then N3 ≤ 2T + gap ≤ 2T + T/2 ≤ 4T.
+	k := (2*T - n1 + dGap - 1) / dGap
+	n3 := n1 + k*dGap
+	if n3 < 2*T || n3 > 4*T {
+		return PumpingWitness{}, false
+	}
+	return PumpingWitness{N1: n1, N2: n2, N3: n3, State: cycle[0]}, true
+}
+
+// Simulate runs the randomized machine for n increments from state 0 and
+// returns the final state.
+func Simulate(m Machine, n uint64, rng *xrand.Rand) int {
+	s := 0
+	for i := uint64(0); i < n; i++ {
+		u := rng.Float64()
+		acc := 0.0
+		trs := m.Step(s)
+		nxt := trs[len(trs)-1].State
+		for _, tr := range trs {
+			acc += tr.P
+			if u < acc {
+				nxt = tr.State
+				break
+			}
+		}
+		s = nxt
+	}
+	return s
+}
+
+// SimulateMorris runs a MorrisMachine for n increments in O(ΔX) expected
+// time using geometric skip-ahead (identical law; see internal/morris).
+func SimulateMorris(m *MorrisMachine, n uint64, rng *xrand.Rand) int {
+	s := 0
+	for n > 0 && s < m.states-1 {
+		p := math.Exp(-float64(s) * m.lnBase)
+		if p < 1e-300 {
+			break
+		}
+		z := rng.Geometric(p)
+		if z > n {
+			break
+		}
+		n -= z
+		s++
+	}
+	return s
+}
+
+// DistinguishResult reports how well a counter separates N ∈ [1, T/2] from
+// N ∈ [2T, 4T] — the promise problem at the center of the proof.
+type DistinguishResult struct {
+	T          uint64
+	Queries    int // total promise-problem instances examined
+	LowErrors  int // N ∈ [1, T/2] answered N̂ ≥ T
+	HighErrors int // N ∈ [2T, 4T] answered N̂ < T
+}
+
+// FailureRate returns the overall error fraction.
+func (r DistinguishResult) FailureRate() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.LowErrors+r.HighErrors) / float64(r.Queries)
+}
+
+// MeasureDistinguish Monte-Carlo-measures the distinguishing error of a
+// MorrisMachine at threshold T with `trials` random counts on each side.
+func MeasureDistinguish(m *MorrisMachine, T uint64, trials int, rng *xrand.Rand) DistinguishResult {
+	res := DistinguishResult{T: T, Queries: 2 * trials}
+	for i := 0; i < trials; i++ {
+		nLow := rng.Range(1, T/2)
+		if est := m.Estimate(SimulateMorris(m, nLow, rng)); est >= float64(T) {
+			res.LowErrors++
+		}
+		nHigh := rng.Range(2*T, 4*T)
+		if est := m.Estimate(SimulateMorris(m, nHigh, rng)); est < float64(T) {
+			res.HighErrors++
+		}
+	}
+	return res
+}
+
+// DFADistinguishErrors counts, exactly, the counts on which the
+// derandomized machine answers the promise problem incorrectly, using the
+// ρ-decomposition (no simulation, no sampling).
+func DFADistinguishErrors(d *DFA, T uint64) DistinguishResult {
+	res := DistinguishResult{T: T}
+	for n := uint64(1); n <= T/2; n++ {
+		if d.Estimate(d.StateAfter(n)) >= float64(T) {
+			res.LowErrors++
+		}
+	}
+	for n := 2 * T; n <= 4*T; n++ {
+		if d.Estimate(d.StateAfter(n)) < float64(T) {
+			res.HighErrors++
+		}
+	}
+	res.Queries = int(T/2) + int(2*T+1)
+	return res
+}
+
+// StateCountingResult reports the second construction: over probe points
+// N_j, how many were "recovered" (estimate within (1±ε)N_j) along a single
+// fixed-randomness execution, and how many distinct states those recovered
+// probes occupied. A correct algorithm forces distinctStates ≥ recovered,
+// i.e. 2^S ≥ recovered.
+type StateCountingResult struct {
+	Probes         int
+	Recovered      int
+	DistinctStates int
+}
+
+// MeasureStateCounting runs one fixed-seed execution of the machine through
+// increasing probe points N_j = ⌈(e^{16εj}−1)/ε⌉ ≤ n and reports recovery
+// and state-distinctness statistics.
+func MeasureStateCounting(m *MorrisMachine, eps float64, n uint64, rng *xrand.Rand) StateCountingResult {
+	var res StateCountingResult
+	states := map[int]bool{}
+	s := 0
+	var cur uint64
+	for j := 0; ; j++ {
+		nj := njProbe(eps, j)
+		if nj > n {
+			break
+		}
+		// Advance the single execution from cur to nj.
+		s = continueMorris(m, s, nj-cur, rng)
+		cur = nj
+		res.Probes++
+		est := m.Estimate(s)
+		if math.Abs(est-float64(nj)) <= eps*float64(nj) {
+			res.Recovered++
+			states[s] = true
+		}
+	}
+	res.DistinctStates = len(states)
+	return res
+}
+
+func njProbe(eps float64, j int) uint64 {
+	v := math.Ceil((math.Exp(16*eps*float64(j)) - 1) / eps)
+	if v < 1 {
+		return 1
+	}
+	if v > math.MaxUint64/4 {
+		return math.MaxUint64 / 4
+	}
+	return uint64(v)
+}
+
+func continueMorris(m *MorrisMachine, s int, n uint64, rng *xrand.Rand) int {
+	for n > 0 && s < m.states-1 {
+		p := math.Exp(-float64(s) * m.lnBase)
+		if p < 1e-300 {
+			break
+		}
+		z := rng.Geometric(p)
+		if z > n {
+			break
+		}
+		n -= z
+		s++
+	}
+	return s
+}

@@ -1,0 +1,298 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestMorrisMachineStepDistributions(t *testing.T) {
+	m := NewMorrisMachine(4, 1) // base 2, 16 states
+	// State 0: advance with probability 1.
+	trs := m.Step(0)
+	var pAdvance float64
+	for _, tr := range trs {
+		if tr.State == 1 {
+			pAdvance = tr.P
+		}
+	}
+	if pAdvance != 1 {
+		t.Fatalf("Step(0) advance probability %v, want 1", pAdvance)
+	}
+	// State 3: advance with probability 2^-3.
+	for _, tr := range m.Step(3) {
+		switch tr.State {
+		case 3:
+			if math.Abs(tr.P-(1-0.125)) > 1e-12 {
+				t.Fatalf("stay probability %v", tr.P)
+			}
+		case 4:
+			if math.Abs(tr.P-0.125) > 1e-12 {
+				t.Fatalf("advance probability %v", tr.P)
+			}
+		default:
+			t.Fatalf("unexpected successor %d", tr.State)
+		}
+	}
+	// Top state is absorbing.
+	top := m.NumStates() - 1
+	trs = m.Step(top)
+	if len(trs) != 1 || trs[0].State != top || trs[0].P != 1 {
+		t.Fatalf("top state not absorbing: %+v", trs)
+	}
+	// Probabilities sum to 1 in every state.
+	for s := 0; s < m.NumStates(); s++ {
+		var sum float64
+		for _, tr := range m.Step(s) {
+			sum += tr.P
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("state %d probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestMorrisMachineEstimate(t *testing.T) {
+	m := NewMorrisMachine(4, 1)
+	// N̂ = 2^X − 1 for a = 1.
+	for s := 0; s < 10; s++ {
+		want := math.Pow(2, float64(s)) - 1
+		if got := m.Estimate(s); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Estimate(%d) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	if got := StateBits(NewMorrisMachine(5, 1)); got != 5 {
+		t.Fatalf("StateBits = %d, want 5", got)
+	}
+}
+
+func TestDerandomizeMorrisStalls(t *testing.T) {
+	// C_det advances while the advance probability exceeds 1/2, i.e. while
+	// (1+a)^-X > 1/2, then stalls forever: exactly the collapse the proof
+	// exploits. For a = 1 the advance probability from state 1 is exactly
+	// 1/2, and the lexicographic tie-break keeps the machine at state 1.
+	m := NewMorrisMachine(6, 1)
+	d := Derandomize(m)
+	tail, cycle := d.Rho()
+	if len(cycle) != 1 {
+		t.Fatalf("derandomized Morris cycle length %d, want 1 (absorbing)", len(cycle))
+	}
+	stall := cycle[0]
+	if stall != 1 {
+		t.Fatalf("stall state %d, want 1 (tie at p = 1/2 breaks low)", stall)
+	}
+	if len(tail) != 1 || tail[0] != 0 {
+		t.Fatalf("tail = %v, want [0]", tail)
+	}
+}
+
+func TestDerandomizeSmallBaseStallsNearLog(t *testing.T) {
+	// With a < 1 the stall point is where (1+a)^-X first drops to ≤ 1/2,
+	// i.e. X* = ⌈ln 2 / ln(1+a)⌉-ish.
+	a := 0.1
+	m := NewMorrisMachine(10, a)
+	d := Derandomize(m)
+	_, cycle := d.Rho()
+	if len(cycle) != 1 {
+		t.Fatalf("cycle length %d, want 1", len(cycle))
+	}
+	wantStall := int(math.Ceil(math.Log(2) / math.Log1p(a)))
+	if diff := cycle[0] - wantStall; diff < -1 || diff > 1 {
+		t.Fatalf("stall state %d, want ≈ %d", cycle[0], wantStall)
+	}
+}
+
+func TestStateAfterMatchesIteration(t *testing.T) {
+	m := NewMorrisMachine(8, 0.5)
+	d := Derandomize(m)
+	// Direct iteration for the first 2000 steps must agree with the
+	// ρ-decomposition shortcut.
+	s := 0
+	for n := uint64(0); n <= 2000; n++ {
+		if got := d.StateAfter(n); got != s {
+			t.Fatalf("StateAfter(%d) = %d, want %d", n, got, s)
+		}
+		s = d.next[s]
+	}
+	// And it must answer huge n instantly.
+	if got := d.StateAfter(1 << 60); got != d.StateAfter(1<<60+0) {
+		t.Fatalf("inconsistent big-n state %d", got)
+	}
+}
+
+func TestFindPumpingWitness(t *testing.T) {
+	// 6-bit machine, T = 4096 = (2^6)²: the proof's regime 2^S ≤ √T.
+	m := NewMorrisMachine(6, 1)
+	d := Derandomize(m)
+	const T = 4096
+	w, ok := FindPumpingWitness(d, T)
+	if !ok {
+		t.Fatal("no witness found in the guaranteed regime")
+	}
+	if !(w.N1 >= 1 && w.N1 < w.N2 && w.N2 <= T/2) {
+		t.Fatalf("witness N1=%d N2=%d outside [1, T/2]", w.N1, w.N2)
+	}
+	if !(w.N3 >= 2*T && w.N3 <= 4*T) {
+		t.Fatalf("witness N3=%d outside [2T, 4T]", w.N3)
+	}
+	// The states really are identical — the indistinguishability is real.
+	if d.StateAfter(w.N1) != w.State || d.StateAfter(w.N2) != w.State || d.StateAfter(w.N3) != w.State {
+		t.Fatal("witness states are not actually equal")
+	}
+}
+
+func TestFindPumpingWitnessRespectsKValidity(t *testing.T) {
+	// N3 = N1 + k(N2−N1) for integer k ≥ 0 must hold.
+	m := NewMorrisMachine(5, 0.3)
+	d := Derandomize(m)
+	w, ok := FindPumpingWitness(d, 1<<12)
+	if !ok {
+		t.Skip("no witness at this parameterization")
+	}
+	gap := w.N2 - w.N1
+	if (w.N3-w.N1)%gap != 0 {
+		t.Fatalf("N3 not reachable by pumping: N1=%d N2=%d N3=%d", w.N1, w.N2, w.N3)
+	}
+}
+
+func TestFindPumpingWitnessTinyT(t *testing.T) {
+	m := NewMorrisMachine(8, 1)
+	d := Derandomize(m)
+	if _, ok := FindPumpingWitness(d, 1); ok {
+		t.Fatal("witness claimed for T = 1")
+	}
+}
+
+func TestDFADistinguishErrorsMassive(t *testing.T) {
+	// The derandomized counter stalls at state 1 (estimate 1), so it
+	// answers "< T" everywhere: every high query fails.
+	m := NewMorrisMachine(6, 1)
+	d := Derandomize(m)
+	res := DFADistinguishErrors(d, 1024)
+	if res.HighErrors != int(2*1024+1) {
+		t.Fatalf("HighErrors = %d, want all %d", res.HighErrors, 2*1024+1)
+	}
+	if res.FailureRate() < 0.5 {
+		t.Fatalf("derandomized failure rate %v, want ≥ 0.5", res.FailureRate())
+	}
+}
+
+func TestRandomizedMachineDistinguishesWithEnoughStates(t *testing.T) {
+	// The *randomized* Morris machine with ample state easily solves the
+	// promise problem — failure comes from derandomization or tiny S, not
+	// from the algorithm.
+	rng := xrand.NewSeeded(1)
+	m := NewMorrisMachine(16, 0.01)
+	res := MeasureDistinguish(m, 4096, 300, rng)
+	if rate := res.FailureRate(); rate > 0.05 {
+		t.Fatalf("well-resourced machine failure rate %v", rate)
+	}
+}
+
+func TestUndersizedMachineFailsToDistinguish(t *testing.T) {
+	// A 3-bit Morris(1) machine caps at X = 7, estimate ≤ 127; with
+	// T = 4096 every high-side query must fail.
+	rng := xrand.NewSeeded(2)
+	m := NewMorrisMachine(3, 1)
+	res := MeasureDistinguish(m, 4096, 300, rng)
+	if rate := res.FailureRate(); rate < 0.4 {
+		t.Fatalf("undersized machine failure rate %v, want ≈ 0.5", rate)
+	}
+}
+
+func TestSimulateMatchesSimulateMorris(t *testing.T) {
+	// The generic per-step simulator and the skip-ahead Morris simulator
+	// must induce the same distribution of final states.
+	rngA := xrand.NewSeeded(3)
+	rngB := xrand.NewSeeded(4)
+	m := NewMorrisMachine(8, 0.5)
+	const n, trials = 2000, 3000
+	countsA := make([]int, m.NumStates())
+	countsB := make([]int, m.NumStates())
+	for i := 0; i < trials; i++ {
+		countsA[Simulate(m, n, rngA)]++
+		countsB[SimulateMorris(m, n, rngB)]++
+	}
+	// Compare means of the state distribution.
+	var meanA, meanB float64
+	for s := 0; s < m.NumStates(); s++ {
+		meanA += float64(s) * float64(countsA[s])
+		meanB += float64(s) * float64(countsB[s])
+	}
+	meanA /= trials
+	meanB /= trials
+	if math.Abs(meanA-meanB) > 0.2 {
+		t.Fatalf("state means differ: %v vs %v", meanA, meanB)
+	}
+}
+
+func TestMeasureStateCounting(t *testing.T) {
+	rng := xrand.NewSeeded(5)
+	m := NewMorrisMachine(16, 0.005)
+	res := MeasureStateCounting(m, 0.25, 1<<20, rng)
+	if res.Probes == 0 {
+		t.Fatal("no probes generated")
+	}
+	// A well-resourced machine recovers a constant fraction of probes, and
+	// recovered probes occupy distinct states (2^S ≥ recovered argument).
+	if res.Recovered < res.Probes/5 {
+		t.Fatalf("recovered %d of %d probes, want ≥ 1/5", res.Recovered, res.Probes)
+	}
+	if res.DistinctStates > res.Recovered {
+		t.Fatalf("distinct states %d exceeds recovered %d", res.DistinctStates, res.Recovered)
+	}
+	if res.DistinctStates == 0 {
+		t.Fatal("no distinct states recorded")
+	}
+}
+
+func TestStateCountingUndersizedRecoversFewer(t *testing.T) {
+	rng := xrand.NewSeeded(6)
+	big := MeasureStateCounting(NewMorrisMachine(16, 0.005), 0.25, 1<<20, rng)
+	small := MeasureStateCounting(NewMorrisMachine(3, 1), 0.25, 1<<20, rng)
+	if small.Recovered >= big.Recovered {
+		t.Fatalf("3-bit machine recovered %d ≥ 16-bit machine %d", small.Recovered, big.Recovered)
+	}
+}
+
+func TestNewMorrisMachinePanics(t *testing.T) {
+	cases := []struct {
+		bits int
+		a    float64
+	}{{0, 1}, {25, 1}, {4, 0}, {4, 1.5}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewMorrisMachine(%d, %v) did not panic", c.bits, c.a)
+				}
+			}()
+			NewMorrisMachine(c.bits, c.a)
+		}()
+	}
+}
+
+// Property: the ρ-decomposition is consistent — StateAfter(n) equals naive
+// iteration for arbitrary small n on arbitrary machines.
+func TestQuickRhoConsistency(t *testing.T) {
+	f := func(bitsSeed, aSeed uint8, nSeed uint16) bool {
+		bits := int(bitsSeed)%6 + 2
+		a := float64(int(aSeed)%9+1) / 10
+		m := NewMorrisMachine(bits, a)
+		d := Derandomize(m)
+		n := uint64(nSeed) % 5000
+		s := 0
+		for i := uint64(0); i < n; i++ {
+			s = d.next[s]
+		}
+		return d.StateAfter(n) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

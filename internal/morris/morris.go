@@ -1,0 +1,490 @@
+// Package morris implements the Morris approximate counter family from the
+// paper:
+//
+//   - Counter: Morris(a), the 1978 algorithm parameterized as in the paper's
+//     Subsection 1.2 — increment X with probability (1+a)^-X, estimate
+//     N̂ = ((1+a)^X − 1)/a. Includes the classical Chebyshev
+//     parameterization a = 2ε²δ (space O(log log N + log 1/ε + log 1/δ))
+//     and the paper's improved parameterization a = ε²/(8 ln(1/δ)).
+//   - Plus: "Morris+" (Theorem 1.2 / Appendix A): Morris(a) running in
+//     parallel with a deterministic counter that answers exactly while
+//     N ≤ N_a = ⌈8/a⌉; this tweak is *necessary* (Appendix A) and the
+//     package reproduces that necessity in its tests.
+//   - Averaged: the [Fla85] §5 averaging alternative — s independent
+//     Morris(a) copies, estimates averaged — implemented as the baseline the
+//     paper argues is computationally inferior to changing the base.
+//
+// All counters support distribution-preserving skip-ahead (IncrementBy
+// samples geometric inter-arrival times between X bumps instead of flipping
+// one coin per event; the two procedures induce identical laws on X by
+// memorylessness of the geometric distribution), merge in the style of
+// [CY20 §2.1], and bit-exact state serialization.
+package morris
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitpack"
+	"repro/internal/counter"
+	"repro/internal/xrand"
+)
+
+// Counter is a Morris(a) approximate counter. Its only mutable state is X;
+// StateBits reports ⌈log2(X+1)⌉ per the paper's accounting (the base a is a
+// program constant).
+type Counter struct {
+	a      float64
+	lnBase float64 // ln(1+a), cached
+	rng    *xrand.Rand
+
+	x       uint64
+	maxBits int
+}
+
+var _ counter.Mergeable = (*Counter)(nil)
+var _ counter.Serializable = (*Counter)(nil)
+
+// New returns a Morris(a) counter drawing randomness from rng. It panics
+// unless a ∈ (0, 1] (a = 1 is Morris's original base-2 counter).
+func New(a float64, rng *xrand.Rand) *Counter {
+	if !(a > 0 && a <= 1) {
+		panic(fmt.Sprintf("morris: base parameter a = %v out of (0, 1]", a))
+	}
+	if rng == nil {
+		panic("morris: nil rng")
+	}
+	return &Counter{a: a, lnBase: math.Log1p(a), rng: rng}
+}
+
+// NewChebyshev returns Morris(2ε²δ), the classical parameterization from the
+// paper's Subsection 1.2 whose guarantee P(|N̂−N| > εN) < δ follows from
+// Chebyshev's inequality. Space scales with log(1/δ) — the dependence the
+// paper's new algorithm exponentially improves.
+func NewChebyshev(eps, delta float64, rng *xrand.Rand) *Counter {
+	checkEpsDelta(eps, delta)
+	a := 2 * eps * eps * delta
+	if a > 1 {
+		a = 1
+	}
+	return New(a, rng)
+}
+
+// ImprovedA returns a = ε²/(8 ln(1/δ)), the parameterization from the
+// paper's Subsection 2.2 under which Morris+, by the new analysis, is
+// (1±2ε)-accurate with probability 1 − 2δ in optimal space.
+func ImprovedA(eps, delta float64) float64 {
+	checkEpsDelta(eps, delta)
+	a := eps * eps / (8 * math.Log(1/delta))
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// NewImproved returns Morris(ε²/(8 ln(1/δ))). Note that *without* the
+// deterministic prefix (see Plus) this counter provably fails for small N
+// (Appendix A of the paper); prefer Plus for end use.
+func NewImproved(eps, delta float64, rng *xrand.Rand) *Counter {
+	return New(ImprovedA(eps, delta), rng)
+}
+
+// AForStateBits returns the smallest base parameter a such that a Morris(a)
+// counter run for maxN increments keeps X below 2^bits − 1 with very high
+// probability (64 levels of slack beyond the deterministic drift). Smaller a
+// means lower variance, so the returned a makes the best use of a fixed
+// bit budget — this is how the paper's Figure 1 experiment parameterizes
+// "the Morris counter with 17 bits of memory".
+func AForStateBits(bits int, maxN uint64) float64 {
+	if bits < 2 || bits > 62 {
+		panic(fmt.Sprintf("morris: AForStateBits bits = %d out of [2, 62]", bits))
+	}
+	if maxN == 0 {
+		panic("morris: AForStateBits with maxN = 0")
+	}
+	cap64 := float64(uint64(1)<<uint(bits) - 1)
+	// X after N increments concentrates near log_{1+a}(1 + aN) with a
+	// standard deviation of about √(1/2a) levels (the estimate's relative
+	// error √(a/2) divided by the per-level resolution ln(1+a) ≈ a). Find
+	// the smallest a whose typical X plus eight standard deviations fits the
+	// cap, by bisection (the left side is decreasing in a).
+	fits := func(a float64) bool {
+		xTyp := math.Log1p(a*float64(maxN)) / math.Log1p(a)
+		slack := 8*math.Sqrt(1/(2*a)) + 16
+		return xTyp+slack <= cap64
+	}
+	lo, hi := 1e-18, 1.0
+	if !fits(hi) {
+		return 1 // even a = 1 cannot fit; caller asked for too few bits
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if fits(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// A returns the base parameter.
+func (c *Counter) A() float64 { return c.a }
+
+// X returns the stored exponent (exposed for experiments and tests).
+func (c *Counter) X() uint64 { return c.x }
+
+// incrementProb returns (1+a)^-X, the probability the next event bumps X.
+func (c *Counter) incrementProb() float64 {
+	return math.Exp(-float64(c.x) * c.lnBase)
+}
+
+// Increment records one event: X increases with probability (1+a)^-X.
+func (c *Counter) Increment() {
+	p := c.incrementProb()
+	if p < 1e-300 {
+		return // bump probability is below any resolvable scale
+	}
+	if c.rng.Bernoulli(p) {
+		c.bump()
+	}
+}
+
+// IncrementBy records n events using geometric skip-ahead: while X = i, the
+// number of events until the next bump is Geometric((1+a)^-i), so the method
+// repeatedly draws that gap and advances, consuming O(ΔX) random draws
+// instead of O(n). By memorylessness this induces exactly the per-event law.
+func (c *Counter) IncrementBy(n uint64) {
+	for n > 0 {
+		p := c.incrementProb()
+		if p < 1e-300 {
+			return
+		}
+		z := c.rng.Geometric(p)
+		if z > n {
+			return
+		}
+		n -= z
+		c.bump()
+	}
+}
+
+func (c *Counter) bump() {
+	c.x++
+	if b := counter.BitLen(c.x); b > c.maxBits {
+		c.maxBits = b
+	}
+}
+
+// Estimate returns N̂ = ((1+a)^X − 1)/a, the unbiased estimator of N.
+func (c *Counter) Estimate() float64 {
+	return math.Expm1(float64(c.x)*c.lnBase) / c.a
+}
+
+// EstimateUint64 returns the estimate rounded to the nearest integer.
+func (c *Counter) EstimateUint64() uint64 {
+	return counter.Float64ToUint64(c.Estimate())
+}
+
+// StateBits returns ⌈log2(X+1)⌉ — the counter's entire mutable state.
+func (c *Counter) StateBits() int { return counter.BitLen(c.x) }
+
+// MaxStateBits returns the lifetime maximum of StateBits.
+func (c *Counter) MaxStateBits() int { return c.maxBits }
+
+// Name implements counter.Counter.
+func (c *Counter) Name() string { return "morris" }
+
+// Merge folds other into the receiver per the subsampling argument of
+// [CY20 §2.1]: with X_lo ≤ X_hi, each level i < X_lo of the smaller counter
+// witnesses one sampled increment at rate (1+a)^-i; re-inserting it into the
+// larger counter succeeds with probability (1+a)^(i−X), where X is the
+// larger counter's current (growing) value. The result is distributed as a
+// Morris(a) counter over the concatenated streams.
+func (c *Counter) Merge(other counter.Counter) error {
+	o, ok := other.(*Counter)
+	if !ok {
+		return fmt.Errorf("morris: cannot merge with %T", other)
+	}
+	if o.a != c.a {
+		return fmt.Errorf("morris: merge base mismatch: %v vs %v", c.a, o.a)
+	}
+	xLo, xHi := o.x, c.x
+	if xLo > xHi {
+		xLo, xHi = xHi, xLo
+	}
+	c.x = xHi
+	if b := counter.BitLen(c.x); b > c.maxBits {
+		c.maxBits = b
+	}
+	for i := uint64(0); i < xLo; i++ {
+		// Accept the level-i survivor with probability (1+a)^(i-X).
+		p := math.Exp(-float64(c.x-i) * c.lnBase)
+		if c.rng.Bernoulli(p) {
+			c.bump()
+		}
+	}
+	return nil
+}
+
+// EncodeState writes X in self-delimiting form.
+func (c *Counter) EncodeState(w *bitpack.Writer) { w.WriteUvarint(c.x) }
+
+// DecodeState restores X.
+func (c *Counter) DecodeState(r *bitpack.Reader) error {
+	x, err := r.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	c.x = x
+	if b := counter.BitLen(x); b > c.maxBits {
+		c.maxBits = b
+	}
+	return nil
+}
+
+// Reset returns the counter to its initial state (X = 0), keeping
+// parameters and RNG.
+func (c *Counter) Reset() { c.x = 0 }
+
+// Plus is "Morris+" (the paper's Section 1 tweak, analyzed in Theorem 1.2
+// and shown necessary in Appendix A): a Morris(a) counter plus a
+// deterministic parallel counter that is authoritative while N ≤ N_a.
+// Queries return the deterministic value while it has not overflowed, and
+// the Morris estimator afterwards.
+type Plus struct {
+	morris *Counter
+	det    uint64 // deterministic parallel counter, frozen at cutoff+1
+	cutoff uint64 // N_a; det is exact while det ≤ cutoff
+	width  int    // fixed width of det in bits: ⌈log2(cutoff+2)⌉
+}
+
+var _ counter.Mergeable = (*Plus)(nil)
+var _ counter.Serializable = (*Plus)(nil)
+
+// NewPlus returns Morris+ over Morris(a) with the paper's cutoff N_a = ⌈8/a⌉.
+func NewPlus(a float64, rng *xrand.Rand) *Plus {
+	return NewPlusWithCutoff(a, defaultCutoff(a), rng)
+}
+
+// NewPlusWithCutoff returns Morris+ with an explicit deterministic cutoff;
+// the tweak-necessity experiment uses this to probe cutoffs below 8/a.
+func NewPlusWithCutoff(a float64, cutoff uint64, rng *xrand.Rand) *Plus {
+	m := New(a, rng)
+	width := counter.BitLen(cutoff + 1)
+	if width < 1 {
+		width = 1
+	}
+	return &Plus{morris: m, cutoff: cutoff, width: width}
+}
+
+// NewPlusForError returns Morris+ parameterized per Theorem 1.2:
+// a = ε²/(8 ln(1/δ)), giving P(|N̂−N| > 2εN) ≤ 2δ in
+// O(log log N + log(1/ε) + log log(1/δ)) bits.
+func NewPlusForError(eps, delta float64, rng *xrand.Rand) *Plus {
+	return NewPlus(ImprovedA(eps, delta), rng)
+}
+
+func defaultCutoff(a float64) uint64 {
+	c := math.Ceil(8 / a)
+	if c >= math.MaxUint64/4 {
+		panic(fmt.Sprintf("morris: cutoff 8/a overflows for a = %v", a))
+	}
+	return uint64(c)
+}
+
+// Increment records one event in both the Morris counter and, until it
+// freezes at cutoff+1, the deterministic counter.
+func (p *Plus) Increment() {
+	p.morris.Increment()
+	if p.det <= p.cutoff {
+		p.det++
+	}
+}
+
+// IncrementBy records n events (skip-ahead on the Morris side).
+func (p *Plus) IncrementBy(n uint64) {
+	p.morris.IncrementBy(n)
+	if p.det <= p.cutoff {
+		room := p.cutoff + 1 - p.det
+		if n < room {
+			p.det += n
+		} else {
+			p.det = p.cutoff + 1
+		}
+	}
+}
+
+// Estimate returns the deterministic count while N ≤ cutoff, else the Morris
+// estimator — the query rule from the paper's Section 1.
+func (p *Plus) Estimate() float64 {
+	if p.det <= p.cutoff {
+		return float64(p.det)
+	}
+	return p.morris.Estimate()
+}
+
+// EstimateUint64 returns the estimate rounded to the nearest integer.
+func (p *Plus) EstimateUint64() uint64 {
+	if p.det <= p.cutoff {
+		return p.det
+	}
+	return p.morris.EstimateUint64()
+}
+
+// StateBits returns the deterministic register width plus the Morris state.
+// The deterministic counter is a fixed-width register (it must distinguish
+// 0..cutoff+1 at all times), so it always contributes its full width.
+func (p *Plus) StateBits() int { return p.width + p.morris.StateBits() }
+
+// MaxStateBits returns the lifetime maximum of StateBits.
+func (p *Plus) MaxStateBits() int { return p.width + p.morris.MaxStateBits() }
+
+// Name implements counter.Counter.
+func (p *Plus) Name() string { return "morris+" }
+
+// A returns the Morris base parameter.
+func (p *Plus) A() float64 { return p.morris.A() }
+
+// Cutoff returns N_a, the largest N answered deterministically.
+func (p *Plus) Cutoff() uint64 { return p.cutoff }
+
+// Morris exposes the inner Morris counter (for experiments).
+func (p *Plus) Morris() *Counter { return p.morris }
+
+// Merge folds other into the receiver. The deterministic prefixes add
+// (saturating at cutoff+1) and the Morris halves merge by subsampling.
+// The combined deterministic value remains exact precisely while the true
+// combined N ≤ cutoff, preserving the Morris+ query invariant.
+func (p *Plus) Merge(other counter.Counter) error {
+	o, ok := other.(*Plus)
+	if !ok {
+		return fmt.Errorf("morris: cannot merge Plus with %T", other)
+	}
+	if o.cutoff != p.cutoff || o.morris.a != p.morris.a {
+		return errors.New("morris: merge parameter mismatch")
+	}
+	if err := p.morris.Merge(o.morris); err != nil {
+		return err
+	}
+	sum := counter.SaturatingAdd(p.det, o.det)
+	if sum > p.cutoff {
+		sum = p.cutoff + 1
+	}
+	p.det = sum
+	return nil
+}
+
+// EncodeState writes the fixed-width deterministic register then the Morris
+// state.
+func (p *Plus) EncodeState(w *bitpack.Writer) {
+	w.WriteBits(p.det, p.width)
+	p.morris.EncodeState(w)
+}
+
+// DecodeState restores state written by EncodeState on an identically
+// parameterized Plus.
+func (p *Plus) DecodeState(r *bitpack.Reader) error {
+	det, err := r.ReadBits(p.width)
+	if err != nil {
+		return err
+	}
+	if det > p.cutoff+1 {
+		return errors.New("morris: decoded deterministic value exceeds cutoff+1")
+	}
+	p.det = det
+	return p.morris.DecodeState(r)
+}
+
+// Averaged is the [Fla85] §5 baseline: s independent Morris(a) counters
+// whose estimates are averaged. Its accuracy at base a improves like 1/√s,
+// but its state grows linearly in s — the paper's point is that changing the
+// base is exponentially cheaper than averaging for the same target error.
+type Averaged struct {
+	copies []*Counter
+}
+
+var _ counter.Counter = (*Averaged)(nil)
+
+// NewAveraged returns s independent Morris(a) copies over rng.
+func NewAveraged(a float64, s int, rng *xrand.Rand) *Averaged {
+	if s < 1 {
+		panic("morris: NewAveraged needs s >= 1")
+	}
+	copies := make([]*Counter, s)
+	for i := range copies {
+		copies[i] = New(a, rng)
+	}
+	return &Averaged{copies: copies}
+}
+
+// NewAveragedForError parameterizes the averaging construction to hit the
+// (ε, δ) guarantee with base a = 1 (Morris's original counter): Chebyshev on
+// the mean of s copies needs s ≥ ⌈a(1+a)/ (2ε²δ)⌉ ≈ ⌈1/(ε²δ)⌉ copies.
+func NewAveragedForError(eps, delta float64, rng *xrand.Rand) *Averaged {
+	checkEpsDelta(eps, delta)
+	s := int(math.Ceil(1 / (eps * eps * delta)))
+	return NewAveraged(1, s, rng)
+}
+
+// Increment records one event in every copy (independent coins).
+func (av *Averaged) Increment() {
+	for _, c := range av.copies {
+		c.Increment()
+	}
+}
+
+// IncrementBy records n events in every copy.
+func (av *Averaged) IncrementBy(n uint64) {
+	for _, c := range av.copies {
+		c.IncrementBy(n)
+	}
+}
+
+// Estimate returns the mean of the copies' estimates.
+func (av *Averaged) Estimate() float64 {
+	var sum float64
+	for _, c := range av.copies {
+		sum += c.Estimate()
+	}
+	return sum / float64(len(av.copies))
+}
+
+// EstimateUint64 returns the estimate rounded to the nearest integer.
+func (av *Averaged) EstimateUint64() uint64 {
+	return counter.Float64ToUint64(av.Estimate())
+}
+
+// StateBits returns the total state across all copies.
+func (av *Averaged) StateBits() int {
+	total := 0
+	for _, c := range av.copies {
+		total += c.StateBits()
+	}
+	return total
+}
+
+// MaxStateBits returns the total lifetime maximum state across copies.
+func (av *Averaged) MaxStateBits() int {
+	total := 0
+	for _, c := range av.copies {
+		total += c.MaxStateBits()
+	}
+	return total
+}
+
+// Name implements counter.Counter.
+func (av *Averaged) Name() string { return "morris-averaged" }
+
+// Copies returns the number of averaged copies.
+func (av *Averaged) Copies() int { return len(av.copies) }
+
+func checkEpsDelta(eps, delta float64) {
+	if !(eps > 0 && eps < 1) {
+		panic(fmt.Sprintf("morris: eps = %v out of (0, 1)", eps))
+	}
+	if !(delta > 0 && delta < 1) {
+		panic(fmt.Sprintf("morris: delta = %v out of (0, 1)", delta))
+	}
+}

@@ -1,0 +1,523 @@
+package morris
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitpack"
+	"repro/internal/counter"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestNewValidatesParameters(t *testing.T) {
+	rng := xrand.NewSeeded(1)
+	for _, a := range []float64{0, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(a=%v) did not panic", a)
+				}
+			}()
+			New(a, rng)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("New with nil rng did not panic")
+			}
+		}()
+		New(0.5, nil)
+	}()
+}
+
+func TestEstimateZero(t *testing.T) {
+	c := New(0.5, xrand.NewSeeded(2))
+	if c.Estimate() != 0 || c.EstimateUint64() != 0 || c.StateBits() != 0 {
+		t.Fatal("fresh counter not zeroed")
+	}
+}
+
+func TestEstimateFormula(t *testing.T) {
+	// With X forced to known values, the estimator must equal
+	// ((1+a)^X − 1)/a exactly (up to float rounding).
+	c := New(0.5, xrand.NewSeeded(3))
+	for _, x := range []uint64{0, 1, 2, 5, 10, 30} {
+		c.x = x
+		want := (math.Pow(1.5, float64(x)) - 1) / 0.5
+		if got := c.Estimate(); math.Abs(got-want) > 1e-9*math.Max(want, 1) {
+			t.Fatalf("Estimate(X=%d) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestUnbiasedness(t *testing.T) {
+	// E[((1+a)^X − 1)/a] = N exactly, for any a and N. Check empirically.
+	rng := xrand.NewSeeded(4)
+	const N, trials = 1000, 40000
+	const a = 0.5
+	var sum stats.Summary
+	for i := 0; i < trials; i++ {
+		c := New(a, rng)
+		c.IncrementBy(N)
+		sum.Add(c.Estimate())
+	}
+	// Var = aN(N−1)/2 → σ(mean) = sqrt(a N(N−1)/2 / trials).
+	sigmaMean := math.Sqrt(a * N * (N - 1) / 2 / trials)
+	if math.Abs(sum.Mean()-N) > 6*sigmaMean {
+		t.Fatalf("mean estimate %v, want %v ± %v", sum.Mean(), N, 6*sigmaMean)
+	}
+}
+
+func TestVarianceFormula(t *testing.T) {
+	// Var[N̂] = aN(N−1)/2 (Subsection 1.2 of the paper).
+	rng := xrand.NewSeeded(5)
+	const N, trials = 500, 40000
+	const a = 0.25
+	var sum stats.Summary
+	for i := 0; i < trials; i++ {
+		c := New(a, rng)
+		c.IncrementBy(N)
+		sum.Add(c.Estimate())
+	}
+	want := a * N * (N - 1) / 2
+	got := sum.Variance()
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("variance %v, want %v ± 10%%", got, want)
+	}
+}
+
+func TestIncrementAndIncrementByAgree(t *testing.T) {
+	// The skip-ahead path must induce the same distribution on X as the
+	// per-event path. Compare X moments over many trials.
+	rngA := xrand.NewSeeded(6)
+	rngB := xrand.NewSeeded(7)
+	const N, trials = 300, 20000
+	const a = 0.3
+	var xsA, xsB stats.Summary
+	for i := 0; i < trials; i++ {
+		ca := New(a, rngA)
+		for j := 0; j < N; j++ {
+			ca.Increment()
+		}
+		xsA.Add(float64(ca.X()))
+		cb := New(a, rngB)
+		cb.IncrementBy(N)
+		xsB.Add(float64(cb.X()))
+	}
+	seMean := math.Sqrt(xsA.Variance()/trials) + math.Sqrt(xsB.Variance()/trials)
+	if math.Abs(xsA.Mean()-xsB.Mean()) > 6*seMean {
+		t.Fatalf("X means differ: per-event %v vs skip-ahead %v (tol %v)",
+			xsA.Mean(), xsB.Mean(), 6*seMean)
+	}
+	if relDiff := math.Abs(xsA.Variance()-xsB.Variance()) / xsA.Variance(); relDiff > 0.15 {
+		t.Fatalf("X variances differ by %v%%: %v vs %v", 100*relDiff, xsA.Variance(), xsB.Variance())
+	}
+}
+
+func TestStateBitsDoublyLogarithmic(t *testing.T) {
+	// For a = 1, X ≈ log2 N, so state is ⌈log2 log2 N⌉-ish bits.
+	rng := xrand.NewSeeded(8)
+	c := New(1, rng)
+	c.IncrementBy(1 << 20)
+	if c.StateBits() > 7 { // X ≈ 20, needs ~5 bits; 7 allows generous drift
+		t.Fatalf("Morris(1) at N=2^20 uses %d state bits", c.StateBits())
+	}
+	if c.X() < 10 || c.X() > 40 {
+		t.Fatalf("Morris(1) X = %d at N=2^20, want ≈ 20", c.X())
+	}
+}
+
+func TestChebyshevParameterization(t *testing.T) {
+	rng := xrand.NewSeeded(9)
+	const eps, delta = 0.2, 0.05
+	c := NewChebyshev(eps, delta, rng)
+	if want := 2 * eps * eps * delta; math.Abs(c.A()-want) > 1e-15 {
+		t.Fatalf("Chebyshev a = %v, want %v", c.A(), want)
+	}
+	// Empirical failure rate must be below delta (Chebyshev is loose, so
+	// the real rate is far below; just check the guarantee).
+	const N, trials = 100000, 2000
+	fails := 0
+	for i := 0; i < trials; i++ {
+		cc := NewChebyshev(eps, delta, rng)
+		cc.IncrementBy(N)
+		if stats.RelativeError(cc.Estimate(), N) > eps {
+			fails++
+		}
+	}
+	rate := float64(fails) / trials
+	if rate > delta {
+		t.Fatalf("Chebyshev failure rate %v exceeds δ = %v", rate, delta)
+	}
+}
+
+func TestImprovedAFormula(t *testing.T) {
+	a := ImprovedA(0.1, 0.001)
+	want := 0.01 / (8 * math.Log(1000))
+	if math.Abs(a-want) > 1e-15 {
+		t.Fatalf("ImprovedA = %v, want %v", a, want)
+	}
+	if ImprovedA(0.999, 0.9) > 1 {
+		t.Fatal("ImprovedA not clamped at 1")
+	}
+}
+
+func TestAForStateBitsFitsBudget(t *testing.T) {
+	rng := xrand.NewSeeded(10)
+	for _, tc := range []struct {
+		bits int
+		maxN uint64
+	}{{17, 999999}, {10, 100000}, {8, 1 << 20}} {
+		a := AForStateBits(tc.bits, tc.maxN)
+		limit := uint64(1)<<uint(tc.bits) - 1
+		for trial := 0; trial < 50; trial++ {
+			c := New(a, rng)
+			c.IncrementBy(tc.maxN)
+			if c.X() > limit {
+				t.Fatalf("bits=%d maxN=%d: X = %d exceeds %d", tc.bits, tc.maxN, c.X(), limit)
+			}
+		}
+	}
+}
+
+func TestAForStateBitsUsesBudget(t *testing.T) {
+	// The chosen a should not be wastefully large: the typical X should be
+	// within a factor ~2 of the cap (otherwise accuracy is being thrown away).
+	rng := xrand.NewSeeded(11)
+	a := AForStateBits(17, 999999)
+	c := New(a, rng)
+	c.IncrementBy(999999)
+	if c.X() < (1<<17)/4 {
+		t.Fatalf("X = %d uses under a quarter of the 17-bit budget", c.X())
+	}
+}
+
+func TestMergePreservesDistribution(t *testing.T) {
+	// Remark 2.4 / [CY20]: merged counter ~ counter incremented N1+N2 times.
+	rng := xrand.NewSeeded(12)
+	const n1, n2, trials = 3000, 7000, 4000
+	const a = 0.1
+	merged := make([]float64, trials)
+	direct := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		c1 := New(a, rng)
+		c1.IncrementBy(n1)
+		c2 := New(a, rng)
+		c2.IncrementBy(n2)
+		if err := c1.Merge(c2); err != nil {
+			t.Fatal(err)
+		}
+		merged[i] = c1.Estimate()
+		d := New(a, rng)
+		d.IncrementBy(n1 + n2)
+		direct[i] = d.Estimate()
+	}
+	ks := stats.KolmogorovSmirnov(merged, direct)
+	if crit := stats.KSCritical(0.001, trials, trials); ks > crit {
+		t.Fatalf("merge distribution drift: KS = %v > critical %v", ks, crit)
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	rng := xrand.NewSeeded(13)
+	a := New(0.5, rng)
+	b := New(0.25, rng)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different bases did not error")
+	}
+	if err := a.Merge(NewPlus(0.5, rng)); err == nil {
+		t.Fatal("merging foreign type did not error")
+	}
+}
+
+func TestMergeWithZeroCounter(t *testing.T) {
+	rng := xrand.NewSeeded(14)
+	c := New(0.5, rng)
+	c.IncrementBy(1000)
+	xBefore := c.X()
+	empty := New(0.5, rng)
+	if err := c.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if c.X() != xBefore {
+		t.Fatalf("merging empty counter changed X: %d → %d", xBefore, c.X())
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := xrand.NewSeeded(15)
+	c := New(0.01, rng)
+	c.IncrementBy(500000)
+	w := bitpack.NewWriter()
+	c.EncodeState(w)
+	d := New(0.01, rng)
+	if err := d.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if d.X() != c.X() || d.Estimate() != c.Estimate() {
+		t.Fatalf("round trip: X %d→%d", c.X(), d.X())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(0.5, xrand.NewSeeded(16))
+	c.IncrementBy(10000)
+	c.Reset()
+	if c.X() != 0 || c.Estimate() != 0 {
+		t.Fatal("Reset did not zero the counter")
+	}
+}
+
+func TestPlusExactPrefix(t *testing.T) {
+	rng := xrand.NewSeeded(17)
+	p := NewPlus(0.01, rng) // cutoff = 800
+	for i := uint64(1); i <= p.Cutoff(); i++ {
+		p.Increment()
+		if p.EstimateUint64() != i {
+			t.Fatalf("Morris+ not exact at N=%d: %d", i, p.EstimateUint64())
+		}
+	}
+}
+
+func TestPlusSwitchesToMorris(t *testing.T) {
+	rng := xrand.NewSeeded(18)
+	p := NewPlus(0.01, rng)
+	p.IncrementBy(p.Cutoff() + 1)
+	// Past the cutoff the answer comes from the Morris estimator; it should
+	// be in the right ballpark but need not be exact.
+	est := p.Estimate()
+	n := float64(p.Cutoff() + 1)
+	if est < n/3 || est > 3*n {
+		t.Fatalf("just past cutoff: estimate %v for N %v", est, n)
+	}
+}
+
+func TestPlusIncrementByCrossesCutoffLikeLoop(t *testing.T) {
+	rng := xrand.NewSeeded(19)
+	p := NewPlusWithCutoff(0.5, 100, rng)
+	p.IncrementBy(50)
+	if p.EstimateUint64() != 50 {
+		t.Fatalf("below cutoff: %d", p.EstimateUint64())
+	}
+	p.IncrementBy(49) // N = 99 ≤ 100
+	if p.EstimateUint64() != 99 {
+		t.Fatalf("at 99: %d", p.EstimateUint64())
+	}
+	p.IncrementBy(1000) // far past cutoff; deterministic register frozen
+	if p.det != 101 {
+		t.Fatalf("deterministic register = %d, want frozen at 101", p.det)
+	}
+}
+
+func TestPlusAccuracyGuarantee(t *testing.T) {
+	// Theorem 1.2: Morris+ with a = ε²/(8 ln(1/δ)) gives a (1±2ε)
+	// approximation with probability ≥ 1 − 2δ. Check the failure rate.
+	rng := xrand.NewSeeded(20)
+	const eps, delta = 0.3, 0.05
+	const N, trials = 200000, 3000
+	fails := 0
+	for i := 0; i < trials; i++ {
+		p := NewPlusForError(eps, delta, rng)
+		p.IncrementBy(N)
+		if stats.RelativeError(p.Estimate(), N) > 2*eps {
+			fails++
+		}
+	}
+	rate := float64(fails) / trials
+	if rate > 2*delta {
+		t.Fatalf("Morris+ failure rate %v exceeds 2δ = %v", rate, 2*delta)
+	}
+}
+
+func TestPlusStateBitsBounded(t *testing.T) {
+	// Theorem 1.2 space: O(log log N + log 1/ε + log log 1/δ). Sanity-check
+	// a generous concrete bound at realistic parameters.
+	rng := xrand.NewSeeded(21)
+	const eps, delta = 0.1, 1e-6
+	p := NewPlusForError(eps, delta, rng)
+	p.IncrementBy(10_000_000)
+	predicted := 4 * (math.Log2(math.Log2(1e7)) + math.Log2(1/eps) + math.Log2(math.Log2(1e6)))
+	if float64(p.MaxStateBits()) > predicted+16 {
+		t.Fatalf("Morris+ used %d bits, predicted O-bound ≈ %v", p.MaxStateBits(), predicted)
+	}
+}
+
+func TestPlusMerge(t *testing.T) {
+	rng := xrand.NewSeeded(22)
+	// Below cutoff: merged counter must stay exact.
+	p1 := NewPlusWithCutoff(0.5, 1000, rng)
+	p2 := NewPlusWithCutoff(0.5, 1000, rng)
+	p1.IncrementBy(300)
+	p2.IncrementBy(400)
+	if err := p1.Merge(p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.EstimateUint64() != 700 {
+		t.Fatalf("merged exact prefix: %d, want 700", p1.EstimateUint64())
+	}
+	// Crossing cutoff via merge: deterministic register must freeze.
+	p3 := NewPlusWithCutoff(0.5, 1000, rng)
+	p3.IncrementBy(600)
+	if err := p1.Merge(p3); err != nil {
+		t.Fatal(err)
+	}
+	if p1.det != 1001 {
+		t.Fatalf("deterministic register after crossing merge: %d, want 1001", p1.det)
+	}
+	// Mismatched parameters must error.
+	p4 := NewPlusWithCutoff(0.5, 2000, rng)
+	if err := p1.Merge(p4); err == nil {
+		t.Fatal("cutoff mismatch not rejected")
+	}
+}
+
+func TestPlusMergeDistribution(t *testing.T) {
+	rng := xrand.NewSeeded(23)
+	const a = 0.05
+	const n1, n2, trials = 2000, 5000, 3000
+	merged := make([]float64, trials)
+	direct := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		p1 := NewPlus(a, rng)
+		p1.IncrementBy(n1)
+		p2 := NewPlus(a, rng)
+		p2.IncrementBy(n2)
+		if err := p1.Merge(p2); err != nil {
+			t.Fatal(err)
+		}
+		merged[i] = p1.Estimate()
+		d := NewPlus(a, rng)
+		d.IncrementBy(n1 + n2)
+		direct[i] = d.Estimate()
+	}
+	ks := stats.KolmogorovSmirnov(merged, direct)
+	if crit := stats.KSCritical(0.001, trials, trials); ks > crit {
+		t.Fatalf("Morris+ merge distribution drift: KS %v > %v", ks, crit)
+	}
+}
+
+func TestPlusSerializationRoundTrip(t *testing.T) {
+	rng := xrand.NewSeeded(24)
+	p := NewPlus(0.01, rng)
+	p.IncrementBy(123456)
+	w := bitpack.NewWriter()
+	p.EncodeState(w)
+	if w.Len() != p.StateBits()+1 && w.Len() > p.StateBits()*3 {
+		// Encoding uses self-delimiting X (≤ 2·bits+1), so allow slack but
+		// catch gross divergence from the claimed state size.
+		t.Fatalf("encoded %d bits vs StateBits %d", w.Len(), p.StateBits())
+	}
+	q := NewPlus(0.01, rng)
+	if err := q.DecodeState(bitpack.NewReader(w.Bytes(), w.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if q.Estimate() != p.Estimate() || q.det != p.det {
+		t.Fatal("Morris+ round trip mismatch")
+	}
+}
+
+func TestAveragedReducesVariance(t *testing.T) {
+	rng := xrand.NewSeeded(25)
+	const N, trials = 2000, 2000
+	var single, avg16 stats.Summary
+	for i := 0; i < trials; i++ {
+		c := New(1, rng)
+		c.IncrementBy(N)
+		single.Add(c.Estimate())
+		av := NewAveraged(1, 16, rng)
+		av.IncrementBy(N)
+		avg16.Add(av.Estimate())
+	}
+	ratio := single.Variance() / avg16.Variance()
+	if ratio < 8 || ratio > 32 {
+		t.Fatalf("averaging 16 copies changed variance by ×%v, want ≈ 16", ratio)
+	}
+}
+
+func TestAveragedStateGrowsLinearly(t *testing.T) {
+	rng := xrand.NewSeeded(26)
+	av := NewAveraged(1, 10, rng)
+	av.IncrementBy(1 << 16)
+	c := New(1, rng)
+	c.IncrementBy(1 << 16)
+	if av.StateBits() < 8*c.StateBits() {
+		t.Fatalf("averaged state %d not ≈ 10× single %d", av.StateBits(), c.StateBits())
+	}
+	if av.Copies() != 10 {
+		t.Fatalf("Copies = %d", av.Copies())
+	}
+}
+
+func TestAveragedForErrorCopies(t *testing.T) {
+	rng := xrand.NewSeeded(27)
+	av := NewAveragedForError(0.25, 0.1, rng)
+	want := int(math.Ceil(1 / (0.25 * 0.25 * 0.1)))
+	if av.Copies() != want {
+		t.Fatalf("Copies = %d, want %d", av.Copies(), want)
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	rng := xrand.NewSeeded(28)
+	names := map[string]bool{}
+	for _, c := range []counter.Counter{New(0.5, rng), NewPlus(0.5, rng), NewAveraged(0.5, 2, rng)} {
+		if names[c.Name()] {
+			t.Fatalf("duplicate name %q", c.Name())
+		}
+		names[c.Name()] = true
+	}
+}
+
+// Property: X never decreases and estimate is monotone in X.
+func TestQuickMonotone(t *testing.T) {
+	rng := xrand.NewSeeded(29)
+	f := func(steps []uint16) bool {
+		c := New(0.3, rng)
+		var prevX uint64
+		prevEst := -1.0
+		for _, s := range steps {
+			c.IncrementBy(uint64(s))
+			if c.X() < prevX {
+				return false
+			}
+			if est := c.Estimate(); est < prevEst {
+				return false
+			} else {
+				prevEst = est
+			}
+			prevX = c.X()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Morris+ is exactly correct for any increment pattern that stays
+// at or below the cutoff.
+func TestQuickPlusExactBelowCutoff(t *testing.T) {
+	rng := xrand.NewSeeded(30)
+	f := func(steps []uint8) bool {
+		p := NewPlusWithCutoff(0.5, 10000, rng)
+		var truth uint64
+		for _, s := range steps {
+			n := uint64(s)
+			if truth+n > 10000 {
+				break
+			}
+			p.IncrementBy(n)
+			truth += n
+			if p.EstimateUint64() != truth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

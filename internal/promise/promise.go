@@ -1,0 +1,139 @@
+// Package promise implements the decision subroutine from the paper's
+// Subsection 1.2 that Algorithm 1 is built from: given a threshold T > 1
+// and ε ∈ (0, 1), decide whether N < (1−ε/10)·T or N > (1+ε/10)·T, under
+// the promise that one of the two holds.
+//
+// The procedure: store a counter Y, sample each increment with probability
+// α = min{1, C·ln(1/η)/(ε²T)}, and at query time declare "N > (1+ε/10)T"
+// iff Y > αT. A Chernoff bound gives correctness with probability ≥ 1−η in
+// O(log(1/ε) + log log(1/η)) bits — the full counter then solves a sequence
+// of these promise problems at geometrically growing thresholds (see
+// internal/core).
+//
+// The package exists because the paper presents this decision problem as
+// the conceptual core of its algorithm; having it standalone makes the
+// reduction testable in isolation (and makes the ε²-vs-ε³ subtlety of
+// line 10 of Algorithm 1 concrete: the decision version needs only ε²).
+package promise
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/counter"
+	"repro/internal/xrand"
+)
+
+// DefaultC is the Chernoff constant; ≥ 3 suffices asymptotically, 8 gives
+// comfortable margins.
+const DefaultC = 8
+
+// Decider solves one promise instance.
+type Decider struct {
+	t     uint64  // threshold T
+	eps   float64 // promise gap parameter
+	alpha float64 // sampling probability (rounded up to a dyadic, per Remark 2.2)
+	tExp  uint    // α = 2^-tExp
+	thr   uint64  // ⌊α·T⌋
+	y     uint64
+	rng   *xrand.Rand
+}
+
+// New returns a Decider for threshold t, gap ε, and failure budget η, with
+// the default constant. The Chernoff analysis needs the deviation margin
+// times √(αT) to dominate; with C = DefaultC the guarantee holds at Θ(ε)
+// margins, and the paper's full ε/10 margin needs the larger universal
+// constant (≈ 300·DefaultC/8) available through NewWithC.
+func New(t uint64, eps, eta float64, rng *xrand.Rand) *Decider {
+	return NewWithC(t, eps, eta, DefaultC, rng)
+}
+
+// NewWithC returns a Decider with an explicit Chernoff constant C ≥ 1.
+func NewWithC(t uint64, eps, eta, c float64, rng *xrand.Rand) *Decider {
+	if t < 2 {
+		panic(fmt.Sprintf("promise: threshold %d < 2", t))
+	}
+	if !(eps > 0 && eps < 1) {
+		panic(fmt.Sprintf("promise: eps = %v out of (0, 1)", eps))
+	}
+	if !(eta > 0 && eta < 1) {
+		panic(fmt.Sprintf("promise: eta = %v out of (0, 1)", eta))
+	}
+	if c < 1 {
+		panic(fmt.Sprintf("promise: C = %v below 1", c))
+	}
+	if rng == nil {
+		panic("promise: nil rng")
+	}
+	alphaRaw := c * math.Log(1/eta) / (eps * eps * float64(t))
+	var tExp uint
+	if alphaRaw < 1 {
+		tExp = uint(math.Floor(-math.Log2(alphaRaw)))
+		if tExp > 62 {
+			tExp = 62
+		}
+	}
+	alpha := math.Ldexp(1, -int(tExp))
+	thr := uint64(math.Floor(alpha * float64(t)))
+	return &Decider{t: t, eps: eps, alpha: alpha, tExp: tExp, thr: thr, rng: rng}
+}
+
+// Increment records one event: while Y ≤ ⌊αT⌋ it is sampled into Y with
+// probability α; once Y exceeds the threshold the decision is pinned and
+// further events are ignored ("else do nothing" in the paper), which is
+// what bounds Y — and hence the state — by ⌊αT⌋+1.
+func (d *Decider) Increment() {
+	if d.y > d.thr {
+		return
+	}
+	if d.rng.BernoulliPow2(d.tExp) {
+		d.y++
+	}
+}
+
+// IncrementBy records n events via geometric skip-ahead.
+func (d *Decider) IncrementBy(n uint64) {
+	if d.tExp == 0 {
+		room := d.thr + 1 - d.y
+		if d.y > d.thr {
+			return
+		}
+		if n < room {
+			d.y += n
+		} else {
+			d.y = d.thr + 1
+		}
+		return
+	}
+	p := math.Ldexp(1, -int(d.tExp))
+	for n > 0 && d.y <= d.thr {
+		z := d.rng.Geometric(p)
+		if z > n {
+			return
+		}
+		n -= z
+		d.y++
+	}
+}
+
+// Above reports the decision: true means "N > (1+ε/10)·T".
+func (d *Decider) Above() bool { return d.y > d.thr }
+
+// StateBits returns the Remark 2.2 accounting: ⌈log2(Y+1)⌉ bits of counter
+// plus ⌈log2(t+1)⌉ bits for the dyadic sampling exponent.
+func (d *Decider) StateBits() int {
+	return counter.BitLen(d.y) + counter.BitLen(uint64(d.tExp))
+}
+
+// MaxStateBits returns the widest the state can get: Y is bounded by its
+// decision threshold plus the overshoot the decider tolerates before the
+// answer is pinned, so a fixed-width register of this size always suffices.
+func (d *Decider) MaxStateBits() int {
+	return counter.BitLen(d.thr+1) + counter.BitLen(uint64(d.tExp))
+}
+
+// Alpha returns the (dyadic) sampling probability.
+func (d *Decider) Alpha() float64 { return d.alpha }
+
+// Threshold returns T.
+func (d *Decider) Threshold() uint64 { return d.t }

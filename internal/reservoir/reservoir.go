@@ -1,0 +1,75 @@
+// Package reservoir implements reservoir sampling over streams of unknown
+// length, including the approximate variant the paper cites from [GS09]:
+// when thousands of reservoirs run side by side, tracking each stream's
+// length n with an approximate counter instead of an exact one cuts the
+// per-reservoir bookkeeping from O(log n) to O(log log n) bits, while the
+// sample stays near-uniform because the inclusion probability k/n̂ is only
+// ever off by the counter's (1±ε).
+package reservoir
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/exact"
+	"repro/internal/xrand"
+)
+
+// Sampler maintains a uniform (or near-uniform) sample of k items from a
+// stream, with the stream-length counter pluggable.
+type Sampler struct {
+	k     int
+	items []uint64
+	n     counter.Counter // stream length: exact or approximate
+	rng   *xrand.Rand
+}
+
+// New returns a Sampler of capacity k whose length counter is lengthCounter
+// (pass exact.New() for the classical algorithm R).
+func New(k int, lengthCounter counter.Counter, rng *xrand.Rand) *Sampler {
+	if k < 1 {
+		panic(fmt.Sprintf("reservoir: capacity %d < 1", k))
+	}
+	if lengthCounter == nil {
+		panic("reservoir: nil length counter")
+	}
+	if rng == nil {
+		panic("reservoir: nil rng")
+	}
+	return &Sampler{k: k, items: make([]uint64, 0, k), n: lengthCounter, rng: rng}
+}
+
+// NewExact returns the classical algorithm-R sampler.
+func NewExact(k int, rng *xrand.Rand) *Sampler {
+	return New(k, exact.New(), rng)
+}
+
+// Offer feeds one stream item.
+func (s *Sampler) Offer(item uint64) {
+	s.n.Increment()
+	if len(s.items) < s.k {
+		s.items = append(s.items, item)
+		return
+	}
+	// Include with probability k/n̂; on inclusion, replace a uniform slot.
+	nHat := s.n.Estimate()
+	if nHat < float64(s.k) {
+		nHat = float64(s.k)
+	}
+	if s.rng.Bernoulli(float64(s.k) / nHat) {
+		s.items[s.rng.Intn(s.k)] = item
+	}
+}
+
+// Sample returns the current sample (shared slice; do not mutate).
+func (s *Sampler) Sample() []uint64 { return s.items }
+
+// SeenEstimate returns the length counter's estimate of the stream length.
+func (s *Sampler) SeenEstimate() float64 { return s.n.Estimate() }
+
+// LengthCounterBits returns the current state size of the length counter —
+// the resource the approximate variant shrinks.
+func (s *Sampler) LengthCounterBits() int { return s.n.StateBits() }
+
+// Capacity returns k.
+func (s *Sampler) Capacity() int { return s.k }

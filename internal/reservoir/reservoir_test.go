@@ -1,0 +1,123 @@
+package reservoir
+
+import (
+	"testing"
+
+	"repro/internal/morris"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestFillPhaseKeepsEverything(t *testing.T) {
+	rng := xrand.NewSeeded(1)
+	s := NewExact(10, rng)
+	for i := uint64(0); i < 10; i++ {
+		s.Offer(i)
+	}
+	if len(s.Sample()) != 10 {
+		t.Fatalf("sample size %d", len(s.Sample()))
+	}
+	for i, v := range s.Sample() {
+		if v != uint64(i) {
+			t.Fatalf("fill phase reordered: %v", s.Sample())
+		}
+	}
+}
+
+func TestSampleSizeNeverExceedsK(t *testing.T) {
+	rng := xrand.NewSeeded(2)
+	s := NewExact(5, rng)
+	for i := uint64(0); i < 10000; i++ {
+		s.Offer(i)
+		if len(s.Sample()) > 5 {
+			t.Fatalf("sample grew to %d", len(s.Sample()))
+		}
+	}
+	if s.SeenEstimate() != 10000 {
+		t.Fatalf("exact length counter reports %v", s.SeenEstimate())
+	}
+	if s.Capacity() != 5 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+}
+
+func uniformityChi2(t *testing.T, mk func() *Sampler, streamLen, buckets, trials int) (float64, int) {
+	t.Helper()
+	counts := make([]uint64, buckets)
+	per := streamLen / buckets
+	for tr := 0; tr < trials; tr++ {
+		s := mk()
+		for i := 0; i < streamLen; i++ {
+			s.Offer(uint64(i))
+		}
+		for _, v := range s.Sample() {
+			b := int(v) / per
+			if b >= buckets {
+				b = buckets - 1
+			}
+			counts[b]++
+		}
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	expected := make([]float64, buckets)
+	for i := range expected {
+		expected[i] = float64(total) / float64(buckets)
+	}
+	return stats.ChiSquare(counts, expected), buckets - 1
+}
+
+func TestExactSamplerUniform(t *testing.T) {
+	rng := xrand.NewSeeded(3)
+	x2, df := uniformityChi2(t, func() *Sampler { return NewExact(20, rng) }, 10000, 10, 300)
+	if p := stats.ChiSquarePValue(x2, df); p < 1e-4 {
+		t.Fatalf("exact reservoir not uniform: chi2=%v p=%v", x2, p)
+	}
+}
+
+func TestApproxSamplerNearUniform(t *testing.T) {
+	// [GS09]: with a Morris+ length counter at modest a the sample stays
+	// statistically uniform across stream deciles.
+	rng := xrand.NewSeeded(4)
+	mk := func() *Sampler {
+		return New(20, morris.NewPlus(0.001, rng), rng)
+	}
+	x2, df := uniformityChi2(t, mk, 10000, 10, 300)
+	if p := stats.ChiSquarePValue(x2, df); p < 1e-5 {
+		t.Fatalf("approx reservoir grossly non-uniform: chi2=%v p=%v", x2, p)
+	}
+}
+
+func TestApproxSamplerSavesLengthBits(t *testing.T) {
+	rng := xrand.NewSeeded(5)
+	ex := NewExact(5, rng)
+	ap := New(5, morris.NewPlus(0.5, rng), rng)
+	for i := uint64(0); i < 2_000_000; i++ {
+		ex.Offer(i)
+		ap.Offer(i)
+	}
+	if ap.LengthCounterBits() >= ex.LengthCounterBits() {
+		t.Fatalf("approx length counter %d bits, exact %d bits",
+			ap.LengthCounterBits(), ex.LengthCounterBits())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := xrand.NewSeeded(6)
+	for i, fn := range []func(){
+		func() { NewExact(0, rng) },
+		func() { New(5, nil, rng) },
+		func() { NewExact(5, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,159 @@
+// Package spacebound collects the paper's analytic formulas — the
+// parameterizations, predicted state sizes and special thresholds that the
+// experiment harnesses print next to measured values. Keeping them in one
+// place makes every experiment's "predicted" column traceable to a specific
+// equation in the paper.
+package spacebound
+
+import "math"
+
+// MorrisChebyshevA returns a = 2ε²δ, the classical Morris parameterization
+// of Subsection 1.2 whose (ε, δ) guarantee follows from Chebyshev.
+func MorrisChebyshevA(eps, delta float64) float64 {
+	a := 2 * eps * eps * delta
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// MorrisImprovedA returns a = ε²/(8 ln(1/δ)), the parameterization of
+// Subsection 2.2 under which Morris+ achieves the optimal bound.
+func MorrisImprovedA(eps, delta float64) float64 {
+	a := eps * eps / (8 * math.Log(1/delta))
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// MorrisTypicalX returns log_{1+a}(1 + aN), the value X concentrates around
+// after N increments of Morris(a) (the inversion of E[N̂] = N).
+func MorrisTypicalX(a float64, n uint64) float64 {
+	return math.Log1p(a*float64(n)) / math.Log1p(a)
+}
+
+// MorrisXStdDev returns the approximate standard deviation of X in levels:
+// the estimator's relative standard deviation √(a/2) divided by the
+// per-level resolution ln(1+a).
+func MorrisXStdDev(a float64) float64 {
+	return math.Sqrt(a/2) / math.Log1p(a)
+}
+
+// MorrisStateBits returns the predicted state size of Morris(a) after N
+// increments: ⌈log2(X_typ + 1)⌉ evaluated in the reals.
+func MorrisStateBits(a float64, n uint64) float64 {
+	return math.Log2(MorrisTypicalX(a, n) + 1)
+}
+
+// MorrisPlusCutoff returns N_a = ⌈8/a⌉, the paper's deterministic-prefix
+// cutoff for Morris+.
+func MorrisPlusCutoff(a float64) uint64 {
+	return uint64(math.Ceil(8 / a))
+}
+
+// MorrisPlusStateBits returns the predicted state of Morris+ after N
+// increments: the fixed ⌈log2(N_a + 2)⌉-bit deterministic register plus the
+// Morris(a) state.
+func MorrisPlusStateBits(a float64, n uint64) float64 {
+	det := math.Ceil(math.Log2(float64(MorrisPlusCutoff(a)) + 2))
+	return det + MorrisStateBits(a, n)
+}
+
+// NYPredicted describes the predicted sizes of the three state components
+// of Algorithm 1 after N increments.
+type NYPredicted struct {
+	X     float64 // final level ≈ log_{1+ε} N
+	YMax  float64 // epoch Y ceiling ≈ C·ln(X²/δ)/ε³ / (1+ε) rounding scale
+	T     float64 // sampling exponent ≈ log2(1/α)
+	Bits  float64 // total predicted state bits
+	Total float64 // alias of Bits (kept for table clarity)
+}
+
+// NYPredict evaluates the Remark 2.2 state accounting of Algorithm 1 in the
+// reals: X ≈ max(X₀, log_{1+ε} N), Y ≤ ⌊α·T⌋+1 with α·T = C·ln(X²/δ)/ε³,
+// t = log2(1/α), and bits = log2(X+1) + log2(Y+1) + log2(t+1).
+func NYPredict(eps float64, deltaLog int, c float64, n uint64) NYPredicted {
+	lnInvDelta := float64(deltaLog) * math.Ln2
+	lnBase := math.Log1p(eps)
+	x0 := math.Ceil(math.Log(c*lnInvDelta/(eps*eps*eps)) / lnBase)
+	if x0 < 0 {
+		x0 = 0
+	}
+	x := math.Log(float64(n)+1) / lnBase
+	if x < x0 {
+		x = x0
+	}
+	lnInvEta := lnInvDelta + 2*math.Log(x+1)
+	yMax := c*lnInvEta/(eps*eps*eps) + 1
+	bigT := math.Exp(x * lnBase)
+	alpha := c * lnInvEta / (eps * eps * eps * bigT)
+	t := 0.0
+	if alpha < 1 {
+		t = -math.Log2(alpha)
+	}
+	bits := math.Log2(x+1) + math.Log2(yMax+1) + math.Log2(t+1)
+	return NYPredicted{X: x, YMax: yMax, T: t, Bits: bits, Total: bits}
+}
+
+// OptimalBits returns the paper's optimal space expression (Theorems 1.1
+// and 3.1) in the reals:
+//
+//	min{log2 n, log2 log2 n + log2(1/ε) + log2 log2(1/δ)}.
+func OptimalBits(eps, delta float64, n uint64) float64 {
+	logN := math.Log2(float64(n) + 1)
+	ll := math.Log2(math.Log2(float64(n)+2)) + math.Log2(1/eps)
+	if lld := math.Log2(math.Log2(1/delta) + 1); lld > 0 {
+		ll += lld
+	}
+	return math.Min(logN, ll)
+}
+
+// ClassicalMorrisBits returns the classical upper bound's growth expression
+// O(log log N + log(1/ε) + log(1/δ)) in the reals — singly logarithmic in
+// 1/δ, the term the paper improves to log log(1/δ).
+func ClassicalMorrisBits(eps, delta float64, n uint64) float64 {
+	return math.Log2(math.Log2(float64(n)+2)) + math.Log2(1/eps) + math.Log2(1/delta)
+}
+
+// TweakFailureN returns N'_a = ⌈c·ε^{4/3}/a⌉, the count at which Appendix A
+// proves vanilla Morris(a) under-estimates with probability ≫ δ.
+func TweakFailureN(a, eps, c float64) uint64 {
+	return uint64(math.Ceil(c * math.Pow(eps, 4.0/3) / a))
+}
+
+// TweakFailureLowerBound returns the Appendix A lower bound on that failure
+// probability, (ε^{4/3}·c/4)·√δ.
+func TweakFailureLowerBound(eps, delta, c float64) float64 {
+	return math.Pow(eps, 4.0/3) * c / 4 * math.Sqrt(delta)
+}
+
+// Theorem3T returns T = ⌊min{n/4, √(log(1/δ))}⌋, the distinguishing
+// threshold in the proof of Theorem 3.1 (logs base 2, as in "bits").
+func Theorem3T(n uint64, delta float64) uint64 {
+	v := math.Min(float64(n)/4, math.Sqrt(math.Log2(1/delta)))
+	if v < 0 {
+		return 0
+	}
+	return uint64(math.Floor(v))
+}
+
+// Theorem3Nj returns N_j = ⌈(e^{16εj} − 1)/ε⌉, the geometric probe points
+// in the second half of the Theorem 3.1 proof.
+func Theorem3Nj(eps float64, j int) uint64 {
+	v := math.Ceil((math.Exp(16*eps*float64(j)) - 1) / eps)
+	if v < 1 {
+		return 1
+	}
+	if v > math.MaxUint64/4 {
+		return math.MaxUint64 / 4
+	}
+	return uint64(v)
+}
+
+// AveragingCopies returns the number of independent Morris(1) copies the
+// [Fla85] §5 averaging construction needs for an (ε, δ) guarantee by
+// Chebyshev: ⌈1/(ε²δ)⌉.
+func AveragingCopies(eps, delta float64) int {
+	return int(math.Ceil(1 / (eps * eps * delta)))
+}

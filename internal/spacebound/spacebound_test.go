@@ -1,0 +1,176 @@
+package spacebound
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMorrisChebyshevA(t *testing.T) {
+	if got := MorrisChebyshevA(0.1, 0.01); math.Abs(got-2e-4) > 1e-18 {
+		t.Fatalf("a = %v, want 2e-4", got)
+	}
+	if MorrisChebyshevA(0.9, 0.9) > 1 {
+		t.Fatal("a not clamped")
+	}
+}
+
+func TestMorrisImprovedA(t *testing.T) {
+	want := 0.01 / (8 * math.Log(100))
+	if got := MorrisImprovedA(0.1, 0.01); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("a = %v, want %v", got, want)
+	}
+}
+
+func TestMorrisTypicalXInvertsEstimator(t *testing.T) {
+	// X_typ is defined so that ((1+a)^X_typ − 1)/a = N.
+	for _, a := range []float64{1, 0.1, 0.001} {
+		for _, n := range []uint64{10, 1000, 1000000} {
+			x := MorrisTypicalX(a, n)
+			back := math.Expm1(x*math.Log1p(a)) / a
+			if math.Abs(back-float64(n)) > 1e-6*float64(n) {
+				t.Fatalf("a=%v n=%d: inversion gives %v", a, n, back)
+			}
+		}
+	}
+}
+
+func TestMorrisXStdDevScaling(t *testing.T) {
+	// Std in levels grows like 1/√(2a) for small a.
+	s1 := MorrisXStdDev(0.01)
+	s2 := MorrisXStdDev(0.0001)
+	if ratio := s2 / s1; math.Abs(ratio-10) > 0.5 {
+		t.Fatalf("std ratio = %v, want ≈ 10", ratio)
+	}
+}
+
+func TestMorrisPlusCutoff(t *testing.T) {
+	if got := MorrisPlusCutoff(0.01); got != 800 {
+		t.Fatalf("cutoff = %d, want 800", got)
+	}
+}
+
+func TestDeltaScalingSeparation(t *testing.T) {
+	// The paper's headline: as δ shrinks, the Chebyshev-parameterized
+	// Morris state grows like log(1/δ) while Morris+/NY grow like
+	// log log(1/δ). Verify the formulas exhibit that separation.
+	// N must be large enough that a·N ≫ 1 even at the smallest δ, otherwise
+	// Morris(2ε²δ) degenerates into a near-exact counter and its state
+	// saturates at log2 N (the min in Theorem 1.1) instead of growing.
+	const eps = 0.1
+	const n = 1 << 50
+	chebGrowth := MorrisStateBits(MorrisChebyshevA(eps, 1e-12), n) -
+		MorrisStateBits(MorrisChebyshevA(eps, 1e-3), n)
+	plusGrowth := MorrisPlusStateBits(MorrisImprovedA(eps, 1e-12), n) -
+		MorrisPlusStateBits(MorrisImprovedA(eps, 1e-3), n)
+	nyGrowth := NYPredict(eps, 40, 8, n).Bits - NYPredict(eps, 10, 8, n).Bits
+	if chebGrowth < 20 {
+		t.Fatalf("Chebyshev growth %v bits, want ≈ 30 (log(1/δ) term)", chebGrowth)
+	}
+	if plusGrowth > 6 {
+		t.Fatalf("Morris+ growth %v bits, want O(log log) ≈ 2", plusGrowth)
+	}
+	if nyGrowth > 6 {
+		t.Fatalf("NY growth %v bits, want O(log log) ≈ 2", nyGrowth)
+	}
+}
+
+func TestNYPredictComponents(t *testing.T) {
+	p := NYPredict(0.1, 20, 8, 1<<20)
+	if p.X <= 0 || p.YMax <= 0 || p.Bits <= 0 {
+		t.Fatalf("degenerate prediction %+v", p)
+	}
+	// X ≈ log_{1.1}(2^20) ≈ 145.
+	if p.X < 100 || p.X > 200 {
+		t.Fatalf("X prediction %v, want ≈ 145", p.X)
+	}
+	// Bits must exceed each component's log and total sensibly.
+	if p.Bits < math.Log2(p.X+1) {
+		t.Fatal("total below X component")
+	}
+	if p.Total != p.Bits {
+		t.Fatal("Total alias mismatch")
+	}
+	// For tiny N the prediction floors at X₀.
+	small := NYPredict(0.1, 20, 8, 1)
+	if small.X <= 0 {
+		t.Fatal("X₀ floor missing")
+	}
+}
+
+func TestOptimalBitsMinBehavior(t *testing.T) {
+	// For tiny n the min is log n (deterministic counter wins).
+	small := OptimalBits(0.001, 1e-9, 8)
+	if math.Abs(small-math.Log2(9)) > 1e-9 {
+		t.Fatalf("small-n bound %v, want log2(9)", small)
+	}
+	// For huge n the min is the approximate-counting expression, far below
+	// log n.
+	big := OptimalBits(0.1, 1e-6, 1<<50)
+	if big >= 50 {
+		t.Fatalf("large-n bound %v not sublogarithmic", big)
+	}
+}
+
+func TestClassicalVsOptimalSeparation(t *testing.T) {
+	// At δ = 2^-40 the classical bound pays ≈ 40 bits where the optimal
+	// bound pays ≈ log2(40) ≈ 5.3.
+	const eps = 0.25
+	const n = 1 << 30
+	delta := math.Ldexp(1, -40)
+	classical := ClassicalMorrisBits(eps, delta, n)
+	optimal := OptimalBits(eps, delta, n)
+	if classical-optimal < 25 {
+		t.Fatalf("separation %v bits, want ≈ 35", classical-optimal)
+	}
+}
+
+func TestTweakFailureN(t *testing.T) {
+	a := 0.001
+	eps := 0.2
+	c := 1.0 / 256
+	n := TweakFailureN(a, eps, c)
+	want := uint64(math.Ceil(c * math.Pow(eps, 4.0/3) / a))
+	if n != want {
+		t.Fatalf("N' = %d, want %d", n, want)
+	}
+}
+
+func TestTweakFailureLowerBoundDominatesDelta(t *testing.T) {
+	// Appendix A: when δ < ε^{8/3}c²/16, the bound (ε^{4/3}c/4)·√δ exceeds δ.
+	eps, c := 0.2, 1.0/256
+	deltaMax := math.Pow(eps, 8.0/3) * c * c / 16
+	delta := deltaMax / 10
+	if lb := TweakFailureLowerBound(eps, delta, c); lb <= delta {
+		t.Fatalf("lower bound %v not above δ = %v", lb, delta)
+	}
+}
+
+func TestTheorem3T(t *testing.T) {
+	// T = ⌊min{n/4, √log2(1/δ)}⌋.
+	if got := Theorem3T(100, math.Ldexp(1, -64)); got != 8 {
+		t.Fatalf("T = %d, want 8 (√64)", got)
+	}
+	if got := Theorem3T(8, 1e-30); got != 2 {
+		t.Fatalf("T = %d, want 2 (n/4)", got)
+	}
+}
+
+func TestTheorem3NjIncreasing(t *testing.T) {
+	prev := uint64(0)
+	for j := 0; j < 20; j++ {
+		n := Theorem3Nj(0.1, j)
+		if n <= prev && j > 0 {
+			t.Fatalf("N_j not increasing at j=%d: %d ≤ %d", j, n, prev)
+		}
+		prev = n
+	}
+	if Theorem3Nj(0.1, 0) != 1 {
+		t.Fatalf("N_0 = %d, want 1", Theorem3Nj(0.1, 0))
+	}
+}
+
+func TestAveragingCopies(t *testing.T) {
+	if got := AveragingCopies(0.1, 0.01); got != 10000 {
+		t.Fatalf("copies = %d, want 10000", got)
+	}
+}

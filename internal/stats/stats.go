@@ -1,0 +1,387 @@
+// Package stats provides the statistical machinery the experiment harnesses
+// use to turn raw counter trials into the numbers the paper reports:
+// streaming moments (Welford), empirical CDFs (Figure 1 is an ECDF plot),
+// quantiles, histograms, Kolmogorov–Smirnov distance (merge experiments
+// compare whole distributions), and chi-square goodness of fit with p-values
+// via a regularized incomplete gamma implemented from scratch (stdlib has
+// Lgamma but no igamma).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count, mean, variance (Welford), min and max in a
+// single streaming pass. The zero value is ready to use.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// ECDF is an empirical cumulative distribution function over a fixed sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts xs. It panics on an empty sample.
+func NewECDF(xs []float64) *ECDF {
+	if len(xs) == 0 {
+		panic("stats: ECDF over empty sample")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns F(x) = fraction of the sample ≤ x.
+func (e *ECDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile for q in [0, 1] using the nearest-rank
+// convention (Quantile(1) is the sample max).
+func (e *ECDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}
+
+// Max returns the sample maximum.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Min returns the sample minimum.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Series evaluates the ECDF at n evenly spaced probability levels and
+// returns (percentile, value) pairs — exactly the series plotted as
+// Figure 1 in the paper (x = percent of trials, y = relative error level).
+func (e *ECDF) Series(n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		q := float64(i+1) / float64(n)
+		out[i] = Point{X: 100 * q, Y: e.Quantile(q)}
+	}
+	return out
+}
+
+// Point is one (x, y) pair of a plotted series.
+type Point struct{ X, Y float64 }
+
+// KolmogorovSmirnov returns the KS statistic sup|F1−F2| between two samples.
+func KolmogorovSmirnov(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KS over empty sample")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		switch {
+		case as[i] < bs[j]:
+			i++
+		case as[i] > bs[j]:
+			j++
+		default:
+			// Ties must advance both pointers past the tied value before the
+			// CDFs are compared, otherwise identical samples report a
+			// spurious gap.
+			v := as[i]
+			for i < len(as) && as[i] == v {
+				i++
+			}
+			for j < len(bs) && bs[j] == v {
+				j++
+			}
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSCritical returns the approximate two-sample KS critical value at
+// significance alpha for sample sizes n and m (valid for large samples):
+// c(alpha) * sqrt((n+m)/(n*m)) with c(alpha)=sqrt(-ln(alpha/2)/2).
+func KSCritical(alpha float64, n, m int) float64 {
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n+m)/float64(n)/float64(m))
+}
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected counts. Panics if lengths differ or an expected entry is ≤ 0.
+func ChiSquare(observed []uint64, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		panic("stats: chi-square length mismatch")
+	}
+	var x2 float64
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			panic(fmt.Sprintf("stats: non-positive expected count %v at %d", e, i))
+		}
+		d := float64(o) - e
+		x2 += d * d / e
+	}
+	return x2
+}
+
+// ChiSquarePValue returns P(X ≥ x2) for a chi-square distribution with df
+// degrees of freedom: 1 − P(df/2, x2/2) where P is the regularized lower
+// incomplete gamma.
+func ChiSquarePValue(x2 float64, df int) float64 {
+	if df <= 0 {
+		panic("stats: chi-square with non-positive df")
+	}
+	if x2 <= 0 {
+		return 1
+	}
+	return 1 - RegularizedGammaP(float64(df)/2, x2/2)
+}
+
+// RegularizedGammaP computes P(a, x), the regularized lower incomplete gamma
+// function, via the classical series (x < a+1) / continued fraction
+// (x ≥ a+1) split of Numerical Recipes, using math.Lgamma for the prefactor.
+func RegularizedGammaP(a, x float64) float64 {
+	if a <= 0 {
+		panic("stats: RegularizedGammaP needs a > 0")
+	}
+	if x < 0 {
+		panic("stats: RegularizedGammaP needs x >= 0")
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Histogram is a fixed-bin histogram over [lo, hi); values outside the range
+// land in saturating edge bins so no observation is silently dropped.
+type Histogram struct {
+	lo, hi float64
+	bins   []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || !(hi > lo) {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]uint64, n)}
+}
+
+// Add records x.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.total++
+}
+
+// Counts returns the bin counts (shared slice; do not mutate).
+func (h *Histogram) Counts() []uint64 { return h.bins }
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + (float64(i)+0.5)*w
+}
+
+// RelativeError returns |estimate − truth| / truth. truth must be nonzero.
+func RelativeError(estimate, truth float64) float64 {
+	if truth == 0 {
+		panic("stats: relative error against zero truth")
+	}
+	return math.Abs(estimate-truth) / math.Abs(truth)
+}
+
+// SignedRelativeError returns (estimate − truth) / truth.
+func SignedRelativeError(estimate, truth float64) float64 {
+	if truth == 0 {
+		panic("stats: relative error against zero truth")
+	}
+	return (estimate - truth) / truth
+}
+
+// TotalVariation returns ½·Σ|p_i − q_i| for two distributions given as
+// aligned probability vectors. Panics if lengths differ. Used to validate
+// Monte-Carlo simulators against exact dynamic-programming distributions.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: total variation length mismatch")
+	}
+	var tv float64
+	for i := range p {
+		tv += math.Abs(p[i] - q[i])
+	}
+	return tv / 2
+}
+
+// NormalizeCounts converts a histogram of counts into a probability vector.
+// Panics on an empty histogram.
+func NormalizeCounts(counts []uint64) []float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		panic("stats: normalizing empty histogram")
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// BinomialCI returns the Wilson score interval at z standard deviations for
+// k successes out of n trials. Used to put honest error bars on empirical
+// failure probabilities (which are tiny, where the normal interval breaks).
+func BinomialCI(k, n uint64, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	den := 1 + z2/nf
+	center := (p + z2/(2*nf)) / den
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / den
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

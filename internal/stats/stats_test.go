@@ -1,0 +1,345 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance = 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty summary not zeroed")
+	}
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single-element summary wrong")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	r := xrand.NewSeeded(1)
+	xs := make([]float64, 10000)
+	var s Summary
+	var sum float64
+	for i := range xs {
+		xs[i] = r.Float64()*100 - 50
+		s.Add(xs[i])
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	wantVar := ss / float64(len(xs)-1)
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Fatalf("Welford mean %v vs direct %v", s.Mean(), mean)
+	}
+	if math.Abs(s.Variance()-wantVar) > 1e-7*wantVar {
+		t.Fatalf("Welford variance %v vs direct %v", s.Variance(), wantVar)
+	}
+}
+
+func TestECDFAt(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if e.Min() != 10 || e.Max() != 40 || e.Len() != 4 {
+		t.Fatal("ECDF accessors wrong")
+	}
+}
+
+func TestECDFSeriesMonotone(t *testing.T) {
+	r := xrand.NewSeeded(2)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	series := NewECDF(xs).Series(100)
+	if len(series) != 100 {
+		t.Fatalf("series length %d", len(series))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Y < series[i-1].Y {
+			t.Fatalf("series not monotone at %d", i)
+		}
+		if series[i].X <= series[i-1].X {
+			t.Fatalf("series x not increasing at %d", i)
+		}
+	}
+	if series[len(series)-1].X != 100 {
+		t.Fatalf("last x = %v, want 100", series[len(series)-1].X)
+	}
+}
+
+func TestECDFPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty ECDF")
+		}
+	}()
+	NewECDF(nil)
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(xs, xs); d != 0 {
+		t.Fatalf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	if d := KolmogorovSmirnov(a, b); d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSSameDistributionBelowCritical(t *testing.T) {
+	r := xrand.NewSeeded(3)
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Normal()
+		b[i] = r.Normal()
+	}
+	d := KolmogorovSmirnov(a, b)
+	if crit := KSCritical(0.001, n, n); d > crit {
+		t.Fatalf("same-distribution KS %v exceeds critical %v", d, crit)
+	}
+}
+
+func TestKSDifferentDistributionAboveCritical(t *testing.T) {
+	r := xrand.NewSeeded(4)
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Normal()
+		b[i] = r.Normal() + 0.3
+	}
+	d := KolmogorovSmirnov(a, b)
+	if crit := KSCritical(0.001, n, n); d <= crit {
+		t.Fatalf("shifted-distribution KS %v below critical %v", d, crit)
+	}
+}
+
+func TestChiSquareZeroWhenExact(t *testing.T) {
+	obs := []uint64{10, 20, 30}
+	exp := []float64{10, 20, 30}
+	if x2 := ChiSquare(obs, exp); x2 != 0 {
+		t.Fatalf("chi-square = %v", x2)
+	}
+}
+
+func TestChiSquareKnownValue(t *testing.T) {
+	obs := []uint64{44, 56}
+	exp := []float64{50, 50}
+	if x2 := ChiSquare(obs, exp); math.Abs(x2-1.44) > 1e-12 {
+		t.Fatalf("chi-square = %v, want 1.44", x2)
+	}
+}
+
+func TestChiSquarePValueReferencePoints(t *testing.T) {
+	// Reference values: P(X² ≥ 3.841 | df=1) = 0.05, P(X² ≥ 5.991 | df=2) = 0.05,
+	// P(X² ≥ 18.307 | df=10) = 0.05.
+	cases := []struct {
+		x2   float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05}, {5.991, 2, 0.05}, {18.307, 10, 0.05},
+		{6.635, 1, 0.01}, {0, 5, 1},
+	}
+	for _, c := range cases {
+		got := ChiSquarePValue(c.x2, c.df)
+		if math.Abs(got-c.want) > 2e-3 {
+			t.Fatalf("p(x2=%v, df=%d) = %v, want %v", c.x2, c.df, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedGammaPBoundaries(t *testing.T) {
+	if got := RegularizedGammaP(2, 0); got != 0 {
+		t.Fatalf("P(2,0) = %v", got)
+	}
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.1, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegularizedGammaP(1, x); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Monotone in x.
+	prev := 0.0
+	for x := 0.1; x < 20; x += 0.1 {
+		got := RegularizedGammaP(3.5, x)
+		if got < prev-1e-12 {
+			t.Fatalf("P(3.5,·) not monotone at %v", x)
+		}
+		prev = got
+	}
+	if prev < 0.99999 {
+		t.Fatalf("P(3.5,20) = %v, want ≈ 1", prev)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for i, c := range h.Counts() {
+		if c != 10 {
+			t.Fatalf("bin %d = %d", i, c)
+		}
+	}
+	if h.Total() != 100 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// Out-of-range values land in edge bins.
+	h.Add(-5)
+	h.Add(1000)
+	if h.Counts()[0] != 11 || h.Counts()[9] != 11 {
+		t.Fatal("edge bins did not absorb out-of-range values")
+	}
+	if math.Abs(h.BinCenter(0)-0.5) > 1e-12 {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError = %v", got)
+	}
+	if got := SignedRelativeError(90, 100); math.Abs(got+0.1) > 1e-12 {
+		t.Fatalf("SignedRelativeError = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero truth")
+		}
+	}()
+	RelativeError(1, 0)
+}
+
+func TestBinomialCI(t *testing.T) {
+	lo, hi := BinomialCI(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("CI [%v,%v] does not contain p̂", lo, hi)
+	}
+	if lo < 0.35 || hi > 0.65 {
+		t.Fatalf("CI [%v,%v] implausibly wide for n=100", lo, hi)
+	}
+	// Zero successes: CI must start at 0 and stay small-ish.
+	lo, hi = BinomialCI(0, 10000, 3)
+	if lo != 0 {
+		t.Fatalf("zero-success CI lo = %v", lo)
+	}
+	if hi > 0.01 {
+		t.Fatalf("zero-success CI hi = %v", hi)
+	}
+	lo, hi = BinomialCI(0, 0, 2)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty CI = [%v,%v]", lo, hi)
+	}
+}
+
+// Property: ECDF.At is a valid CDF — monotone, 0 below min, 1 at max.
+func TestQuickECDFIsCDF(t *testing.T) {
+	r := xrand.NewSeeded(7)
+	f := func(n uint8) bool {
+		size := int(n)%50 + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = r.Float64() * 10
+		}
+		e := NewECDF(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if e.At(sorted[0]-1) != 0 {
+			return false
+		}
+		if e.At(sorted[size-1]) != 1 {
+			return false
+		}
+		prev := -1.0
+		for x := -1.0; x < 11; x += 0.5 {
+			v := e.At(x)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KS distance is symmetric and in [0, 1].
+func TestQuickKSSymmetric(t *testing.T) {
+	r := xrand.NewSeeded(8)
+	f := func(n, m uint8) bool {
+		na, nb := int(n)%30+1, int(m)%30+1
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = r.Float64()
+		}
+		for i := range b {
+			b[i] = r.Float64()
+		}
+		d1 := KolmogorovSmirnov(a, b)
+		d2 := KolmogorovSmirnov(b, a)
+		return d1 == d2 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package stream provides the workload generators the experiments and
+// application benchmarks draw from: Zipf-distributed item streams (the
+// skewed "page view" workloads motivating the paper's analytics scenario),
+// uniform and bursty streams, random-total draws (the Figure 1 workload
+// picks N uniformly from [500000, 999999]), and permutation streams for the
+// inversion-counting application.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Source yields an infinite stream of item identifiers in [0, Universe).
+type Source interface {
+	// Next returns the next item.
+	Next() uint64
+	// Universe returns the number of distinct possible items.
+	Universe() uint64
+}
+
+// Zipf samples items with P(i) ∝ 1/(i+1)^s over [0, n), heaviest first —
+// the canonical skewed analytics workload. Sampling is by inverse CDF with
+// binary search over a precomputed table (exact, O(log n) per draw).
+type Zipf struct {
+	rng *xrand.Rand
+	cdf []float64
+}
+
+var _ Source = (*Zipf)(nil)
+
+// NewZipf builds a Zipf source over n items with exponent s > 0.
+func NewZipf(n uint64, s float64, rng *xrand.Rand) *Zipf {
+	if n == 0 || n > 1<<26 {
+		panic(fmt.Sprintf("stream: Zipf universe %d out of (0, 2^26]", n))
+	}
+	if !(s > 0) {
+		panic(fmt.Sprintf("stream: Zipf exponent %v must be positive", s))
+	}
+	if rng == nil {
+		panic("stream: nil rng")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := uint64(0); i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Next implements Source.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return uint64(i)
+}
+
+// Universe implements Source.
+func (z *Zipf) Universe() uint64 { return uint64(len(z.cdf)) }
+
+// Probability returns P(item = i).
+func (z *Zipf) Probability(i uint64) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Uniform samples items uniformly from [0, n).
+type Uniform struct {
+	rng *xrand.Rand
+	n   uint64
+}
+
+var _ Source = (*Uniform)(nil)
+
+// NewUniform builds a uniform source over n items.
+func NewUniform(n uint64, rng *xrand.Rand) *Uniform {
+	if n == 0 {
+		panic("stream: empty uniform universe")
+	}
+	if rng == nil {
+		panic("stream: nil rng")
+	}
+	return &Uniform{rng: rng, n: n}
+}
+
+// Next implements Source.
+func (u *Uniform) Next() uint64 { return u.rng.Uint64n(u.n) }
+
+// Universe implements Source.
+func (u *Uniform) Universe() uint64 { return u.n }
+
+// Bursty emits runs of a single item: each burst picks a uniform item and a
+// geometric length with the given mean. Bursts exercise counters' behavior
+// under adversarially correlated (non-i.i.d.) arrivals.
+type Bursty struct {
+	rng       *xrand.Rand
+	n         uint64
+	meanBurst float64
+	cur       uint64
+	left      uint64
+}
+
+var _ Source = (*Bursty)(nil)
+
+// NewBursty builds a bursty source over n items with mean burst length mean.
+func NewBursty(n uint64, mean float64, rng *xrand.Rand) *Bursty {
+	if n == 0 {
+		panic("stream: empty bursty universe")
+	}
+	if !(mean >= 1) {
+		panic("stream: burst mean must be ≥ 1")
+	}
+	if rng == nil {
+		panic("stream: nil rng")
+	}
+	return &Bursty{rng: rng, n: n, meanBurst: mean}
+}
+
+// Next implements Source.
+func (b *Bursty) Next() uint64 {
+	if b.left == 0 {
+		b.cur = b.rng.Uint64n(b.n)
+		b.left = b.rng.Geometric(1 / b.meanBurst)
+	}
+	b.left--
+	return b.cur
+}
+
+// Universe implements Source.
+func (b *Bursty) Universe() uint64 { return b.n }
+
+// Sequential cycles deterministically through 0, 1, ..., n−1 — the
+// worst case for popularity skew assumptions and a useful determinism check.
+type Sequential struct {
+	n, next uint64
+}
+
+var _ Source = (*Sequential)(nil)
+
+// NewSequential builds a round-robin source over n items.
+func NewSequential(n uint64) *Sequential {
+	if n == 0 {
+		panic("stream: empty sequential universe")
+	}
+	return &Sequential{n: n}
+}
+
+// Next implements Source.
+func (s *Sequential) Next() uint64 {
+	v := s.next
+	s.next = (s.next + 1) % s.n
+	return v
+}
+
+// Universe implements Source.
+func (s *Sequential) Universe() uint64 { return s.n }
+
+// Materialize draws length items from src into a slice.
+func Materialize(src Source, length int) []uint64 {
+	out := make([]uint64, length)
+	for i := range out {
+		out[i] = src.Next()
+	}
+	return out
+}
+
+// ExactCounts tallies a materialized stream into a frequency map — the
+// ground truth every approximate structure is judged against.
+func ExactCounts(items []uint64) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, it := range items {
+		m[it]++
+	}
+	return m
+}
+
+// FigureOneTotal draws N uniformly from [lo, hi] — the paper's Figure 1
+// picks a uniformly random 20-bit-scale total in [500000, 999999] per trial.
+func FigureOneTotal(rng *xrand.Rand, lo, hi uint64) uint64 {
+	return rng.Range(lo, hi)
+}
+
+// Permutation returns a uniformly random permutation of {0, ..., n−1},
+// streamed by the inversion-counting application.
+func Permutation(n int, rng *xrand.Rand) []int {
+	return rng.Perm(n)
+}
+
+// SortedPermutation returns the identity permutation (zero inversions).
+func SortedPermutation(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// ReversedPermutation returns the descending permutation, which has the
+// maximum possible n(n−1)/2 inversions.
+func ReversedPermutation(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}

@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	z := NewZipf(100, 1.2, xrand.NewSeeded(1))
+	var sum float64
+	for i := uint64(0); i < 100; i++ {
+		sum += z.Probability(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfHeaviestFirst(t *testing.T) {
+	z := NewZipf(1000, 1.0, xrand.NewSeeded(2))
+	for i := uint64(1); i < 1000; i++ {
+		if z.Probability(i) > z.Probability(i-1)+1e-12 {
+			t.Fatalf("P(%d) > P(%d)", i, i-1)
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesTheory(t *testing.T) {
+	z := NewZipf(50, 1.0, xrand.NewSeeded(3))
+	const draws = 200000
+	counts := make([]uint64, 50)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	expected := make([]float64, 50)
+	for i := range expected {
+		expected[i] = z.Probability(uint64(i)) * draws
+	}
+	x2 := stats.ChiSquare(counts, expected)
+	if p := stats.ChiSquarePValue(x2, 49); p < 1e-4 {
+		t.Fatalf("Zipf sample rejected: chi2 = %v, p = %v", x2, p)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(10, 2.0, xrand.NewSeeded(4))
+	for i := 0; i < 10000; i++ {
+		if v := z.Next(); v >= 10 {
+			t.Fatalf("Zipf item %d out of range", v)
+		}
+	}
+	if z.Universe() != 10 {
+		t.Fatalf("Universe = %d", z.Universe())
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	rng := xrand.NewSeeded(5)
+	cases := []func(){
+		func() { NewZipf(0, 1, rng) },
+		func() { NewZipf(10, 0, rng) },
+		func() { NewZipf(10, -1, rng) },
+		func() { NewZipf(10, 1, nil) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUniformIsUniform(t *testing.T) {
+	u := NewUniform(20, xrand.NewSeeded(6))
+	const draws = 100000
+	counts := make([]uint64, 20)
+	for i := 0; i < draws; i++ {
+		counts[u.Next()]++
+	}
+	expected := make([]float64, 20)
+	for i := range expected {
+		expected[i] = draws / 20.0
+	}
+	x2 := stats.ChiSquare(counts, expected)
+	if p := stats.ChiSquarePValue(x2, 19); p < 1e-4 {
+		t.Fatalf("uniform sample rejected: p = %v", p)
+	}
+}
+
+func TestBurstyRunsHaveExpectedLength(t *testing.T) {
+	b := NewBursty(1000, 50, xrand.NewSeeded(7))
+	items := Materialize(b, 200000)
+	// Count runs.
+	runs := 1
+	for i := 1; i < len(items); i++ {
+		if items[i] != items[i-1] {
+			runs++
+		}
+	}
+	meanRun := float64(len(items)) / float64(runs)
+	// Distinct consecutive bursts can pick the same item (prob 1/1000), so
+	// the observed mean run is very close to the geometric mean 50.
+	if meanRun < 35 || meanRun > 70 {
+		t.Fatalf("mean run length %v, want ≈ 50", meanRun)
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	s := NewSequential(3)
+	want := []uint64{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("step %d: got %d want %d", i, got, w)
+		}
+	}
+	if s.Universe() != 3 {
+		t.Fatalf("Universe = %d", s.Universe())
+	}
+}
+
+func TestMaterializeAndExactCounts(t *testing.T) {
+	s := NewSequential(4)
+	items := Materialize(s, 10)
+	if len(items) != 10 {
+		t.Fatalf("len = %d", len(items))
+	}
+	counts := ExactCounts(items)
+	// 10 draws over 4 items round-robin: items 0,1 appear 3×; 2,3 appear 2×.
+	if counts[0] != 3 || counts[1] != 3 || counts[2] != 2 || counts[3] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestFigureOneTotalInRange(t *testing.T) {
+	rng := xrand.NewSeeded(8)
+	for i := 0; i < 10000; i++ {
+		n := FigureOneTotal(rng, 500000, 999999)
+		if n < 500000 || n > 999999 {
+			t.Fatalf("total %d out of range", n)
+		}
+	}
+}
+
+func TestPermutationGenerators(t *testing.T) {
+	rng := xrand.NewSeeded(9)
+	p := Permutation(100, rng)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	sorted := SortedPermutation(5)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("sorted perm = %v", sorted)
+		}
+	}
+	rev := ReversedPermutation(5)
+	for i, v := range rev {
+		if v != 4-i {
+			t.Fatalf("reversed perm = %v", rev)
+		}
+	}
+}
+
+// Property: every source stays within its declared universe.
+func TestQuickSourcesInUniverse(t *testing.T) {
+	rng := xrand.NewSeeded(10)
+	f := func(nSeed uint8, pick uint8) bool {
+		n := uint64(nSeed)%50 + 1
+		var src Source
+		switch pick % 4 {
+		case 0:
+			src = NewZipf(n, 1.1, rng)
+		case 1:
+			src = NewUniform(n, rng)
+		case 2:
+			src = NewBursty(n, 3, rng)
+		default:
+			src = NewSequential(n)
+		}
+		for i := 0; i < 200; i++ {
+			if src.Next() >= src.Universe() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

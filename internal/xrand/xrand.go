@@ -1,0 +1,357 @@
+// Package xrand provides the deterministic pseudo-random substrate used by
+// every counter in this repository.
+//
+// The paper (Nelson & Yu, "Optimal bounds for approximate counting") assumes
+// a source of ideal fair coins. We substitute xoshiro256++ seeded through
+// SplitMix64, which is more than adequate statistically for the Bernoulli and
+// geometric draws the counters need, and — unlike crypto randomness — makes
+// every experiment in this repository exactly reproducible from a seed.
+//
+// The package offers three layers:
+//
+//   - Source: a raw 64-bit generator (xoshiro256++), plus a CountingSource
+//     wrapper that meters consumed random bits (several experiments report
+//     randomness consumption alongside state size).
+//   - Rand: convenience draws (Float64, Uint64n, Perm, ...).
+//   - Exact coin primitives used by the counters: fixed-point Bernoulli(p),
+//     power-of-two Bernoulli via leading-zero counting, the literal
+//     fair-coin-AND procedure of the paper's Remark 2.2, and geometric
+//     samplers (used for distribution-preserving skip-ahead).
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a raw stream of 64-bit pseudo-random words.
+type Source interface {
+	Uint64() uint64
+}
+
+// SplitMix64 is the seeding generator recommended by the xoshiro authors.
+// It is a valid Source in its own right (period 2^64) and is used to expand
+// a single 64-bit seed into the 256-bit xoshiro state.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 returns the next 64-bit word of the SplitMix64 stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements the xoshiro256++ generator of Blackman and Vigna.
+// Period 2^256 − 1; passes BigCrush. Not safe for concurrent use; callers
+// that share a generator across goroutines must synchronize externally (the
+// counter bank does exactly that).
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 seeded deterministically from seed via SplitMix64.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	// An all-zero state is a fixed point; SplitMix64 cannot emit four zero
+	// words in a row from any seed, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+// Uint64 returns the next 64-bit word of the xoshiro256++ stream.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := bits.RotateLeft64(x.s[0]+x.s[3], 23) + x.s[0]
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	return result
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to that many calls
+// to Uint64. It is used to derive non-overlapping streams for parallel
+// trials from a single seed.
+func (x *Xoshiro256) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Uint64()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}
+
+// CountingSource wraps a Source and meters how many 64-bit words (and hence
+// random bits) have been consumed. The counters in this repository draw all
+// randomness through their Source, so wrapping with a CountingSource gives an
+// exact account of randomness consumption per operation.
+type CountingSource struct {
+	inner Source
+	words uint64
+}
+
+// NewCounting returns a CountingSource wrapping inner.
+func NewCounting(inner Source) *CountingSource { return &CountingSource{inner: inner} }
+
+// Uint64 forwards to the wrapped Source and increments the word meter.
+func (c *CountingSource) Uint64() uint64 {
+	c.words++
+	return c.inner.Uint64()
+}
+
+// Words reports the number of 64-bit words drawn so far.
+func (c *CountingSource) Words() uint64 { return c.words }
+
+// Bits reports the number of random bits drawn so far (64 per word).
+func (c *CountingSource) Bits() uint64 { return c.words * 64 }
+
+// Reset zeroes the meter without disturbing the wrapped Source.
+func (c *CountingSource) Reset() { c.words = 0 }
+
+// Rand bundles a Source with the derived distributions the counters and
+// experiment harnesses need.
+type Rand struct {
+	src Source
+}
+
+// NewRand returns a Rand drawing from src.
+func NewRand(src Source) *Rand { return &Rand{src: src} }
+
+// NewSeeded is shorthand for NewRand(New(seed)).
+func NewSeeded(seed uint64) *Rand { return NewRand(New(seed)) }
+
+// Source returns the underlying Source.
+func (r *Rand) Source() Source { return r.src }
+
+// Uint64 returns a uniform 64-bit word.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.src.Uint64()>>11) * 0x1.0p-53
+}
+
+// Float64Open returns a uniform float64 in (0, 1); it never returns 0, which
+// makes it safe as the U in inversion formulas involving log(U).
+func (r *Rand) Float64Open() float64 {
+	for {
+		f := r.Float64()
+		if f != 0 {
+			return f
+		}
+	}
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.src.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.src.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Range returns a uniform uint64 in [lo, hi] inclusive. It panics if lo > hi.
+func (r *Rand) Range(lo, hi uint64) uint64 {
+	if lo > hi {
+		panic("xrand: Range with lo > hi")
+	}
+	return lo + r.Uint64n(hi-lo+1)
+}
+
+// Perm returns a uniform random permutation of {0, ..., n-1}.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes p uniformly at random in place (Fisher–Yates).
+func (r *Rand) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]). The draw
+// uses a 53-bit uniform, which is exact for any p representable with 53
+// fractional bits and within 2^-53 otherwise — far below every tolerance in
+// this repository.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// BernoulliFixed returns true with probability pFixed / 2^64 exactly.
+// Counters that round probabilities to dyadic rationals use this form.
+func (r *Rand) BernoulliFixed(pFixed uint64) bool {
+	return r.src.Uint64() < pFixed
+}
+
+// BernoulliRational returns true with probability exactly num/den, using
+// one unbiased Uint64n draw — no floating point anywhere. It panics if
+// den == 0; num ≥ den always returns true.
+func (r *Rand) BernoulliRational(num, den uint64) bool {
+	if den == 0 {
+		panic("xrand: BernoulliRational with zero denominator")
+	}
+	if num >= den {
+		return true
+	}
+	return r.Uint64n(den) < num
+}
+
+// BernoulliPow2 returns true with probability exactly 2^-t. For t ≤ 64 it
+// inspects t bits of one word; larger t consults additional words. t == 0
+// always returns true.
+func (r *Rand) BernoulliPow2(t uint) bool {
+	for t > 64 {
+		if r.src.Uint64() != 0 {
+			return false
+		}
+		t -= 64
+	}
+	if t == 0 {
+		return true
+	}
+	return r.src.Uint64()>>(64-t) == 0
+}
+
+// CoinANDPow2 implements, literally, the procedure from the paper's Remark
+// 2.2 for sampling Bernoulli(2^-t): flip a fair coin t times and return true
+// iff all flips were heads, maintaining only a 1-bit AND and a counter of
+// flips made so far. It returns the outcome along with the number of state
+// bits the procedure needed (1 + ⌈log2(t+1)⌉), which experiments report to
+// validate the Remark's space claim. Semantically identical to
+// BernoulliPow2; kept separate so the paper's construction is itself
+// testable.
+func (r *Rand) CoinANDPow2(t uint) (ok bool, stateBits int) {
+	and := true
+	var flips uint
+	for flips = 0; flips < t; flips++ {
+		heads := r.src.Uint64()&1 == 1
+		and = and && heads
+		if !and {
+			// A real implementation may stop early; the state bound is
+			// unchanged since the flip counter still fits the same width.
+			flips++
+			break
+		}
+	}
+	counterBits := bits.Len(t)
+	return and, 1 + counterBits
+}
+
+// Geometric returns the number of independent Bernoulli(p) trials up to and
+// including the first success; the support is {1, 2, ...}. It uses the exact
+// inversion formula ⌊ln U / ln(1−p)⌋ + 1 with U ∈ (0,1). Results larger than
+// math.MaxUint64/2 saturate (that regime is unreachable for the parameters
+// used anywhere in this repository, but saturation keeps arithmetic safe).
+// It panics if p <= 0 or p > 1.
+func (r *Rand) Geometric(p float64) uint64 {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric needs p in (0, 1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := r.Float64Open()
+	// ln(1-p) via Log1p for accuracy at tiny p.
+	g := math.Floor(math.Log(u)/math.Log1p(-p)) + 1
+	if g >= math.MaxUint64/2 {
+		return math.MaxUint64 / 2
+	}
+	if g < 1 {
+		return 1
+	}
+	return uint64(g)
+}
+
+// GeometricPow2 returns a geometric draw with success probability 2^-t,
+// sampled exactly by scanning the raw bit stream for the first run of t head
+// bits... more precisely, by counting how many t-bit all-zero blocks precede
+// the first non-zero block, then locating the success inside it. For t == 0
+// it returns 1. Exact (no floating point) and used by tests to cross-check
+// Geometric.
+func (r *Rand) GeometricPow2(t uint) uint64 {
+	if t == 0 {
+		return 1
+	}
+	if t > 62 {
+		// Fall back to the float path; exact bit-block scanning would need
+		// astronomically many words in expectation anyway.
+		return r.Geometric(math.Pow(2, -float64(t)))
+	}
+	var failures uint64
+	for {
+		block := r.src.Uint64() >> (64 - t)
+		if block == 0 {
+			return failures + 1
+		}
+		failures++
+		if failures >= math.MaxUint64/2 {
+			return math.MaxUint64 / 2
+		}
+	}
+}
+
+// Exponential returns an Exp(1) draw via inversion.
+func (r *Rand) Exponential() float64 {
+	return -math.Log(r.Float64Open())
+}
+
+// Normal returns a standard normal draw via the Box–Muller transform (one
+// value per call; the partner variate is discarded for simplicity — the
+// experiment harnesses are not randomness-constrained).
+func (r *Rand) Normal() float64 {
+	u := r.Float64Open()
+	v := r.Float64Open()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
