@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Mirrors the CI bench job: text output for reading, -json for tooling, both
+# left in bench-out/ (CI uploads that directory as an artifact).
+bench:
+	mkdir -p bench-out
+	$(GO) test -run='^$$' -bench=. -benchtime=100x ./... | tee bench-out/bench.txt
+	$(GO) test -run='^$$' -bench=. -benchtime=100x -json ./... > bench-out/bench.json
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReaderNeverPanics -fuzztime=5s ./internal/bitpack
+	$(GO) test -run='^$$' -fuzz=FuzzWriteReadRoundTrip -fuzztime=5s ./internal/bitpack
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeState -fuzztime=5s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzIncrementPattern -fuzztime=5s ./internal/core
+
+ci: build vet fmt-check race fuzz-smoke

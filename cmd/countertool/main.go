@@ -1,7 +1,10 @@
-// Command countertool simulates a single approximate counter: pick an
-// algorithm and parameters, drive it through N increments, and inspect the
-// estimate, error, and state footprint. Useful for getting a feel for the
-// accuracy/space trade-off before wiring a counter into a system.
+// Command countertool simulates approximate counters. In its default mode
+// it drives a single counter: pick an algorithm and parameters, run N
+// increments, and inspect the estimate, error, and state footprint — useful
+// for getting a feel for the accuracy/space trade-off before wiring a
+// counter into a system. The serve subcommand (see serve.go) scales that up
+// to the paper's motivating system: a sharded bank of packed counters
+// serving a concurrent Zipf page-view workload.
 //
 // Examples:
 //
@@ -9,6 +12,7 @@
 //	countertool -algo morris -a 0.01 -n 1000000
 //	countertool -algo morris+ -eps 0.1 -delta 1e-4 -n 500000 -trials 100
 //	countertool -algo csuros -bits 17 -n 750000
+//	countertool serve -pages 100000 -events 5000000 -goroutines 8 -compare
 package main
 
 import (
@@ -21,6 +25,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		algo   = flag.String("algo", "ny", "algorithm: ny | morris | morris+ | csuros | exact")
 		eps    = flag.Float64("eps", 0.1, "target relative accuracy (ny, morris+)")

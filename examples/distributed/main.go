@@ -1,24 +1,110 @@
 // Distributed: shard a counting workload across workers and merge the
-// shards' counters into one, exercising the full mergeability of the
+// workers' counters into one, exercising the full mergeability of the
 // paper's Remark 2.4 — the merged counter is distributed exactly as one
 // counter that saw every event, so nothing is lost in (ε, δ).
+//
+// Two tiers are shown. First, whole *banks*: each worker owns a sharded
+// bank (internal/shardbank) of packed Morris registers covering the same
+// key space, counts its own slice of the event stream concurrently, and the
+// banks fold together register by register with Bank.Merge. Then single
+// counters: the paper's Nelson–Yu counter merged across eight workers via
+// the same remark.
 //
 // Run with: go run ./examples/distributed
 package main
 
 import (
 	"fmt"
+	"sync"
 
 	"repro"
+	"repro/internal/bank"
+	"repro/internal/shardbank"
+	"repro/internal/stream"
+	"repro/internal/xrand"
 )
 
 func main() {
+	// --- Tier 1: merging whole counter banks -----------------------------
+	const (
+		workers = 4
+		keys    = 20_000
+		perW    = 1_000_000
+	)
+	alg := bank.NewMorrisAlg(0.005, 14)
+
+	// Each worker counts its own slice of the stream into its own bank —
+	// no coordination at all during ingest — while truth is tallied per
+	// worker and summed after.
+	banks := make([]*shardbank.Bank, workers)
+	truths := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		banks[w] = shardbank.New(keys, alg, 16, uint64(10+w))
+		truths[w] = make([]uint64, keys)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := stream.NewZipf(keys, 1.05, xrand.NewSeeded(uint64(500+w)))
+			buf := make([]int, 2048)
+			for done := 0; done < perW; {
+				batch := buf
+				if rest := perW - done; rest < len(batch) {
+					batch = batch[:rest]
+				}
+				for i := range batch {
+					k := int(src.Next())
+					batch[i] = k
+					truths[w][k]++
+				}
+				banks[w].IncrementBatch(batch)
+				done += len(batch)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Fold all banks into bank 0 (tree or linear order — the merge is
+	// associative in distribution).
+	merged := banks[0]
+	for _, b := range banks[1:] {
+		if err := merged.Merge(b); err != nil {
+			panic(err)
+		}
+	}
+	truth := make([]float64, keys)
+	for _, tw := range truths {
+		for k, c := range tw {
+			truth[k] += float64(c)
+		}
+	}
+
+	est := merged.EstimateAll()
+	var sumRel, hit float64
+	for k := 0; k < keys; k++ {
+		if truth[k] < 1000 {
+			continue
+		}
+		d := (est[k] - truth[k]) / truth[k]
+		if d < 0 {
+			d = -d
+		}
+		sumRel += d
+		hit++
+	}
+	fmt.Printf("merged %d banks of %d packed counters (%d events total)\n",
+		workers, keys, workers*perW)
+	fmt.Printf("mean |relative error| over %.0f hot keys: %.2f%%\n", hit, 100*sumRel/hit)
+	fmt.Printf("per-bank footprint: %d bytes (%d bits/counter)\n\n",
+		merged.SizeBytes(), merged.BitsPerCounter())
+
+	// --- Tier 2: merging single counters ---------------------------------
 	family := approxcount.NewFamily(99)
 
 	// Eight workers each count their own slice of a 4M-event stream.
-	const workers = 8
+	const singleWorkers = 8
 	const perWorker = 500_000
-	shards := make([]*approxcount.NelsonYu, workers)
+	shards := make([]*approxcount.NelsonYu, singleWorkers)
 	for w := range shards {
 		c, err := family.NelsonYu(0.05, 1e-6)
 		if err != nil {
@@ -26,35 +112,24 @@ func main() {
 		}
 		c.IncrementBy(perWorker) // skip-ahead: same law as per-event loops
 		shards[w] = c
-		fmt.Printf("worker %d counted ~%.0f events in %d state bits\n",
-			w, c.Estimate(), c.StateBits())
 	}
-
-	// Fold all shards into shard 0 (tree or linear order — the merge is
-	// associative in distribution).
 	total := shards[0]
 	for _, s := range shards[1:] {
 		if err := approxcount.Merge(total, s); err != nil {
 			panic(err)
 		}
 	}
-
-	truth := float64(workers * perWorker)
-	fmt.Printf("\nmerged estimate: %.0f (true %d)\n", total.Estimate(), workers*perWorker)
-	fmt.Printf("relative error:  %+.3f%%\n", 100*(total.Estimate()-truth)/truth)
+	trueN := float64(singleWorkers * perWorker)
+	fmt.Printf("merged Nelson–Yu estimate: %.0f (true %d)\n",
+		total.Estimate(), singleWorkers*perWorker)
+	fmt.Printf("relative error:  %+.3f%%\n", 100*(total.Estimate()-trueN)/trueN)
 	fmt.Printf("merged state:    %d bits\n", total.StateBits())
 
-	// Morris counters merge too ([CY20]); mixed parameters are rejected.
+	// Mixed parameters are rejected — merging is only defined between
+	// counters of the same law.
 	m1 := family.Morris(0.01)
-	m2 := family.Morris(0.01)
-	m1.IncrementBy(300_000)
-	m2.IncrementBy(700_000)
-	if err := approxcount.Merge(m1, m2); err != nil {
-		panic(err)
-	}
-	fmt.Printf("\nmorris merge:    %.0f (true 1000000)\n", m1.Estimate())
-
 	bad := family.Morris(0.02)
+	m1.IncrementBy(300_000)
 	if err := approxcount.Merge(m1, bad); err != nil {
 		fmt.Printf("mismatched merge rejected: %v\n", err)
 	}

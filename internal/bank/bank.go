@@ -95,6 +95,9 @@ func (m MorrisAlg) Estimate(reg uint64) float64 {
 // Name implements Algorithm.
 func (m MorrisAlg) Name() string { return "morris" }
 
+// Base returns the Morris base parameter a.
+func (m MorrisAlg) Base() float64 { return m.a }
+
 // MergeRegs implements MergeAlgorithm via the [CY20] subsampling merge.
 func (m MorrisAlg) MergeRegs(a, b uint64, rng *xrand.Rand) uint64 {
 	lo, hi := a, b
@@ -156,6 +159,9 @@ func (c CsurosAlg) Estimate(reg uint64) float64 {
 
 // Name implements Algorithm.
 func (c CsurosAlg) Name() string { return "csuros" }
+
+// Mantissa returns the mantissa width d in bits.
+func (c CsurosAlg) Mantissa() int { return int(c.d) }
 
 // ExactAlg is a saturating exact register — the baseline whose width must
 // reach ⌈log2 N⌉ to stay accurate.

@@ -189,6 +189,9 @@ type Array struct {
 }
 
 // NewArray allocates an Array of n fields of the given bit width (1..64).
+// One extra word beyond the ⌈n·width/64⌉ payload is allocated so Get and
+// Set can touch words[idx+1] unconditionally (see below); it never holds
+// field bits and is excluded from SizeBytes.
 func NewArray(n, width int) *Array {
 	if n < 0 {
 		panic("bitpack: negative array length")
@@ -198,7 +201,7 @@ func NewArray(n, width int) *Array {
 	}
 	total := n * width
 	return &Array{
-		words: make([]uint64, (total+63)/64),
+		words: make([]uint64, (total+63)/64+1),
 		n:     n,
 		width: width,
 	}
@@ -210,49 +213,51 @@ func (a *Array) Len() int { return a.n }
 // Width returns the per-field width in bits.
 func (a *Array) Width() int { return a.width }
 
-// SizeBytes returns the physical footprint of the packed payload.
-func (a *Array) SizeBytes() int { return len(a.words) * 8 }
+// SizeBytes returns the physical footprint of the packed payload,
+// ⌈n·width/64⌉ words (the internal pad word is not payload).
+func (a *Array) SizeBytes() int { return (a.n*a.width + 63) / 64 * 8 }
 
 // Get returns field i.
+//
+// Get and Set are the per-increment hot path of every counter bank, so both
+// are written to stay within the compiler's inlining budget: constant panic
+// strings (no fmt), and branchless word handling — thanks to the trailing
+// pad word they always read/write words[idx+1], relying on Go's defined
+// shift semantics (x>>s and x<<s are 0 for s ≥ 64) to make the second word
+// a no-op when the field does not cross a boundary.
 func (a *Array) Get(i int) uint64 {
-	if i < 0 || i >= a.n {
-		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, a.n))
+	if uint(i) >= uint(a.n) {
+		panic("bitpack: array index out of range")
 	}
+	mask := ^uint64(0) >> uint(64-a.width)
 	pos := i * a.width
-	off := pos & 63
+	off := uint(pos & 63)
 	idx := pos >> 6
-	v := a.words[idx] >> uint(off)
-	if off+a.width > 64 {
-		v |= a.words[idx+1] << uint(64-off)
-	}
-	if a.width < 64 {
-		v &= (1 << uint(a.width)) - 1
-	}
-	return v
+	return (a.words[idx]>>off | a.words[idx+1]<<(64-off)) & mask
 }
 
 // Set stores v into field i. v must fit in the field width.
 func (a *Array) Set(i int, v uint64) {
-	if i < 0 || i >= a.n {
-		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, a.n))
+	if uint(i) >= uint(a.n) {
+		panic("bitpack: array index out of range")
 	}
-	if a.width < 64 && v>>uint(a.width) != 0 {
-		panic(fmt.Sprintf("bitpack: value %d does not fit in %d bits", v, a.width))
+	mask := ^uint64(0) >> uint(64-a.width)
+	if v&^mask != 0 {
+		panic("bitpack: value does not fit in field width")
 	}
 	pos := i * a.width
-	off := pos & 63
+	off := uint(pos & 63)
 	idx := pos >> 6
-	mask := ^uint64(0)
-	if a.width < 64 {
-		mask = (1 << uint(a.width)) - 1
-	}
-	a.words[idx] = a.words[idx]&^(mask<<uint(off)) | v<<uint(off)
-	if off+a.width > 64 {
-		hiBits := uint(off + a.width - 64)
-		hiMask := (uint64(1) << hiBits) - 1
-		a.words[idx+1] = a.words[idx+1]&^hiMask | v>>uint(64-off)
-	}
+	a.words[idx] = a.words[idx]&^(mask<<off) | v<<off
+	a.words[idx+1] = a.words[idx+1]&^(mask>>(64-off)) | v>>(64-off)
 }
+
+// Words returns the Array's backing words (shared, including the trailing
+// pad word — see NewArray). It exists for expert packed hot loops that fuse
+// field addressing across a read-modify-write (see internal/shardbank);
+// such callers take over the coherence obligations Get/Set normally
+// enforce: field bounds, value width, and synchronization.
+func (a *Array) Words() []uint64 { return a.words }
 
 // Max returns the largest value a field can hold.
 func (a *Array) Max() uint64 {

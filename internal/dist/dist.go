@@ -1,0 +1,69 @@
+// Package dist computes exact distributions of counter registers by dynamic
+// programming over the underlying Markov chain. Monte-Carlo harnesses in
+// internal/experiments validate themselves against these laws: a simulated
+// histogram must sit within a small total-variation distance of the exact
+// distribution, which catches simulator bugs that averaged summaries hide.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Morris returns the exact law of the Morris(a) register X after n
+// increments, as a probability vector over {0, 1, ..., maxX}. All mass on
+// states ≥ maxX is accumulated at maxX (the top state absorbs), matching the
+// clipping Monte-Carlo histograms apply, so the vector always sums to 1.
+//
+// The chain is p_{k+1}(x) = p_k(x)·(1 − (1+a)^{-x}) + p_k(x−1)·(1+a)^{-(x−1)}:
+// at register value x one more event increments with probability (1+a)^{-x}.
+// Cost is O(n·maxX) time, O(maxX) space.
+func Morris(a float64, n uint64, maxX int) []float64 {
+	if !(a > 0 && a <= 1) {
+		panic(fmt.Sprintf("dist: base parameter a = %v out of (0, 1]", a))
+	}
+	if maxX < 0 {
+		panic(fmt.Sprintf("dist: negative maxX %d", maxX))
+	}
+	// up[x] = (1+a)^{-x}, the increment probability at register value x.
+	up := make([]float64, maxX)
+	lnBase := math.Log1p(a)
+	for x := range up {
+		up[x] = math.Exp(-float64(x) * lnBase)
+	}
+	p := make([]float64, maxX+1)
+	next := make([]float64, maxX+1)
+	p[0] = 1
+	for k := uint64(0); k < n; k++ {
+		for x := 0; x < maxX; x++ {
+			next[x] = p[x] * (1 - up[x])
+			if x > 0 {
+				next[x] += p[x-1] * up[x-1]
+			}
+		}
+		next[maxX] = p[maxX]
+		if maxX > 0 {
+			next[maxX] += p[maxX-1] * up[maxX-1]
+		}
+		p, next = next, p
+	}
+	return p
+}
+
+// MorrisEstimate returns the Morris(a) estimator N̂(x) = ((1+a)^x − 1)/a.
+func MorrisEstimate(a float64, x int) float64 {
+	return math.Expm1(float64(x)*math.Log1p(a)) / a
+}
+
+// UnderestimateProb returns P(estimate(X) < (1−eps)·trueN) under the given
+// law — the exact probability of an ε-underestimate, zero Monte-Carlo noise.
+func UnderestimateProb(law []float64, estimate func(x int) float64, trueN, eps float64) float64 {
+	threshold := (1 - eps) * trueN
+	var prob float64
+	for x, px := range law {
+		if estimate(x) < threshold {
+			prob += px
+		}
+	}
+	return prob
+}

@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/morris"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// TestMorrisLawIsDistribution: the DP law must be a probability vector for
+// a spread of parameters, including truncations that force mass into the
+// absorbing top state.
+func TestMorrisLawIsDistribution(t *testing.T) {
+	cases := []struct {
+		a    float64
+		n    uint64
+		maxX int
+	}{
+		{1, 0, 10},
+		{1, 100, 4}, // heavy truncation
+		{0.4, 500, 80},
+		{0.01, 2000, 60},
+	}
+	for _, c := range cases {
+		law := Morris(c.a, c.n, c.maxX)
+		if len(law) != c.maxX+1 {
+			t.Fatalf("a=%v n=%d: law has %d states, want %d", c.a, c.n, len(law), c.maxX+1)
+		}
+		var sum float64
+		for x, p := range law {
+			if p < 0 || p > 1+1e-12 {
+				t.Fatalf("a=%v n=%d: p(%d) = %v outside [0,1]", c.a, c.n, x, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("a=%v n=%d: law sums to %v", c.a, c.n, sum)
+		}
+	}
+}
+
+// TestMorrisLawMatchesSimulation cross-checks the exact DP against the
+// Monte-Carlo Morris counter: total variation over 60k trials must be small.
+func TestMorrisLawMatchesSimulation(t *testing.T) {
+	const a = 0.4
+	const n = 300
+	const maxX = 60
+	const trials = 60000
+	rng := xrand.NewSeeded(7)
+	counts := make([]uint64, maxX+1)
+	for i := 0; i < trials; i++ {
+		c := morris.New(a, rng)
+		c.IncrementBy(n)
+		x := c.X()
+		if x > maxX {
+			x = maxX
+		}
+		counts[x]++
+	}
+	law := Morris(a, n, maxX)
+	if tv := stats.TotalVariation(stats.NormalizeCounts(counts), law); tv > 0.02 {
+		t.Fatalf("DP law deviates from simulation: TV = %v", tv)
+	}
+}
+
+// TestMorrisEstimate pins the estimator to its closed form.
+func TestMorrisEstimate(t *testing.T) {
+	for _, a := range []float64{1, 0.5, 0.01} {
+		for x := 0; x < 20; x++ {
+			want := (math.Pow(1+a, float64(x)) - 1) / a
+			if got := MorrisEstimate(a, x); math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("a=%v x=%d: estimate %v, want %v", a, x, got, want)
+			}
+		}
+	}
+}
+
+// TestUnderestimateProb: deterministic increments (a → the exact register
+// would need...) — use a hand-built law to check the probability mass
+// accounting.
+func TestUnderestimateProb(t *testing.T) {
+	law := []float64{0.25, 0.25, 0.5}
+	est := func(x int) float64 { return float64(x) }
+	// Threshold (1-0.5)*2 = 1: states with est < 1 is just x=0 → 0.25.
+	if got := UnderestimateProb(law, est, 2, 0.5); got != 0.25 {
+		t.Fatalf("UnderestimateProb = %v, want 0.25", got)
+	}
+	// eps=0 → est < 2 → x∈{0,1} → 0.5.
+	if got := UnderestimateProb(law, est, 2, 0); got != 0.5 {
+		t.Fatalf("UnderestimateProb = %v, want 0.5", got)
+	}
+}

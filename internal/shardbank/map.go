@@ -1,0 +1,139 @@
+package shardbank
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bank"
+)
+
+// mapShard is one stripe of the key dictionary: keys that hash to stripe s
+// are assigned local slots in s's register stripe, so resolving a key and
+// incrementing its register stay on the same shard.
+type mapShard struct {
+	mu    sync.Mutex
+	index map[string]int // key → local slot; global register = stripe + local·P
+	_     [24]byte
+}
+
+// Map is a string-keyed view over a sharded Bank — the concurrent analogue
+// of bank.Map. Keys hash to a stripe with FNV-1a; each stripe assigns its
+// own dense local slots under its own lock, so key resolution never takes a
+// global lock. Capacity is per stripe (total capacity divided evenly): a
+// pathological key distribution can fill one stripe while others have room,
+// in which case Inc reports the bank full for keys hashing there.
+type Map struct {
+	bank   *Bank
+	shards []mapShard
+}
+
+// NewMap returns a Map over a fresh sharded Bank of the given total
+// capacity, stripe count, and seed.
+func NewMap(capacity int, alg bank.Algorithm, shards int, seed uint64) *Map {
+	b := New(capacity, alg, shards, seed)
+	ms := make([]mapShard, len(b.shards))
+	for s := range ms {
+		ms[s].index = make(map[string]int, b.shards[s].arr.Len())
+	}
+	return &Map{bank: b, shards: ms}
+}
+
+// fnv1a64 hashes key with 64-bit FNV-1a.
+func fnv1a64(key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// slot resolves key to its global register index, allocating a local slot on
+// first sight. It returns −1 and an error when key's stripe is full.
+func (m *Map) slot(key string) (int, error) {
+	s := fnv1a64(key) & m.bank.mask
+	ms := &m.shards[s]
+	ms.mu.Lock()
+	local, ok := ms.index[key]
+	if !ok {
+		if len(ms.index) >= m.bank.shards[s].arr.Len() {
+			ms.mu.Unlock()
+			return -1, fmt.Errorf("shardbank: map stripe %d full (%d keys)", s, len(ms.index))
+		}
+		local = len(ms.index)
+		ms.index[key] = local
+	}
+	ms.mu.Unlock()
+	return int(s) + local*len(m.bank.shards), nil
+}
+
+// Inc counts one event for key, allocating a register on first sight.
+func (m *Map) Inc(key string) error {
+	slot, err := m.slot(key)
+	if err != nil {
+		return err
+	}
+	m.bank.Increment(slot)
+	return nil
+}
+
+// IncBatch counts one event per key, resolving all keys first and then
+// feeding the whole batch through the bank's grouped increment path, so
+// each register stripe's lock is taken at most once. Keys whose stripe is
+// full are dropped; every other key in the batch is still counted (so a
+// full stripe never discards events for known keys or strands
+// already-allocated slots), and the first allocation error is returned
+// after the batch is applied.
+func (m *Map) IncBatch(keys []string) error {
+	slots := make([]int, 0, len(keys))
+	var firstErr error
+	for _, key := range keys {
+		slot, err := m.slot(key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		slots = append(slots, slot)
+	}
+	m.bank.IncrementBatch(slots)
+	return firstErr
+}
+
+// Count returns the approximate count for key (0 if never seen).
+func (m *Map) Count(key string) float64 {
+	s := fnv1a64(key) & m.bank.mask
+	ms := &m.shards[s]
+	ms.mu.Lock()
+	local, ok := ms.index[key]
+	ms.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return m.bank.Estimate(int(s) + local*len(m.bank.shards))
+}
+
+// Keys returns the number of distinct keys seen.
+func (m *Map) Keys() int {
+	total := 0
+	for s := range m.shards {
+		ms := &m.shards[s]
+		ms.mu.Lock()
+		total += len(ms.index)
+		ms.mu.Unlock()
+	}
+	return total
+}
+
+// Bank exposes the underlying sharded bank (for Snapshot, EstimateAll, or
+// size accounting).
+func (m *Map) Bank() *Bank { return m.bank }
+
+// CounterBytes returns the footprint of the packed counters (excluding the
+// key dictionary, which any exact system needs too).
+func (m *Map) CounterBytes() int { return m.bank.SizeBytes() }

@@ -51,36 +51,40 @@ func (s *SplitMix64) Uint64() uint64 {
 // Xoshiro256 implements the xoshiro256++ generator of Blackman and Vigna.
 // Period 2^256 − 1; passes BigCrush. Not safe for concurrent use; callers
 // that share a generator across goroutines must synchronize externally (the
-// counter bank does exactly that).
+// counter bank does exactly that). The state lives in four scalar fields
+// rather than an array so Uint64 fits the compiler's inlining budget — it
+// is the innermost call of every counter increment.
 type Xoshiro256 struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // New returns a Xoshiro256 seeded deterministically from seed via SplitMix64.
 func New(seed uint64) *Xoshiro256 {
 	sm := NewSplitMix64(seed)
 	var x Xoshiro256
-	for i := range x.s {
-		x.s[i] = sm.Uint64()
-	}
+	x.s0 = sm.Uint64()
+	x.s1 = sm.Uint64()
+	x.s2 = sm.Uint64()
+	x.s3 = sm.Uint64()
 	// An all-zero state is a fixed point; SplitMix64 cannot emit four zero
 	// words in a row from any seed, but guard anyway.
-	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
-		x.s[0] = 0x9e3779b97f4a7c15
+	if x.s0|x.s1|x.s2|x.s3 == 0 {
+		x.s0 = 0x9e3779b97f4a7c15
 	}
 	return &x
 }
 
 // Uint64 returns the next 64-bit word of the xoshiro256++ stream.
 func (x *Xoshiro256) Uint64() uint64 {
-	result := bits.RotateLeft64(x.s[0]+x.s[3], 23) + x.s[0]
-	t := x.s[1] << 17
-	x.s[2] ^= x.s[0]
-	x.s[3] ^= x.s[1]
-	x.s[1] ^= x.s[2]
-	x.s[0] ^= x.s[3]
-	x.s[2] ^= t
-	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	s0, s1, s3 := x.s0, x.s1, x.s3
+	result := bits.RotateLeft64(s0+s3, 23) + s0
+	t := s1 << 17
+	s2 := x.s2 ^ s0
+	s3 ^= s1
+	x.s1 = s1 ^ s2
+	x.s0 = s0 ^ s3
+	x.s2 = s2 ^ t
+	x.s3 = bits.RotateLeft64(s3, 45)
 	return result
 }
 
@@ -93,15 +97,15 @@ func (x *Xoshiro256) Jump() {
 	for _, j := range jump {
 		for b := 0; b < 64; b++ {
 			if j&(1<<uint(b)) != 0 {
-				s0 ^= x.s[0]
-				s1 ^= x.s[1]
-				s2 ^= x.s[2]
-				s3 ^= x.s[3]
+				s0 ^= x.s0
+				s1 ^= x.s1
+				s2 ^= x.s2
+				s3 ^= x.s3
 			}
 			x.Uint64()
 		}
 	}
-	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+	x.s0, x.s1, x.s2, x.s3 = s0, s1, s2, s3
 }
 
 // CountingSource wraps a Source and meters how many 64-bit words (and hence

@@ -72,13 +72,13 @@ func TestXoshiroJumpDisjoint(t *testing.T) {
 
 func TestXoshiroZeroStateGuard(t *testing.T) {
 	x := &Xoshiro256{} // all-zero state, bypassing New
-	if x.s[0]|x.s[1]|x.s[2]|x.s[3] != 0 {
+	if x.s0|x.s1|x.s2|x.s3 != 0 {
 		t.Fatal("test setup: state not zero")
 	}
 	// New must never hand out a zero state.
 	for seed := uint64(0); seed < 100; seed++ {
 		y := New(seed)
-		if y.s[0]|y.s[1]|y.s[2]|y.s[3] == 0 {
+		if y.s0|y.s1|y.s2|y.s3 == 0 {
 			t.Fatalf("New(%d) produced all-zero state", seed)
 		}
 	}
