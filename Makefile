@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench fuzz-smoke ci
+.PHONY: all build vet fmt-check test race bench fuzz-smoke ci counterd serve
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# The durable counter daemon (see README "counterd" and docs/FORMAT.md).
+counterd:
+	mkdir -p bin
+	$(GO) build -o bin/counterd ./cmd/counterd
+
+serve: counterd
+	bin/counterd -addr :8347 -dir ./counterd-data -n 1000000 -shards 256
 
 vet:
 	$(GO) vet ./...
@@ -33,5 +41,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWriteReadRoundTrip -fuzztime=5s ./internal/bitpack
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeState -fuzztime=5s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzIncrementPattern -fuzztime=5s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/snapcodec
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/snapcodec
 
 ci: build vet fmt-check race fuzz-smoke

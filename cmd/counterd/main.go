@@ -1,0 +1,138 @@
+// Command counterd serves a durable sharded counter bank over HTTP: the
+// paper's motivating analytics system (millions of approximate counters in
+// a few bits each) as a restartable network daemon.
+//
+// Every increment batch is WAL-logged before it is applied and acknowledged,
+// so a kill -9 at any moment loses nothing that was acked: on restart the
+// daemon loads its newest checkpoint (a compressed snapcodec snapshot that
+// includes the per-shard rng states) and replays the WAL suffix, rebuilding
+// bit-identical registers. A background loop checkpoints every -checkpoint
+// interval, truncating the log so recovery stays fast.
+//
+// Endpoints (see internal/server):
+//
+//	POST /inc            {"key": 5} or {"keys": [1, 2, 2, 7]}
+//	GET  /estimate/{key}
+//	GET  /estimates
+//	GET  /snapshot       compressed snapshot stream (feed to a peer's /merge)
+//	POST /merge          ingest a peer snapshot (Remark 2.4 merge)
+//	GET  /healthz
+//
+// Example:
+//
+//	counterd -addr :8347 -dir ./counterd-data -n 1000000 -shards 256
+//	curl -X POST localhost:8347/inc -d '{"keys":[1,2,3,2]}'
+//	curl localhost:8347/estimate/2
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8347", "HTTP listen address")
+		dir        = flag.String("dir", "./counterd-data", "data directory (WAL segments + checkpoints)")
+		n          = flag.Int("n", 1_000_000, "number of registers (ignored when the data dir has a checkpoint)")
+		shards     = flag.Int("shards", 256, "lock stripes (rounded to a power of two)")
+		algo       = flag.String("algo", "morris", "register algorithm: morris | csuros | exact")
+		a          = flag.Float64("a", 0.005, "Morris base parameter")
+		width      = flag.Int("width", 14, "register width in bits")
+		mantissa   = flag.Int("mantissa", 8, "Csűrös mantissa bits")
+		seed       = flag.Uint64("seed", 42, "deterministic replay seed")
+		checkpoint = flag.Duration("checkpoint", 30*time.Second, "checkpoint cadence (0 disables the loop)")
+		segBytes   = flag.Int64("segbytes", 64<<20, "WAL segment rotation size")
+		maxBatch   = flag.Int("maxbatch", 1<<16, "largest accepted increment batch")
+		finalCkpt  = flag.Bool("final-checkpoint", true, "checkpoint on graceful shutdown")
+	)
+	flag.Parse()
+
+	alg, err := server.ParseAlgorithm(*algo, *a, *width, *mantissa)
+	if err != nil {
+		log.Fatalf("counterd: %v", err)
+	}
+	st, err := server.Open(server.Config{
+		Dir:          *dir,
+		N:            *n,
+		Shards:       *shards,
+		Alg:          alg,
+		Seed:         *seed,
+		SegmentBytes: *segBytes,
+		MaxBatch:     *maxBatch,
+	})
+	if err != nil {
+		log.Fatalf("counterd: %v", err)
+	}
+	stats := st.Stats()
+	log.Printf("counterd: %d registers × %d bits (%s), %d shards, recovered from %s (%d records replayed%s)",
+		stats.N, stats.WidthBits, stats.Algorithm, stats.Shards,
+		stats.RecoveredFrom, stats.ReplayedRecords, tornNote(stats.ReplayTorn))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Background checkpoint loop: WAL → snapshot → truncate.
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		if *checkpoint <= 0 {
+			return
+		}
+		t := time.NewTicker(*checkpoint)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				start := time.Now()
+				if err := st.Checkpoint(); err != nil {
+					log.Printf("counterd: checkpoint failed: %v", err)
+					continue
+				}
+				log.Printf("counterd: checkpoint in %v (wal truncated to segment %d)",
+					time.Since(start).Round(time.Millisecond), st.Stats().CheckpointSeq)
+			}
+		}
+	}()
+
+	hs := &http.Server{Addr: *addr, Handler: server.Handler(st)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("counterd: serving on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("counterd: shutting down")
+	case err := <-errc:
+		log.Fatalf("counterd: serve: %v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("counterd: http shutdown: %v", err)
+	}
+	<-ckptDone
+	if err := st.Close(*finalCkpt); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("counterd: close: %v", err)
+	}
+	log.Printf("counterd: bye")
+}
+
+func tornNote(torn bool) string {
+	if torn {
+		return ", torn tail dropped"
+	}
+	return ""
+}

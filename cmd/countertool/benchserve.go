@@ -1,0 +1,151 @@
+// The bench-serve subcommand: an HTTP load client for a running counterd.
+// It pre-generates a Zipf key stream per goroutine, fires batched POST /inc
+// requests, and reports end-to-end durable-write throughput; afterwards it
+// pulls GET /snapshot and reports the compressed-vs-raw snapshot size — the
+// wire-cost counterpart of the serve subcommand's in-process numbers.
+//
+//	counterd -dir /tmp/cd -n 100000 &
+//	countertool bench-serve -addr http://localhost:8347 -events 1000000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/snapcodec"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func benchServeMain(args []string) {
+	fs := flag.NewFlagSet("bench-serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "http://localhost:8347", "counterd base URL")
+		events     = fs.Int("events", 1_000_000, "total events to post")
+		goroutines = fs.Int("goroutines", 8, "concurrent client goroutines")
+		batch      = fs.Int("batch", 1024, "keys per POST /inc request")
+		zipfS      = fs.Float64("zipf", 1.05, "Zipf exponent of the key popularity law")
+		seed       = fs.Uint64("seed", 42, "key stream seed")
+	)
+	fs.Parse(args)
+
+	// The server tells us its key space.
+	var stats struct {
+		N         int    `json:"n"`
+		WidthBits int    `json:"widthBits"`
+		Algorithm string `json:"algorithm"`
+	}
+	if err := getJSON(*addr+"/healthz", &stats); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-serve: healthz: %v\n", err)
+		os.Exit(1)
+	}
+	if stats.N <= 0 {
+		fmt.Fprintf(os.Stderr, "bench-serve: server reports %d registers\n", stats.N)
+		os.Exit(1)
+	}
+
+	perG := (*events + *goroutines - 1) / *goroutines
+	bodies := make([][][]byte, *goroutines)
+	for g := range bodies {
+		src := stream.NewZipf(uint64(stats.N), *zipfS, xrand.NewSeeded(*seed+uint64(1000*g+1)))
+		keys := make([]int, *batch)
+		for done := 0; done < perG; {
+			b := keys
+			if rest := perG - done; rest < len(b) {
+				b = b[:rest]
+			}
+			for i := range b {
+				b[i] = int(src.Next())
+			}
+			body, err := json.Marshal(map[string][]int{"keys": b})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench-serve: %v\n", err)
+				os.Exit(1)
+			}
+			bodies[g] = append(bodies[g], body)
+			done += len(b)
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	errs := make(chan error, *goroutines)
+	start := time.Now()
+	for g := 0; g < *goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, body := range bodies[g] {
+				resp, err := client.Post(*addr+"/inc", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("POST /inc: status %s", resp.Status)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		fmt.Fprintf(os.Stderr, "bench-serve: %v\n", err)
+		os.Exit(1)
+	default:
+	}
+
+	total := *goroutines * perG
+	requests := 0
+	for _, b := range bodies {
+		requests += len(b)
+	}
+	fmt.Printf("bench-serve: %d events in %d requests against %s (%s, %d-bit registers, %d keys)\n",
+		total, requests, *addr, stats.Algorithm, stats.WidthBits, stats.N)
+	fmt.Printf("throughput:  %.2f M events/s durable  (%.1f µs/request, %d goroutines)\n",
+		float64(total)/elapsed.Seconds()/1e6,
+		float64(elapsed.Microseconds())/float64(requests), *goroutines)
+
+	// Snapshot cost on the wire.
+	resp, err := client.Get(*addr + "/snapshot")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-serve: snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-serve: snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := snapcodec.Decode(blob); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-serve: snapshot does not decode: %v\n", err)
+		os.Exit(1)
+	}
+	raw := snapcodec.RawPayloadBytes(stats.N, stats.WidthBits)
+	fmt.Printf("snapshot:    %d bytes compressed vs %d raw packed (%.2f×, %.2f bits/register)\n",
+		len(blob), raw, float64(raw)/float64(len(blob)), 8*float64(len(blob))/float64(stats.N))
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -13,6 +13,10 @@
 //	countertool -algo morris+ -eps 0.1 -delta 1e-4 -n 500000 -trials 100
 //	countertool -algo csuros -bits 17 -n 750000
 //	countertool serve -pages 100000 -events 5000000 -goroutines 8 -compare
+//	countertool bench-serve -addr http://localhost:8347 -events 1000000
+//
+// The bench-serve subcommand (benchserve.go) drives a running counterd
+// daemon over HTTP instead of an in-process bank.
 package main
 
 import (
@@ -27,6 +31,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench-serve" {
+		benchServeMain(os.Args[2:])
 		return
 	}
 	var (

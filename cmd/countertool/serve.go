@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bank"
+	"repro/internal/server"
 	"repro/internal/shardbank"
 	"repro/internal/stream"
 	"repro/internal/xrand"
@@ -48,16 +49,9 @@ func serveMain(args []string) {
 		os.Exit(2)
 	}
 
-	var alg bank.Algorithm
-	switch *algo {
-	case "morris":
-		alg = bank.NewMorrisAlg(*a, *width)
-	case "csuros":
-		alg = bank.NewCsurosAlg(*width, *mantissa)
-	case "exact":
-		alg = bank.NewExactAlg(*width)
-	default:
-		fmt.Fprintf(os.Stderr, "countertool serve: unknown algorithm %q\n", *algo)
+	alg, err := server.ParseAlgorithm(*algo, *a, *width, *mantissa)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "countertool serve: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -1,12 +1,17 @@
-// Distributed: shard a counting workload across workers and merge the
-// workers' counters into one, exercising the full mergeability of the
-// paper's Remark 2.4 — the merged counter is distributed exactly as one
-// counter that saw every event, so nothing is lost in (ε, δ).
+// Distributed: shard a counting workload across sites and merge the sites'
+// counters into one, exercising the full mergeability of the paper's
+// Remark 2.4 — the merged counter is distributed exactly as one counter
+// that saw every event, so nothing is lost in (ε, δ).
 //
-// Two tiers are shown. First, whole *banks*: each worker owns a sharded
-// bank (internal/shardbank) of packed Morris registers covering the same
-// key space, counts its own slice of the event stream concurrently, and the
-// banks fold together register by register with Bank.Merge. Then single
+// Two tiers are shown. First, whole *banks*: each site owns a sharded bank
+// (internal/shardbank) of packed Morris registers covering the same key
+// space and counts its own slice of the event stream concurrently. The
+// sites then exchange their state the way real sites would — over a wire —
+// as snapcodec-compressed snapshots (the same bytes counterd serves on
+// GET /snapshot and ingests on POST /merge): each remote site encodes,
+// the coordinator decodes into a mergeable bank and folds it in with
+// Bank.Merge. The skewed registers compress severalfold below the raw
+// packed payload; the example prints both sizes per site. Then single
 // counters: the paper's Nelson–Yu counter merged across eight workers via
 // the same remark.
 //
@@ -20,6 +25,7 @@ import (
 	"repro"
 	"repro/internal/bank"
 	"repro/internal/shardbank"
+	"repro/internal/snapcodec"
 	"repro/internal/stream"
 	"repro/internal/xrand"
 )
@@ -64,14 +70,50 @@ func main() {
 	}
 	wg.Wait()
 
-	// Fold all banks into bank 0 (tree or linear order — the merge is
-	// associative in distribution).
+	// Ship every remote site's state to site 0 as a compressed snapshot,
+	// then fold (tree or linear order — the merge is associative in
+	// distribution). The decode side rebuilds a mergeable bank purely from
+	// the wire bytes: algorithm, shape, and registers all ride the header.
 	merged := banks[0]
-	for _, b := range banks[1:] {
-		if err := merged.Merge(b); err != nil {
+	raw := snapcodec.RawPayloadBytes(keys, alg.Width())
+	var shipped int
+	for w, b := range banks[1:] {
+		snap := &snapcodec.Snapshot{
+			N:         b.Len(),
+			Shards:    b.Shards(),
+			Seed:      b.Seed(),
+			Registers: b.ExportState().Registers,
+		}
+		if err := snap.SetAlg(b.Algorithm()); err != nil {
+			panic(err)
+		}
+		wire, err := snapcodec.Encode(snap)
+		if err != nil {
+			panic(err)
+		}
+		shipped += len(wire)
+		fmt.Printf("site %d snapshot: %d bytes on the wire vs %d raw packed (%.2f×)\n",
+			w+1, len(wire), raw, float64(raw)/float64(len(wire)))
+
+		// --- the wire --- //
+		got, err := snapcodec.Decode(wire)
+		if err != nil {
+			panic(err)
+		}
+		gotAlg, err := got.Alg()
+		if err != nil {
+			panic(err)
+		}
+		peer := shardbank.New(got.N, gotAlg, got.Shards, got.Seed)
+		if err := peer.RestoreState(shardbank.State{Registers: got.Registers}); err != nil {
+			panic(err)
+		}
+		if err := merged.Merge(peer); err != nil {
 			panic(err)
 		}
 	}
+	fmt.Printf("total shipped: %d bytes for %d sites (raw would be %d)\n\n",
+		shipped, workers-1, (workers-1)*raw)
 	truth := make([]float64, keys)
 	for _, tw := range truths {
 		for k, c := range tw {

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// maxMergeBody caps a POST /merge request body. A MaxRegisters-key snapshot
+// compresses far below this; anything larger is abuse.
+const maxMergeBody = 1 << 30
+
+// maxIncBody caps a POST /inc request body (a MaxBatch batch of 7-digit
+// keys in JSON is ~0.5 MB).
+const maxIncBody = 16 << 20
+
+// Handler returns the HTTP API over st:
+//
+//	POST /inc            {"key": 5} or {"keys": [1, 2, 2, 7]} → {"applied": n}
+//	GET  /estimate/{key} → {"key": 5, "estimate": 1234.5}
+//	GET  /estimates      → {"estimates": [...]} (all n, key order)
+//	GET  /snapshot       → snapcodec stream (application/octet-stream)
+//	POST /merge          body = a peer's GET /snapshot → {"merged": true}
+//	GET  /healthz        → Stats JSON
+//
+// Increments and merges are durable (WAL group commit) before the 200
+// returns.
+func Handler(st *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /inc", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Key  *int  `json:"key"`
+			Keys []int `json:"keys"`
+		}
+		body := io.LimitReader(r.Body, maxIncBody)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+			return
+		}
+		keys := req.Keys
+		if req.Key != nil {
+			keys = append(keys, *req.Key)
+		}
+		if len(keys) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf(`need "key" or "keys"`))
+			return
+		}
+		if err := st.Apply(keys); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]int{"applied": len(keys)})
+	})
+
+	mux.HandleFunc("GET /estimate/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, err := strconv.Atoi(r.PathValue("key"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad key: %w", err))
+			return
+		}
+		est, err := st.Estimate(key)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, map[string]any{"key": key, "estimate": est})
+	})
+
+	mux.HandleFunc("GET /estimates", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"estimates": st.EstimateAll()})
+	})
+
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := st.SnapshotTo(w); err != nil {
+			// Headers are gone; all we can do is cut the stream so the
+			// client's CRC check fails loudly.
+			panic(http.ErrAbortHandler)
+		}
+	})
+
+	mux.HandleFunc("POST /merge", func(w http.ResponseWriter, r *http.Request) {
+		blob, err := io.ReadAll(io.LimitReader(r.Body, maxMergeBody+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		if len(blob) > maxMergeBody {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("snapshot exceeds %d bytes", maxMergeBody))
+			return
+		}
+		if err := st.Merge(blob); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{"merged": true})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, st.Stats())
+	})
+	return mux
+}
+
+// statusFor maps store errors to HTTP codes: caller mistakes are 400,
+// server faults (a poisoned WAL, a failed fsync) are 500 — a client with
+// valid keys must not be told its request was malformed.
+func statusFor(err error) int {
+	if errors.Is(err, ErrBadInput) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

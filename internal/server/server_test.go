@@ -1,0 +1,614 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/shardbank"
+	"repro/internal/snapcodec"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func testConfig(t *testing.T, n int) Config {
+	t.Helper()
+	return Config{
+		Dir:    t.TempDir(),
+		N:      n,
+		Shards: 8,
+		Alg:    bank.NewMorrisAlg(0.02, 12),
+		Seed:   42,
+		NoSync: true,
+	}
+}
+
+func zipfBatches(n, batches, batchLen int, seed uint64) [][]int {
+	src := stream.NewZipf(uint64(n), 1.05, xrand.NewSeeded(seed))
+	out := make([][]int, batches)
+	for i := range out {
+		b := make([]int, batchLen)
+		for j := range b {
+			b[j] = int(src.Next())
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// referenceBank applies the batches directly with the same construction
+// parameters — the ground truth every recovery must match bit for bit.
+func referenceBank(cfg Config, batches [][]int) *shardbank.Bank {
+	b := shardbank.New(cfg.N, cfg.Alg, cfg.Shards, cfg.Seed)
+	for _, batch := range batches {
+		b.IncrementBatch(batch)
+	}
+	return b
+}
+
+func assertBanksEqual(t *testing.T, got, want *shardbank.Bank) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("bank length %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if g, w := got.Register(i), want.Register(i); g != w {
+			t.Fatalf("register %d = %d, want %d", i, g, w)
+		}
+	}
+}
+
+func TestApplyAndRestartExactness(t *testing.T) {
+	cfg := testConfig(t, 500)
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	batches := zipfBatches(cfg.N, 40, 64, 1)
+	for _, b := range batches {
+		if err := st.Apply(b); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	if err := st.Close(false); err != nil { // no checkpoint: recovery = seed + full WAL
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close(false)
+	assertBanksEqual(t, st2.Bank(), referenceBank(cfg, batches))
+	if stats := st2.Stats(); stats.RecoveredFrom != "seed" || stats.ReplayedRecords != len(batches) {
+		t.Fatalf("unexpected recovery stats: %+v", stats)
+	}
+}
+
+func TestCheckpointRestartExactness(t *testing.T) {
+	cfg := testConfig(t, 500)
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	batches := zipfBatches(cfg.N, 60, 64, 2)
+	for i, b := range batches {
+		if err := st.Apply(b); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if i == 19 || i == 39 { // checkpoints mid-stream
+			if err := st.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint at %d: %v", i, err)
+			}
+		}
+	}
+	if err := st.Close(false); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Recovery must load the second checkpoint and replay only the suffix —
+	// and still match the full-history reference exactly, which requires
+	// the rng states in the checkpoint to be exact.
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close(false)
+	assertBanksEqual(t, st2.Bank(), referenceBank(cfg, batches))
+	stats := st2.Stats()
+	if stats.RecoveredFrom != "snapshot" {
+		t.Fatalf("expected snapshot recovery, got %+v", stats)
+	}
+	if stats.ReplayedRecords != 20 {
+		t.Fatalf("replayed %d records, want the 20 after the last checkpoint", stats.ReplayedRecords)
+	}
+}
+
+// Simulated kill -9 mid-WAL-write: truncate the live segment mid-record
+// after abandoning the store without any Close, then reopen. Estimates must
+// match the reference bank over the surviving prefix.
+func TestKillMidWriteRecovery(t *testing.T) {
+	cfg := testConfig(t, 300)
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	batches := zipfBatches(cfg.N, 25, 32, 3)
+	for i, b := range batches {
+		if err := st.Apply(b); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if i == 9 {
+			if err := st.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+		}
+	}
+	// Abandon st: no Close, no final sync — the OS file survives because
+	// Apply group-commits every batch. Then tear the tail mid-record.
+	ents, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeg string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") && (lastSeg == "" || e.Name() > lastSeg) {
+			lastSeg = e.Name()
+		}
+	}
+	segPath := filepath.Join(cfg.Dir, lastSeg)
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 40 {
+		t.Fatalf("segment unexpectedly small: %d bytes", len(data))
+	}
+	if err := os.WriteFile(segPath, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer st2.Close(false)
+	stats := st2.Stats()
+	if !stats.ReplayTorn {
+		t.Fatalf("expected a torn tail to be reported: %+v", stats)
+	}
+	// The surviving prefix: checkpoint at batch 10 plus replayed records.
+	applied := 10 + stats.ReplayedRecords
+	if applied >= len(batches) || applied <= 10 {
+		t.Fatalf("implausible surviving prefix %d of %d", applied, len(batches))
+	}
+	assertBanksEqual(t, st2.Bank(), referenceBank(cfg, batches[:applied]))
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	cfg := testConfig(t, 200)
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st.Close(false)
+	srv := httptest.NewServer(Handler(st))
+	defer srv.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return resp
+	}
+	decode := func(resp *http.Response, into any) {
+		t.Helper()
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+
+	// Single increment and batch increment.
+	var incResp struct {
+		Applied int `json:"applied"`
+	}
+	resp := post("/inc", map[string]int{"key": 7})
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /inc: status %d", resp.StatusCode)
+	}
+	decode(resp, &incResp)
+	if incResp.Applied != 1 {
+		t.Fatalf("applied = %d", incResp.Applied)
+	}
+	keys := make([]int, 500)
+	for i := range keys {
+		keys[i] = 7
+	}
+	for i := 0; i < 20; i++ {
+		resp = post("/inc", map[string][]int{"keys": keys})
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST /inc batch: status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Estimate of the hammered key is near 10001.
+	var est struct {
+		Key      int     `json:"key"`
+		Estimate float64 `json:"estimate"`
+	}
+	r2, err := http.Get(srv.URL + "/estimate/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(r2, &est)
+	if est.Estimate < 5000 || est.Estimate > 20000 {
+		t.Fatalf("estimate for key 7 = %v, want ≈10001", est.Estimate)
+	}
+
+	// Errors: bad key, bad body, out-of-range.
+	for _, path := range []string{"/estimate/-1", "/estimate/200", "/estimate/zzz"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode == 200 {
+			t.Fatalf("GET %s succeeded", path)
+		}
+	}
+	resp = post("/inc", map[string][]int{"keys": {9999}})
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("out-of-range key accepted")
+	}
+
+	// Estimates: full vector.
+	var all struct {
+		Estimates []float64 `json:"estimates"`
+	}
+	r3, err := http.Get(srv.URL + "/estimates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(r3, &all)
+	if len(all.Estimates) != 200 {
+		t.Fatalf("estimates length %d", len(all.Estimates))
+	}
+
+	// Snapshot decodes and matches the live registers.
+	r4, err := http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapcodec.DecodeFrom(r4.Body)
+	r4.Body.Close()
+	if err != nil {
+		t.Fatalf("snapshot decode: %v", err)
+	}
+	if snap.N != 200 || snap.RNG != nil {
+		t.Fatalf("snapshot shape: n=%d rng=%v", snap.N, snap.RNG != nil)
+	}
+	for i, reg := range snap.Registers {
+		if got := st.Bank().Register(i); got != reg {
+			t.Fatalf("snapshot register %d = %d, live %d", i, reg, got)
+		}
+	}
+
+	// Healthz.
+	var stats Stats
+	r5, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(r5, &stats)
+	if stats.Status != "ok" || stats.N != 200 || stats.Keys != 1+20*500 {
+		t.Fatalf("healthz: %+v", stats)
+	}
+}
+
+// Merging a peer snapshot over HTTP must reproduce in-process shardbank
+// merging: serve a snapshot from one store, POST it to another, and compare
+// against Bank.Merge of reference banks.
+func TestHTTPMergeMatchesInProcess(t *testing.T) {
+	cfgA := testConfig(t, 400)
+	cfgB := testConfig(t, 400)
+	cfgB.Seed = 43 // different rng universe, same shape
+
+	stA, err := Open(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close(false)
+	stB, err := Open(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close(false)
+
+	batchesA := zipfBatches(400, 20, 64, 10)
+	batchesB := zipfBatches(400, 20, 64, 11)
+	for _, b := range batchesA {
+		if err := stA.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range batchesB {
+		if err := stB.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: the same two banks merged in process.
+	refA := referenceBank(cfgA, batchesA)
+	refB := referenceBank(cfgB, batchesB)
+	if err := refA.Merge(refB); err != nil {
+		t.Fatal(err)
+	}
+
+	var blob bytes.Buffer
+	if err := stB.SnapshotTo(&blob); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(stA))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/merge", "application/octet-stream", bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST /merge: status %d: %v", resp.StatusCode, e)
+	}
+	assertBanksEqual(t, stA.Bank(), refA)
+
+	// And the merge must survive a restart (it was WAL-logged).
+	if err := stA.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	stA2, err := Open(cfgA)
+	if err != nil {
+		t.Fatalf("reopen after merge: %v", err)
+	}
+	defer stA2.Close(false)
+	assertBanksEqual(t, stA2.Bank(), refA)
+}
+
+func TestMergeShapeMismatchRejected(t *testing.T) {
+	cfg := testConfig(t, 100)
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(false)
+
+	// Wrong length.
+	peer := shardbank.New(50, cfg.Alg, cfg.Shards, 1)
+	blob := encodeBank(t, peer)
+	if err := st.Merge(blob); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// Wrong algorithm.
+	peer2 := shardbank.New(100, bank.NewExactAlg(12), cfg.Shards, 1)
+	if err := st.Merge(encodeBank(t, peer2)); err == nil {
+		t.Fatal("algorithm mismatch accepted")
+	}
+	// Garbage blob.
+	if err := st.Merge([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage blob accepted")
+	}
+}
+
+func encodeBank(t *testing.T, b *shardbank.Bank) []byte {
+	t.Helper()
+	snap := &snapcodec.Snapshot{
+		N:         b.Len(),
+		Shards:    b.Shards(),
+		Seed:      b.Seed(),
+		Registers: b.ExportState().Registers,
+	}
+	if err := snap.SetAlg(b.Algorithm()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := snapcodec.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// Checkpoint GC: older snapshots and WAL segments must disappear.
+func TestCheckpointGarbageCollects(t *testing.T) {
+	cfg := testConfig(t, 100)
+	cfg.SegmentBytes = 256 // force frequent rotation
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(false)
+	for i, b := range zipfBatches(100, 30, 16, 5) {
+		if err := st.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if err := st.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seqs, _, err := listSnapshots(cfg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 {
+		t.Fatalf("want exactly 1 snapshot after GC, got %v", seqs)
+	}
+	segs, err := st.log.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s < st.ckptSeq.Load() {
+			t.Fatalf("stale segment %d below checkpoint %d", s, st.ckptSeq.Load())
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ok   bool
+	}{{"morris", true}, {"csuros", true}, {"exact", true}, {"bogus", false}} {
+		alg, err := ParseAlgorithm(tc.name, 0.01, 14, 8)
+		if tc.ok && (err != nil || alg.Name() != tc.name) {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestOpenEmptyDirNeedsShape(t *testing.T) {
+	_, err := Open(Config{Dir: t.TempDir()})
+	if err == nil {
+		t.Fatal("open with no shape and no snapshot succeeded")
+	}
+}
+
+func BenchmarkStoreApply(b *testing.B) {
+	cfg := Config{
+		Dir:    b.TempDir(),
+		N:      100_000,
+		Shards: 64,
+		Alg:    bank.NewMorrisAlg(0.005, 14),
+		Seed:   42,
+		NoSync: true,
+	}
+	st, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close(false)
+	src := stream.NewZipf(uint64(cfg.N), 1.05, xrand.NewSeeded(9))
+	batch := make([]int, 1024)
+	for i := range batch {
+		batch[i] = int(src.Next())
+	}
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+// A merge request against a bank whose algorithm cannot merge must be
+// rejected BEFORE the blob reaches the WAL — a staged-but-unmergeable
+// record would fail identically on every replay and brick the store.
+func TestUnmergeableAlgorithmRejectedBeforeWAL(t *testing.T) {
+	cfg := testConfig(t, 100)
+	cfg.Alg = bank.NewExactAlg(12) // ExactAlg does not implement MergeAlgorithm
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := shardbank.New(100, cfg.Alg, cfg.Shards, 7)
+	err = st.Merge(encodeBank(t, peer))
+	if err == nil {
+		t.Fatal("merge into exact bank accepted")
+	}
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput, got %v", err)
+	}
+	if err := st.Apply([]int{1, 2, 3}); err != nil {
+		t.Fatalf("apply after rejected merge: %v", err)
+	}
+	if err := st.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	// The store must reopen cleanly: no merge record may have been logged.
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen after rejected merge bricked the store: %v", err)
+	}
+	st2.Close(false)
+}
+
+// The double-restart torn-tail scenario: a crash leaves a torn record, the
+// first restart drops it and writes new records into a fresh segment, and a
+// SECOND restart — with the torn segment no longer final — must still open.
+func TestTornTailSurvivesSecondRestart(t *testing.T) {
+	cfg := testConfig(t, 200)
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := zipfBatches(cfg.N, 10, 32, 8)
+	for _, b := range batches {
+		if err := st.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon without Close and tear the tail (kill -9 mid-write).
+	ents, _ := os.ReadDir(cfg.Dir)
+	var seg string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			seg = filepath.Join(cfg.Dir, e.Name())
+		}
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 1: tolerates the torn tail, appends into a new segment.
+	st1, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("first reopen: %v", err)
+	}
+	if !st1.Stats().ReplayTorn {
+		t.Fatal("first reopen did not report the torn tail")
+	}
+	replayed1 := st1.Stats().ReplayedRecords
+	if err := st1.Apply([]int{5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(false); err != nil { // no checkpoint: torn segment survives
+		t.Fatal(err)
+	}
+
+	// Restart 2: the torn segment is now non-final but its torn tail runs
+	// to EOF, so it must still be tolerated.
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("second reopen failed — torn tail became fatal: %v", err)
+	}
+	defer st2.Close(false)
+	if got := st2.Stats().ReplayedRecords; got != replayed1+1 {
+		t.Fatalf("second reopen replayed %d records, want %d", got, replayed1+1)
+	}
+	// And the registers still match a reference applying the same surviving
+	// sequence.
+	ref := referenceBank(cfg, append(append([][]int{}, batches[:replayed1]...), []int{5, 6, 7}))
+	assertBanksEqual(t, st2.Bank(), ref)
+}

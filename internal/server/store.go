@@ -1,0 +1,517 @@
+// Package server turns the in-memory sharded counter bank into a durable,
+// restartable network service. It has two halves:
+//
+//   - Store: the persistence engine. Every write is staged to the WAL and
+//     applied to the bank under one lock, so log order equals apply order —
+//     the invariant that makes recovery exact. Recovery loads the newest
+//     snapcodec checkpoint (registers + per-shard rng states) and replays
+//     the WAL segments at or after it; with no checkpoint it rebuilds from
+//     the seed and the full log. Either way the recovered registers are
+//     bit-identical to the pre-crash bank, because shardbank's batched
+//     apply is deterministic in batch order and the rng streams are part of
+//     the checkpoint.
+//
+//   - HTTP handler (http.go): POST /inc, GET /estimate/{key},
+//     GET /estimates, GET /snapshot (a streamed snapcodec snapshot),
+//     POST /merge (ingest a peer snapshot via Remark 2.4), GET /healthz.
+//
+// Checkpoints pair a WAL rotation with a snapshot write: rotate (the new
+// segment number S becomes the checkpoint tag), export the bank state,
+// write snap-S.nysc atomically (tmp + rename + dir fsync), then delete
+// snapshots and WAL segments older than S. A crash at any point leaves
+// either the old checkpoint plus a longer log, or the new checkpoint plus a
+// shorter one — both replay to the same registers.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bank"
+	"repro/internal/shardbank"
+	"repro/internal/snapcodec"
+	"repro/internal/wal"
+)
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".nysc"
+)
+
+// ErrBadInput marks failures caused by the caller's request (out-of-range
+// key, oversized batch, malformed or mismatched peer snapshot) as opposed
+// to server faults (WAL write/sync errors). The HTTP layer maps it to 400;
+// everything else becomes 500.
+var ErrBadInput = errors.New("bad input")
+
+// Config describes the bank a Store serves and where it persists.
+type Config struct {
+	Dir    string
+	N      int
+	Shards int
+	Alg    bank.Algorithm
+	Seed   uint64
+	// SegmentBytes is the WAL rotation threshold (0 = wal default).
+	SegmentBytes int64
+	// NoSync disables WAL fsync (tests/benchmarks only).
+	NoSync bool
+	// MaxBatch caps the keys accepted in one increment batch (0 = 1<<16).
+	MaxBatch int
+}
+
+// Store is the durable counter bank: shardbank + WAL + checkpoints.
+type Store struct {
+	cfg  Config
+	bank *shardbank.Bank
+	log  *wal.Log
+
+	// writeMu serializes Stage+apply so WAL record order always equals
+	// bank apply order. Group commit (wal.Commit) happens outside it, so
+	// the lock is never held across an fsync.
+	writeMu sync.Mutex
+
+	ckptSeq   atomic.Uint64 // WAL segment tagged by the newest checkpoint
+	batches   atomic.Uint64
+	keys      atomic.Uint64
+	merges    atomic.Uint64
+	lastCkpt  atomic.Int64 // unix nanos of last successful checkpoint
+	recovered wal.ReplayStats
+	fromSnap  bool
+	started   time.Time
+}
+
+// Open opens (or initializes) a durable store in cfg.Dir. When a checkpoint
+// snapshot exists its header overrides cfg's bank shape — the on-disk state
+// is the source of truth for an existing store.
+func Open(cfg Config) (*Store, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1 << 16
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	st := &Store{cfg: cfg, started: time.Now()}
+
+	snapSeq, snap, err := newestSnapshot(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		alg, err := snap.Alg()
+		if err != nil {
+			return nil, fmt.Errorf("server: checkpoint %d: %w", snapSeq, err)
+		}
+		st.bank = shardbank.New(snap.N, alg, snap.Shards, snap.Seed)
+		if err := st.bank.RestoreState(shardbank.State{
+			Registers: snap.Registers,
+			RNG:       snap.RNG,
+		}); err != nil {
+			return nil, fmt.Errorf("server: checkpoint %d: %w", snapSeq, err)
+		}
+		st.ckptSeq.Store(snapSeq)
+		st.fromSnap = true
+	} else {
+		if cfg.N <= 0 || cfg.Alg == nil {
+			return nil, errors.New("server: empty store and no bank shape configured")
+		}
+		shards := cfg.Shards
+		if shards <= 0 {
+			shards = 64
+		}
+		st.bank = shardbank.New(cfg.N, cfg.Alg, shards, cfg.Seed)
+	}
+
+	st.recovered, err = wal.Replay(cfg.Dir, st.ckptSeq.Load(), st.applyRecord)
+	if err != nil {
+		return nil, fmt.Errorf("server: recovery: %w", err)
+	}
+	// Remove a torn tail now, while its segment is still the final one:
+	// wal.Open below starts a fresh segment, after which an unrepaired torn
+	// record would read as mid-log corruption on the next recovery.
+	if err := wal.RepairTorn(cfg.Dir, st.recovered); err != nil {
+		return nil, fmt.Errorf("server: recovery: %w", err)
+	}
+	st.log, err = wal.Open(cfg.Dir, wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		NoSync:       cfg.NoSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// applyRecord applies one replayed WAL record to the bank.
+func (st *Store) applyRecord(rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecBatch:
+		for _, k := range rec.Keys {
+			if k < 0 || k >= st.bank.Len() {
+				return fmt.Errorf("server: replayed key %d out of range [0,%d)", k, st.bank.Len())
+			}
+		}
+		st.bank.IncrementBatch(rec.Keys)
+		st.batches.Add(1)
+		st.keys.Add(uint64(len(rec.Keys)))
+	case wal.RecMerge:
+		other, err := st.decodePeer(rec.Blob)
+		if err != nil {
+			return fmt.Errorf("server: replayed merge: %w", err)
+		}
+		if err := st.bank.Merge(other); err != nil {
+			return fmt.Errorf("server: replayed merge: %w", err)
+		}
+		st.merges.Add(1)
+	default:
+		return fmt.Errorf("server: unknown WAL record type %d", rec.Type)
+	}
+	return nil
+}
+
+// decodePeer materializes a peer snapshot blob as a mergeable bank of the
+// local shape. Every check here runs BEFORE the blob is WAL-staged: a
+// record that fails during live Merge would fail identically during
+// recovery replay and brick the store.
+func (st *Store) decodePeer(blob []byte) (*shardbank.Bank, error) {
+	if _, ok := st.bank.Algorithm().(bank.MergeAlgorithm); !ok {
+		return nil, fmt.Errorf("algorithm %q does not support merge", st.bank.Algorithm().Name())
+	}
+	// Cap the decode at the local register count: a hostile header claiming
+	// snapcodec.MaxRegisters would otherwise allocate ~512 MiB before the
+	// shape comparison below ever ran.
+	snap, err := snapcodec.DecodeCapped(blob, st.bank.Len())
+	if err != nil {
+		return nil, err
+	}
+	alg, err := snap.Alg()
+	if err != nil {
+		return nil, err
+	}
+	if alg != st.bank.Algorithm() {
+		return nil, fmt.Errorf("algorithm mismatch: peer %s/%d-bit, local %s/%d-bit",
+			snap.AlgName, snap.Width, st.bank.Algorithm().Name(), st.bank.BitsPerCounter())
+	}
+	if snap.N != st.bank.Len() || snap.Shards != st.bank.Shards() {
+		return nil, fmt.Errorf("shape mismatch: peer %d keys/%d shards, local %d/%d",
+			snap.N, snap.Shards, st.bank.Len(), st.bank.Shards())
+	}
+	// The peer bank only donates registers; its rng never steps during a
+	// merge (the receiver's streams drive the subsampling draws), so any
+	// seed works.
+	other := shardbank.New(snap.N, alg, snap.Shards, snap.Seed)
+	if err := other.RestoreState(shardbank.State{Registers: snap.Registers}); err != nil {
+		return nil, err
+	}
+	return other, nil
+}
+
+// Apply durably counts one event per key: the batch is WAL-staged and
+// applied to the bank under the write lock (log order = apply order), then
+// group-committed. It returns once the batch is fsync-durable.
+func (st *Store) Apply(keys []int) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if len(keys) > st.cfg.MaxBatch {
+		return fmt.Errorf("%w: batch of %d keys exceeds limit %d", ErrBadInput, len(keys), st.cfg.MaxBatch)
+	}
+	for _, k := range keys {
+		if k < 0 || k >= st.bank.Len() {
+			return fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, k, st.bank.Len())
+		}
+	}
+	st.writeMu.Lock()
+	ticket, err := st.log.Stage(wal.Record{Type: wal.RecBatch, Keys: keys})
+	if err == nil {
+		st.bank.IncrementBatch(keys)
+	}
+	st.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	st.batches.Add(1)
+	st.keys.Add(uint64(len(keys)))
+	return st.log.Commit(ticket)
+}
+
+// Merge ingests a peer snapshot (snapcodec bytes) via the paper's Remark
+// 2.4 merge, WAL-logging the blob so recovery replays the merge at the same
+// point in the operation order.
+func (st *Store) Merge(blob []byte) error {
+	other, err := st.decodePeer(blob)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	st.writeMu.Lock()
+	ticket, err := st.log.Stage(wal.Record{Type: wal.RecMerge, Blob: blob})
+	var mergeErr error
+	if err == nil {
+		mergeErr = st.bank.Merge(other)
+	}
+	st.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if mergeErr != nil {
+		// The record is logged but the merge failed — decodePeer pre-checks
+		// shape and algorithm, so this is unreachable short of a bug; poison
+		// nothing, just report.
+		return mergeErr
+	}
+	st.merges.Add(1)
+	return st.log.Commit(ticket)
+}
+
+// Estimate returns N̂ for one key.
+func (st *Store) Estimate(key int) (float64, error) {
+	if key < 0 || key >= st.bank.Len() {
+		return 0, fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, key, st.bank.Len())
+	}
+	return st.bank.Estimate(key), nil
+}
+
+// EstimateAll returns all estimates (shared read-only slice, see
+// shardbank.EstimateAll).
+func (st *Store) EstimateAll() []float64 { return st.bank.EstimateAll() }
+
+// Bank exposes the underlying bank (read-mostly callers: examples, tools).
+func (st *Store) Bank() *shardbank.Bank { return st.bank }
+
+// snapshot builds the snapcodec image of the current bank state. withRNG
+// selects whether the per-shard generator states are included: checkpoints
+// need them for exact recovery; snapshots served to peers do not.
+func (st *Store) snapshot(withRNG bool) (*snapcodec.Snapshot, error) {
+	state := st.bank.ExportState()
+	snap := &snapcodec.Snapshot{
+		N:         st.bank.Len(),
+		Shards:    st.bank.Shards(),
+		Seed:      st.bank.Seed(),
+		Registers: state.Registers,
+	}
+	if withRNG {
+		snap.RNG = state.RNG
+	}
+	if err := snap.SetAlg(st.bank.Algorithm()); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// SnapshotTo streams a snapcodec snapshot of the live bank (registers only)
+// to w — the GET /snapshot payload, and what a peer feeds to POST /merge.
+func (st *Store) SnapshotTo(w io.Writer) error {
+	snap, err := st.snapshot(false)
+	if err != nil {
+		return err
+	}
+	return snapcodec.EncodeTo(w, snap)
+}
+
+// Checkpoint rotates the WAL, writes a snapshot of the bank (with rng
+// states) tagged with the new segment number, and garbage-collects older
+// snapshots and segments. Recovery cost after a checkpoint is one snapshot
+// load plus the segments written since.
+func (st *Store) Checkpoint() error {
+	// Rotation and state export happen under writeMu so no write lands
+	// between "records before S" and "bank state at S".
+	st.writeMu.Lock()
+	seq, err := st.log.Rotate()
+	if err != nil {
+		st.writeMu.Unlock()
+		return err
+	}
+	snap, err := st.snapshot(true)
+	st.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	path := snapPath(st.cfg.Dir, seq)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := snapcodec.EncodeTo(f, snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	syncDir(st.cfg.Dir)
+
+	st.ckptSeq.Store(seq)
+	st.lastCkpt.Store(time.Now().UnixNano())
+
+	// Garbage-collect: older snapshots, then WAL segments below the tag.
+	seqs, _, err := listSnapshots(st.cfg.Dir)
+	if err == nil {
+		for _, s := range seqs {
+			if s < seq {
+				os.Remove(snapPath(st.cfg.Dir, s))
+			}
+		}
+	}
+	return st.log.TruncateBefore(seq)
+}
+
+// Close syncs and closes the WAL. With checkpoint true it writes a final
+// checkpoint first, making the next start a pure snapshot load.
+func (st *Store) Close(checkpoint bool) error {
+	var err error
+	if checkpoint {
+		err = st.Checkpoint()
+	}
+	if cerr := st.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats is the /healthz payload.
+type Stats struct {
+	Status          string  `json:"status"`
+	N               int     `json:"n"`
+	Shards          int     `json:"shards"`
+	Algorithm       string  `json:"algorithm"`
+	WidthBits       int     `json:"widthBits"`
+	Seed            uint64  `json:"seed"`
+	BankBytes       int     `json:"bankBytes"`
+	Batches         uint64  `json:"batches"`
+	Keys            uint64  `json:"keys"`
+	Merges          uint64  `json:"merges"`
+	CheckpointSeq   uint64  `json:"checkpointSeq"`
+	LastCheckpoint  string  `json:"lastCheckpoint,omitempty"`
+	WALSegments     int     `json:"walSegments"`
+	RecoveredFrom   string  `json:"recoveredFrom"`
+	ReplayedRecords int     `json:"replayedRecords"`
+	ReplayTorn      bool    `json:"replayTorn"`
+	UptimeSeconds   float64 `json:"uptimeSeconds"`
+}
+
+// Stats reports the store's health and counters.
+func (st *Store) Stats() Stats {
+	segs, _ := st.log.Segments()
+	s := Stats{
+		Status:          "ok",
+		N:               st.bank.Len(),
+		Shards:          st.bank.Shards(),
+		Algorithm:       st.bank.Algorithm().Name(),
+		WidthBits:       st.bank.BitsPerCounter(),
+		Seed:            st.bank.Seed(),
+		BankBytes:       st.bank.SizeBytes(),
+		Batches:         st.batches.Load(),
+		Keys:            st.keys.Load(),
+		Merges:          st.merges.Load(),
+		CheckpointSeq:   st.ckptSeq.Load(),
+		WALSegments:     len(segs),
+		RecoveredFrom:   "seed",
+		ReplayedRecords: st.recovered.Records,
+		ReplayTorn:      st.recovered.Torn,
+		UptimeSeconds:   time.Since(st.started).Seconds(),
+	}
+	if st.fromSnap {
+		s.RecoveredFrom = "snapshot"
+	}
+	if ns := st.lastCkpt.Load(); ns > 0 {
+		s.LastCheckpoint = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	return s
+}
+
+// ParseAlgorithm builds a bank algorithm from flag-style parameters — the
+// shared vocabulary of counterd, countertool serve, and tests.
+func ParseAlgorithm(name string, a float64, width, mantissa int) (bank.Algorithm, error) {
+	switch name {
+	case "morris":
+		return bank.NewMorrisAlg(a, width), nil
+	case "csuros":
+		return bank.NewCsurosAlg(width, mantissa), nil
+	case "exact":
+		return bank.NewExactAlg(width), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want morris | csuros | exact)", name)
+	}
+}
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix))
+}
+
+// listSnapshots returns the checkpoint sequence numbers in dir, ascending.
+func listSnapshots(dir string) ([]uint64, []string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: %w", err)
+	}
+	var seqs []uint64
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if len(name) <= len(snapPrefix)+len(snapSuffix) ||
+			name[:len(snapPrefix)] != snapPrefix || name[len(name)-len(snapSuffix):] != snapSuffix {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name[len(snapPrefix):len(name)-len(snapSuffix)], "%d", &seq); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+		names = append(names, name)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, names, nil
+}
+
+// newestSnapshot loads the highest-sequence checkpoint. Snapshots are
+// written atomically (tmp + rename after fsync), so a listed checkpoint
+// that fails its CRC is bit rot, not a torn write — and because the WAL
+// below it was truncated when it landed, no older checkpoint can be trusted
+// to cover the gap. That is a loud error, not a silent fallback.
+func newestSnapshot(dir string) (uint64, *snapcodec.Snapshot, error) {
+	seqs, _, err := listSnapshots(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(seqs) == 0 {
+		return 0, nil, nil
+	}
+	seq := seqs[len(seqs)-1]
+	f, err := os.Open(snapPath(dir, seq))
+	if err != nil {
+		return 0, nil, fmt.Errorf("server: checkpoint %d: %w", seq, err)
+	}
+	defer f.Close()
+	snap, err := snapcodec.DecodeFrom(f)
+	if err != nil {
+		return 0, nil, fmt.Errorf("server: checkpoint %d unreadable: %w", seq, err)
+	}
+	return seq, snap, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's dirent is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

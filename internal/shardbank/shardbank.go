@@ -163,6 +163,7 @@ type Bank struct {
 	alg     bank.Algorithm
 	table   stepTable
 	n       int
+	seed    uint64 // construction seed, kept for snapshot provenance
 	mask    uint64 // len(shards) − 1; len is a power of two
 	shift   uint   // log2(len(shards))
 	cache   atomic.Pointer[estCache]
@@ -196,6 +197,7 @@ func New(n int, alg bank.Algorithm, shards int, seed uint64) *Bank {
 		alg:    alg,
 		table:  buildStepTable(alg),
 		n:      n,
+		seed:   seed,
 		mask:   uint64(p - 1),
 		shift:  uint(bits.TrailingZeros(uint(p))),
 	}
@@ -220,6 +222,12 @@ func (b *Bank) Len() int { return b.n }
 
 // Shards returns the number of lock stripes.
 func (b *Bank) Shards() int { return len(b.shards) }
+
+// Seed returns the seed the bank was constructed with. Together with the
+// construction shape (n, algorithm, shard count) it identifies the bank's
+// deterministic replay universe: a fresh New(n, alg, shards, seed) replays
+// any logged operation sequence to bit-identical registers.
+func (b *Bank) Seed() uint64 { return b.seed }
 
 // Algorithm returns the bank's register algorithm.
 func (b *Bank) Algorithm() bank.Algorithm { return b.alg }

@@ -88,6 +88,25 @@ func (x *Xoshiro256) Uint64() uint64 {
 	return result
 }
 
+// State returns the generator's full 256-bit state as four words. Together
+// with SetState it makes a generator checkpointable: a counter bank whose
+// registers are snapshotted alongside its generator state replays the exact
+// same future draw sequence after a restore (see internal/snapcodec and
+// internal/wal, which persist both).
+func (x *Xoshiro256) State() [4]uint64 {
+	return [4]uint64{x.s0, x.s1, x.s2, x.s3}
+}
+
+// SetState overwrites the generator state with one previously captured by
+// State. The all-zero state is a fixed point of xoshiro256++ and is rejected
+// by substituting the same non-zero guard word New uses.
+func (x *Xoshiro256) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	x.s0, x.s1, x.s2, x.s3 = s[0], s[1], s[2], s[3]
+}
+
 // Jump advances the generator by 2^128 steps, equivalent to that many calls
 // to Uint64. It is used to derive non-overlapping streams for parallel
 // trials from a single seed.
