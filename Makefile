@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench fuzz-smoke ci counterd serve
+.PHONY: all build vet fmt-check test race bench bench-cluster fuzz-smoke ci \
+	counterd serve cluster-smoke cluster-demo
 
 all: build
 
@@ -14,6 +15,11 @@ counterd:
 
 serve: counterd
 	bin/counterd -addr :8347 -dir ./counterd-data -n 1000000 -shards 256
+
+# The 3-node loopback cluster demo: crash, hinted handoff, anti-entropy
+# (see docs/CLUSTER.md).
+cluster-demo:
+	$(GO) run ./examples/distributed
 
 vet:
 	$(GO) vet ./...
@@ -29,12 +35,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Mirrors the CI bench job: text output for reading, -json for tooling, both
-# left in bench-out/ (CI uploads that directory as an artifact).
+# The cluster integration suite under the race detector: 3-node loopback
+# ring, replication, forwarding, crash/recovery convergence.
+cluster-smoke:
+	$(GO) test -race -v -run 'TestCluster|TestClient' ./internal/cluster ./internal/client
+
+# Mirrors the CI bench job: human-readable text plus the machine-readable
+# BENCH_cluster.json artifact (cmd/benchjson), both left in bench-out/.
 bench:
 	mkdir -p bench-out
 	$(GO) test -run='^$$' -bench=. -benchtime=100x ./... | tee bench-out/bench.txt
-	$(GO) test -run='^$$' -bench=. -benchtime=100x -json ./... > bench-out/bench.json
+	$(GO) run ./cmd/benchjson < bench-out/bench.txt > bench-out/BENCH_cluster.json
+
+# Cluster-focused benchmarks only (ingest fan-out, partition snapshots,
+# ring routing, WAL fsync policies), same JSON artifact.
+bench-cluster:
+	mkdir -p bench-out
+	$(GO) test -run='^$$' -bench='Cluster|Partition|Ring|AppendBatch' -benchtime=100x \
+		./internal/cluster ./internal/wal | tee bench-out/bench-cluster.txt
+	$(GO) run ./cmd/benchjson < bench-out/bench-cluster.txt > bench-out/BENCH_cluster.json
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReaderNeverPanics -fuzztime=5s ./internal/bitpack

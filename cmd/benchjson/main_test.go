@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine(
+		"BenchmarkClusterIngest-8   \t     100\t   4567649 ns/op\t    224185 events/s\t  0.158 bytes/register",
+		"repro/internal/cluster")
+	if !ok {
+		t.Fatal("valid line rejected")
+	}
+	if b.Name != "BenchmarkClusterIngest" || b.Pkg != "repro/internal/cluster" || b.Iterations != 100 {
+		t.Fatalf("parsed %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 4567649, "events/s": 224185, "bytes/register": 0.158,
+	} {
+		if b.Metrics[unit] != want {
+			t.Fatalf("metric %s = %v, want %v", unit, b.Metrics[unit], want)
+		}
+	}
+	if _, ok := parseBenchLine("Benchmark garbage", ""); ok {
+		t.Fatal("garbage accepted")
+	}
+	if _, ok := parseBenchLine("BenchmarkNoMetrics-4  100", ""); ok {
+		t.Fatal("metricless line accepted")
+	}
+	// Sub-benchmark names keep their slash path, only the -P suffix drops.
+	b, ok = parseBenchLine("BenchmarkAppendBatch/fsync=interval-16  50  200 ns/op", "")
+	if !ok || b.Name != "BenchmarkAppendBatch/fsync=interval" {
+		t.Fatalf("sub-bench parsed as %+v (ok=%v)", b, ok)
+	}
+}

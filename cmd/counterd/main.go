@@ -15,28 +15,51 @@
 //	GET  /estimate/{key}
 //	GET  /estimates
 //	GET  /snapshot       compressed snapshot stream (feed to a peer's /merge)
+//	GET  /snapshot/{p}   one partition's compressed snapshot
 //	POST /merge          ingest a peer snapshot (Remark 2.4 merge)
+//	POST /mergemax       ingest a replica snapshot (register-wise max)
 //	GET  /healthz
 //
-// Example:
+// With -cluster the daemon becomes one member of a replicated ring
+// (internal/cluster): nodes discover each other via -join gossip, every
+// increment is routed to its partition's replicas with durable hinted
+// handoff, and a background anti-entropy loop keeps replicas byte-identical
+// through crashes. The cluster admin API (/cluster/gossip, /cluster/ring,
+// /cluster/repl, /cluster/phash/{p}, /cluster/info) mounts next to the
+// store API, and POST /inc becomes the ring-coordinated write path. See
+// docs/CLUSTER.md.
+//
+// Example (single node):
 //
 //	counterd -addr :8347 -dir ./counterd-data -n 1000000 -shards 256
 //	curl -X POST localhost:8347/inc -d '{"keys":[1,2,3,2]}'
 //	curl localhost:8347/estimate/2
+//
+// Example (local 3-node ring, replication factor 2):
+//
+//	counterd -addr :8347 -dir ./d0 -cluster
+//	counterd -addr :8348 -dir ./d1 -cluster -join http://localhost:8347
+//	counterd -addr :8349 -dir ./d2 -cluster -join http://localhost:8347
+//	countertool bench-cluster -nodes http://localhost:8347 -events 1000000
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -54,10 +77,27 @@ func main() {
 		segBytes   = flag.Int64("segbytes", 64<<20, "WAL segment rotation size")
 		maxBatch   = flag.Int("maxbatch", 1<<16, "largest accepted increment batch")
 		finalCkpt  = flag.Bool("final-checkpoint", true, "checkpoint on graceful shutdown")
+		fsync      = flag.String("fsync", "always", "WAL durability policy: always | interval | off")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence with -fsync=interval")
+		partitions = flag.Int("partitions", 64, "key-space partitions (unit of cluster replication)")
+
+		clusterOn   = flag.Bool("cluster", false, "join a replicated cluster (see docs/CLUSTER.md)")
+		advertise   = flag.String("advertise", "", "base URL peers reach this node at (default derived from -addr)")
+		join        = flag.String("join", "", "comma-separated peer base URLs to gossip with at startup")
+		rf          = flag.Int("rf", 2, "replication factor (cluster mode)")
+		vnodes      = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the ring")
+		hintDir     = flag.String("hintdir", "", "hinted-handoff directory (default <dir>/hints)")
+		hintFsync   = flag.String("hint-fsync", "off", "hinted-handoff log fsync policy: always | interval | off")
+		gossipEvery = flag.Duration("gossip", time.Second, "gossip heartbeat cadence")
+		aeEvery     = flag.Duration("antientropy", 5*time.Second, "anti-entropy cadence")
 	)
 	flag.Parse()
 
 	alg, err := server.ParseAlgorithm(*algo, *a, *width, *mantissa)
+	if err != nil {
+		log.Fatalf("counterd: %v", err)
+	}
+	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		log.Fatalf("counterd: %v", err)
 	}
@@ -69,14 +109,51 @@ func main() {
 		Seed:         *seed,
 		SegmentBytes: *segBytes,
 		MaxBatch:     *maxBatch,
+		Sync:         policy,
+		SyncInterval: *fsyncEvery,
+		Partitions:   *partitions,
 	})
 	if err != nil {
 		log.Fatalf("counterd: %v", err)
 	}
 	stats := st.Stats()
-	log.Printf("counterd: %d registers × %d bits (%s), %d shards, recovered from %s (%d records replayed%s)",
-		stats.N, stats.WidthBits, stats.Algorithm, stats.Shards,
+	log.Printf("counterd: %d registers × %d bits (%s), %d shards, %d partitions, fsync=%s, recovered from %s (%d records replayed%s)",
+		stats.N, stats.WidthBits, stats.Algorithm, stats.Shards, stats.Partitions, stats.FsyncPolicy,
 		stats.RecoveredFrom, stats.ReplayedRecords, tornNote(stats.ReplayTorn))
+
+	handler := server.Handler(st)
+	var node *cluster.Node
+	if *clusterOn {
+		self := *advertise
+		if self == "" {
+			self = deriveAdvertise(*addr)
+		}
+		hints := *hintDir
+		if hints == "" {
+			hints = filepath.Join(*dir, "hints")
+		}
+		var seeds []string
+		for _, s := range strings.Split(*join, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		node, err = cluster.New(st, cluster.Config{
+			Self:                self,
+			Join:                seeds,
+			RF:                  *rf,
+			VNodes:              *vnodes,
+			HintDir:             hints,
+			HintFsync:           *hintFsync,
+			GossipInterval:      *gossipEvery,
+			AntiEntropyInterval: *aeEvery,
+		})
+		if err != nil {
+			log.Fatalf("counterd: %v", err)
+		}
+		handler = node.Handler()
+		log.Printf("counterd: cluster member %s, rf %d, joining %v", self, *rf, seeds)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -106,9 +183,12 @@ func main() {
 		}
 	}()
 
-	hs := &http.Server{Addr: *addr, Handler: server.Handler(st)}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	if node != nil {
+		node.Start()
+	}
 	log.Printf("counterd: serving on %s", *addr)
 
 	select {
@@ -123,11 +203,24 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("counterd: http shutdown: %v", err)
 	}
+	if node != nil {
+		node.Stop()
+	}
 	<-ckptDone
 	if err := st.Close(*finalCkpt); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("counterd: close: %v", err)
 	}
 	log.Printf("counterd: bye")
+}
+
+// deriveAdvertise guesses the peer-reachable base URL from the listen
+// address: ":8347" → "http://127.0.0.1:8347" (fine for a local ring; real
+// deployments pass -advertise).
+func deriveAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return fmt.Sprintf("http://127.0.0.1%s", addr)
+	}
+	return "http://" + addr
 }
 
 func tornNote(torn bool) string {

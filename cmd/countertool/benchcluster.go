@@ -1,0 +1,124 @@
+// The bench-cluster subcommand: a ring-aware load driver for a running
+// counterd cluster. Unlike bench-serve, which hammers one daemon, this uses
+// the smart client (internal/client): it learns the ring from a seed node,
+// shard-batches a Zipf increment stream per goroutine straight to each
+// partition's primary, and reports the acknowledged cluster-wide ingest
+// rate. With -verify it tallies ground truth locally and samples hot-key
+// estimates back through the ring, reporting the observed relative error.
+//
+//	counterd -cluster ... (×3) &
+//	countertool bench-cluster -nodes http://localhost:8347 -events 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func benchClusterMain(args []string) {
+	fs := flag.NewFlagSet("bench-cluster", flag.ExitOnError)
+	var (
+		nodes      = fs.String("nodes", "http://localhost:8347", "comma-separated seed node base URLs")
+		events     = fs.Int("events", 1_000_000, "total events to send")
+		goroutines = fs.Int("goroutines", 8, "concurrent client goroutines")
+		batch      = fs.Int("batch", 1024, "keys per POST /inc request")
+		zipfS      = fs.Float64("zipf", 1.05, "Zipf exponent of the key popularity law")
+		seed       = fs.Uint64("seed", 42, "key stream seed")
+		verify     = fs.Bool("verify", true, "tally local truth and report hot-key estimate error (meaningful on a fresh cluster: pre-existing counts read as overcount)")
+		hotMin     = fs.Uint64("hot", 1000, "minimum true count for a key to be error-checked")
+	)
+	fs.Parse(args)
+	seeds := strings.Split(*nodes, ",")
+
+	probe, err := client.New(client.Config{Seeds: seeds})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-cluster: %v\n", err)
+		os.Exit(1)
+	}
+	n := probe.N()
+	ring := probe.Ring()
+	fmt.Printf("cluster: %d keys, %d partitions, rf %d, members %v\n",
+		n, probe.Partitions(), ring.RF(), ring.Members())
+
+	perG := (*events + *goroutines - 1) / *goroutines
+	truths := make([][]uint64, *goroutines)
+	errs := make([]error, *goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < *goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.New(client.Config{Seeds: seeds, BatchSize: *batch})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			truth := make([]uint64, n)
+			truths[g] = truth
+			src := stream.NewZipf(uint64(n), *zipfS, xrand.NewSeeded(*seed+uint64(1000*g+1)))
+			for i := 0; i < perG; i++ {
+				k := int(src.Next())
+				if err := c.Inc(k); err != nil {
+					errs[g] = err
+					return
+				}
+				truth[k]++
+			}
+			errs[g] = c.Flush()
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for g, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-cluster: goroutine %d: %v\n", g, err)
+			os.Exit(1)
+		}
+	}
+	total := perG * *goroutines
+	fmt.Printf("acked %d events in %v — %.0f events/s (%d goroutines × %d-key batches)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *goroutines, *batch)
+
+	if !*verify {
+		return
+	}
+	// Give replication a moment to settle, then sample hot keys through the
+	// ring and compare with the locally tallied truth.
+	time.Sleep(500 * time.Millisecond)
+	truth := make([]uint64, n)
+	for _, tg := range truths {
+		for k, c := range tg {
+			truth[k] += c
+		}
+	}
+	var errSummary stats.Summary
+	checked := 0
+	for k, tr := range truth {
+		if tr < *hotMin {
+			continue
+		}
+		est, err := probe.Estimate(k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-cluster: estimate key %d: %v\n", k, err)
+			os.Exit(1)
+		}
+		errSummary.Add(stats.SignedRelativeError(est, float64(tr)))
+		checked++
+	}
+	if checked == 0 {
+		fmt.Printf("verify: no keys reached %d true events; lower -hot\n", *hotMin)
+		return
+	}
+	fmt.Printf("verify: %d hot keys — relative error mean %+.2f%% std %.2f%% worst %+.2f%%\n",
+		checked, 100*errSummary.Mean(), 100*errSummary.StdDev(), 100*maxAbs(errSummary))
+}

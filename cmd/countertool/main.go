@@ -14,9 +14,11 @@
 //	countertool -algo csuros -bits 17 -n 750000
 //	countertool serve -pages 100000 -events 5000000 -goroutines 8 -compare
 //	countertool bench-serve -addr http://localhost:8347 -events 1000000
+//	countertool bench-cluster -nodes http://localhost:8347 -events 1000000
 //
 // The bench-serve subcommand (benchserve.go) drives a running counterd
-// daemon over HTTP instead of an in-process bank.
+// daemon over HTTP; bench-cluster (benchcluster.go) drives a whole counterd
+// cluster through the ring-aware smart client.
 package main
 
 import (
@@ -35,6 +37,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench-serve" {
 		benchServeMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench-cluster" {
+		benchClusterMain(os.Args[2:])
 		return
 	}
 	var (

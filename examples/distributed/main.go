@@ -1,178 +1,357 @@
-// Distributed: shard a counting workload across sites and merge the sites'
-// counters into one, exercising the full mergeability of the paper's
-// Remark 2.4 — the merged counter is distributed exactly as one counter
-// that saw every event, so nothing is lost in (ε, δ).
+// Distributed: a real three-node counterd cluster on loopback, end to end —
+// the paper's mergeable counters (Remark 2.4 makes them natural CRDTs)
+// scaled past one machine by internal/cluster.
 //
-// Two tiers are shown. First, whole *banks*: each site owns a sharded bank
-// (internal/shardbank) of packed Morris registers covering the same key
-// space and counts its own slice of the event stream concurrently. The
-// sites then exchange their state the way real sites would — over a wire —
-// as snapcodec-compressed snapshots (the same bytes counterd serves on
-// GET /snapshot and ingests on POST /merge): each remote site encodes,
-// the coordinator decodes into a mergeable bank and folds it in with
-// Bank.Merge. The skewed registers compress severalfold below the raw
-// packed payload; the example prints both sizes per site. Then single
-// counters: the paper's Nelson–Yu counter merged across eight workers via
-// the same remark.
+// The demo boots three nodes with replication factor 2, joins them by
+// gossip, and drives a concurrent Zipf workload through the smart client
+// (internal/client), which learns the consistent-hash ring and ships each
+// batch straight to its partition's primary. Then it gets violent: one node
+// is hard-killed mid-traffic (listener cut, store abandoned un-closed, like
+// kill -9 with the page cache surviving) while writes keep flowing — the
+// survivors queue that node's share in durable WAL-format hint logs. The
+// node restarts from its data directory, recovery replays its WAL, hinted
+// handoff drains, and the anti-entropy loop max-joins partition snapshots
+// until every replica pair serves byte-identical bytes — verified here per
+// partition, with the snapcodec wire sizes printed against the raw payload.
+// Finally a fourth, off-ring site counting a disjoint stream is folded in
+// through POST /merge: the Remark 2.4 join, which adds streams instead of
+// reconciling replicas.
 //
-// Run with: go run ./examples/distributed
+// Run with: go run ./examples/distributed  (takes a few seconds)
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
-	"repro"
 	"repro/internal/bank"
-	"repro/internal/shardbank"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/server"
 	"repro/internal/snapcodec"
 	"repro/internal/stream"
 	"repro/internal/xrand"
 )
 
+const (
+	nKeys      = 20_000
+	partitions = 16
+	shards     = 16
+	rf         = 2
+	zipfS      = 1.05
+)
+
+var alg = bank.NewMorrisAlg(0.005, 14)
+
+type demoNode struct {
+	name string
+	dir  string
+	addr string
+	self string
+	st   *server.Store
+	node *cluster.Node
+	srv  *http.Server
+	done chan struct{}
+}
+
+func startNode(name, dir, addr string, join []string) *demoNode {
+	ln, err := net.Listen("tcp", addr)
+	check(err)
+	d := &demoNode{
+		name: name, dir: dir,
+		addr: ln.Addr().String(),
+		self: "http://" + ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	d.st, err = server.Open(server.Config{
+		Dir: dir, N: nKeys, Shards: shards, Alg: alg, Seed: 42,
+		Partitions: partitions, NoSync: true,
+	})
+	check(err)
+	d.node, err = cluster.New(d.st, cluster.Config{
+		Self: d.self, Join: join, RF: rf,
+		HintDir:             filepath.Join(dir, "hints"),
+		GossipInterval:      50 * time.Millisecond,
+		ReplInterval:        25 * time.Millisecond,
+		AntiEntropyInterval: 150 * time.Millisecond,
+		Membership: cluster.MembershipConfig{
+			SuspectAfter: 400 * time.Millisecond,
+			DeadAfter:    1200 * time.Millisecond,
+		},
+		Logf: func(string, ...any) {}, // the demo narrates; keep nodes quiet
+	})
+	check(err)
+	d.srv = &http.Server{Handler: d.node.Handler()}
+	go func() { defer close(d.done); d.srv.Serve(ln) }()
+	d.node.Start()
+	return d
+}
+
+// kill is the hard stop: no flush, no checkpoint, store abandoned.
+func (d *demoNode) kill() {
+	d.srv.Close()
+	<-d.done
+	d.node.Stop()
+	time.Sleep(100 * time.Millisecond)
+}
+
+func (d *demoNode) shutdown() {
+	d.srv.Close()
+	<-d.done
+	d.node.Stop()
+	d.st.Close(false)
+}
+
 func main() {
-	// --- Tier 1: merging whole counter banks -----------------------------
-	const (
-		workers = 4
-		keys    = 20_000
-		perW    = 1_000_000
-	)
-	alg := bank.NewMorrisAlg(0.005, 14)
+	base, err := os.MkdirTemp("", "distributed-demo-")
+	check(err)
+	defer os.RemoveAll(base)
 
-	// Each worker counts its own slice of the stream into its own bank —
-	// no coordination at all during ingest — while truth is tallied per
-	// worker and summed after.
-	banks := make([]*shardbank.Bank, workers)
-	truths := make([][]uint64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		banks[w] = shardbank.New(keys, alg, 16, uint64(10+w))
-		truths[w] = make([]uint64, keys)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			src := stream.NewZipf(keys, 1.05, xrand.NewSeeded(uint64(500+w)))
-			buf := make([]int, 2048)
-			for done := 0; done < perW; {
-				batch := buf
-				if rest := perW - done; rest < len(batch) {
-					batch = batch[:rest]
-				}
-				for i := range batch {
+	fmt.Printf("=== 3-node counterd cluster: %d keys, %d partitions, rf %d ===\n\n", nKeys, partitions, rf)
+	n0 := startNode("node0", filepath.Join(base, "n0"), "127.0.0.1:0", nil)
+	defer n0.shutdown()
+	n1 := startNode("node1", filepath.Join(base, "n1"), "127.0.0.1:0", []string{n0.self})
+	defer n1.shutdown()
+	n2 := startNode("node2", filepath.Join(base, "n2"), "127.0.0.1:0", []string{n0.self})
+	nodes := []*demoNode{n0, n1, n2}
+	awaitMembers(nodes, 3)
+	fmt.Printf("gossip converged: %s, %s, %s\n", n0.self, n1.self, n2.self)
+
+	ring := n0.node.Ring()
+	owned := map[string]int{}
+	for p := 0; p < partitions; p++ {
+		for _, r := range ring.Replicas(p) {
+			owned[r]++
+		}
+	}
+	for _, d := range nodes {
+		fmt.Printf("  %s (%s) replicates %d/%d partitions\n", d.name, d.self, owned[d.self], partitions)
+	}
+
+	// --- Phase 1: concurrent load through the smart client ---------------
+	truth := make([]uint64, nKeys)
+	var truthMu sync.Mutex
+	drive := func(events, workers int, seedBase uint64, targets []string) {
+		var wg sync.WaitGroup
+		perW := events / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, err := client.New(client.Config{Seeds: targets, BatchSize: 512})
+				check(err)
+				local := make([]uint64, nKeys)
+				src := stream.NewZipf(nKeys, zipfS, xrand.NewSeeded(seedBase+uint64(w)))
+				for i := 0; i < perW; i++ {
 					k := int(src.Next())
-					batch[i] = k
-					truths[w][k]++
+					check(c.Inc(k))
+					local[k]++
 				}
-				banks[w].IncrementBatch(batch)
-				done += len(batch)
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	// Ship every remote site's state to site 0 as a compressed snapshot,
-	// then fold (tree or linear order — the merge is associative in
-	// distribution). The decode side rebuilds a mergeable bank purely from
-	// the wire bytes: algorithm, shape, and registers all ride the header.
-	merged := banks[0]
-	raw := snapcodec.RawPayloadBytes(keys, alg.Width())
-	var shipped int
-	for w, b := range banks[1:] {
-		snap := &snapcodec.Snapshot{
-			N:         b.Len(),
-			Shards:    b.Shards(),
-			Seed:      b.Seed(),
-			Registers: b.ExportState().Registers,
+				check(c.Flush())
+				truthMu.Lock()
+				for k, v := range local {
+					truth[k] += v
+				}
+				truthMu.Unlock()
+			}(w)
 		}
-		if err := snap.SetAlg(b.Algorithm()); err != nil {
-			panic(err)
-		}
-		wire, err := snapcodec.Encode(snap)
-		if err != nil {
-			panic(err)
-		}
-		shipped += len(wire)
-		fmt.Printf("site %d snapshot: %d bytes on the wire vs %d raw packed (%.2f×)\n",
-			w+1, len(wire), raw, float64(raw)/float64(len(wire)))
-
-		// --- the wire --- //
-		got, err := snapcodec.Decode(wire)
-		if err != nil {
-			panic(err)
-		}
-		gotAlg, err := got.Alg()
-		if err != nil {
-			panic(err)
-		}
-		peer := shardbank.New(got.N, gotAlg, got.Shards, got.Seed)
-		if err := peer.RestoreState(shardbank.State{Registers: got.Registers}); err != nil {
-			panic(err)
-		}
-		if err := merged.Merge(peer); err != nil {
-			panic(err)
-		}
-	}
-	fmt.Printf("total shipped: %d bytes for %d sites (raw would be %d)\n\n",
-		shipped, workers-1, (workers-1)*raw)
-	truth := make([]float64, keys)
-	for _, tw := range truths {
-		for k, c := range tw {
-			truth[k] += float64(c)
-		}
+		wg.Wait()
 	}
 
-	est := merged.EstimateAll()
-	var sumRel, hit float64
-	for k := 0; k < keys; k++ {
-		if truth[k] < 1000 {
+	start := time.Now()
+	drive(300_000, 4, 500, []string{n0.self, n1.self, n2.self})
+	el := time.Since(start)
+	fmt.Printf("\nphase 1: 300000 events through the ring in %v (%.0f events/s)\n",
+		el.Round(time.Millisecond), 300_000/el.Seconds())
+
+	// --- Phase 2: kill node2 mid-traffic ----------------------------------
+	fmt.Printf("\nphase 2: hard-killing %s, traffic continues against the survivors\n", n2.name)
+	n2.kill()
+	drive(150_000, 4, 900, []string{n0.self, n1.self})
+	pending := int64(0)
+	for _, d := range []*demoNode{n0, n1} {
+		var info cluster.Info
+		check(getJSON(d.self+"/cluster/info", &info))
+		for _, p := range info.OutboxPending {
+			pending += p
+		}
+	}
+	fmt.Printf("survivors acked everything; %d hint batches queued for the dead node\n", pending)
+
+	// --- Phase 3: restart, hinted handoff, anti-entropy -------------------
+	fmt.Printf("\nphase 3: restarting %s from its data directory\n", n2.name)
+	n2 = startNode("node2", n2.dir, n2.addr, []string{n0.self})
+	defer n2.shutdown()
+	nodes = []*demoNode{n0, n1, n2}
+	awaitMembers(nodes, 3)
+	stats := n2.st.Stats()
+	fmt.Printf("recovered from %s, %d WAL records replayed\n", stats.RecoveredFrom, stats.ReplayedRecords)
+
+	converged := awaitConvergence(nodes)
+	fmt.Printf("anti-entropy converged: all replica pairs byte-identical in %v\n", converged.Round(time.Millisecond))
+
+	raw := snapcodec.RawPayloadBytes(nKeys, alg.Width())
+	var wire int
+	for p := 0; p < partitions; p++ {
+		blob := fetchOwned(nodes, p)
+		wire += len(blob)
+	}
+	fmt.Printf("partition snapshots on the wire: %d bytes total vs %d raw packed (%.1f×)\n",
+		wire, raw, float64(raw)/float64(wire))
+
+	// Accuracy through the ring, against the acked ground truth.
+	c, err := client.New(client.Config{Seeds: []string{n2.self}})
+	check(err)
+	var sumRel float64
+	var hot int
+	for k, tr := range truth {
+		if tr < 1000 {
 			continue
 		}
-		d := (est[k] - truth[k]) / truth[k]
+		est, err := c.Estimate(k)
+		check(err)
+		d := (est - float64(tr)) / float64(tr)
 		if d < 0 {
 			d = -d
 		}
 		sumRel += d
-		hit++
+		hot++
 	}
-	fmt.Printf("merged %d banks of %d packed counters (%d events total)\n",
-		workers, keys, workers*perW)
-	fmt.Printf("mean |relative error| over %.0f hot keys: %.2f%%\n", hit, 100*sumRel/hit)
-	fmt.Printf("per-bank footprint: %d bytes (%d bits/counter)\n\n",
-		merged.SizeBytes(), merged.BitsPerCounter())
+	fmt.Printf("mean |relative error| over %d hot keys after crash+heal: %.2f%%\n", hot, 100*sumRel/float64(hot))
 
-	// --- Tier 2: merging single counters ---------------------------------
-	family := approxcount.NewFamily(99)
-
-	// Eight workers each count their own slice of a 4M-event stream.
-	const singleWorkers = 8
-	const perWorker = 500_000
-	shards := make([]*approxcount.NelsonYu, singleWorkers)
-	for w := range shards {
-		c, err := family.NelsonYu(0.05, 1e-6)
-		if err != nil {
-			panic(err)
+	// --- Phase 4: a disjoint stream folds in via Remark 2.4 ---------------
+	fmt.Printf("\nphase 4: merging an off-ring site's disjoint stream (Remark 2.4)\n")
+	site, err := server.Open(server.Config{
+		Dir: filepath.Join(base, "site"), N: nKeys, Shards: shards, Alg: alg,
+		Seed: 99, Partitions: partitions, NoSync: true,
+	})
+	check(err)
+	src := stream.NewZipf(nKeys, zipfS, xrand.NewSeeded(7777))
+	batch := make([]int, 1024)
+	for done := 0; done < 100_000; done += len(batch) {
+		for i := range batch {
+			batch[i] = int(src.Next())
 		}
-		c.IncrementBy(perWorker) // skip-ahead: same law as per-event loops
-		shards[w] = c
+		check(site.Apply(batch))
 	}
-	total := shards[0]
-	for _, s := range shards[1:] {
-		if err := approxcount.Merge(total, s); err != nil {
-			panic(err)
+	var blob bytes.Buffer
+	check(site.SnapshotTo(&blob))
+	site.Close(false)
+	resp, err := http.Post(n0.self+"/merge", "application/octet-stream", &blob)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		panic(fmt.Sprintf("merge rejected: status %d: %s", resp.StatusCode, msg))
+	}
+	resp.Body.Close()
+	est0, _ := c.Estimate(0)
+	fmt.Printf("site merged into %s: key 0 estimate rose to %.0f (replica copies converge on the next anti-entropy round)\n",
+		n0.name, est0)
+	fmt.Println("\ndone.")
+}
+
+func awaitMembers(nodes []*demoNode, want int) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok := true
+		for _, d := range nodes {
+			if len(d.node.Membership().AlivePeers()) != want-1 {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			panic("cluster never formed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// awaitConvergence polls until every partition's replicas serve identical
+// snapshot bytes, returning how long it took.
+func awaitConvergence(nodes []*demoNode) time.Duration {
+	byID := map[string]*demoNode{}
+	for _, d := range nodes {
+		byID[d.self] = d
+	}
+	start := time.Now()
+	deadline := start.Add(30 * time.Second)
+	for {
+		same := true
+	scan:
+		for p := 0; p < partitions; p++ {
+			var want []byte
+			for _, rep := range nodes[0].node.Ring().Replicas(p) {
+				d, ok := byID[rep]
+				if !ok {
+					continue
+				}
+				blob, err := fetch(d.self + fmt.Sprintf("/snapshot/%d", p))
+				if err != nil || (want != nil && !bytes.Equal(want, blob)) {
+					same = false
+					break scan
+				}
+				want = blob
+			}
+		}
+		if same {
+			return time.Since(start)
+		}
+		if time.Now().After(deadline) {
+			panic("replicas never converged")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func fetchOwned(nodes []*demoNode, p int) []byte {
+	byID := map[string]*demoNode{}
+	for _, d := range nodes {
+		byID[d.self] = d
+	}
+	for _, rep := range nodes[0].node.Ring().Replicas(p) {
+		if d, ok := byID[rep]; ok {
+			blob, err := fetch(d.self + fmt.Sprintf("/snapshot/%d", p))
+			check(err)
+			return blob
 		}
 	}
-	trueN := float64(singleWorkers * perWorker)
-	fmt.Printf("merged Nelson–Yu estimate: %.0f (true %d)\n",
-		total.Estimate(), singleWorkers*perWorker)
-	fmt.Printf("relative error:  %+.3f%%\n", 100*(total.Estimate()-trueN)/trueN)
-	fmt.Printf("merged state:    %d bits\n", total.StateBits())
+	panic("no replica")
+}
 
-	// Mixed parameters are rejected — merging is only defined between
-	// counters of the same law.
-	m1 := family.Morris(0.01)
-	bad := family.Morris(0.02)
-	m1.IncrementBy(300_000)
-	if err := approxcount.Merge(m1, bad); err != nil {
-		fmt.Printf("mismatched merge rejected: %v\n", err)
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func getJSON(url string, v any) error {
+	blob, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, v)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
 	}
 }

@@ -1,0 +1,271 @@
+// Package client is the smart cluster client: it learns the ring from any
+// node (GET /cluster/ring), rebuilds the identical consistent-hash ring
+// locally, and routes every increment and estimate straight to a replica
+// that owns the key's partition — no proxy hop, no load balancer. Writes
+// are shard-batched: keys buffer per destination node and flush as one
+// POST /inc per node, so a Zipf stream against a 3-node ring costs three
+// HTTP streams, not one per key.
+//
+// A Client is not safe for concurrent use (each goroutine of a load driver
+// gets its own; they share nothing but the cluster). On routing errors it
+// fails over to the other replicas and refreshes the ring.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/snapcodec"
+)
+
+// Config tunes a Client.
+type Config struct {
+	// Seeds are node base URLs; the first one that answers
+	// GET /cluster/ring bootstraps the ring.
+	Seeds []string
+	// BatchSize is the per-destination buffer flushed as one POST /inc
+	// (default 1024).
+	BatchSize int
+	// HTTPTimeout is the per-request deadline (default 5s).
+	HTTPTimeout time.Duration
+}
+
+// Client routes increments and estimates to partition owners.
+type Client struct {
+	cfg  Config
+	hc   *http.Client
+	ring *cluster.Ring
+	info cluster.RingInfo
+	// reps caches ring.Replicas per partition: the per-event hot path
+	// (Inc) then costs one multiply and one slice index instead of a hash
+	// walk and three allocations per key.
+	reps [][]string
+	bufs map[string][]int // destination → pending keys
+}
+
+// New builds a client and fetches the ring from the first answering seed.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("client: no seed nodes")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1024
+	}
+	if cfg.HTTPTimeout <= 0 {
+		cfg.HTTPTimeout = 5 * time.Second
+	}
+	c := &Client{
+		cfg:  cfg,
+		hc:   &http.Client{Timeout: cfg.HTTPTimeout},
+		bufs: make(map[string][]int),
+	}
+	if err := c.Refresh(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Refresh re-fetches the ring from the seeds (trying live members too, so a
+// client outlives its original seed).
+func (c *Client) Refresh() error {
+	tried := map[string]bool{}
+	candidates := append([]string(nil), c.cfg.Seeds...)
+	if c.ring != nil {
+		candidates = append(candidates, c.ring.Members()...)
+	}
+	var lastErr error
+	for _, seed := range candidates {
+		if tried[seed] {
+			continue
+		}
+		tried[seed] = true
+		info, err := c.fetchRing(seed)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var members []string
+		for _, m := range info.Members {
+			if m.State != cluster.StateDead {
+				members = append(members, m.ID)
+			}
+		}
+		c.info = info
+		c.ring = cluster.NewRing(members, info.RF, info.VNodes)
+		c.reps = make([][]string, info.Partitions)
+		for p := range c.reps {
+			c.reps[p] = c.ring.Replicas(p)
+		}
+		return nil
+	}
+	return fmt.Errorf("client: no seed answered: %w", lastErr)
+}
+
+func (c *Client) fetchRing(seed string) (cluster.RingInfo, error) {
+	var info cluster.RingInfo
+	resp, err := c.hc.Get(seed + "/cluster/ring")
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return info, fmt.Errorf("%s/cluster/ring: status %d", seed, resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return info, err
+	}
+	if info.N <= 0 || info.Partitions <= 0 {
+		return info, fmt.Errorf("%s/cluster/ring: degenerate shape %d keys / %d partitions", seed, info.N, info.Partitions)
+	}
+	return info, nil
+}
+
+// N returns the cluster's key-space size.
+func (c *Client) N() int { return c.info.N }
+
+// Partitions returns the cluster's partition count.
+func (c *Client) Partitions() int { return c.info.Partitions }
+
+// Ring returns the client's current view of the ring.
+func (c *Client) Ring() *cluster.Ring { return c.ring }
+
+// replicasFor returns the replica set owning key k (shared cached slice —
+// read-only).
+func (c *Client) replicasFor(k int) []string {
+	return c.reps[snapcodec.PartitionOf(k, c.info.N, c.info.Partitions)]
+}
+
+// Inc buffers one event for key k, flushing the destination's batch when
+// full.
+func (c *Client) Inc(k int) error {
+	if k < 0 || k >= c.info.N {
+		return fmt.Errorf("client: key %d out of range [0,%d)", k, c.info.N)
+	}
+	reps := c.replicasFor(k)
+	if len(reps) == 0 {
+		return errors.New("client: empty ring")
+	}
+	dest := reps[0]
+	c.bufs[dest] = append(c.bufs[dest], k)
+	if len(c.bufs[dest]) >= c.cfg.BatchSize {
+		return c.flushDest(dest)
+	}
+	return nil
+}
+
+// IncBatch buffers a batch of events (one per key occurrence).
+func (c *Client) IncBatch(keys []int) error {
+	for _, k := range keys {
+		if err := c.Inc(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush sends every buffered batch. The client guarantees acked-or-error:
+// a batch that cannot be delivered to any replica of its partition (even
+// after a ring refresh) is reported, not dropped silently.
+func (c *Client) Flush() error {
+	for dest := range c.bufs {
+		if err := c.flushDest(dest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) flushDest(dest string) error {
+	keys := c.bufs[dest]
+	if len(keys) == 0 {
+		return nil
+	}
+	err := c.post(dest, keys)
+	if err == nil {
+		delete(c.bufs, dest)
+		return nil
+	}
+	// The primary is unreachable: any replica of the batch's partitions can
+	// coordinate (each node re-routes keys it does not own), so fail over
+	// through the other replicas of the first key, then refresh and retry.
+	reps := c.replicasFor(keys[0])
+	for _, alt := range reps[1:] {
+		if c.post(alt, keys) == nil {
+			delete(c.bufs, dest)
+			return nil
+		}
+	}
+	if rerr := c.Refresh(); rerr == nil {
+		for _, alt := range c.replicasFor(keys[0]) {
+			if c.post(alt, keys) == nil {
+				delete(c.bufs, dest)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("client: flush to %s: %w", dest, err)
+}
+
+func (c *Client) post(dest string, keys []int) error {
+	body, err := json.Marshal(map[string][]int{"keys": keys})
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(dest+"/inc", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s/inc: status %d: %s", dest, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Estimate asks a replica of k's partition for N̂, failing over through the
+// replica set.
+func (c *Client) Estimate(k int) (float64, error) {
+	if k < 0 || k >= c.info.N {
+		return 0, fmt.Errorf("client: key %d out of range [0,%d)", k, c.info.N)
+	}
+	var lastErr error
+	for _, rep := range c.replicasFor(k) {
+		resp, err := c.hc.Get(fmt.Sprintf("%s/estimate/%d", rep, k))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: status %d", rep, resp.StatusCode)
+			continue
+		}
+		var out struct {
+			Estimate float64 `json:"estimate"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return out.Estimate, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("empty ring")
+	}
+	return 0, fmt.Errorf("client: estimate key %d: %w", k, lastErr)
+}
+
+// Close flushes pending batches.
+func (c *Client) Close() error { return c.Flush() }

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Anti-entropy: the repair path that makes replicas converge no matter what
+// the write path dropped (a crashed coordinator's unsent outbox, a hint log
+// lost to power failure, a partition that healed). The exchange unit is a
+// snapcodec-compressed partition snapshot, and the join is the
+// register-wise maximum (Store.MergeMax) — correct between replicas because
+// every replica of a partition applies the same logical increment stream
+// (the write path delivers each acknowledged batch to every replica at
+// least once) and registers are monotone under increments: the bigger
+// register is simply the replica that has absorbed more of the stream. Max
+// is idempotent, so repeated rounds settle at identical registers. Remark
+// 2.4's distributional merge is NOT used here — between same-stream
+// replicas it would double-count; it remains the right join for disjoint
+// streams (POST /merge).
+//
+// When to merge matters as much as how. The replicas absorb the shared
+// stream with independent randomness, so at any instant their registers are
+// two slightly-diverged random walks; taking the max of in-flight replicas
+// keeps the upper envelope of that noise, and doing so every round under
+// active load ratchets the registers upward — a measurable estimate bias
+// that grows with exchange frequency (see TestClusterReplicationConverges,
+// which caught exactly this). So a round only merges a partition when one
+// of two gates opens:
+//
+//  1. Repair: a peer replica has just come back from suspect/dead (or this
+//     node just started). Its registers may be missing whole stretches of
+//     the stream; merging now is worth a one-time sliver of max-bias.
+//  2. Quiescent divergence: the partition has seen no local writes for a
+//     full round AND the replicas' register hashes differ. No writes means
+//     no replication in flight, so a hash mismatch is real divergence, and
+//     merging static registers is ratchet-free (once converged the hashes
+//     match and rounds become pure hash checks).
+//
+// In a healthy, loaded cluster anti-entropy therefore costs one tiny hash
+// exchange per partition per round and adds zero bias; the replication
+// outbox is what keeps replicas tracking the stream.
+//
+// Both gates additionally require the PAIR to be op-quiescent: neither side
+// may hold queued (undrained) batches for the other. State transfer and op
+// replay deliver the same history through different channels — if a node
+// max-joins a peer's registers and the peer's hint drain then re-applies
+// the same events as increments, they are counted twice (measured at
+// 10–20% inflation in the crash/recovery test when repair raced hinted
+// handoff). Ordering ops-before-state per pair closes the overlap; the
+// residue is at most one in-flight drain window of a third replica.
+func (n *Node) antiEntropyRound() {
+	ring := n.ring.Load()
+	parts := n.st.Partitions()
+	round := n.aeRounds.Add(1)
+	n.noteRecoveries()
+	// pairSafe memoizes per-round whether a pair is op-quiescent.
+	safeCache := map[string]bool{}
+	pairSafe := func(peer string) bool {
+		if v, ok := safeCache[peer]; ok {
+			return v
+		}
+		v := n.pairQuiesced(peer)
+		safeCache[peer] = v
+		return v
+	}
+	for p := 0; p < parts; p++ {
+		reps := ring.Replicas(p)
+		mine := false
+		var peers []string
+		for _, r := range reps {
+			if r == n.cfg.Self {
+				mine = true
+			} else if m, ok := n.mem.State(r); ok && m.State == StateAlive {
+				peers = append(peers, r)
+			}
+		}
+		if !mine || len(peers) == 0 {
+			continue
+		}
+
+		// Gate 1: repair every freshly-recovered peer replica — once the
+		// pair's hint queues are empty in both directions.
+		repaired := false
+		for _, peer := range peers {
+			if !n.needsRepair[peer] {
+				continue
+			}
+			if !pairSafe(peer) {
+				// Ops still in flight between us: let the drains finish and
+				// retry the repair next round.
+				n.repairFailed[peer] = true
+				continue
+			}
+			if err := n.syncPartition(p, peer); err != nil {
+				n.repairFailed[peer] = true
+				n.cfg.Logf("cluster: repair partition %d with %s: %v", p, peer, err)
+			}
+			repaired = true
+		}
+		if repaired {
+			n.lastPartVer[p] = n.st.PartitionVersion(p)
+			continue
+		}
+
+		// Gate 2: quiescent divergence with the round's rotating peer.
+		ver := n.st.PartitionVersion(p)
+		if ver != n.lastPartVer[p] {
+			n.lastPartVer[p] = ver // writes in flight; check again next round
+			continue
+		}
+		peer := peers[(int(round)+p)%len(peers)]
+		if !pairSafe(peer) {
+			continue // the peer's queued ops for us would double-count
+		}
+		same, err := n.hashMatches(p, peer)
+		if err != nil {
+			n.cfg.Logf("cluster: anti-entropy hash of partition %d from %s: %v", p, peer, err)
+			continue
+		}
+		if same {
+			continue
+		}
+		if err := n.syncPartition(p, peer); err != nil {
+			n.cfg.Logf("cluster: anti-entropy partition %d with %s: %v", p, peer, err)
+		}
+		n.lastPartVer[p] = n.st.PartitionVersion(p)
+	}
+	// A peer is fully repaired once a round touched every shared partition
+	// without a failure.
+	for peer := range n.needsRepair {
+		if !n.repairFailed[peer] {
+			delete(n.needsRepair, peer)
+		}
+		delete(n.repairFailed, peer)
+	}
+}
+
+// noteRecoveries diffs member states against the previous round and marks
+// peers that returned to life (or appeared) as needing repair. Runs only on
+// the anti-entropy goroutine; the maps are loop-local state.
+func (n *Node) noteRecoveries() {
+	for _, m := range n.mem.Snapshot() {
+		if m.ID == n.cfg.Self {
+			continue
+		}
+		prev, known := n.prevStates[m.ID]
+		if m.State == StateAlive && (!known || prev != StateAlive) {
+			n.needsRepair[m.ID] = true
+		}
+		n.prevStates[m.ID] = m.State
+	}
+}
+
+// pairQuiesced reports whether no replication ops are queued between this
+// node and peer in either direction: our outbox for them is empty, and
+// their /cluster/info shows an empty outbox for us. Merging state while
+// either queue is non-empty would count the queued events twice (once as
+// transferred registers, once when the drain applies them).
+func (n *Node) pairQuiesced(peer string) bool {
+	n.obMu.Lock()
+	o := n.outboxes[peer]
+	n.obMu.Unlock()
+	if o != nil && o.pending() > 0 {
+		return false
+	}
+	resp, err := n.client.Get(peer + "/cluster/info")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	var info Info
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return false
+	}
+	return info.OutboxPending[n.cfg.Self] == 0
+}
+
+// hashMatches compares the local register hash of partition p with peer's.
+func (n *Node) hashMatches(p int, peer string) (bool, error) {
+	local, err := n.st.PartitionHash(p)
+	if err != nil {
+		return false, err
+	}
+	resp, err := n.client.Get(fmt.Sprintf("%s/cluster/phash/%d", peer, p))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var reply struct {
+		Hash string `json:"hash"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&reply); err != nil {
+		return false, err
+	}
+	return reply.Hash == fmt.Sprintf("%016x", local), nil
+}
+
+// syncPartition runs one pull-push max-join exchange of partition p with
+// peer.
+func (n *Node) syncPartition(p int, peer string) error {
+	// Pull the peer's view and fold it in.
+	resp, err := n.client.Get(fmt.Sprintf("%s/snapshot/%d", peer, p))
+	if err != nil {
+		return err
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pull: status %d", resp.StatusCode)
+	}
+	if err := n.st.MergeMax(blob); err != nil {
+		return fmt.Errorf("pull merge: %w", err)
+	}
+
+	// Push our (now joined) view back so one exchange converges both sides.
+	var buf bytes.Buffer
+	if err := n.st.PartitionSnapshotTo(&buf, p); err != nil {
+		return err
+	}
+	pushResp, err := n.client.Post(peer+"/mergemax", "application/octet-stream", &buf)
+	if err != nil {
+		return err
+	}
+	defer pushResp.Body.Close()
+	if pushResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(pushResp.Body, 512))
+		return fmt.Errorf("push: status %d: %s", pushResp.StatusCode, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, pushResp.Body)
+	return nil
+}

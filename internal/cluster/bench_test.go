@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// BenchmarkClusterIngest drives the full coordinator write path of a
+// 3-node loopback cluster at RF=2: local durable apply, replica fan-out
+// through the outboxes, and HTTP forwarding for unowned partitions. The
+// events/s metric is the cluster's acknowledged ingest rate as seen by one
+// coordinator.
+func BenchmarkClusterIngest(b *testing.B) {
+	cc := defaultClusterConfig()
+	cc.n = 100_000
+	cc.partitions = 32
+	n0 := startNode(b, b.TempDir(), "", cc, nil)
+	defer n0.shutdown()
+	n1 := startNode(b, b.TempDir(), "", cc, []string{n0.self})
+	defer n1.shutdown()
+	n2 := startNode(b, b.TempDir(), "", cc, []string{n0.self})
+	defer n2.shutdown()
+
+	const batch = 1024
+	src := stream.NewZipf(uint64(cc.n), 1.05, xrand.NewSeeded(5))
+	keys := make([]int, batch)
+	for i := range keys {
+		keys[i] = int(src.Next())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n0.node.Ingest(keys, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkPartitionSnapshot measures the anti-entropy exchange unit: one
+// compressed partition snapshot off a loaded bank, with the wire cost as
+// bytes/register.
+func BenchmarkPartitionSnapshot(b *testing.B) {
+	cc := defaultClusterConfig()
+	cc.n = 1_000_000
+	cc.partitions = 64
+	tn := startNode(b, b.TempDir(), "", cc, nil)
+	defer tn.shutdown()
+	src := stream.NewZipf(uint64(cc.n), 1.05, xrand.NewSeeded(6))
+	keys := make([]int, 8192)
+	for round := 0; round < 100; round++ {
+		for i := range keys {
+			keys[i] = int(src.Next())
+		}
+		if err := tn.st.Apply(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tn.st.PartitionSnapshotTo(&buf, 0); err != nil {
+		b.Fatal(err)
+	}
+	regs := cc.n / cc.partitions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := tn.st.PartitionSnapshotTo(&buf, i%cc.partitions); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(buf.Len())/float64(regs), "bytes/register")
+}
+
+// BenchmarkRingReplicas pins the routing hot path: one partition → replica
+// set lookup.
+func BenchmarkRingReplicas(b *testing.B) {
+	members := make([]string, 8)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://10.0.0.%d:8347", i+1)
+	}
+	r := NewRing(members, 3, DefaultVNodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.Replicas(i&1023)) != 3 {
+			b.Fatal("bad replica set")
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemberState is a member's health as seen by the local node. States only
+// worsen locally (missed heartbeats: alive → suspect → dead); they improve
+// through contact with the member itself or a gossiped higher incarnation.
+type MemberState int8
+
+const (
+	StateAlive MemberState = iota
+	StateSuspect
+	StateDead
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("MemberState(%d)", int8(s))
+	}
+}
+
+// MarshalJSON/UnmarshalJSON use the string names so gossip payloads and
+// /cluster/info stay readable.
+func (s MemberState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+func (s *MemberState) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "alive":
+		*s = StateAlive
+	case "suspect":
+		*s = StateSuspect
+	case "dead":
+		*s = StateDead
+	default:
+		return fmt.Errorf("cluster: unknown member state %q", name)
+	}
+	return nil
+}
+
+// Member is one row of the gossiped member table. ID is the member's
+// advertised base URL (e.g. "http://10.0.0.7:8347") — identity and address
+// are the same thing, which is what makes the table routable.
+type Member struct {
+	ID          string      `json:"id"`
+	Incarnation uint64      `json:"incarnation"`
+	State       MemberState `json:"state"`
+}
+
+type memberEntry struct {
+	Member
+	lastSeen time.Time
+}
+
+// MembershipConfig tunes the failure detector.
+type MembershipConfig struct {
+	// SuspectAfter marks a member suspect when no gossip exchange has
+	// succeeded for this long; DeadAfter marks it dead. Dead members leave
+	// the ring but stay in the table (their hinted-handoff queues drain
+	// when they return); DropAfter forgets them entirely.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	DropAfter    time.Duration
+}
+
+func (c *MembershipConfig) defaults() {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * time.Second
+	}
+	if c.DropAfter <= 0 {
+		c.DropAfter = 10 * time.Minute
+	}
+}
+
+// Membership is the local view of the cluster: a SWIM-style member table
+// merged via incarnation numbers. Higher incarnation always wins; at equal
+// incarnation the worse state wins (dead > suspect > alive), so rumors of a
+// failure spread until the accused member refutes them by bumping its own
+// incarnation. All methods are safe for concurrent use.
+type Membership struct {
+	cfg  MembershipConfig
+	self string
+
+	mu       sync.Mutex
+	members  map[string]*memberEntry
+	onChange func() // called (without mu) after any routable-set change
+}
+
+// NewMembership builds a table containing self (alive, incarnation 1).
+func NewMembership(self string, cfg MembershipConfig, onChange func()) *Membership {
+	cfg.defaults()
+	m := &Membership{
+		cfg:      cfg,
+		self:     self,
+		members:  make(map[string]*memberEntry),
+		onChange: onChange,
+	}
+	m.members[self] = &memberEntry{
+		Member:   Member{ID: self, Incarnation: 1, State: StateAlive},
+		lastSeen: time.Now(),
+	}
+	return m
+}
+
+// Self returns the local member ID.
+func (m *Membership) Self() string { return m.self }
+
+// AddSeed registers a join seed optimistically as alive at incarnation 0 —
+// the first gossip exchange replaces it with the seed's real row, and a
+// seed that never answers ages out through suspect → dead → dropped.
+func (m *Membership) AddSeed(id string) {
+	if id == "" || id == m.self {
+		return
+	}
+	m.mu.Lock()
+	changed := false
+	if _, ok := m.members[id]; !ok {
+		m.members[id] = &memberEntry{
+			Member:   Member{ID: id, Incarnation: 0, State: StateAlive},
+			lastSeen: time.Now(),
+		}
+		changed = true
+	}
+	m.mu.Unlock()
+	m.changed(changed)
+}
+
+// Snapshot returns the full member table, sorted by ID — the gossip payload.
+func (m *Membership) Snapshot() []Member {
+	m.mu.Lock()
+	out := make([]Member, 0, len(m.members))
+	for _, e := range m.members {
+		out = append(out, e.Member)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RingMembers returns the IDs that belong in the ring: alive and suspect
+// members. Suspect members keep their ring share — evicting on a single
+// missed heartbeat would reshuffle partitions on every network hiccup.
+func (m *Membership) RingMembers() []string {
+	m.mu.Lock()
+	out := make([]string, 0, len(m.members))
+	for id, e := range m.members {
+		if e.State != StateDead {
+			out = append(out, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// AlivePeers returns the non-self members currently believed alive.
+func (m *Membership) AlivePeers() []string {
+	m.mu.Lock()
+	out := make([]string, 0, len(m.members))
+	for id, e := range m.members {
+		if id != m.self && e.State == StateAlive {
+			out = append(out, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Peers returns every non-self member in the table, including dead ones
+// (gossip keeps probing them so a returning node is noticed).
+func (m *Membership) Peers() []string {
+	m.mu.Lock()
+	out := make([]string, 0, len(m.members))
+	for id := range m.members {
+		if id != m.self {
+			out = append(out, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// State returns the local view of one member.
+func (m *Membership) State(id string) (Member, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.members[id]
+	if !ok {
+		return Member{}, false
+	}
+	return e.Member, true
+}
+
+// MergeFrom folds a remote member table into the local one under the SWIM
+// rules. Returns whether the routable set may have changed.
+func (m *Membership) MergeFrom(remote []Member) {
+	m.mu.Lock()
+	changed := false
+	for _, r := range remote {
+		if r.ID == "" {
+			continue
+		}
+		if r.ID == m.self {
+			// Self-defense: someone thinks we are suspect/dead. Refute by
+			// outbidding their incarnation; the next gossip round spreads
+			// the correction.
+			e := m.members[m.self]
+			if r.State != StateAlive && r.Incarnation >= e.Incarnation {
+				e.Incarnation = r.Incarnation + 1
+				e.State = StateAlive
+				changed = true
+			}
+			continue
+		}
+		e, ok := m.members[r.ID]
+		if !ok {
+			m.members[r.ID] = &memberEntry{Member: r, lastSeen: time.Now()}
+			changed = true
+			continue
+		}
+		switch {
+		case r.Incarnation > e.Incarnation:
+			if e.State != r.State {
+				changed = true
+			}
+			e.Incarnation = r.Incarnation
+			e.State = r.State
+			if r.State == StateAlive {
+				e.lastSeen = time.Now()
+			}
+		case r.Incarnation == e.Incarnation && r.State > e.State:
+			e.State = r.State
+			changed = true
+		}
+	}
+	m.mu.Unlock()
+	m.changed(changed)
+}
+
+// Contact records the outcome of a direct exchange with a member. A success
+// is first-hand evidence of life: the member answered, so it is alive at
+// its current incarnation regardless of rumors. A failure just lets the
+// timeouts run (Tick does the demoting).
+func (m *Membership) Contact(id string, ok bool) {
+	if !ok || id == m.self {
+		return
+	}
+	m.mu.Lock()
+	changed := false
+	e, found := m.members[id]
+	if !found {
+		m.members[id] = &memberEntry{
+			Member:   Member{ID: id, Incarnation: 0, State: StateAlive},
+			lastSeen: time.Now(),
+		}
+		changed = true
+	} else {
+		e.lastSeen = time.Now()
+		if e.State != StateAlive {
+			e.State = StateAlive
+			changed = true
+		}
+	}
+	m.mu.Unlock()
+	m.changed(changed)
+}
+
+// Tick runs the failure detector: members not heard from age through
+// suspect → dead → dropped.
+func (m *Membership) Tick() {
+	now := time.Now()
+	m.mu.Lock()
+	changed := false
+	for id, e := range m.members {
+		if id == m.self {
+			continue
+		}
+		idle := now.Sub(e.lastSeen)
+		switch {
+		case idle > m.cfg.DropAfter && e.State == StateDead:
+			delete(m.members, id)
+			changed = true
+		case idle > m.cfg.DeadAfter && e.State != StateDead:
+			e.State = StateDead
+			changed = true
+		case idle > m.cfg.SuspectAfter && e.State == StateAlive:
+			e.State = StateSuspect
+			changed = true
+		}
+	}
+	m.mu.Unlock()
+	m.changed(changed)
+}
+
+func (m *Membership) changed(did bool) {
+	if did && m.onChange != nil {
+		m.onChange()
+	}
+}

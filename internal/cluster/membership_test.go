@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func testMembership(self string, onChange func()) *Membership {
+	return NewMembership(self, MembershipConfig{
+		SuspectAfter: 30 * time.Millisecond,
+		DeadAfter:    90 * time.Millisecond,
+		DropAfter:    300 * time.Millisecond,
+	}, onChange)
+}
+
+func stateOf(t *testing.T, m *Membership, id string) Member {
+	t.Helper()
+	mem, ok := m.State(id)
+	if !ok {
+		t.Fatalf("member %s missing", id)
+	}
+	return mem
+}
+
+func TestMembershipMergeRules(t *testing.T) {
+	m := testMembership("self", nil)
+	m.MergeFrom([]Member{{ID: "a", Incarnation: 3, State: StateAlive}})
+	if got := stateOf(t, m, "a"); got.State != StateAlive || got.Incarnation != 3 {
+		t.Fatalf("a = %+v", got)
+	}
+	// Lower incarnation loses.
+	m.MergeFrom([]Member{{ID: "a", Incarnation: 2, State: StateDead}})
+	if got := stateOf(t, m, "a"); got.State != StateAlive {
+		t.Fatalf("stale dead rumor accepted: %+v", got)
+	}
+	// Equal incarnation: worse state wins.
+	m.MergeFrom([]Member{{ID: "a", Incarnation: 3, State: StateSuspect}})
+	if got := stateOf(t, m, "a"); got.State != StateSuspect {
+		t.Fatalf("equal-incarnation suspect ignored: %+v", got)
+	}
+	m.MergeFrom([]Member{{ID: "a", Incarnation: 3, State: StateAlive}})
+	if got := stateOf(t, m, "a"); got.State != StateSuspect {
+		t.Fatalf("equal-incarnation alive overrode suspect: %+v", got)
+	}
+	// Higher incarnation alive refutes.
+	m.MergeFrom([]Member{{ID: "a", Incarnation: 4, State: StateAlive}})
+	if got := stateOf(t, m, "a"); got.State != StateAlive || got.Incarnation != 4 {
+		t.Fatalf("refutation rejected: %+v", got)
+	}
+}
+
+func TestMembershipSelfDefense(t *testing.T) {
+	m := testMembership("self", nil)
+	selfBefore := stateOf(t, m, "self")
+	m.MergeFrom([]Member{{ID: "self", Incarnation: selfBefore.Incarnation + 5, State: StateDead}})
+	got := stateOf(t, m, "self")
+	if got.State != StateAlive {
+		t.Fatalf("node accepted its own death: %+v", got)
+	}
+	if got.Incarnation <= selfBefore.Incarnation+5 {
+		t.Fatalf("refutation did not outbid the rumor: %+v", got)
+	}
+}
+
+func TestMembershipTimeouts(t *testing.T) {
+	changes := 0
+	m := testMembership("self", func() { changes++ })
+	m.AddSeed("peer")
+	if got := stateOf(t, m, "peer"); got.State != StateAlive {
+		t.Fatalf("seed not alive: %+v", got)
+	}
+	time.Sleep(40 * time.Millisecond)
+	m.Tick()
+	if got := stateOf(t, m, "peer"); got.State != StateSuspect {
+		t.Fatalf("silent peer not suspect: %+v", got)
+	}
+	// Suspect members stay in the ring; dead ones leave it.
+	if len(m.RingMembers()) != 2 {
+		t.Fatalf("ring members = %v", m.RingMembers())
+	}
+	time.Sleep(60 * time.Millisecond)
+	m.Tick()
+	if got := stateOf(t, m, "peer"); got.State != StateDead {
+		t.Fatalf("silent peer not dead: %+v", got)
+	}
+	if len(m.RingMembers()) != 1 {
+		t.Fatalf("dead peer still in ring: %v", m.RingMembers())
+	}
+	// A direct contact revives it.
+	m.Contact("peer", true)
+	if got := stateOf(t, m, "peer"); got.State != StateAlive {
+		t.Fatalf("contact did not revive: %+v", got)
+	}
+	// And total silence eventually drops it from the table.
+	time.Sleep(350 * time.Millisecond)
+	m.Tick() // -> dead
+	m.Tick() // dead long enough -> dropped? DropAfter measured from lastSeen
+	if _, ok := m.State("peer"); ok {
+		t.Fatal("long-dead peer never dropped")
+	}
+	if changes == 0 {
+		t.Fatal("onChange never fired")
+	}
+}
+
+func TestMembershipSnapshotSorted(t *testing.T) {
+	m := testMembership("c", nil)
+	m.AddSeed("b")
+	m.AddSeed("a")
+	snap := m.Snapshot()
+	if len(snap) != 3 || snap[0].ID != "a" || snap[1].ID != "b" || snap[2].ID != "c" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,701 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/snapcodec"
+	"repro/internal/wal"
+)
+
+// Config wires one Store into a cluster.
+type Config struct {
+	// Self is the node's advertised base URL (e.g. "http://10.0.0.7:8347").
+	// It doubles as the node's identity in the member table and on the
+	// ring, so it must be reachable by every peer.
+	Self string
+	// Join lists peer base URLs to gossip with at startup. Empty bootstraps
+	// a single-node cluster that others join.
+	Join []string
+	// RF is the replication factor: each partition lives on RF distinct
+	// nodes (clamped to the cluster size). Default 2.
+	RF int
+	// VNodes is the virtual-node count per member (default DefaultVNodes).
+	VNodes int
+	// HintDir is where per-peer replication outboxes (hinted handoff)
+	// persist. Default: <store dir>/hints — but the store dir is not known
+	// here, so counterd passes it explicitly.
+	HintDir string
+	// MaxForward caps the keys per replication/forward HTTP call.
+	// Default 8192.
+	MaxForward int
+
+	GossipInterval      time.Duration // member exchange cadence (default 1s)
+	GossipFanout        int           // peers contacted per round (default 3)
+	ReplInterval        time.Duration // outbox drain cadence (default 200ms)
+	AntiEntropyInterval time.Duration // partition sync cadence (default 5s)
+	HTTPTimeout         time.Duration // per-request deadline (default 5s)
+
+	Membership MembershipConfig
+
+	// HintFsync is the fsync policy of the outbox logs, in -fsync
+	// vocabulary ("always" | "interval" | "off"). Default "off" — the
+	// process-crash-safe choice: every append is still flushed to the OS
+	// at commit, and docs/CLUSTER.md explains why hint loss under power
+	// failure is tolerable. Set "always" to close that window at the cost
+	// of an extra fsync per fan-out append.
+	HintFsync string
+
+	// hintPolicy is HintFsync resolved by defaults().
+	hintPolicy wal.SyncPolicy
+
+	// Logf receives operational log lines (default log.Printf; tests pass
+	// a silent sink).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() error {
+	if c.Self == "" {
+		return errors.New("cluster: Config.Self is required")
+	}
+	if c.HintDir == "" {
+		return errors.New("cluster: Config.HintDir is required")
+	}
+	if c.RF <= 0 {
+		c.RF = 2
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.MaxForward <= 0 {
+		c.MaxForward = 8192
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.GossipFanout <= 0 {
+		c.GossipFanout = 3
+	}
+	if c.ReplInterval <= 0 {
+		c.ReplInterval = 200 * time.Millisecond
+	}
+	if c.AntiEntropyInterval <= 0 {
+		c.AntiEntropyInterval = 5 * time.Second
+	}
+	if c.HTTPTimeout <= 0 {
+		c.HTTPTimeout = 5 * time.Second
+	}
+	if c.HintFsync == "" {
+		c.HintFsync = "off"
+	}
+	var err error
+	if c.hintPolicy, err = wal.ParseSyncPolicy(c.HintFsync); err != nil {
+		return fmt.Errorf("cluster: HintFsync: %w", err)
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return nil
+}
+
+// Node is one cluster member: a Store plus membership, routing, write
+// fan-out, and anti-entropy. The owner serves Node.Handler over HTTP,
+// calls Start to launch the background loops, and Stop before closing the
+// Store.
+type Node struct {
+	cfg Config
+	st  *server.Store
+	mem *Membership
+
+	ring   atomic.Pointer[Ring]
+	client *http.Client
+
+	obMu     sync.Mutex
+	outboxes map[string]*outbox
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Anti-entropy loop-local state (touched only by that goroutine):
+	// recovered peers pending repair, last-seen member states, and the
+	// per-partition write versions observed last round (the quiescence
+	// gate).
+	needsRepair  map[string]bool
+	repairFailed map[string]bool
+	prevStates   map[string]MemberState
+	lastPartVer  []uint64
+
+	aeRounds  atomic.Uint64
+	forwards  atomic.Uint64
+	replSent  atomic.Uint64
+	replRecvd atomic.Uint64
+}
+
+// New builds a Node around an open Store. Call Start to join the cluster.
+func New(st *server.Store, cfg Config) (*Node, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.HintDir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	n := &Node{
+		cfg:          cfg,
+		st:           st,
+		client:       &http.Client{Timeout: cfg.HTTPTimeout},
+		outboxes:     make(map[string]*outbox),
+		stop:         make(chan struct{}),
+		needsRepair:  make(map[string]bool),
+		repairFailed: make(map[string]bool),
+		prevStates:   make(map[string]MemberState),
+		lastPartVer:  make([]uint64, st.Partitions()),
+	}
+	// Replication chunks must fit the receiving store's batch cap, or a
+	// drained chunk would be rejected forever and wedge the outbox.
+	if n.cfg.MaxForward > st.MaxBatch() {
+		n.cfg.MaxForward = st.MaxBatch()
+	}
+	n.mem = NewMembership(cfg.Self, cfg.Membership, n.rebuildRing)
+	n.rebuildRing()
+	return n, nil
+}
+
+// Store returns the node's underlying store.
+func (n *Node) Store() *server.Store { return n.st }
+
+// Ring returns the node's current routing ring.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Membership returns the node's member table.
+func (n *Node) Membership() *Membership { return n.mem }
+
+func (n *Node) rebuildRing() {
+	n.ring.Store(NewRing(n.mem.RingMembers(), n.cfg.RF, n.cfg.VNodes))
+}
+
+// Start seeds the member table from cfg.Join, runs one synchronous gossip
+// round (so a joining node routes correctly before its first write), and
+// launches the gossip, replication-drain, and anti-entropy loops.
+func (n *Node) Start() {
+	for _, s := range n.cfg.Join {
+		n.mem.AddSeed(s)
+	}
+	n.reopenOutboxes()
+	n.gossipRound()
+	n.runLoop(n.cfg.GossipInterval, func() {
+		n.gossipRound()
+		n.mem.Tick()
+	})
+	n.runLoop(n.cfg.ReplInterval, n.drainOutboxes)
+	n.runLoop(n.cfg.AntiEntropyInterval, n.antiEntropyRound)
+}
+
+func (n *Node) runLoop(every time.Duration, fn func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loops and closes the outbox logs. Pending
+// hints stay on disk for the next start. Safe to call more than once.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	n.obMu.Lock()
+	defer n.obMu.Unlock()
+	for peer, o := range n.outboxes {
+		if err := o.close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			n.cfg.Logf("cluster: closing outbox for %s: %v", peer, err)
+		}
+	}
+	n.outboxes = make(map[string]*outbox)
+}
+
+// --- write path ---------------------------------------------------------
+
+// forwardJob is a partition's key group headed to a remote coordinator.
+type forwardJob struct {
+	partition int
+	keys      []int
+	replicas  []string
+}
+
+// Ingest durably counts a batch of keys, coordinating across the ring:
+// keys of partitions this node replicates are WAL-applied locally (the ack
+// point) and queued to the other replicas' outboxes; keys of partitions it
+// does not own are forwarded synchronously to a replica.
+//
+// forwarded marks a batch that already made one forwarding hop. Ring views
+// can disagree during membership churn, so without a bound two nodes that
+// each believe the other owns a partition would ping-pong the batch in
+// nested HTTP calls until timeout. A forwarded batch is never forwarded
+// again: partitions this node still does not own are applied locally AND
+// queued to every replica in this node's view, so the events land on the
+// real owners through replication while the chain stays one hop.
+//
+// The returned count is the number of keys acknowledged.
+func (n *Node) Ingest(keys []int, forwarded bool) (int, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	ring := n.ring.Load()
+	nKeys := n.st.Bank().Len()
+	parts := n.st.Partitions()
+
+	// Classify each partition once, then split the batch in key order.
+	type dest struct {
+		local    bool
+		replicas []string
+	}
+	dests := make(map[int]*dest)
+	for _, k := range keys {
+		if k < 0 || k >= nKeys {
+			return 0, fmt.Errorf("%w: key %d out of range [0,%d)", server.ErrBadInput, k, nKeys)
+		}
+		p := snapcodec.PartitionOf(k, nKeys, parts)
+		if _, ok := dests[p]; !ok {
+			reps := ring.Replicas(p)
+			d := &dest{replicas: reps}
+			for _, r := range reps {
+				if r == n.cfg.Self {
+					d.local = true
+				}
+			}
+			// A forwarded batch stops here regardless of ownership; an
+			// empty replica set (cannot happen, self is always a member)
+			// also needs a home for the keys.
+			if forwarded || len(reps) == 0 {
+				d.local = true
+			}
+			dests[p] = d
+		}
+	}
+	var local []int
+	remote := make(map[int]*forwardJob)
+	fan := make(map[string][]int)
+	for _, k := range keys {
+		p := snapcodec.PartitionOf(k, nKeys, parts)
+		d := dests[p]
+		if d.local {
+			local = append(local, k)
+			for _, r := range d.replicas {
+				if r != n.cfg.Self {
+					fan[r] = append(fan[r], k)
+				}
+			}
+			continue
+		}
+		job, ok := remote[p]
+		if !ok {
+			job = &forwardJob{partition: p, replicas: d.replicas}
+			remote[p] = job
+		}
+		job.keys = append(job.keys, k)
+	}
+
+	applied := 0
+	if len(local) > 0 {
+		if err := n.st.Apply(local); err != nil {
+			return 0, err
+		}
+		applied += len(local)
+		// Fan out only after the local (durable) apply: the outbox ships
+		// exactly what was acknowledged.
+		for peer, g := range fan {
+			ob, err := n.outboxFor(peer)
+			if err == nil {
+				err = ob.append(g)
+			}
+			if err != nil {
+				// Replication intent lost, data not: the keys are in the
+				// local WAL and anti-entropy still spreads their effect.
+				n.cfg.Logf("cluster: queueing %d keys for %s: %v", len(g), peer, err)
+			}
+		}
+	}
+	for _, job := range remote {
+		if err := n.forward(job); err != nil {
+			return applied, err
+		}
+		applied += len(job.keys)
+	}
+	return applied, nil
+}
+
+// forward sends a partition's keys to its replicas, trying the primary
+// first, until one coordinates the write. The fwd marker caps the chain at
+// one hop (see Ingest).
+func (n *Node) forward(job *forwardJob) error {
+	var lastErr error
+	for _, peer := range job.replicas {
+		if m, ok := n.mem.State(peer); ok && m.State == StateDead {
+			continue
+		}
+		// Chunk by MaxForward (clamped to the store batch cap) so the
+		// peer's Apply can never reject the batch as oversized.
+		if err := n.postKeysChunked(peer, "/inc?fwd=1", job.keys); err != nil {
+			lastErr = err
+			continue
+		}
+		n.forwards.Add(1)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no live replica for partition %d", job.partition)
+	}
+	return fmt.Errorf("cluster: forward partition %d: %w", job.partition, lastErr)
+}
+
+// outboxFor returns (opening on demand) the peer's durable hint log.
+func (n *Node) outboxFor(peer string) (*outbox, error) {
+	n.obMu.Lock()
+	defer n.obMu.Unlock()
+	if o, ok := n.outboxes[peer]; ok {
+		return o, nil
+	}
+	dir := filepath.Join(n.cfg.HintDir, fmt.Sprintf("%016x", hash64(peer)))
+	o, wasReset, err := openOutbox(dir, wal.Options{Policy: n.cfg.hintPolicy})
+	if err != nil {
+		return nil, err
+	}
+	if wasReset {
+		n.cfg.Logf("cluster: outbox for %s was corrupt; dropped pending hints", peer)
+	}
+	// Leave a human-readable marker of which peer this hashed dir serves.
+	_ = os.WriteFile(filepath.Join(dir, "peer.txt"), []byte(peer+"\n"), 0o644)
+	n.outboxes[peer] = o
+	return o, nil
+}
+
+// reopenOutboxes revives on-disk hint queues left by a previous process,
+// so leftover hinted batches drain promptly instead of waiting for fresh
+// write traffic toward the same peer to reopen them (and /cluster/info
+// reports their true depth from the start).
+func (n *Node) reopenOutboxes() {
+	ents, err := os.ReadDir(n.cfg.HintDir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(n.cfg.HintDir, e.Name(), "peer.txt"))
+		if err != nil {
+			n.cfg.Logf("cluster: hint dir %s has no peer marker; leaving it", e.Name())
+			continue
+		}
+		peer := strings.TrimSpace(string(raw))
+		if peer == "" || peer == n.cfg.Self {
+			continue
+		}
+		if _, err := n.outboxFor(peer); err != nil {
+			n.cfg.Logf("cluster: reopening outbox for %s: %v", peer, err)
+		}
+	}
+}
+
+// drainOutboxes ships queued hints to every alive peer.
+func (n *Node) drainOutboxes() {
+	n.obMu.Lock()
+	peers := make(map[string]*outbox, len(n.outboxes))
+	for p, o := range n.outboxes {
+		peers[p] = o
+	}
+	n.obMu.Unlock()
+	for peer, o := range peers {
+		if o.pending() == 0 {
+			continue
+		}
+		if m, ok := n.mem.State(peer); ok && m.State != StateAlive {
+			continue // hinted handoff: hold until the peer returns
+		}
+		if err := o.drain(n.cfg.MaxForward, func(chunk []int) error {
+			if err := n.postKeys(peer, "/cluster/repl", chunk); err != nil {
+				return err
+			}
+			n.replSent.Add(uint64(len(chunk)))
+			return nil
+		}); err != nil {
+			n.cfg.Logf("cluster: draining outbox for %s: %v", peer, err)
+		}
+	}
+}
+
+// postKeysChunked posts keys in MaxForward-sized slices. Chunks deliver
+// independently, so a mid-sequence failure leaves a prefix applied — the
+// same at-least-once exposure as every other delivery path here.
+func (n *Node) postKeysChunked(peer, path string, keys []int) error {
+	for lo := 0; lo < len(keys); lo += n.cfg.MaxForward {
+		hi := min(lo+n.cfg.MaxForward, len(keys))
+		if err := n.postKeys(peer, path, keys[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// postKeys POSTs {"keys": [...]} to peer+path, expecting a 2xx.
+func (n *Node) postKeys(peer, path string, keys []int) error {
+	body, err := json.Marshal(map[string][]int{"keys": keys})
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Post(peer+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s%s: status %d: %s", peer, path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// --- gossip -------------------------------------------------------------
+
+type gossipMsg struct {
+	From    string   `json:"from"`
+	Members []Member `json:"members"`
+}
+
+// gossipRound exchanges member tables with up to GossipFanout random peers.
+func (n *Node) gossipRound() {
+	peers := n.mem.Peers()
+	rand.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	if len(peers) > n.cfg.GossipFanout {
+		peers = peers[:n.cfg.GossipFanout]
+	}
+	for _, peer := range peers {
+		n.gossipWith(peer)
+	}
+}
+
+func (n *Node) gossipWith(peer string) {
+	msg := gossipMsg{From: n.cfg.Self, Members: n.mem.Snapshot()}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	resp, err := n.client.Post(peer+"/cluster/gossip", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return // Tick ages the peer toward suspect/dead
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var reply gossipMsg
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply); err != nil {
+		return
+	}
+	n.mem.Contact(peer, true)
+	n.mem.MergeFrom(reply.Members)
+}
+
+// --- HTTP surface -------------------------------------------------------
+
+// RingInfo is the GET /cluster/ring payload: everything a smart client
+// needs to build the identical ring and route without coordination.
+type RingInfo struct {
+	Self       string   `json:"self"`
+	N          int      `json:"n"`
+	Partitions int      `json:"partitions"`
+	RF         int      `json:"rf"`
+	VNodes     int      `json:"vnodes"`
+	Members    []Member `json:"members"`
+}
+
+// Info is the GET /cluster/info payload.
+type Info struct {
+	Self          string           `json:"self"`
+	Members       []Member         `json:"members"`
+	OwnedParts    []int            `json:"ownedPartitions"`
+	OutboxPending map[string]int64 `json:"outboxPending"`
+	AERounds      uint64           `json:"antiEntropyRounds"`
+	Forwards      uint64           `json:"forwards"`
+	ReplSent      uint64           `json:"replKeysSent"`
+	ReplReceived  uint64           `json:"replKeysReceived"`
+}
+
+// Handler returns the node's full HTTP surface: the cluster admin API plus
+// the store API (internal/server), with POST /inc re-routed through the
+// cluster write path.
+//
+//	POST /inc             coordinate a batch across the ring (ack = durable
+//	                      on ≥1 replica, queued to the rest)
+//	POST /cluster/repl    replica-apply a batch locally (no re-fan-out)
+//	POST /cluster/gossip  member-table exchange
+//	GET  /cluster/ring    RingInfo for smart clients
+//	GET  /cluster/info    membership/replication introspection
+//	(everything else)     internal/server.Handler
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /inc", func(w http.ResponseWriter, r *http.Request) {
+		keys, ok := readKeys(w, r)
+		if !ok {
+			return
+		}
+		applied, err := n.Ingest(keys, r.URL.Query().Get("fwd") == "1")
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]int{"applied": applied})
+	})
+	mux.HandleFunc("POST /cluster/repl", func(w http.ResponseWriter, r *http.Request) {
+		keys, ok := readKeys(w, r)
+		if !ok {
+			return
+		}
+		// Replication traffic may bundle many coordinator batches (and a
+		// peer's MaxForward may exceed ours); apply in slices of the
+		// store's own batch cap so it can never reject them.
+		for lo := 0; lo < len(keys); lo += n.st.MaxBatch() {
+			hi := min(lo+n.st.MaxBatch(), len(keys))
+			if err := n.st.Apply(keys[lo:hi]); err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+		}
+		n.replRecvd.Add(uint64(len(keys)))
+		writeJSON(w, map[string]int{"applied": len(keys)})
+	})
+	mux.HandleFunc("POST /cluster/gossip", func(w http.ResponseWriter, r *http.Request) {
+		var msg gossipMsg
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&msg); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad gossip payload: %w", err))
+			return
+		}
+		n.mem.MergeFrom(msg.Members)
+		if msg.From != "" {
+			n.mem.Contact(msg.From, true)
+		}
+		writeJSON(w, gossipMsg{From: n.cfg.Self, Members: n.mem.Snapshot()})
+	})
+	mux.HandleFunc("GET /cluster/phash/{partition}", func(w http.ResponseWriter, r *http.Request) {
+		p, err := strconv.Atoi(r.PathValue("partition"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition: %w", err))
+			return
+		}
+		h, err := n.st.PartitionHash(p)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{"partition": p, "hash": fmt.Sprintf("%016x", h)})
+	})
+	mux.HandleFunc("GET /cluster/ring", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, RingInfo{
+			Self:       n.cfg.Self,
+			N:          n.st.Bank().Len(),
+			Partitions: n.st.Partitions(),
+			RF:         n.cfg.RF,
+			VNodes:     n.cfg.VNodes,
+			Members:    n.mem.Snapshot(),
+		})
+	})
+	mux.HandleFunc("GET /cluster/info", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, n.info())
+	})
+	mux.Handle("/", server.Handler(n.st))
+	return mux
+}
+
+func (n *Node) info() Info {
+	ring := n.ring.Load()
+	info := Info{
+		Self:          n.cfg.Self,
+		Members:       n.mem.Snapshot(),
+		OutboxPending: make(map[string]int64),
+		AERounds:      n.aeRounds.Load(),
+		Forwards:      n.forwards.Load(),
+		ReplSent:      n.replSent.Load(),
+		ReplReceived:  n.replRecvd.Load(),
+	}
+	for p := 0; p < n.st.Partitions(); p++ {
+		if ring.Owns(n.cfg.Self, p) {
+			info.OwnedParts = append(info.OwnedParts, p)
+		}
+	}
+	n.obMu.Lock()
+	for peer, o := range n.outboxes {
+		info.OutboxPending[peer] = o.pending()
+	}
+	n.obMu.Unlock()
+	return info
+}
+
+// readKeys parses the {"key": k} / {"keys": [...]} body shared by /inc and
+// /cluster/repl.
+func readKeys(w http.ResponseWriter, r *http.Request) ([]int, bool) {
+	var req struct {
+		Key  *int  `json:"key"`
+		Keys []int `json:"keys"`
+	}
+	// Same cap as internal/server's maxIncBody, so /inc accepts the same
+	// bodies in cluster and single-node mode.
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return nil, false
+	}
+	keys := req.Keys
+	if req.Key != nil {
+		keys = append(keys, *req.Key)
+	}
+	if len(keys) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New(`need "key" or "keys"`))
+		return nil, false
+	}
+	return keys, true
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, server.ErrBadInput) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

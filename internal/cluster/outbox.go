@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wal"
+)
+
+// outbox is the durable replication queue for one peer replica — and,
+// because it is disk-backed in the existing WAL segment format, it is the
+// hinted-handoff store for that peer at the same time. The write path
+// appends every locally-acknowledged batch destined for the peer; a drain
+// loop ships the sealed prefix as batched /cluster/repl calls and truncates
+// what the peer acknowledged. A peer that is down simply stops being
+// drained: its hints accumulate in segments and ship when it returns.
+// Delivery is at-least-once (a crash between ship and truncate re-sends),
+// which the approximate registers absorb and the max-join anti-entropy
+// cannot be corrupted by.
+type outbox struct {
+	dir string
+	log *wal.Log
+
+	// queued counts records on disk not yet acknowledged by the peer;
+	// activeRecs counts records appended since the last rotation (i.e.
+	// sitting in the live segment, not yet drainable).
+	queued     atomic.Int64
+	activeRecs atomic.Int64
+
+	drainMu sync.Mutex // one drain at a time; appends stay concurrent
+}
+
+// openOutbox opens (or creates) the peer's hint log under dir. Leftover
+// records from a previous process are counted and will ship on the first
+// drain. A corrupt hint log is dropped with a fresh start — hints are a
+// replication accelerator; the durable source of truth for the events is
+// the coordinator's own WAL, and anti-entropy still converges the replicas
+// (see docs/CLUSTER.md "Failure modes").
+func openOutbox(dir string, opts wal.Options) (*outbox, bool, error) {
+	reset := false
+	count := int64(0)
+	stats, err := wal.Replay(dir, 0, func(wal.Record) error { count++; return nil })
+	if err != nil {
+		if rmErr := os.RemoveAll(dir); rmErr != nil {
+			return nil, false, fmt.Errorf("cluster: outbox %s corrupt (%v) and unremovable: %w", dir, err, rmErr)
+		}
+		reset = true
+		count = 0
+	} else if err := wal.RepairTorn(dir, stats); err != nil {
+		return nil, false, fmt.Errorf("cluster: outbox %s: %w", dir, err)
+	}
+	log, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: outbox %s: %w", dir, err)
+	}
+	o := &outbox{dir: dir, log: log}
+	// Pre-existing records are all in sealed segments (Open started a fresh
+	// one), so they are drainable immediately.
+	o.queued.Store(count)
+	return o, reset, nil
+}
+
+// append queues one batch of keys for the peer, durably per the log's sync
+// policy. Safe for concurrent use.
+func (o *outbox) append(keys []int) error {
+	if err := o.log.AppendBatch(keys); err != nil {
+		return err
+	}
+	o.activeRecs.Add(1)
+	o.queued.Add(1)
+	return nil
+}
+
+// pending returns the number of queued-but-unshipped records.
+func (o *outbox) pending() int64 { return o.queued.Load() }
+
+// drain ships every sealed record to the peer via send (called with chunks
+// of at most maxKeys keys) and truncates what shipped. On a send error the
+// records stay queued for the next drain. Concurrent appends are safe: the
+// live segment is never read.
+func (o *outbox) drain(maxKeys int, send func(keys []int) error) error {
+	o.drainMu.Lock()
+	defer o.drainMu.Unlock()
+	if o.queued.Load() == 0 {
+		return nil
+	}
+	// Seal the live segment only when it holds records; failed drains must
+	// not pile up empty segments. Subtract the snapshot rather than zeroing
+	// the counter: an append racing past Rotate lands in the new live
+	// segment with its increment intact, so it still triggers the next
+	// drain's rotation instead of being stranded. (A record appended
+	// between the Load and the Rotate is sealed but stays counted — the
+	// only cost is one extra near-empty rotation later.)
+	if sealed := o.activeRecs.Load(); sealed > 0 {
+		if _, err := o.log.Rotate(); err != nil {
+			return err
+		}
+		o.activeRecs.Add(-sealed)
+	}
+	active := o.log.ActiveSegment()
+	var chunk []int
+	var shipped int64
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if err := send(chunk); err != nil {
+			return err
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+	_, err := wal.ReplayUpTo(o.dir, 0, active, func(rec wal.Record) error {
+		if rec.Type != wal.RecBatch {
+			return fmt.Errorf("cluster: outbox %s: unexpected record type %d", o.dir, rec.Type)
+		}
+		keys := rec.Keys
+		for len(keys) > 0 {
+			take := maxKeys - len(chunk)
+			if take > len(keys) {
+				take = len(keys)
+			}
+			chunk = append(chunk, keys[:take]...)
+			keys = keys[take:]
+			if len(chunk) >= maxKeys {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		shipped++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := o.log.TruncateBefore(active); err != nil {
+		return err
+	}
+	o.queued.Add(-shipped)
+	return nil
+}
+
+func (o *outbox) close() error { return o.log.Close() }

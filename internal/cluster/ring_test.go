@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 2, 64)
+	b := NewRing([]string{"http://n3", "http://n1", "http://n2"}, 2, 64)
+	for p := 0; p < 128; p++ {
+		ra, rb := a.Replicas(p), b.Replicas(p)
+		if fmt.Sprint(ra) != fmt.Sprint(rb) {
+			t.Fatalf("partition %d: %v vs %v for reordered member set", p, ra, rb)
+		}
+	}
+}
+
+func TestRingReplicasDistinctAndClamped(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	r := NewRing(members, 2, 32)
+	for p := 0; p < 256; p++ {
+		reps := r.Replicas(p)
+		if len(reps) != 2 {
+			t.Fatalf("partition %d: %d replicas, want 2", p, len(reps))
+		}
+		if reps[0] == reps[1] {
+			t.Fatalf("partition %d: duplicate replica %q", p, reps[0])
+		}
+	}
+	// RF larger than the member count clamps.
+	r = NewRing(members, 5, 32)
+	for p := 0; p < 32; p++ {
+		if got := len(r.Replicas(p)); got != 3 {
+			t.Fatalf("partition %d: %d replicas, want 3 (clamped)", p, got)
+		}
+	}
+	// Empty and single-member rings.
+	if got := NewRing(nil, 2, 32).Replicas(0); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	if got := NewRing([]string{"solo"}, 2, 32).Replicas(7); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("single-member ring returned %v", got)
+	}
+	// Duplicate members collapse.
+	dup := NewRing([]string{"a", "a", "b"}, 2, 32)
+	if len(dup.Members()) != 2 {
+		t.Fatalf("duplicated member kept: %v", dup.Members())
+	}
+}
+
+// Ownership should spread roughly evenly: with 64 vnodes each of 4 nodes
+// must own a sane share of 256 partitions at RF=2 (expected 128 each).
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://10.0.0.1:8347", "http://10.0.0.2:8347", "http://10.0.0.3:8347", "http://10.0.0.4:8347"}
+	r := NewRing(members, 2, DefaultVNodes)
+	const parts = 256
+	owned := map[string]int{}
+	for p := 0; p < parts; p++ {
+		for _, m := range r.Replicas(p) {
+			owned[m]++
+		}
+	}
+	want := parts * 2 / len(members)
+	for m, c := range owned {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("member %s owns %d partitions, expected around %d — ring is unbalanced: %v",
+				m, c, want, owned)
+		}
+	}
+}
+
+// Removing one member must keep most other assignments stable (the point of
+// consistent hashing) while reassigning the lost member's share.
+func TestRingStabilityOnMembershipChange(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	before := NewRing(members, 2, DefaultVNodes)
+	after := NewRing([]string{"a", "b", "c"}, 2, DefaultVNodes)
+	const parts = 256
+	moved := 0
+	for p := 0; p < parts; p++ {
+		bp, ap := before.Primary(p), after.Primary(p)
+		if bp != ap && bp != "d" {
+			moved++
+		}
+	}
+	// Only partitions that lost a replica should change primaries; allow a
+	// little slack for replica-order shifts.
+	if moved > parts/4 {
+		t.Fatalf("%d/%d primaries moved among surviving members", moved, parts)
+	}
+	if !before.Owns("d", firstOwnedBy(before, "d", parts)) {
+		t.Fatal("Owns disagrees with Replicas")
+	}
+}
+
+func firstOwnedBy(r *Ring, m string, parts int) int {
+	for p := 0; p < parts; p++ {
+		if r.Owns(m, p) {
+			return p
+		}
+	}
+	return -1
+}

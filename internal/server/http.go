@@ -23,7 +23,9 @@ const maxIncBody = 16 << 20
 //	GET  /estimate/{key} → {"key": 5, "estimate": 1234.5}
 //	GET  /estimates      → {"estimates": [...]} (all n, key order)
 //	GET  /snapshot       → snapcodec stream (application/octet-stream)
-//	POST /merge          body = a peer's GET /snapshot → {"merged": true}
+//	GET  /snapshot/{p}   → one partition's snapcodec stream
+//	POST /merge          body = a peer snapshot → Remark 2.4 merge (disjoint streams)
+//	POST /mergemax       body = a peer snapshot → register-wise max (same-stream replicas)
 //	GET  /healthz        → Stats JSON
 //
 // Increments and merges are durable (WAL group commit) before the 200
@@ -82,22 +84,43 @@ func Handler(st *Store) http.Handler {
 		}
 	})
 
-	mux.HandleFunc("POST /merge", func(w http.ResponseWriter, r *http.Request) {
-		blob, err := io.ReadAll(io.LimitReader(r.Body, maxMergeBody+1))
+	mux.HandleFunc("GET /snapshot/{partition}", func(w http.ResponseWriter, r *http.Request) {
+		p, err := strconv.Atoi(r.PathValue("partition"))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition: %w", err))
 			return
 		}
-		if len(blob) > maxMergeBody {
-			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("snapshot exceeds %d bytes", maxMergeBody))
+		if p < 0 || p >= st.Partitions() {
+			httpError(w, http.StatusNotFound,
+				fmt.Errorf("partition %d out of [0, %d)", p, st.Partitions()))
 			return
 		}
-		if err := st.Merge(blob); err != nil {
-			httpError(w, statusFor(err), err)
-			return
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := st.PartitionSnapshotTo(w, p); err != nil {
+			panic(http.ErrAbortHandler)
 		}
-		writeJSON(w, map[string]any{"merged": true})
 	})
+
+	mergeHandler := func(apply func([]byte) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			blob, err := io.ReadAll(io.LimitReader(r.Body, maxMergeBody+1))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+				return
+			}
+			if len(blob) > maxMergeBody {
+				httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("snapshot exceeds %d bytes", maxMergeBody))
+				return
+			}
+			if err := apply(blob); err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, map[string]any{"merged": true})
+		}
+	}
+	mux.HandleFunc("POST /merge", mergeHandler(st.Merge))
+	mux.HandleFunc("POST /mergemax", mergeHandler(st.MergeMax))
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, st.Stats())

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -611,4 +613,203 @@ func TestTornTailSurvivesSecondRestart(t *testing.T) {
 	// sequence.
 	ref := referenceBank(cfg, append(append([][]int{}, batches[:replayed1]...), []int{5, 6, 7}))
 	assertBanksEqual(t, st2.Bank(), ref)
+}
+
+// Partition snapshots must round-trip through the HTTP surface: every
+// partition's GET /snapshot/{p} decodes, the ranges tile the key space, and
+// reassembling them reproduces the whole-bank snapshot registers.
+func TestPartitionSnapshotEndpoints(t *testing.T) {
+	cfg := testConfig(t, 5000)
+	cfg.Partitions = 8
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(false)
+	for _, b := range zipfBatches(cfg.N, 50, 64, 9) {
+		if err := st.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(Handler(st))
+	defer srv.Close()
+
+	full := st.Bank().ExportState().Registers
+	got := make([]uint64, 0, cfg.N)
+	for p := 0; p < cfg.Partitions; p++ {
+		resp, err := http.Get(srv.URL + "/snapshot/" + strconv.Itoa(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("partition %d: status %d", p, resp.StatusCode)
+		}
+		snap, err := snapcodec.Decode(body)
+		if err != nil {
+			t.Fatalf("partition %d: decode: %v", p, err)
+		}
+		if !snap.IsPartition() || snap.Partition != p || snap.Parts != cfg.Partitions {
+			t.Fatalf("partition %d: header says %d/%d", p, snap.Partition, snap.Parts)
+		}
+		lo, hi := snapcodec.PartitionRange(cfg.N, cfg.Partitions, p)
+		if len(snap.Registers) != hi-lo {
+			t.Fatalf("partition %d: %d registers for range [%d,%d)", p, len(snap.Registers), lo, hi)
+		}
+		got = append(got, snap.Registers...)
+	}
+	if len(got) != cfg.N {
+		t.Fatalf("partitions reassemble to %d registers, want %d", len(got), cfg.N)
+	}
+	for i := range got {
+		if got[i] != full[i] {
+			t.Fatalf("register %d: partition view %d, bank %d", i, got[i], full[i])
+		}
+	}
+	// Out-of-range partition is a 404.
+	resp, err := http.Get(srv.URL + "/snapshot/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("partition 99: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// MergeMax must behave as the idempotent replica join — and must replay
+// exactly across a restart, like every other WAL-logged mutation.
+func TestMergeMaxAndReplayExactness(t *testing.T) {
+	cfg := testConfig(t, 3000)
+	cfg.Partitions = 4
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range zipfBatches(cfg.N, 30, 64, 13) {
+		if err := st.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A "replica" of the same shape that saw more of the stream.
+	peerCfg := cfg
+	peerCfg.Dir = t.TempDir()
+	peer, err := Open(peerCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close(false)
+	for _, b := range zipfBatches(cfg.N, 60, 64, 13) {
+		if err := peer.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for p := 0; p < cfg.Partitions; p++ {
+		var blob bytes.Buffer
+		if err := peer.PartitionSnapshotTo(&blob, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.MergeMax(blob.Bytes()); err != nil {
+			t.Fatalf("mergemax partition %d: %v", p, err)
+		}
+	}
+	want := st.Bank().ExportState().Registers
+	mine := want
+	peerRegs := peer.Bank().ExportState().Registers
+	for i := range mine {
+		if mine[i] < peerRegs[i] {
+			t.Fatalf("register %d = %d below peer %d after max join", i, mine[i], peerRegs[i])
+		}
+	}
+	// Idempotence: a second identical round changes nothing.
+	for p := 0; p < cfg.Partitions; p++ {
+		var blob bytes.Buffer
+		if err := peer.PartitionSnapshotTo(&blob, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.MergeMax(blob.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again := st.Bank().ExportState().Registers
+	for i := range again {
+		if again[i] != want[i] {
+			t.Fatalf("register %d changed on repeated max join", i)
+		}
+	}
+	if st.Stats().MergeMaxes != uint64(2*cfg.Partitions) {
+		t.Fatalf("mergeMaxes = %d", st.Stats().MergeMaxes)
+	}
+
+	// Crash (no final checkpoint) and recover: the replayed store must be
+	// bit-identical, merge-max records included.
+	if err := st.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close(false)
+	got := st2.Bank().ExportState().Registers
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("register %d: recovered %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// A partition-scoped Remark 2.4 merge must land on exactly the partition's
+// key range and replay exactly.
+func TestPartitionMergeScoped(t *testing.T) {
+	cfg := testConfig(t, 2000)
+	cfg.Partitions = 4
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(false)
+	before := st.Bank().ExportState().Registers
+
+	// Donor counted a disjoint slice of the workload.
+	donorCfg := cfg
+	donorCfg.Dir = t.TempDir()
+	donorCfg.Seed = 99
+	donor, err := Open(donorCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer donor.Close(false)
+	for _, b := range zipfBatches(cfg.N, 40, 64, 21) {
+		if err := donor.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const part = 2
+	var blob bytes.Buffer
+	if err := donor.PartitionSnapshotTo(&blob, part); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Merge(blob.Bytes()); err != nil {
+		t.Fatalf("partition merge: %v", err)
+	}
+	lo, hi := snapcodec.PartitionRange(cfg.N, cfg.Partitions, part)
+	donorRegs := donor.Bank().ExportState().Registers
+	after := st.Bank().ExportState().Registers
+	for i := range after {
+		if i >= lo && i < hi {
+			// Remark 2.4 merge of (0, donor) keeps at least the donor register.
+			if after[i] < donorRegs[i] {
+				t.Fatalf("key %d in merged partition: %d < donor %d", i, after[i], donorRegs[i])
+			}
+		} else if after[i] != before[i] {
+			t.Fatalf("key %d outside partition %d changed: %d -> %d", i, part, before[i], after[i])
+		}
+	}
+	if st.Stats().Merges != 1 {
+		t.Fatalf("merges = %d", st.Stats().Merges)
+	}
 }

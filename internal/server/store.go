@@ -60,10 +60,18 @@ type Config struct {
 	Seed   uint64
 	// SegmentBytes is the WAL rotation threshold (0 = wal default).
 	SegmentBytes int64
-	// NoSync disables WAL fsync (tests/benchmarks only).
+	// NoSync disables WAL fsync (tests/benchmarks only); it overrides Sync.
 	NoSync bool
+	// Sync is the WAL fsync durability policy (default wal.SyncAlways).
+	Sync wal.SyncPolicy
+	// SyncInterval is the background fsync cadence under wal.SyncInterval.
+	SyncInterval time.Duration
 	// MaxBatch caps the keys accepted in one increment batch (0 = 1<<16).
 	MaxBatch int
+	// Partitions splits the key space into contiguous ranges served by
+	// GET /snapshot/{p} — the unit of cluster replication and anti-entropy
+	// (0 = 1, the whole bank as a single partition).
+	Partitions int
 }
 
 // Store is the durable counter bank: shardbank + WAL + checkpoints.
@@ -77,10 +85,17 @@ type Store struct {
 	// the lock is never held across an fsync.
 	writeMu sync.Mutex
 
+	// partVer counts writes per key-space partition (increments, merges).
+	// The cluster's anti-entropy uses it as a quiescence signal: a
+	// partition whose version is still moving has replication in flight and
+	// should not be force-merged (see internal/cluster).
+	partVer []atomic.Uint64
+
 	ckptSeq   atomic.Uint64 // WAL segment tagged by the newest checkpoint
 	batches   atomic.Uint64
 	keys      atomic.Uint64
 	merges    atomic.Uint64
+	mergeMaxs atomic.Uint64
 	lastCkpt  atomic.Int64 // unix nanos of last successful checkpoint
 	recovered wal.ReplayStats
 	fromSnap  bool
@@ -93,6 +108,12 @@ type Store struct {
 func Open(cfg Config) (*Store, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1 << 16
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.Partitions > snapcodec.MaxPartitions {
+		return nil, fmt.Errorf("server: %d partitions exceeds %d", cfg.Partitions, snapcodec.MaxPartitions)
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -128,6 +149,8 @@ func Open(cfg Config) (*Store, error) {
 		st.bank = shardbank.New(cfg.N, cfg.Alg, shards, cfg.Seed)
 	}
 
+	st.partVer = make([]atomic.Uint64, cfg.Partitions)
+
 	st.recovered, err = wal.Replay(cfg.Dir, st.ckptSeq.Load(), st.applyRecord)
 	if err != nil {
 		return nil, fmt.Errorf("server: recovery: %w", err)
@@ -141,6 +164,8 @@ func Open(cfg Config) (*Store, error) {
 	st.log, err = wal.Open(cfg.Dir, wal.Options{
 		SegmentBytes: cfg.SegmentBytes,
 		NoSync:       cfg.NoSync,
+		Policy:       cfg.Sync,
+		Interval:     cfg.SyncInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -161,55 +186,80 @@ func (st *Store) applyRecord(rec wal.Record) error {
 		st.batches.Add(1)
 		st.keys.Add(uint64(len(rec.Keys)))
 	case wal.RecMerge:
-		other, err := st.decodePeer(rec.Blob)
+		snap, lo, err := st.decodePeer(rec.Blob, true)
 		if err != nil {
 			return fmt.Errorf("server: replayed merge: %w", err)
 		}
-		if err := st.bank.Merge(other); err != nil {
+		if err := st.bank.MergeRange(lo, snap.Registers); err != nil {
 			return fmt.Errorf("server: replayed merge: %w", err)
 		}
 		st.merges.Add(1)
+	case wal.RecMergeMax:
+		snap, lo, err := st.decodePeer(rec.Blob, false)
+		if err != nil {
+			return fmt.Errorf("server: replayed merge-max: %w", err)
+		}
+		if err := st.bank.MergeMaxRange(lo, snap.Registers); err != nil {
+			return fmt.Errorf("server: replayed merge-max: %w", err)
+		}
+		st.mergeMaxs.Add(1)
 	default:
 		return fmt.Errorf("server: unknown WAL record type %d", rec.Type)
 	}
 	return nil
 }
 
-// decodePeer materializes a peer snapshot blob as a mergeable bank of the
-// local shape. Every check here runs BEFORE the blob is WAL-staged: a
-// record that fails during live Merge would fail identically during
-// recovery replay and brick the store.
-func (st *Store) decodePeer(blob []byte) (*shardbank.Bank, error) {
-	if _, ok := st.bank.Algorithm().(bank.MergeAlgorithm); !ok {
-		return nil, fmt.Errorf("algorithm %q does not support merge", st.bank.Algorithm().Name())
+// decodePeer validates a peer snapshot blob — whole-bank or one partition —
+// against the local bank shape, returning the decoded snapshot and the key
+// offset its registers apply at. With needMergeAlg the local algorithm must
+// support the Remark 2.4 merge (a max join needs no algorithm support).
+// Every check here runs BEFORE the blob is WAL-staged: a record that fails
+// during live apply would fail identically during recovery replay and brick
+// the store.
+func (st *Store) decodePeer(blob []byte, needMergeAlg bool) (*snapcodec.Snapshot, int, error) {
+	if needMergeAlg {
+		if _, ok := st.bank.Algorithm().(bank.MergeAlgorithm); !ok {
+			return nil, 0, fmt.Errorf("algorithm %q does not support merge", st.bank.Algorithm().Name())
+		}
 	}
 	// Cap the decode at the local register count: a hostile header claiming
 	// snapcodec.MaxRegisters would otherwise allocate ~512 MiB before the
 	// shape comparison below ever ran.
 	snap, err := snapcodec.DecodeCapped(blob, st.bank.Len())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	alg, err := snap.Alg()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if alg != st.bank.Algorithm() {
-		return nil, fmt.Errorf("algorithm mismatch: peer %s/%d-bit, local %s/%d-bit",
+		return nil, 0, fmt.Errorf("algorithm mismatch: peer %s/%d-bit, local %s/%d-bit",
 			snap.AlgName, snap.Width, st.bank.Algorithm().Name(), st.bank.BitsPerCounter())
 	}
 	if snap.N != st.bank.Len() || snap.Shards != st.bank.Shards() {
-		return nil, fmt.Errorf("shape mismatch: peer %d keys/%d shards, local %d/%d",
+		return nil, 0, fmt.Errorf("shape mismatch: peer %d keys/%d shards, local %d/%d",
 			snap.N, snap.Shards, st.bank.Len(), st.bank.Shards())
 	}
-	// The peer bank only donates registers; its rng never steps during a
-	// merge (the receiver's streams drive the subsampling draws), so any
-	// seed works.
-	other := shardbank.New(snap.N, alg, snap.Shards, snap.Seed)
-	if err := other.RestoreState(shardbank.State{Registers: snap.Registers}); err != nil {
-		return nil, err
+	// The codec already rejects registers wider than the header width, and
+	// the algorithm equality above pins that width to the bank's — but the
+	// no-post-stage-failure invariant is too important to leave implicit in
+	// another package: re-check here so a WAL-staged blob can never fail
+	// the in-bank merge (which would poison recovery replay).
+	maxReg := ^uint64(0) >> uint(64-st.bank.BitsPerCounter())
+	for i, v := range snap.Registers {
+		if v > maxReg {
+			return nil, 0, fmt.Errorf("register %d = %d exceeds %d-bit width", i, v, st.bank.BitsPerCounter())
+		}
 	}
-	return other, nil
+	lo := 0
+	if snap.IsPartition() {
+		// The partition count does not have to match cfg.Partitions: the
+		// range is fully determined by (N, Parts, Partition), all validated
+		// by the codec, so any consistent split merges correctly.
+		lo, _ = snapcodec.PartitionRange(snap.N, snap.Parts, snap.Partition)
+	}
+	return snap, lo, nil
 }
 
 // Apply durably counts one event per key: the batch is WAL-staged and
@@ -236,24 +286,108 @@ func (st *Store) Apply(keys []int) error {
 	if err != nil {
 		return err
 	}
+	st.bumpPartitions(keys)
 	st.batches.Add(1)
 	st.keys.Add(uint64(len(keys)))
 	return st.log.Commit(ticket)
 }
 
-// Merge ingests a peer snapshot (snapcodec bytes) via the paper's Remark
-// 2.4 merge, WAL-logging the blob so recovery replays the merge at the same
-// point in the operation order.
+// bumpPartitions advances the write version of every partition the batch
+// touches.
+func (st *Store) bumpPartitions(keys []int) {
+	parts := len(st.partVer)
+	if parts == 1 {
+		st.partVer[0].Add(1)
+		return
+	}
+	n := st.bank.Len()
+	last := -1
+	for _, k := range keys {
+		if p := snapcodec.PartitionOf(k, n, parts); p != last {
+			st.partVer[p].Add(1)
+			last = p
+		}
+	}
+}
+
+// bumpRange advances the write version of every partition overlapping the
+// key range [lo, hi).
+func (st *Store) bumpRange(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	parts := len(st.partVer)
+	n := st.bank.Len()
+	for p := snapcodec.PartitionOf(lo, n, parts); p <= snapcodec.PartitionOf(hi-1, n, parts); p++ {
+		st.partVer[p].Add(1)
+	}
+}
+
+// PartitionVersion returns the write version of partition p: any local
+// mutation of the partition's registers (increment, merge, restore) moves
+// it. Monotone within a process lifetime; not persisted.
+func (st *Store) PartitionVersion(p int) uint64 {
+	if p < 0 || p >= len(st.partVer) {
+		return 0
+	}
+	return st.partVer[p].Load()
+}
+
+// PartitionHash returns an order-dependent 64-bit hash of partition p's
+// registers — equal hashes across replicas mean (up to hash collision)
+// identical register ranges, which is what the cluster's anti-entropy
+// checks before deciding a merge is needed.
+func (st *Store) PartitionHash(p int) (uint64, error) {
+	if p < 0 || p >= st.cfg.Partitions {
+		return 0, fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, p, st.cfg.Partitions)
+	}
+	lo, hi := snapcodec.PartitionRange(st.bank.Len(), st.cfg.Partitions, p)
+	regs, err := st.bank.ExportRange(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	h := uint64(14695981039346656037)
+	for _, v := range regs {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= 1099511628211
+		}
+	}
+	return h, nil
+}
+
+// Merge ingests a peer snapshot (snapcodec bytes, whole-bank or one
+// partition) via the paper's Remark 2.4 merge, WAL-logging the blob so
+// recovery replays the merge at the same point in the operation order. Use
+// it for counters that absorbed DISJOINT streams; replicas of the same
+// stream converge with MergeMax instead.
 func (st *Store) Merge(blob []byte) error {
-	other, err := st.decodePeer(blob)
+	return st.mergeBlob(blob, wal.RecMerge)
+}
+
+// MergeMax ingests a peer snapshot as a register-wise maximum — the
+// idempotent join the cluster's anti-entropy uses between replicas that
+// applied the same logical stream (registers are monotone under increments,
+// so max neither loses nor double-counts). WAL-logged like Merge; max draws
+// no randomness, so replay is trivially exact.
+func (st *Store) MergeMax(blob []byte) error {
+	return st.mergeBlob(blob, wal.RecMergeMax)
+}
+
+func (st *Store) mergeBlob(blob []byte, rec byte) error {
+	snap, lo, err := st.decodePeer(blob, rec == wal.RecMerge)
 	if err != nil {
 		return fmt.Errorf("%w: %w", ErrBadInput, err)
 	}
 	st.writeMu.Lock()
-	ticket, err := st.log.Stage(wal.Record{Type: wal.RecMerge, Blob: blob})
+	ticket, err := st.log.Stage(wal.Record{Type: rec, Blob: blob})
 	var mergeErr error
 	if err == nil {
-		mergeErr = st.bank.Merge(other)
+		if rec == wal.RecMerge {
+			mergeErr = st.bank.MergeRange(lo, snap.Registers)
+		} else {
+			mergeErr = st.bank.MergeMaxRange(lo, snap.Registers)
+		}
 	}
 	st.writeMu.Unlock()
 	if err != nil {
@@ -265,7 +399,12 @@ func (st *Store) Merge(blob []byte) error {
 		// nothing, just report.
 		return mergeErr
 	}
-	st.merges.Add(1)
+	st.bumpRange(lo, lo+len(snap.Registers))
+	if rec == wal.RecMerge {
+		st.merges.Add(1)
+	} else {
+		st.mergeMaxs.Add(1)
+	}
 	return st.log.Commit(ticket)
 }
 
@@ -309,6 +448,38 @@ func (st *Store) snapshot(withRNG bool) (*snapcodec.Snapshot, error) {
 func (st *Store) SnapshotTo(w io.Writer) error {
 	snap, err := st.snapshot(false)
 	if err != nil {
+		return err
+	}
+	return snapcodec.EncodeTo(w, snap)
+}
+
+// Partitions returns the configured partition count of the key space.
+func (st *Store) Partitions() int { return st.cfg.Partitions }
+
+// MaxBatch returns the largest increment batch Apply accepts.
+func (st *Store) MaxBatch() int { return st.cfg.MaxBatch }
+
+// PartitionSnapshotTo streams a snapshot of one partition — the key range
+// snapcodec.PartitionRange(n, Partitions, p) — to w: the GET /snapshot/{p}
+// payload, and the unit the cluster's replication and anti-entropy exchange.
+func (st *Store) PartitionSnapshotTo(w io.Writer, p int) error {
+	if p < 0 || p >= st.cfg.Partitions {
+		return fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, p, st.cfg.Partitions)
+	}
+	lo, hi := snapcodec.PartitionRange(st.bank.Len(), st.cfg.Partitions, p)
+	regs, err := st.bank.ExportRange(lo, hi)
+	if err != nil {
+		return err
+	}
+	snap := &snapcodec.Snapshot{
+		N:         st.bank.Len(),
+		Shards:    st.bank.Shards(),
+		Seed:      st.bank.Seed(),
+		Partition: p,
+		Parts:     st.cfg.Partitions,
+		Registers: regs,
+	}
+	if err := snap.SetAlg(st.bank.Algorithm()); err != nil {
 		return err
 	}
 	return snapcodec.EncodeTo(w, snap)
@@ -396,9 +567,12 @@ type Stats struct {
 	WidthBits       int     `json:"widthBits"`
 	Seed            uint64  `json:"seed"`
 	BankBytes       int     `json:"bankBytes"`
+	Partitions      int     `json:"partitions"`
+	FsyncPolicy     string  `json:"fsyncPolicy"`
 	Batches         uint64  `json:"batches"`
 	Keys            uint64  `json:"keys"`
 	Merges          uint64  `json:"merges"`
+	MergeMaxes      uint64  `json:"mergeMaxes"`
 	CheckpointSeq   uint64  `json:"checkpointSeq"`
 	LastCheckpoint  string  `json:"lastCheckpoint,omitempty"`
 	WALSegments     int     `json:"walSegments"`
@@ -419,9 +593,12 @@ func (st *Store) Stats() Stats {
 		WidthBits:       st.bank.BitsPerCounter(),
 		Seed:            st.bank.Seed(),
 		BankBytes:       st.bank.SizeBytes(),
+		Partitions:      st.cfg.Partitions,
+		FsyncPolicy:     st.syncPolicy().String(),
 		Batches:         st.batches.Load(),
 		Keys:            st.keys.Load(),
 		Merges:          st.merges.Load(),
+		MergeMaxes:      st.mergeMaxs.Load(),
 		CheckpointSeq:   st.ckptSeq.Load(),
 		WALSegments:     len(segs),
 		RecoveredFrom:   "seed",
@@ -436,6 +613,14 @@ func (st *Store) Stats() Stats {
 		s.LastCheckpoint = time.Unix(0, ns).UTC().Format(time.RFC3339)
 	}
 	return s
+}
+
+// syncPolicy returns the effective WAL fsync policy.
+func (st *Store) syncPolicy() wal.SyncPolicy {
+	if st.cfg.NoSync {
+		return wal.SyncOff
+	}
+	return st.cfg.Sync
 }
 
 // ParseAlgorithm builds a bank algorithm from flag-style parameters — the

@@ -1,0 +1,142 @@
+// Key-range operations for the sharded bank: exporting and merging a
+// contiguous slice of the key space. These are the storage half of the
+// cluster's partition exchange (internal/cluster): a partition is a key
+// range [lo, hi), anti-entropy ships its registers as a compressed snapshot,
+// and the receiver folds them in with one of two joins —
+//
+//   - MergeRange: the paper's Remark 2.4 merge, for counters that absorbed
+//     DISJOINT streams (cross-cluster ingest, examples/distributed). The
+//     merged register is distributed as one counter that saw both streams.
+//   - MergeMaxRange: the register-wise maximum, for replicas that absorbed
+//     the SAME logical stream. Registers are monotone under increments, so
+//     max is an idempotent, commutative, associative join — repeated
+//     anti-entropy rounds converge replicas to identical registers instead
+//     of double-counting the shared stream the way Remark 2.4 would.
+package shardbank
+
+import (
+	"fmt"
+
+	"repro/internal/bank"
+)
+
+// checkRange validates a key range against the bank shape.
+func (b *Bank) checkRange(lo, hi int) error {
+	if lo < 0 || hi > b.n || lo > hi {
+		return fmt.Errorf("shardbank: key range [%d, %d) outside [0, %d)", lo, hi, b.n)
+	}
+	return nil
+}
+
+// firstInShard returns the smallest key ≥ lo that lives in shard si.
+func (b *Bank) firstInShard(lo, si int) int {
+	p := len(b.shards)
+	return lo + (si-lo%p+p)&int(b.mask)
+}
+
+// ExportRange returns the registers of keys [lo, hi) in key order. Each
+// shard is read under its lock, so the result is consistent per shard but
+// not a global point-in-time cut (registers are monotone under increments,
+// which is all the cluster's max-join anti-entropy needs); use ExportState
+// for a globally consistent image.
+func (b *Bank) ExportRange(lo, hi int) ([]uint64, error) {
+	if err := b.checkRange(lo, hi); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, hi-lo)
+	if lo == hi {
+		return out, nil
+	}
+	p := len(b.shards)
+	for si, s := range b.shards {
+		first := b.firstInShard(lo, si)
+		if first >= hi {
+			continue
+		}
+		s.mu.Lock()
+		for k := first; k < hi; k += p {
+			out[k-lo] = s.arr.Get(k >> b.shift)
+		}
+		s.mu.Unlock()
+	}
+	return out, nil
+}
+
+// MergeMaxRange folds regs (the registers of keys [lo, lo+len(regs)) from a
+// replica of identical shape) into the bank as a register-wise maximum. It
+// draws no randomness and is idempotent, so replicas exchanging ranges in
+// both directions converge to identical registers. On a validation error
+// the bank is unmodified.
+func (b *Bank) MergeMaxRange(lo int, regs []uint64) error {
+	hi := lo + len(regs)
+	if err := b.checkRange(lo, hi); err != nil {
+		return err
+	}
+	maxReg := ^uint64(0) >> uint(64-b.alg.Width())
+	for i, v := range regs {
+		if v > maxReg {
+			return fmt.Errorf("shardbank: merge register %d = %d exceeds %d-bit width",
+				lo+i, v, b.alg.Width())
+		}
+	}
+	p := len(b.shards)
+	for si, s := range b.shards {
+		first := b.firstInShard(lo, si)
+		if first >= hi {
+			continue
+		}
+		changed := false
+		s.mu.Lock()
+		for k := first; k < hi; k += p {
+			local := k >> b.shift
+			if v := regs[k-lo]; v > s.arr.Get(local) {
+				s.arr.Set(local, v)
+				changed = true
+			}
+		}
+		if changed {
+			s.version.Add(1)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// MergeRange folds regs (the registers of keys [lo, lo+len(regs)) from a
+// bank of identical shape that counted a DISJOINT stream) into the bank via
+// the paper's Remark 2.4 merge. The subsampling draws come from the
+// receiver's shard generators, consumed in shard order then key order — a
+// deterministic order, so a WAL-logged range merge replays bit-identically.
+// On a validation error the bank is unmodified.
+func (b *Bank) MergeRange(lo int, regs []uint64) error {
+	ma, ok := b.alg.(bank.MergeAlgorithm)
+	if !ok {
+		return fmt.Errorf("shardbank: algorithm %q does not support merge", b.alg.Name())
+	}
+	hi := lo + len(regs)
+	if err := b.checkRange(lo, hi); err != nil {
+		return err
+	}
+	maxReg := ^uint64(0) >> uint(64-b.alg.Width())
+	for i, v := range regs {
+		if v > maxReg {
+			return fmt.Errorf("shardbank: merge register %d = %d exceeds %d-bit width",
+				lo+i, v, b.alg.Width())
+		}
+	}
+	p := len(b.shards)
+	for si, s := range b.shards {
+		first := b.firstInShard(lo, si)
+		if first >= hi {
+			continue
+		}
+		s.mu.Lock()
+		for k := first; k < hi; k += p {
+			local := k >> b.shift
+			s.arr.Set(local, ma.MergeRegs(s.arr.Get(local), regs[k-lo], s.rng))
+		}
+		s.version.Add(1)
+		s.mu.Unlock()
+	}
+	return nil
+}

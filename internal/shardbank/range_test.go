@@ -1,0 +1,150 @@
+package shardbank
+
+import (
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func loadedBank(t *testing.T, n, shards int, seed uint64, events int) *Bank {
+	t.Helper()
+	b := New(n, bank.NewMorrisAlg(0.005, 14), shards, seed)
+	src := stream.NewZipf(uint64(n), 1.05, xrand.NewSeeded(seed+1))
+	keys := make([]int, 1024)
+	for done := 0; done < events; {
+		batch := keys
+		if rest := events - done; rest < len(batch) {
+			batch = batch[:rest]
+		}
+		for i := range batch {
+			batch[i] = int(src.Next())
+		}
+		b.IncrementBatch(batch)
+		done += len(batch)
+	}
+	return b
+}
+
+func TestExportRangeMatchesState(t *testing.T) {
+	b := loadedBank(t, 10_000, 16, 7, 200_000)
+	full := b.ExportState().Registers
+	for _, r := range [][2]int{{0, 10_000}, {0, 1}, {9_999, 10_000}, {1234, 5678}, {5000, 5000}} {
+		got, err := b.ExportRange(r[0], r[1])
+		if err != nil {
+			t.Fatalf("ExportRange(%d, %d): %v", r[0], r[1], err)
+		}
+		if len(got) != r[1]-r[0] {
+			t.Fatalf("ExportRange(%d, %d): %d registers", r[0], r[1], len(got))
+		}
+		for i, v := range got {
+			if v != full[r[0]+i] {
+				t.Fatalf("ExportRange(%d, %d): key %d = %d, want %d", r[0], r[1], r[0]+i, v, full[r[0]+i])
+			}
+		}
+	}
+	if _, err := b.ExportRange(-1, 5); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+	if _, err := b.ExportRange(0, 10_001); err == nil {
+		t.Fatal("hi past n accepted")
+	}
+	if _, err := b.ExportRange(7, 3); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+// MergeMaxRange is the anti-entropy join: after exchanging ranges in both
+// directions two replicas hold identical (element-wise max) registers, and a
+// repeat exchange changes nothing.
+func TestMergeMaxRangeConverges(t *testing.T) {
+	const n = 5_000
+	a := loadedBank(t, n, 8, 11, 150_000)
+	b := loadedBank(t, n, 8, 22, 150_000)
+
+	lo, hi := 1000, 4000
+	aRegs, _ := a.ExportRange(lo, hi)
+	bRegs, _ := b.ExportRange(lo, hi)
+	if err := a.MergeMaxRange(lo, bRegs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MergeMaxRange(lo, aRegs); err != nil {
+		t.Fatal(err)
+	}
+	aAfter, _ := a.ExportRange(lo, hi)
+	bAfter, _ := b.ExportRange(lo, hi)
+	for i := range aAfter {
+		if aAfter[i] != bAfter[i] {
+			t.Fatalf("key %d: replicas diverge after exchange: %d vs %d", lo+i, aAfter[i], bAfter[i])
+		}
+		if want := max(aRegs[i], bRegs[i]); aAfter[i] != want {
+			t.Fatalf("key %d: max join = %d, want %d", lo+i, aAfter[i], want)
+		}
+	}
+	// Idempotent: a second identical exchange is a no-op.
+	if err := a.MergeMaxRange(lo, bAfter); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := a.ExportRange(lo, hi)
+	for i := range again {
+		if again[i] != aAfter[i] {
+			t.Fatalf("key %d: repeated max join changed register", lo+i)
+		}
+	}
+	// Keys outside the range are untouched.
+	outside, _ := a.ExportRange(0, lo)
+	orig := loadedBank(t, n, 8, 11, 150_000)
+	origOutside, _ := orig.ExportRange(0, lo)
+	for i := range outside {
+		if outside[i] != origOutside[i] {
+			t.Fatalf("key %d outside range modified", i)
+		}
+	}
+
+	if err := a.MergeMaxRange(0, make([]uint64, n+1)); err == nil {
+		t.Fatal("oversized range accepted")
+	}
+	if err := a.MergeMaxRange(0, []uint64{1 << 14}); err == nil {
+		t.Fatal("out-of-width register accepted")
+	}
+}
+
+// A full-range MergeRange must be bit-identical to the existing whole-bank
+// Merge: same Remark 2.4 draws from the same shard generators in the same
+// order.
+func TestMergeRangeMatchesFullMerge(t *testing.T) {
+	const n = 4_000
+	mk := func() (*Bank, *Bank) {
+		return loadedBank(t, n, 8, 31, 100_000), loadedBank(t, n, 8, 32, 100_000)
+	}
+	a1, b1 := mk()
+	a2, _ := mk()
+
+	donor, _ := b1.ExportRange(0, n)
+	if err := a1.Merge(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.MergeRange(0, donor); err != nil {
+		t.Fatal(err)
+	}
+	r1 := a1.ExportState().Registers
+	r2 := a2.ExportState().Registers
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("key %d: MergeRange diverges from Merge: %d vs %d", i, r1[i], r2[i])
+		}
+	}
+}
+
+// MergeRange on a bank whose algorithm cannot merge must fail cleanly.
+func TestMergeRangeRequiresMergeAlgorithm(t *testing.T) {
+	b := New(100, bank.NewCsurosAlg(16, 10), 4, 1)
+	if err := b.MergeRange(0, make([]uint64, 10)); err == nil {
+		t.Fatal("csuros range merge accepted")
+	}
+	// Max needs no merge support — it is pure state.
+	if err := b.MergeMaxRange(0, make([]uint64, 10)); err != nil {
+		t.Fatalf("max join rejected: %v", err)
+	}
+}

@@ -18,7 +18,17 @@
 // Layout (little-endian; see docs/FORMAT.md for the byte-level spec):
 //
 //	magic "NYS1" | version | alg name | width | param | n | shards | seed |
-//	flags | block length | register blocks... | [rng section] | CRC32C
+//	flags | block length | [partition section] | register blocks... |
+//	[rng section] | CRC32C
+//
+// Version 2 adds the optional partition section (flag bit 1): a snapshot may
+// carry just one partition of a bank — the contiguous key range
+// PartitionRange(n, parts, partition) — identified by its partition id and
+// the total partition count in the header. Partition snapshots are the unit
+// of the cluster's anti-entropy exchange (internal/cluster): replicas swap
+// compressed partitions and merge them, so only the owned slices of a large
+// key space ever cross the wire. Version-1 snapshots (always whole-bank)
+// still decode.
 //
 // The trailer is a CRC32C (Castagnoli) of every preceding byte, so torn or
 // bit-rotted snapshot files are detected before a single register is
@@ -43,8 +53,13 @@ import (
 )
 
 const (
-	// Version is the current format version, bumped on incompatible change.
-	Version = 1
+	// Version is the newest format version the decoder accepts. Version 2
+	// added the optional partition section; version-1 input still decodes,
+	// and the encoder stamps 2 only on snapshots that actually carry a
+	// partition section — a whole-bank snapshot's bytes are identical
+	// under both versions, so keeping the 1 stamp lets un-upgraded peers
+	// read new whole-bank snapshots during a rolling upgrade.
+	Version = 2
 	// BlockLen is the number of registers per packed block. It must stay
 	// ≤ 256 so exception positions fit one byte.
 	BlockLen = 128
@@ -54,6 +69,10 @@ const (
 	MaxRegisters = 1 << 26
 	// maxShards caps the shard count a decoder will accept.
 	maxShards = 1 << 20
+	// MaxPartitions caps the partition count of a partitioned bank — enough
+	// to spread MaxRegisters at ~4k registers per partition, small enough
+	// that per-partition loops stay cheap.
+	MaxPartitions = 1 << 14
 	// maxAlgName caps the algorithm-name length.
 	maxAlgName = 32
 )
@@ -61,7 +80,10 @@ const (
 var magic = [4]byte{'N', 'Y', 'S', '1'}
 
 // flag bits in the header flags byte.
-const flagRNG = 1 << 0
+const (
+	flagRNG  = 1 << 0
+	flagPart = 1 << 1 // version ≥ 2: partition section present
+)
 
 // ErrChecksum is returned when the CRC32C trailer does not match the
 // decoded content.
@@ -79,12 +101,35 @@ type Snapshot struct {
 	Base     float64 // Morris base parameter a (morris only)
 	Mantissa int     // Csűrös mantissa bits (csuros only)
 
-	N      int    // number of registers
+	N      int    // number of registers in the full bank
 	Shards int    // lock stripes of the originating bank
 	Seed   uint64 // construction seed of the originating bank
 
-	Registers []uint64    // len N, global key order
-	RNG       [][4]uint64 // len Shards or nil
+	// Parts > 0 marks a partition snapshot: Registers then holds only the
+	// keys of PartitionRange(N, Parts, Partition), in key order. Parts == 0
+	// (the zero value) is a whole-bank snapshot and Partition is ignored.
+	Partition int
+	Parts     int
+
+	Registers []uint64    // len N (whole bank) or the partition range length
+	RNG       [][4]uint64 // len Shards or nil (whole-bank snapshots only)
+}
+
+// IsPartition reports whether s carries one partition rather than the whole
+// bank.
+func (s *Snapshot) IsPartition() bool { return s.Parts > 0 }
+
+// PartitionOf returns the partition owning key k in a bank of n registers
+// split into parts contiguous ranges.
+func PartitionOf(k, n, parts int) int { return int(int64(k) * int64(parts) / int64(n)) }
+
+// PartitionRange returns the key range [lo, hi) of partition p: the ranges
+// of all parts partitions tile [0, n) exactly, and PartitionOf maps each key
+// back to its partition.
+func PartitionRange(n, parts, p int) (lo, hi int) {
+	lo = int((int64(p)*int64(n) + int64(parts) - 1) / int64(parts))
+	hi = int((int64(p+1)*int64(n) + int64(parts) - 1) / int64(parts))
+	return lo, hi
 }
 
 // SetAlg fills the algorithm identity fields from a bank algorithm.
@@ -179,11 +224,26 @@ func (s *Snapshot) validate() error {
 	if s.Width < 1 || s.Width > 64 {
 		return fmt.Errorf("snapcodec: width %d out of [1, 64]", s.Width)
 	}
-	if s.N != len(s.Registers) {
-		return fmt.Errorf("snapcodec: N = %d but %d registers", s.N, len(s.Registers))
-	}
 	if s.N < 0 || s.N > MaxRegisters {
 		return fmt.Errorf("snapcodec: register count %d out of [0, %d]", s.N, MaxRegisters)
+	}
+	if s.Parts < 0 || s.Parts > MaxPartitions {
+		return fmt.Errorf("snapcodec: partition count %d out of [0, %d]", s.Parts, MaxPartitions)
+	}
+	if s.IsPartition() {
+		if s.Partition < 0 || s.Partition >= s.Parts {
+			return fmt.Errorf("snapcodec: partition %d out of [0, %d)", s.Partition, s.Parts)
+		}
+		lo, hi := PartitionRange(s.N, s.Parts, s.Partition)
+		if len(s.Registers) != hi-lo {
+			return fmt.Errorf("snapcodec: partition %d/%d of %d keys spans %d registers, got %d",
+				s.Partition, s.Parts, s.N, hi-lo, len(s.Registers))
+		}
+		if s.RNG != nil {
+			return errors.New("snapcodec: partition snapshots cannot carry rng state")
+		}
+	} else if s.N != len(s.Registers) {
+		return fmt.Errorf("snapcodec: N = %d but %d registers", s.N, len(s.Registers))
 	}
 	if s.Shards < 0 || s.Shards > maxShards {
 		return fmt.Errorf("snapcodec: shard count %d out of [0, %d]", s.Shards, maxShards)
@@ -246,7 +306,13 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 	e := &encoder{w: mw}
 
 	e.write(magic[:])
-	e.writeByte(Version)
+	// Whole-bank snapshots keep the version-1 stamp (their layout is
+	// unchanged); only the partition section requires version 2.
+	if s.IsPartition() {
+		e.writeByte(Version)
+	} else {
+		e.writeByte(1)
+	}
 	e.writeByte(byte(len(s.AlgName)))
 	e.write([]byte(s.AlgName))
 	e.writeByte(byte(s.Width))
@@ -258,8 +324,15 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 	if s.RNG != nil {
 		flags |= flagRNG
 	}
+	if s.IsPartition() {
+		flags |= flagPart
+	}
 	e.writeByte(flags)
 	e.writeUvarint(BlockLen)
+	if s.IsPartition() {
+		e.writeUvarint(uint64(s.Partition))
+		e.writeUvarint(uint64(s.Parts))
+	}
 
 	for lo := 0; lo < len(s.Registers); lo += BlockLen {
 		hi := lo + BlockLen
@@ -471,11 +544,12 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 	if hdr != magic {
 		return nil, fmt.Errorf("snapcodec: bad magic %q", hdr[:])
 	}
-	if v := d.byte(); v != Version {
-		if d.err != nil {
-			return nil, d.fail("version")
-		}
-		return nil, fmt.Errorf("snapcodec: unsupported version %d", v)
+	version := d.byte()
+	if d.err != nil {
+		return nil, d.fail("version")
+	}
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("snapcodec: unsupported version %d", version)
 	}
 	s := &Snapshot{}
 	nameLen := int(d.byte())
@@ -510,14 +584,42 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 	if blockLen < 1 || blockLen > 256 {
 		return nil, fmt.Errorf("snapcodec: block length %d out of [1, 256]", blockLen)
 	}
+	if known := byte(flagRNG | flagPart); flags&^known != 0 {
+		return nil, fmt.Errorf("snapcodec: unknown flag bits %#02x", flags&^known)
+	}
+	if version < 2 && flags&flagPart != 0 {
+		return nil, fmt.Errorf("snapcodec: version %d snapshot with partition flag", version)
+	}
 	s.N = int(n)
 	s.Shards = int(shards)
 
-	s.Registers = make([]uint64, 0, min(s.N, 1<<20))
+	regCount := s.N
+	if flags&flagPart != 0 {
+		part := d.uvarint()
+		parts := d.uvarint()
+		if d.err != nil {
+			return nil, d.fail("partition section")
+		}
+		if parts < 1 || parts > MaxPartitions {
+			return nil, fmt.Errorf("snapcodec: partition count %d out of [1, %d]", parts, MaxPartitions)
+		}
+		if part >= parts {
+			return nil, fmt.Errorf("snapcodec: partition %d out of [0, %d)", part, parts)
+		}
+		if flags&flagRNG != 0 {
+			return nil, errors.New("snapcodec: partition snapshot with rng section")
+		}
+		s.Partition = int(part)
+		s.Parts = int(parts)
+		lo, hi := PartitionRange(s.N, s.Parts, s.Partition)
+		regCount = hi - lo
+	}
+
+	s.Registers = make([]uint64, 0, min(regCount, 1<<20))
 	var blockVals [256]uint64
-	for got := 0; got < s.N; {
+	for got := 0; got < regCount; {
 		cnt := int(blockLen)
-		if rest := s.N - got; rest < cnt {
+		if rest := regCount - got; rest < cnt {
 			cnt = rest
 		}
 		if err := d.block(blockVals[:cnt]); err != nil {

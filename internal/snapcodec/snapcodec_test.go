@@ -2,6 +2,8 @@ package snapcodec
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math"
 	"testing"
 
@@ -69,6 +71,10 @@ func assertEqual(t *testing.T, got, want *Snapshot) {
 		if got.Registers[i] != want.Registers[i] {
 			t.Fatalf("register %d = %d, want %d", i, got.Registers[i], want.Registers[i])
 		}
+	}
+	if got.Partition != want.Partition || got.Parts != want.Parts {
+		t.Fatalf("partition mismatch: got %d/%d want %d/%d",
+			got.Partition, got.Parts, want.Partition, want.Parts)
 	}
 	if (got.RNG == nil) != (want.RNG == nil) || len(got.RNG) != len(want.RNG) {
 		t.Fatalf("rng presence mismatch: %d vs %d streams", len(got.RNG), len(want.RNG))
@@ -397,5 +403,132 @@ func TestDecodeCappedRejectsEarly(t *testing.T) {
 	}
 	if _, err := DecodeCapped(data, -5); err == nil {
 		t.Fatal("negative cap accepted")
+	}
+}
+
+func TestPartitionRangeTiles(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{1, 1}, {7, 3}, {100, 7}, {1000, 16}, {1_000_000, 64}, {5, 5},
+	} {
+		prev := 0
+		for p := 0; p < tc.parts; p++ {
+			lo, hi := PartitionRange(tc.n, tc.parts, p)
+			if lo != prev {
+				t.Fatalf("n=%d parts=%d: partition %d starts at %d, want %d", tc.n, tc.parts, p, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d parts=%d: partition %d range [%d,%d) inverted", tc.n, tc.parts, p, lo, hi)
+			}
+			for k := lo; k < hi; k++ {
+				if got := PartitionOf(k, tc.n, tc.parts); got != p {
+					t.Fatalf("n=%d parts=%d: PartitionOf(%d) = %d, want %d", tc.n, tc.parts, k, got, p)
+				}
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d parts=%d: partitions end at %d", tc.n, tc.parts, prev)
+		}
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	alg := bank.NewMorrisAlg(0.005, 14)
+	const n, parts = 10_000, 16
+	full := zipfRegisters(n, 1e6, 1.05, 0.005, 14)
+	for _, p := range []int{0, 1, 7, parts - 1} {
+		lo, hi := PartitionRange(n, parts, p)
+		s := &Snapshot{
+			N: n, Shards: 64, Seed: 42,
+			Partition: p, Parts: parts,
+			Registers: full[lo:hi],
+		}
+		if err := s.SetAlg(alg); err != nil {
+			t.Fatalf("SetAlg: %v", err)
+		}
+		data, err := Encode(s)
+		if err != nil {
+			t.Fatalf("partition %d: encode: %v", p, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("partition %d: decode: %v", p, err)
+		}
+		if !got.IsPartition() {
+			t.Fatalf("partition %d: decoded as whole bank", p)
+		}
+		assertEqual(t, got, s)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	alg := bank.NewMorrisAlg(0.005, 14)
+	const n, parts = 1000, 8
+	lo, hi := PartitionRange(n, parts, 3)
+	base := func() *Snapshot {
+		s := &Snapshot{N: n, Shards: 4, Seed: 1, Partition: 3, Parts: parts,
+			Registers: make([]uint64, hi-lo)}
+		if err := s.SetAlg(alg); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if _, err := Encode(base()); err != nil {
+		t.Fatalf("valid partition snapshot rejected: %v", err)
+	}
+	s := base()
+	s.Partition = parts // out of range
+	if _, err := Encode(s); err == nil {
+		t.Fatal("partition >= parts accepted")
+	}
+	s = base()
+	s.Registers = s.Registers[:len(s.Registers)-1] // wrong range length
+	if _, err := Encode(s); err == nil {
+		t.Fatal("short partition register slice accepted")
+	}
+	s = base()
+	s.RNG = make([][4]uint64, 4) // rng on a partition snapshot
+	if _, err := Encode(s); err == nil {
+		t.Fatal("partition snapshot with rng accepted")
+	}
+	s = base()
+	s.Parts = MaxPartitions + 1
+	if _, err := Encode(s); err == nil {
+		t.Fatal("oversized partition count accepted")
+	}
+}
+
+// TestDecodeVersion1 pins backward compatibility: a version-1 snapshot (the
+// pre-partition format) must still decode. The fixture is synthesized by
+// rewriting the version byte of a fresh whole-bank encode — byte-identical
+// to what the v1 encoder produced, since v2 only added an optional section.
+func TestDecodeVersion1(t *testing.T) {
+	regs := zipfRegisters(500, 1e4, 1.05, 0.005, 14)
+	want := testSnapshot(t, regs, bank.NewMorrisAlg(0.005, 14), 8, true)
+	data, err := Encode(want)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	v1 := bytes.Clone(data)
+	v1[4] = 1 // version byte follows the 4-byte magic
+	crc := crc32.Checksum(v1[:len(v1)-4], castagnoli)
+	binary.LittleEndian.PutUint32(v1[len(v1)-4:], crc)
+	got, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("decode v1: %v", err)
+	}
+	assertEqual(t, got, want)
+
+	// A v1 snapshot must not carry the partition flag.
+	bad := bytes.Clone(v1)
+	flagOff := 4 + 1 + 1 + len("morris") + 1 + 8 // magic+ver, name len, name, width, param
+	// flags byte sits after the n and shards uvarints and the seed; locate it
+	// by re-deriving: n=500 (2-byte uvarint), shards=8 (1 byte), seed 8 bytes.
+	flagOff += 2 + 1 + 8
+	bad[flagOff] |= flagPart
+	crc = crc32.Checksum(bad[:len(bad)-4], castagnoli)
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("v1 snapshot with partition flag accepted")
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 const (
@@ -46,9 +47,12 @@ const (
 	segMagic = "NYWALSG1"
 
 	// RecBatch is a batch of register keys; RecMerge is a snapcodec
-	// snapshot blob merged into the bank via Remark 2.4.
-	RecBatch = byte(1)
-	RecMerge = byte(2)
+	// snapshot blob merged into the bank via Remark 2.4; RecMergeMax is a
+	// snapshot blob applied as a register-wise maximum (the cluster's
+	// anti-entropy join, see internal/cluster).
+	RecBatch    = byte(1)
+	RecMerge    = byte(2)
+	RecMergeMax = byte(3)
 
 	// maxPayload bounds a single record payload (a merge blob of a
 	// MaxRegisters-key snapshot fits comfortably).
@@ -64,7 +68,51 @@ var ErrClosed = errors.New("wal: log closed")
 type Record struct {
 	Type byte
 	Keys []int  // RecBatch
-	Blob []byte // RecMerge: snapcodec snapshot bytes
+	Blob []byte // RecMerge / RecMergeMax: snapcodec snapshot bytes
+}
+
+// SyncPolicy selects when committed records are fsynced — the durability
+// half of the group-commit contract.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before Commit returns: an acknowledged record
+	// survives power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval lets Commit return after the write (page cache), with a
+	// background loop fsyncing every Interval: a crash of the process loses
+	// nothing, a power loss loses at most the last interval's records.
+	SyncInterval
+	// SyncOff never fsyncs (benchmarks and tests that measure the code
+	// path, not the disk).
+	SyncOff
+)
+
+// ParseSyncPolicy maps the -fsync flag vocabulary to a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always | interval | off)", s)
+	}
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
 }
 
 // Options configures a Log.
@@ -72,12 +120,20 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size.
 	// Zero means the 64 MiB default.
 	SegmentBytes int64
-	// NoSync skips fsync on commit (for benchmarks and tests that measure
-	// the code path, not the disk).
+	// NoSync is the deprecated spelling of Policy: SyncOff; it overrides
+	// Policy when set.
 	NoSync bool
+	// Policy selects the fsync durability policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the background fsync cadence under SyncInterval (default
+	// 100ms; ignored otherwise).
+	Interval time.Duration
 }
 
-const defaultSegmentBytes = 64 << 20
+const (
+	defaultSegmentBytes = 64 << 20
+	defaultSyncInterval = 100 * time.Millisecond
+)
 
 // Log is an append-only segmented record log. All methods are safe for
 // concurrent use.
@@ -98,6 +154,11 @@ type Log struct {
 	synced  uint64 // records durable
 	syncing bool
 	err     error // sticky: a failed sync or write poisons the log
+
+	// Background flusher state (SyncInterval only).
+	stopc     chan struct{}
+	flushDone chan struct{}
+	stopOnce  sync.Once
 }
 
 // Open creates or opens the log in dir. It always begins a fresh segment
@@ -106,6 +167,12 @@ type Log struct {
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.NoSync {
+		opts.Policy = SyncOff
+	}
+	if opts.Policy == SyncInterval && opts.Interval <= 0 {
+		opts.Interval = defaultSyncInterval
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -123,7 +190,51 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := l.openSegment(next); err != nil {
 		return nil, err
 	}
+	if opts.Policy == SyncInterval {
+		l.stopc = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
 	return l, nil
+}
+
+// flushLoop is the SyncInterval background fsync: every Interval it flushes
+// the staged buffer and syncs the active segment, bounding the power-loss
+// window to one interval. A sync failure poisons the log exactly as a
+// foreground sync failure would.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopc:
+			return
+		case <-t.C:
+			if err := l.fsyncNow(); err != nil && !errors.Is(err, ErrClosed) {
+				return // sticky error is set; the log is poisoned anyway
+			}
+		}
+	}
+}
+
+// fsyncNow flushes and fsyncs the active segment regardless of policy.
+func (l *Log) fsyncNow() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	err := l.flushLocked()
+	if err == nil {
+		err = l.f.Sync()
+	}
+	l.mu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("wal: sync: %w", err)
+		l.setErr(err)
+	}
+	return err
 }
 
 // openSegment creates segment seq and writes its header. Caller holds mu or
@@ -143,7 +254,7 @@ func (l *Log) openSegment(seq uint64) error {
 	// Make the segment's dirent durable: records fsynced into this file are
 	// acknowledged as durable, which means nothing if a power loss can make
 	// the whole file vanish from the directory.
-	if !l.opts.NoSync {
+	if l.opts.Policy != SyncOff {
 		if d, err := os.Open(l.dir); err == nil {
 			d.Sync()
 			d.Close()
@@ -200,7 +311,7 @@ func encodeRecord(dst []byte, rec Record) ([]byte, error) {
 			}
 			payload = binary.AppendUvarint(payload, uint64(k))
 		}
-	case RecMerge:
+	case RecMerge, RecMergeMax:
 		payload = rec.Blob
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", rec.Type)
@@ -245,8 +356,8 @@ func decodePayload(typ byte, payload []byte) (Record, error) {
 			return Record{}, fmt.Errorf("wal: batch record: %d trailing bytes", len(rest))
 		}
 		return Record{Type: RecBatch, Keys: keys}, nil
-	case RecMerge:
-		return Record{Type: RecMerge, Blob: payload}, nil
+	case RecMerge, RecMergeMax:
+		return Record{Type: typ, Blob: payload}, nil
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d", typ)
 	}
@@ -310,7 +421,7 @@ func (l *Log) Commit(ticket uint64) error {
 	l.mu.Lock()
 	target := l.staged
 	err := l.flushLocked()
-	if err == nil && !l.opts.NoSync {
+	if err == nil && l.opts.Policy == SyncAlways {
 		err = l.f.Sync()
 	}
 	l.mu.Unlock()
@@ -387,7 +498,10 @@ func (l *Log) rotateLocked() error {
 		l.setErr(err)
 		return err
 	}
-	if !l.opts.NoSync {
+	// Sealing a segment syncs it under both always and interval policies —
+	// TruncateBefore may delete its predecessors, so the seal is a
+	// durability boundary.
+	if l.opts.Policy != SyncOff {
 		if err := l.f.Sync(); err != nil {
 			l.setErr(err)
 			return err
@@ -473,6 +587,12 @@ func (l *Log) Sync() error {
 // Close flushes, syncs, and closes the log. Further operations return
 // ErrClosed.
 func (l *Log) Close() error {
+	// Stop the interval flusher first, outside mu: fsyncNow takes mu, so
+	// waiting for the goroutine while holding the lock would deadlock.
+	if l.stopc != nil {
+		l.stopOnce.Do(func() { close(l.stopc) })
+		<-l.flushDone
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -480,7 +600,7 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	err := l.flushLocked()
-	if err == nil && !l.opts.NoSync {
+	if err == nil && l.opts.Policy != SyncOff {
 		err = l.f.Sync()
 	}
 	if cerr := l.f.Close(); err == nil {
@@ -543,6 +663,20 @@ type ReplayStats struct {
 // acknowledged. Corruption anywhere else, or a decoding failure, is an
 // error. fn errors abort the replay.
 func Replay(dir string, fromSeq uint64, fn func(Record) error) (ReplayStats, error) {
+	return replayRange(dir, fromSeq, 0, fn)
+}
+
+// ReplayUpTo is Replay restricted to segments with fromSeq ≤ seq <
+// beforeSeq. Every replayed segment is expected to be sealed (the live
+// segment sits at or above beforeSeq), so torn-tail tolerance is off: any
+// invalid record is an error. The replication outbox uses this to drain the
+// sealed prefix of its hint log while appends continue on the active
+// segment.
+func ReplayUpTo(dir string, fromSeq, beforeSeq uint64, fn func(Record) error) (ReplayStats, error) {
+	return replayRange(dir, fromSeq, beforeSeq, fn)
+}
+
+func replayRange(dir string, fromSeq, beforeSeq uint64, fn func(Record) error) (ReplayStats, error) {
 	var stats ReplayStats
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -550,7 +684,7 @@ func Replay(dir string, fromSeq uint64, fn func(Record) error) (ReplayStats, err
 	}
 	var replay []uint64
 	for _, s := range segs {
-		if s >= fromSeq {
+		if s >= fromSeq && (beforeSeq == 0 || s < beforeSeq) {
 			replay = append(replay, s)
 		}
 	}
@@ -572,7 +706,7 @@ func Replay(dir string, fromSeq uint64, fn func(Record) error) (ReplayStats, err
 		}
 	}
 	for i, seq := range replay {
-		last := i == len(replay)-1
+		last := i == len(replay)-1 && beforeSeq == 0
 		if err := replaySegment(dir, seq, last, fn, &stats); err != nil {
 			return stats, err
 		}
