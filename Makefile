@@ -40,12 +40,20 @@ race:
 cluster-smoke:
 	$(GO) test -race -v -run 'TestCluster|TestClient' ./internal/cluster ./internal/client
 
-# Mirrors the CI bench job: human-readable text plus the machine-readable
-# BENCH_cluster.json artifact (cmd/benchjson), both left in bench-out/.
+# Mirrors the CI bench job: human-readable text plus three machine-readable
+# JSON artifacts (cmd/benchjson) tracking the perf trajectory of the hot
+# paths — core (single-counter + contended shardbank), serve (store, WAL,
+# snapcodec, engines), cluster (ingest fan-out, partition exchange).
 bench:
 	mkdir -p bench-out
-	$(GO) test -run='^$$' -bench=. -benchtime=100x ./... | tee bench-out/bench.txt
-	$(GO) run ./cmd/benchjson < bench-out/bench.txt > bench-out/BENCH_cluster.json
+	$(GO) test -run='^$$' -bench=. -benchtime=100x . | tee bench-out/bench-core.txt
+	$(GO) run ./cmd/benchjson < bench-out/bench-core.txt > bench-out/BENCH_core.json
+	$(GO) test -run='^$$' -bench=. -benchtime=100x \
+		./internal/server ./internal/wal ./internal/snapcodec ./internal/engine \
+		| tee bench-out/bench-serve.txt
+	$(GO) run ./cmd/benchjson < bench-out/bench-serve.txt > bench-out/BENCH_serve.json
+	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/cluster | tee bench-out/bench-cluster.txt
+	$(GO) run ./cmd/benchjson < bench-out/bench-cluster.txt > bench-out/BENCH_cluster.json
 
 # Cluster-focused benchmarks only (ingest fan-out, partition snapshots,
 # ring routing, WAL fsync policies), same JSON artifact.
@@ -62,5 +70,6 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzIncrementPattern -fuzztime=5s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/snapcodec
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/snapcodec
+	$(GO) test -run='^$$' -fuzz=FuzzSummary -fuzztime=5s ./internal/heavyhitters
 
 ci: build vet fmt-check race fuzz-smoke

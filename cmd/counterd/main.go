@@ -1,23 +1,26 @@
-// Command counterd serves a durable sharded counter bank over HTTP: the
-// paper's motivating analytics system (millions of approximate counters in
-// a few bits each) as a restartable network daemon.
+// Command counterd serves a durable sketch engine over HTTP: the paper's
+// motivating analytics system (millions of approximate counters in a few
+// bits each) as a restartable network daemon, with the engine pluggable —
+// the Morris/Csűrös/exact register bank by default, or the cluster-wide
+// heavy-hitters (top-k) engine with -engine topk.
 //
 // Every increment batch is WAL-logged before it is applied and acknowledged,
 // so a kill -9 at any moment loses nothing that was acked: on restart the
 // daemon loads its newest checkpoint (a compressed snapcodec snapshot that
-// includes the per-shard rng states) and replays the WAL suffix, rebuilding
-// bit-identical registers. A background loop checkpoints every -checkpoint
-// interval, truncating the log so recovery stays fast.
+// includes the engine's generator states) and replays the WAL suffix,
+// rebuilding bit-identical state. A background loop checkpoints every
+// -checkpoint interval, truncating the log so recovery stays fast.
 //
 // Endpoints (see internal/server):
 //
 //	POST /inc            {"key": 5} or {"keys": [1, 2, 2, 7]}
 //	GET  /estimate/{key}
 //	GET  /estimates
+//	GET  /topk?k=10      ranked heavy hitters (&partition=p for one partition)
 //	GET  /snapshot       compressed snapshot stream (feed to a peer's /merge)
 //	GET  /snapshot/{p}   one partition's compressed snapshot
-//	POST /merge          ingest a peer snapshot (Remark 2.4 merge)
-//	POST /mergemax       ingest a replica snapshot (register-wise max)
+//	POST /merge          ingest a peer snapshot (disjoint-stream join)
+//	POST /mergemax       ingest a replica snapshot (max join)
 //	GET  /healthz
 //
 // With -cluster the daemon becomes one member of a replicated ring
@@ -27,13 +30,18 @@
 // through crashes. The cluster admin API (/cluster/gossip, /cluster/ring,
 // /cluster/repl, /cluster/phash/{p}, /cluster/info) mounts next to the
 // store API, and POST /inc becomes the ring-coordinated write path. See
-// docs/CLUSTER.md.
+// docs/CLUSTER.md and docs/ENGINES.md.
 //
 // Example (single node):
 //
 //	counterd -addr :8347 -dir ./counterd-data -n 1000000 -shards 256
 //	curl -X POST localhost:8347/inc -d '{"keys":[1,2,3,2]}'
 //	curl localhost:8347/estimate/2
+//
+// Example (heavy-hitters engine):
+//
+//	counterd -addr :8347 -dir ./topk-data -n 1000000 -engine topk -topk-cap 256
+//	curl 'localhost:8347/topk?k=10'
 //
 // Example (local 3-node ring, replication factor 2):
 //
@@ -62,78 +70,136 @@ import (
 	"repro/internal/wal"
 )
 
-func main() {
-	var (
-		addr       = flag.String("addr", ":8347", "HTTP listen address")
-		dir        = flag.String("dir", "./counterd-data", "data directory (WAL segments + checkpoints)")
-		n          = flag.Int("n", 1_000_000, "number of registers (ignored when the data dir has a checkpoint)")
-		shards     = flag.Int("shards", 256, "lock stripes (rounded to a power of two)")
-		algo       = flag.String("algo", "morris", "register algorithm: morris | csuros | exact")
-		a          = flag.Float64("a", 0.005, "Morris base parameter")
-		width      = flag.Int("width", 14, "register width in bits")
-		mantissa   = flag.Int("mantissa", 8, "Csűrös mantissa bits")
-		seed       = flag.Uint64("seed", 42, "deterministic replay seed")
-		checkpoint = flag.Duration("checkpoint", 30*time.Second, "checkpoint cadence (0 disables the loop)")
-		segBytes   = flag.Int64("segbytes", 64<<20, "WAL segment rotation size")
-		maxBatch   = flag.Int("maxbatch", 1<<16, "largest accepted increment batch")
-		finalCkpt  = flag.Bool("final-checkpoint", true, "checkpoint on graceful shutdown")
-		fsync      = flag.String("fsync", "always", "WAL durability policy: always | interval | off")
-		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence with -fsync=interval")
-		partitions = flag.Int("partitions", 64, "key-space partitions (unit of cluster replication)")
+// options is the parsed daemon configuration — split from main so tests can
+// drive the same flag-to-store plumbing the binary uses.
+type options struct {
+	addr       string
+	dir        string
+	n          int
+	shards     int
+	alg        string
+	a          float64
+	width      int
+	mantissa   int
+	seed       uint64
+	engine     string
+	topkCap    int
+	checkpoint time.Duration
+	segBytes   int64
+	maxBatch   int
+	finalCkpt  bool
+	fsync      string
+	fsyncEvery time.Duration
+	partitions int
 
-		clusterOn   = flag.Bool("cluster", false, "join a replicated cluster (see docs/CLUSTER.md)")
-		advertise   = flag.String("advertise", "", "base URL peers reach this node at (default derived from -addr)")
-		join        = flag.String("join", "", "comma-separated peer base URLs to gossip with at startup")
-		rf          = flag.Int("rf", 2, "replication factor (cluster mode)")
-		vnodes      = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the ring")
-		hintDir     = flag.String("hintdir", "", "hinted-handoff directory (default <dir>/hints)")
-		hintFsync   = flag.String("hint-fsync", "off", "hinted-handoff log fsync policy: always | interval | off")
-		gossipEvery = flag.Duration("gossip", time.Second, "gossip heartbeat cadence")
-		aeEvery     = flag.Duration("antientropy", 5*time.Second, "anti-entropy cadence")
-	)
-	flag.Parse()
+	clusterOn   bool
+	advertise   string
+	join        string
+	rf          int
+	vnodes      int
+	hintDir     string
+	hintFsync   string
+	gossipEvery time.Duration
+	aeEvery     time.Duration
+}
 
-	alg, err := server.ParseAlgorithm(*algo, *a, *width, *mantissa)
-	if err != nil {
-		log.Fatalf("counterd: %v", err)
+// parseFlags parses the daemon's command line. Both -alg and its legacy
+// spelling -algo select the register algorithm; the last one given wins.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("counterd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8347", "HTTP listen address")
+	fs.StringVar(&o.dir, "dir", "./counterd-data", "data directory (WAL segments + checkpoints)")
+	fs.IntVar(&o.n, "n", 1_000_000, "number of keys (ignored when the data dir has a checkpoint)")
+	fs.IntVar(&o.shards, "shards", 256, "lock stripes (rounded to a power of two; bank engine)")
+	fs.StringVar(&o.alg, "alg", "morris", "register algorithm: morris | csuros | exact")
+	fs.StringVar(&o.alg, "algo", "morris", "alias of -alg")
+	fs.Float64Var(&o.a, "a", 0.005, "Morris base parameter")
+	fs.IntVar(&o.width, "width", 14, "register width in bits")
+	fs.IntVar(&o.mantissa, "mantissa", 8, "Csűrös mantissa bits")
+	fs.Uint64Var(&o.seed, "seed", 42, "deterministic replay seed")
+	fs.StringVar(&o.engine, "engine", "bank", "sketch engine: bank | topk (see docs/ENGINES.md)")
+	fs.IntVar(&o.topkCap, "topk-cap", 64, "top-k slots per partition (topk engine)")
+	fs.DurationVar(&o.checkpoint, "checkpoint", 30*time.Second, "checkpoint cadence (0 disables the loop)")
+	fs.Int64Var(&o.segBytes, "segbytes", 64<<20, "WAL segment rotation size")
+	fs.IntVar(&o.maxBatch, "maxbatch", 1<<16, "largest accepted increment batch")
+	fs.BoolVar(&o.finalCkpt, "final-checkpoint", true, "checkpoint on graceful shutdown")
+	fs.StringVar(&o.fsync, "fsync", "always", "WAL durability policy: always | interval | off")
+	fs.DurationVar(&o.fsyncEvery, "fsync-interval", 100*time.Millisecond, "background fsync cadence with -fsync=interval")
+	fs.IntVar(&o.partitions, "partitions", 64, "key-space partitions (unit of cluster replication)")
+
+	fs.BoolVar(&o.clusterOn, "cluster", false, "join a replicated cluster (see docs/CLUSTER.md)")
+	fs.StringVar(&o.advertise, "advertise", "", "base URL peers reach this node at (default derived from -addr)")
+	fs.StringVar(&o.join, "join", "", "comma-separated peer base URLs to gossip with at startup")
+	fs.IntVar(&o.rf, "rf", 2, "replication factor (cluster mode)")
+	fs.IntVar(&o.vnodes, "vnodes", cluster.DefaultVNodes, "virtual nodes per member on the ring")
+	fs.StringVar(&o.hintDir, "hintdir", "", "hinted-handoff directory (default <dir>/hints)")
+	fs.StringVar(&o.hintFsync, "hint-fsync", "off", "hinted-handoff log fsync policy: always | interval | off")
+	fs.DurationVar(&o.gossipEvery, "gossip", time.Second, "gossip heartbeat cadence")
+	fs.DurationVar(&o.aeEvery, "antientropy", 5*time.Second, "anti-entropy cadence")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
-	policy, err := wal.ParseSyncPolicy(*fsync)
+	return o, nil
+}
+
+// openStore turns parsed options into an open durable store — the daemon's
+// entire flag-to-engine plumbing, shared with the integration tests.
+func openStore(o *options) (*server.Store, error) {
+	alg, err := server.ParseAlgorithm(o.alg, o.a, o.width, o.mantissa)
 	if err != nil {
-		log.Fatalf("counterd: %v", err)
+		return nil, err
 	}
-	st, err := server.Open(server.Config{
-		Dir:          *dir,
-		N:            *n,
-		Shards:       *shards,
+	policy, err := wal.ParseSyncPolicy(o.fsync)
+	if err != nil {
+		return nil, err
+	}
+	return server.Open(server.Config{
+		Dir:          o.dir,
+		N:            o.n,
+		Shards:       o.shards,
 		Alg:          alg,
-		Seed:         *seed,
-		SegmentBytes: *segBytes,
-		MaxBatch:     *maxBatch,
+		Seed:         o.seed,
+		Engine:       o.engine,
+		TopKCap:      o.topkCap,
+		SegmentBytes: o.segBytes,
+		MaxBatch:     o.maxBatch,
 		Sync:         policy,
-		SyncInterval: *fsyncEvery,
-		Partitions:   *partitions,
+		SyncInterval: o.fsyncEvery,
+		Partitions:   o.partitions,
 	})
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	st, err := openStore(o)
 	if err != nil {
 		log.Fatalf("counterd: %v", err)
 	}
 	stats := st.Stats()
-	log.Printf("counterd: %d registers × %d bits (%s), %d shards, %d partitions, fsync=%s, recovered from %s (%d records replayed%s)",
-		stats.N, stats.WidthBits, stats.Algorithm, stats.Shards, stats.Partitions, stats.FsyncPolicy,
+	log.Printf("counterd: %s engine, %d keys × %d bits (%s), %d shards, %d partitions, fsync=%s, recovered from %s (%d records replayed%s)",
+		stats.Engine, stats.N, stats.WidthBits, stats.Algorithm, stats.Shards, stats.Partitions, stats.FsyncPolicy,
 		stats.RecoveredFrom, stats.ReplayedRecords, tornNote(stats.ReplayTorn))
 
 	handler := server.Handler(st)
 	var node *cluster.Node
-	if *clusterOn {
-		self := *advertise
+	if o.clusterOn {
+		self := o.advertise
 		if self == "" {
-			self = deriveAdvertise(*addr)
+			self = deriveAdvertise(o.addr)
 		}
-		hints := *hintDir
+		hints := o.hintDir
 		if hints == "" {
-			hints = filepath.Join(*dir, "hints")
+			hints = filepath.Join(o.dir, "hints")
 		}
 		var seeds []string
-		for _, s := range strings.Split(*join, ",") {
+		for _, s := range strings.Split(o.join, ",") {
 			if s = strings.TrimSpace(s); s != "" {
 				seeds = append(seeds, s)
 			}
@@ -141,18 +207,18 @@ func main() {
 		node, err = cluster.New(st, cluster.Config{
 			Self:                self,
 			Join:                seeds,
-			RF:                  *rf,
-			VNodes:              *vnodes,
+			RF:                  o.rf,
+			VNodes:              o.vnodes,
 			HintDir:             hints,
-			HintFsync:           *hintFsync,
-			GossipInterval:      *gossipEvery,
-			AntiEntropyInterval: *aeEvery,
+			HintFsync:           o.hintFsync,
+			GossipInterval:      o.gossipEvery,
+			AntiEntropyInterval: o.aeEvery,
 		})
 		if err != nil {
 			log.Fatalf("counterd: %v", err)
 		}
 		handler = node.Handler()
-		log.Printf("counterd: cluster member %s, rf %d, joining %v", self, *rf, seeds)
+		log.Printf("counterd: cluster member %s, rf %d, joining %v", self, o.rf, seeds)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -162,10 +228,10 @@ func main() {
 	ckptDone := make(chan struct{})
 	go func() {
 		defer close(ckptDone)
-		if *checkpoint <= 0 {
+		if o.checkpoint <= 0 {
 			return
 		}
-		t := time.NewTicker(*checkpoint)
+		t := time.NewTicker(o.checkpoint)
 		defer t.Stop()
 		for {
 			select {
@@ -183,13 +249,13 @@ func main() {
 		}
 	}()
 
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	hs := &http.Server{Addr: o.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	if node != nil {
 		node.Start()
 	}
-	log.Printf("counterd: serving on %s", *addr)
+	log.Printf("counterd: serving on %s", o.addr)
 
 	select {
 	case <-ctx.Done():
@@ -207,7 +273,7 @@ func main() {
 		node.Stop()
 	}
 	<-ckptDone
-	if err := st.Close(*finalCkpt); err != nil && !errors.Is(err, context.Canceled) {
+	if err := st.Close(o.finalCkpt); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("counterd: close: %v", err)
 	}
 	log.Printf("counterd: bye")

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// daemonArgs builds a counterd command line rooted in dir.
+func daemonArgs(dir string, extra ...string) []string {
+	return append([]string{
+		"-dir", dir, "-n", "3000", "-shards", "16", "-partitions", "8",
+		"-fsync", "off", "-seed", "99",
+	}, extra...)
+}
+
+// openDaemon runs the daemon's exact flag-to-store plumbing and serves its
+// HTTP surface on a test listener.
+func openDaemon(t *testing.T, args []string) (*server.Store, *httptest.Server) {
+	t.Helper()
+	o, err := parseFlags(args)
+	if err != nil {
+		t.Fatalf("parse flags: %v", err)
+	}
+	st, err := openStore(o)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	return st, httptest.NewServer(server.Handler(st))
+}
+
+func fetchSnapshot(t *testing.T, srv *httptest.Server) []byte {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func healthz(t *testing.T, srv *httptest.Server) server.Stats {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCsurosDaemonCheckpointRestart drives -alg csuros end to end through
+// the daemon's own plumbing: flags → ParseAlgorithm → store → HTTP, then a
+// mid-stream checkpoint, a crash (no final checkpoint), and a restart that
+// must serve byte-identical /snapshot output — the Csűrös generator states
+// ride the checkpoint exactly like Morris ones.
+func TestCsurosDaemonCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := daemonArgs(dir, "-alg", "csuros", "-width", "12", "-mantissa", "6")
+	st, srv := openDaemon(t, args)
+
+	if s := healthz(t, srv); s.Algorithm != "csuros" || s.WidthBits != 12 {
+		t.Fatalf("daemon serves %s/%d-bit, want csuros/12", s.Algorithm, s.WidthBits)
+	}
+	src := stream.NewZipf(3000, 1.1, xrand.NewSeeded(5))
+	post := func(count int) {
+		t.Helper()
+		keys := make([]int, 256)
+		for i := 0; i < count; i++ {
+			for j := range keys {
+				keys[j] = int(src.Next())
+			}
+			body, _ := json.Marshal(map[string][]int{"keys": keys})
+			resp, err := http.Post(srv.URL+"/inc", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("inc: status %d", resp.StatusCode)
+			}
+		}
+	}
+	post(40)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	post(40) // WAL suffix past the checkpoint
+	want := fetchSnapshot(t, srv)
+	srv.Close()
+	if err := st.Close(false); err != nil { // crash: no final checkpoint
+		t.Fatal(err)
+	}
+
+	// Restart 1: same flags. Recovery = checkpoint + WAL replay.
+	st2, srv2 := openDaemon(t, args)
+	stats := healthz(t, srv2)
+	if stats.Algorithm != "csuros" || stats.RecoveredFrom != "snapshot" || stats.ReplayedRecords != 40 {
+		t.Fatalf("recovery stats: %+v", stats)
+	}
+	if got := fetchSnapshot(t, srv2); !bytes.Equal(got, want) {
+		t.Fatal("csuros /snapshot not byte-identical across restart")
+	}
+	srv2.Close()
+	if err := st2.Close(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 2: DEFAULT flags (-alg morris). The checkpoint on disk is the
+	// source of truth, so the daemon must come back as csuros regardless.
+	st3, srv3 := openDaemon(t, daemonArgs(dir))
+	defer srv3.Close()
+	defer st3.Close(false)
+	if s := healthz(t, srv3); s.Algorithm != "csuros" || s.WidthBits != 12 {
+		t.Fatalf("restart with default flags lost the on-disk algorithm: %+v", s)
+	}
+	if got := fetchSnapshot(t, srv3); !bytes.Equal(got, want) {
+		t.Fatal("csuros /snapshot diverged after flagless restart")
+	}
+}
+
+// TestTopKDaemonFlags drives -engine topk through the daemon plumbing and
+// checks the restart keeps the engine kind.
+func TestTopKDaemonFlags(t *testing.T) {
+	dir := t.TempDir()
+	args := daemonArgs(dir, "-engine", "topk", "-topk-cap", "16")
+	st, srv := openDaemon(t, args)
+	if s := healthz(t, srv); s.Engine != "topk" || s.Shards != 8 {
+		t.Fatalf("daemon serves %s/%d shards, want topk/8", s.Engine, s.Shards)
+	}
+	keys := []int{1, 1, 1, 2, 2, 9}
+	body, _ := json.Marshal(map[string][]int{"keys": keys})
+	resp, err := http.Post(srv.URL+"/inc", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/topk?k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TopK []struct {
+			Key int `json:"key"`
+		} `json:"topk"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.TopK) != 2 || out.TopK[0].Key != 1 {
+		t.Fatalf("topk: %+v", out)
+	}
+	want := fetchSnapshot(t, srv)
+	srv.Close()
+	if err := st.Close(false); err != nil {
+		t.Fatal(err)
+	}
+	// Restart with default flags: the topk checkpoint... there is no
+	// checkpoint (crash close), so recovery is seed + WAL — the flags must
+	// still say topk for a fresh-construction replay. With explicit args
+	// the daemon replays to identical bytes.
+	st2, srv2 := openDaemon(t, args)
+	defer srv2.Close()
+	defer st2.Close(false)
+	if got := fetchSnapshot(t, srv2); !bytes.Equal(got, want) {
+		t.Fatal("topk /snapshot not byte-identical across restart")
+	}
+}

@@ -15,10 +15,13 @@
 //	countertool serve -pages 100000 -events 5000000 -goroutines 8 -compare
 //	countertool bench-serve -addr http://localhost:8347 -events 1000000
 //	countertool bench-cluster -nodes http://localhost:8347 -events 1000000
+//	countertool topk -nodes http://localhost:8347 -events 1000000 -zipf 1.1
 //
 // The bench-serve subcommand (benchserve.go) drives a running counterd
 // daemon over HTTP; bench-cluster (benchcluster.go) drives a whole counterd
-// cluster through the ring-aware smart client.
+// cluster through the ring-aware smart client; topk (topk.go) drives a
+// Zipf heavy-hitters workload against the topk engine and reports how well
+// the cluster recovered the true top-k.
 package main
 
 import (
@@ -41,6 +44,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench-cluster" {
 		benchClusterMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "topk" {
+		topkMain(os.Args[2:])
 		return
 	}
 	var (

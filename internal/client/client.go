@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/snapcodec"
 )
 
@@ -265,6 +267,84 @@ func (c *Client) Estimate(k int) (float64, error) {
 		lastErr = errors.New("empty ring")
 	}
 	return 0, fmt.Errorf("client: estimate key %d: %w", k, lastErr)
+}
+
+// TopK returns the cluster-wide top-k keys by estimate: every partition's
+// primary (failing over through the replica set) reports its partition-local
+// top k via GET /topk, and the reports merge client-side. Partitions tile
+// the key space, so their key sets are disjoint and the merge is a
+// concatenate-sort-truncate — no double counting across nodes. A partition
+// whose whole replica set is unreachable fails the query rather than
+// silently under-reporting.
+func (c *Client) TopK(k int) ([]engine.Entry, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("client: k = %d", k)
+	}
+	var all []engine.Entry
+	n0, parts0 := c.info.N, c.info.Partitions
+	for p := 0; p < parts0; p++ {
+		entries, err := c.partitionTopK(k, p, c.reps[p])
+		if err != nil {
+			// One refresh: the ring may have moved under us. Entries
+			// already gathered assume the (N, Partitions) tiling the query
+			// started with — if the refreshed cluster is reshaped, ranges
+			// would overlap and keys double-count, so fail instead.
+			if rerr := c.Refresh(); rerr == nil {
+				if c.info.N != n0 || c.info.Partitions != parts0 {
+					return nil, fmt.Errorf("client: topk partition %d: cluster reshaped mid-query (%d keys/%d partitions → %d/%d)",
+						p, n0, parts0, c.info.N, c.info.Partitions)
+				}
+				entries, err = c.partitionTopK(k, p, c.reps[p])
+			}
+			if err != nil {
+				return nil, fmt.Errorf("client: topk partition %d: %w", p, err)
+			}
+		}
+		all = append(all, entries...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Estimate != all[j].Estimate {
+			return all[i].Estimate > all[j].Estimate
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// partitionTopK asks p's replicas (primary first) for the partition's top
+// k entries.
+func (c *Client) partitionTopK(k, p int, reps []string) ([]engine.Entry, error) {
+	var lastErr error
+	for _, rep := range reps {
+		resp, err := c.hc.Get(fmt.Sprintf("%s/topk?k=%d&partition=%d", rep, k, p))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: status %d: %s", rep, resp.StatusCode, bytes.TrimSpace(msg))
+			continue
+		}
+		var out struct {
+			TopK []engine.Entry `json:"topk"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<22)).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return out.TopK, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("empty replica set")
+	}
+	return nil, lastErr
 }
 
 // Close flushes pending batches.

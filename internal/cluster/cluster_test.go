@@ -35,6 +35,8 @@ type testNode struct {
 type testClusterConfig struct {
 	n, partitions, shards, rf int
 	alg                       bank.Algorithm
+	engine                    string // "" = bank
+	topkCap                   int
 }
 
 func defaultClusterConfig() testClusterConfig {
@@ -66,6 +68,8 @@ func startNode(t testing.TB, dir, addr string, cc testClusterConfig, join []stri
 		Alg:        cc.alg,
 		Seed:       42, // same seed everywhere: converged snapshots byte-match
 		Partitions: cc.partitions,
+		Engine:     cc.engine,
+		TopKCap:    cc.topkCap,
 		NoSync:     true, // process-crash durability (page cache), fast tests
 	})
 	if err != nil {

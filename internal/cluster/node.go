@@ -265,7 +265,7 @@ func (n *Node) Ingest(keys []int, forwarded bool) (int, error) {
 		return 0, nil
 	}
 	ring := n.ring.Load()
-	nKeys := n.st.Bank().Len()
+	nKeys := n.st.Len()
 	parts := n.st.Partitions()
 
 	// Classify each partition once, then split the batch in key order.
@@ -618,7 +618,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/ring", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, RingInfo{
 			Self:       n.cfg.Self,
-			N:          n.st.Bank().Len(),
+			N:          n.st.Len(),
 			Partitions: n.st.Partitions(),
 			RF:         n.cfg.RF,
 			VNodes:     n.cfg.VNodes,

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bank"
+	"repro/internal/shardbank"
+	"repro/internal/snapcodec"
+)
+
+// KindBank names the register-bank engine.
+const KindBank = "bank"
+
+// BankEngine serves a sharded register bank (one approximate counter per
+// key) through the Engine interface. It is a thin adapter over
+// shardbank.Bank, pinned to the pre-engine serving stack bit for bit: WAL
+// batches apply through the same IncrementBatch, snapshots carry the same
+// snapcodec fields (no engine section — the header is what versions 1 and
+// 2 wrote), and range hashes use the same FNV fold, so a store refactored
+// onto this engine recovers old data directories and emits byte-identical
+// /snapshot streams.
+type BankEngine struct {
+	b *shardbank.Bank
+}
+
+// NewBank wraps an existing sharded bank.
+func NewBank(b *shardbank.Bank) *BankEngine { return &BankEngine{b: b} }
+
+// BankFromSnapshot reconstructs a bank engine from a (whole-bank) snapshot,
+// restoring registers and, when present, the per-shard generator states.
+func BankFromSnapshot(snap *snapcodec.Snapshot) (*BankEngine, error) {
+	if snap.IsEngine() {
+		return nil, fmt.Errorf("engine: %q snapshot is not a bank snapshot", snap.Engine)
+	}
+	if snap.IsPartition() {
+		return nil, fmt.Errorf("engine: cannot restore a bank from partition %d/%d", snap.Partition, snap.Parts)
+	}
+	alg, err := snap.Alg()
+	if err != nil {
+		return nil, err
+	}
+	b := shardbank.New(snap.N, alg, snap.Shards, snap.Seed)
+	if err := b.RestoreState(shardbank.State{Registers: snap.Registers, RNG: snap.RNG}); err != nil {
+		return nil, err
+	}
+	return &BankEngine{b: b}, nil
+}
+
+// Bank exposes the underlying sharded bank (read-mostly callers: tests,
+// examples, tools). Nil-safe only on bank engines — other engines have no
+// bank to expose.
+func (e *BankEngine) Bank() *shardbank.Bank { return e.b }
+
+// Kind implements Engine.
+func (e *BankEngine) Kind() string { return KindBank }
+
+// Len implements Engine.
+func (e *BankEngine) Len() int { return e.b.Len() }
+
+// Seed implements Engine.
+func (e *BankEngine) Seed() uint64 { return e.b.Seed() }
+
+// Shards implements Engine.
+func (e *BankEngine) Shards() int { return e.b.Shards() }
+
+// SizeBytes implements Engine.
+func (e *BankEngine) SizeBytes() int { return e.b.SizeBytes() }
+
+// Algorithm implements Engine.
+func (e *BankEngine) Algorithm() bank.Algorithm { return e.b.Algorithm() }
+
+// AlignPartitions implements Engine: registers are independently
+// addressable, so any partition split of the key space works.
+func (e *BankEngine) AlignPartitions() int { return 0 }
+
+// ApplyBatch implements Engine.
+func (e *BankEngine) ApplyBatch(keys []int) { e.b.IncrementBatch(keys) }
+
+// Estimate implements Engine.
+func (e *BankEngine) Estimate(key int) float64 { return e.b.Estimate(key) }
+
+// EstimateAll implements Engine.
+func (e *BankEngine) EstimateAll() []float64 { return e.b.EstimateAll() }
+
+// TopK implements Engine by ranking the range's estimates — an O(hi−lo)
+// scan over the read-mostly estimate cache; the bank tracks every key, so
+// unlike the top-k engine the answer is exact w.r.t. the registers.
+func (e *BankEngine) TopK(k, lo, hi int) ([]Entry, error) {
+	if lo < 0 || hi > e.b.Len() || lo > hi {
+		return nil, fmt.Errorf("engine: key range [%d, %d) outside [0, %d)", lo, hi, e.b.Len())
+	}
+	if k <= 0 {
+		return []Entry{}, nil
+	}
+	// k comes straight off the HTTP query string — cap the buffer at the
+	// range size so a hostile k cannot allocate gigabytes.
+	if k > hi-lo {
+		k = hi - lo
+	}
+	est := e.b.EstimateAll()
+	out := make([]Entry, 0, k+1)
+	// Selection by insertion into a small sorted buffer: k is a report
+	// size, not a scan size.
+	for key := lo; key < hi; key++ {
+		v := est[key]
+		if v <= 0 {
+			continue
+		}
+		if len(out) == k && v <= out[k-1].Estimate {
+			continue
+		}
+		i := sort.Search(len(out), func(i int) bool { return out[i].Estimate < v })
+		out = append(out, Entry{})
+		copy(out[i+1:], out[i:])
+		out[i] = Entry{Key: key, Estimate: v}
+		if len(out) > k {
+			out = out[:k]
+		}
+	}
+	return out, nil
+}
+
+// HashRange implements Engine with the FNV-1a register fold the
+// pre-engine Store.PartitionHash used.
+func (e *BankEngine) HashRange(lo, hi int) (uint64, error) {
+	regs, err := e.b.ExportRange(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	h := newFNV()
+	for _, v := range regs {
+		h.word(v)
+	}
+	return h.sum(), nil
+}
+
+// Snapshot implements Engine. Whole-bank snapshots (parts == 0) export a
+// globally consistent state cut; partition snapshots export the range's
+// registers per shard lock (consistent per shard, monotone overall — what
+// the max-join anti-entropy needs).
+func (e *BankEngine) Snapshot(part, parts int, withState bool) (*snapcodec.Snapshot, error) {
+	snap := &snapcodec.Snapshot{
+		N:      e.b.Len(),
+		Shards: e.b.Shards(),
+		Seed:   e.b.Seed(),
+	}
+	if err := snap.SetAlg(e.b.Algorithm()); err != nil {
+		return nil, err
+	}
+	if parts == 0 {
+		state := e.b.ExportState()
+		snap.Registers = state.Registers
+		if withState {
+			snap.RNG = state.RNG
+		}
+		return snap, nil
+	}
+	if withState {
+		return nil, fmt.Errorf("engine: partition snapshots cannot carry generator state")
+	}
+	lo, hi := snapcodec.PartitionRange(e.b.Len(), parts, part)
+	regs, err := e.b.ExportRange(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	snap.Partition = part
+	snap.Parts = parts
+	snap.Registers = regs
+	return snap, nil
+}
+
+// CheckPeer implements Engine: the full validate-before-stage pass of the
+// pre-engine store — algorithm merge support, algorithm and shape equality,
+// and an explicit register-width re-check so a WAL-staged blob can never
+// fail the in-bank merge (which would poison recovery replay).
+func (e *BankEngine) CheckPeer(snap *snapcodec.Snapshot, disjoint bool) error {
+	if snap.IsEngine() {
+		return fmt.Errorf("engine kind mismatch: peer %q, local %q", snap.Engine, KindBank)
+	}
+	if disjoint {
+		if _, ok := e.b.Algorithm().(bank.MergeAlgorithm); !ok {
+			return fmt.Errorf("algorithm %q does not support merge", e.b.Algorithm().Name())
+		}
+	}
+	alg, err := snap.Alg()
+	if err != nil {
+		return err
+	}
+	if alg != e.b.Algorithm() {
+		return fmt.Errorf("algorithm mismatch: peer %s/%d-bit, local %s/%d-bit",
+			snap.AlgName, snap.Width, e.b.Algorithm().Name(), e.b.BitsPerCounter())
+	}
+	if snap.N != e.b.Len() || snap.Shards != e.b.Shards() {
+		return fmt.Errorf("shape mismatch: peer %d keys/%d shards, local %d/%d",
+			snap.N, snap.Shards, e.b.Len(), e.b.Shards())
+	}
+	// The codec already rejects registers wider than the header width, and
+	// the algorithm equality above pins that width to the bank's — but the
+	// no-post-stage-failure invariant is too important to leave implicit in
+	// another package: re-check here.
+	maxReg := ^uint64(0) >> uint(64-e.b.BitsPerCounter())
+	for i, v := range snap.Registers {
+		if v > maxReg {
+			return fmt.Errorf("register %d = %d exceeds %d-bit width", i, v, e.b.BitsPerCounter())
+		}
+	}
+	return nil
+}
+
+// peerRange returns the key offset a peer snapshot's registers apply at.
+// The partition count does not have to match the local serving split: the
+// range is fully determined by (N, Parts, Partition), all validated by the
+// codec, so any consistent split merges correctly.
+func peerRange(snap *snapcodec.Snapshot) int {
+	if !snap.IsPartition() {
+		return 0
+	}
+	lo, _ := snapcodec.PartitionRange(snap.N, snap.Parts, snap.Partition)
+	return lo
+}
+
+// Merge implements Engine via the paper's Remark 2.4 register merge
+// (shardbank.MergeRange) — the disjoint-stream fold.
+func (e *BankEngine) Merge(snap *snapcodec.Snapshot) error {
+	return e.b.MergeRange(peerRange(snap), snap.Registers)
+}
+
+// MergeMax implements Engine via the register-wise maximum
+// (shardbank.MergeMaxRange) — the idempotent same-stream replica join.
+func (e *BankEngine) MergeMax(snap *snapcodec.Snapshot) error {
+	return e.b.MergeMaxRange(peerRange(snap), snap.Registers)
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/shardbank"
+)
+
+func benchBatch(n, size int) []int {
+	return zipfKeys(n, size, 1.05, 9)
+}
+
+// The interface-dispatch overhead the refactor added to the hot path: one
+// virtual call per batch on top of shardbank.IncrementBatch.
+func BenchmarkBankEngineApplyBatch(b *testing.B) {
+	const n = 100_000
+	var e Engine = NewBank(shardbank.New(n, bank.NewMorrisAlg(0.005, 14), 64, 42))
+	batch := benchBatch(n, 1024)
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ApplyBatch(batch)
+	}
+	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func BenchmarkTopKApplyBatch(b *testing.B) {
+	const n = 100_000
+	e, err := NewTopK(n, bank.NewMorrisAlg(0.005, 14), 64, 256, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := benchBatch(n, 1024)
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ApplyBatch(batch)
+	}
+	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func BenchmarkTopKQuery(b *testing.B) {
+	const n = 100_000
+	e, err := NewTopK(n, bank.NewMorrisAlg(0.005, 14), 64, 256, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches(zipfKeys(n, 200_000, 1.1, 3), 4096) {
+		e.ApplyBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.TopK(10, 0, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKSnapshotEncode(b *testing.B) {
+	const n = 100_000
+	e, err := NewTopK(n, bank.NewMorrisAlg(0.005, 14), 64, 256, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches(zipfKeys(n, 200_000, 1.1, 3), 4096) {
+		e.ApplyBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SnapshotTo(io.Discard, e, 0, 0, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

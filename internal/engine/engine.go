@@ -1,0 +1,167 @@
+// Package engine defines the sketch-engine interface the durable,
+// replicated serving stack programs against — the seam that separates
+// "what the system stores" from "how it is served, logged, checkpointed,
+// and replicated".
+//
+// Everything above this interface (internal/server's WAL + checkpoint
+// store, internal/cluster's ring/outbox/anti-entropy, internal/client,
+// cmd/counterd) speaks only Engine; everything below it is a concrete
+// sketch. Two engines ship today:
+//
+//   - BankEngine ("bank", the default): the Morris/Csűrös/exact register
+//     bank (internal/shardbank) — one approximate counter per key. Its
+//     wire artifacts are pinned bit-identical to the pre-engine stack:
+//     same WAL replay, same /snapshot bytes.
+//   - TopKEngine ("topk"): ℓ₁ heavy hitters via SpaceSaving over
+//     approximate registers (internal/heavyhitters.Summary, the [BDW19]
+//     construction the paper cites) — the true top-k of the stream in
+//     O(k · log log m) bits per partition instead of one counter per key.
+//
+// The contract an Engine signs up for, in exchange for durability and
+// replication "for free":
+//
+//   - Determinism: ApplyBatch and Merge are pure functions of (state,
+//     operation order) — all randomness comes from seed-derived generator
+//     streams captured by Snapshot(withState) — so WAL replay onto a
+//     checkpoint reconstructs the crashed engine exactly.
+//   - Validate-before-stage: CheckPeer fully validates a peer snapshot
+//     BEFORE the store WAL-stages it; a Merge/MergeMax of a checked
+//     snapshot must not fail (a staged-but-failing record would fail
+//     identically on every replay and brick the store).
+//   - Two joins: Merge is the disjoint-stream fold (the paper's Remark 2.4
+//     for registers, SpaceSaving union for summaries); MergeMax is the
+//     idempotent same-stream replica join (register-wise max, max
+//     takeover) that anti-entropy converges on.
+//   - Key-range addressing: the key space [0, Len) is split by
+//     snapcodec.PartitionRange; Snapshot and HashRange serve single
+//     partitions so replication ships only owned slices.
+//
+// See docs/ENGINES.md for the full contract and per-engine merge
+// semantics.
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bank"
+	"repro/internal/snapcodec"
+)
+
+// Entry is one ranked key in a top-k report.
+type Entry struct {
+	Key      int     `json:"key"`
+	Estimate float64 `json:"estimate"`
+}
+
+// Engine is a serveable sketch over the integer key space [0, Len): the
+// interface internal/server stores durably, internal/cluster replicates,
+// and internal/client queries. Implementations are safe for concurrent
+// use; the store serializes mutations (ApplyBatch, Merge, MergeMax) under
+// its write lock so WAL order equals apply order.
+type Engine interface {
+	// Kind names the engine family ("bank", "topk") — the dispatch tag in
+	// snapshot headers and the -engine flag vocabulary.
+	Kind() string
+	// Len returns the key-space size n.
+	Len() int
+	// Seed returns the construction seed of the engine's deterministic
+	// replay universe.
+	Seed() uint64
+	// Shards returns the engine's internal stripe count (lock stripes for
+	// the bank, per-partition summaries for top-k).
+	Shards() int
+	// SizeBytes returns the physical footprint of the sketch state.
+	SizeBytes() int
+	// Algorithm returns the register algorithm stepping the engine's
+	// counters (per key for the bank, per summary slot for top-k).
+	Algorithm() bank.Algorithm
+	// AlignPartitions returns the partition count the engine's internal
+	// sharding requires — its partition snapshots and hashes only serve
+	// ranges aligned to these — or 0 when any split of the key space works.
+	AlignPartitions() int
+
+	// ApplyBatch counts one event per key (keys already validated to
+	// [0, Len) by the caller). Deterministic in batch order for a fixed
+	// seed: the WAL replays batches in log order and must land on
+	// identical state.
+	ApplyBatch(keys []int)
+
+	// Estimate returns N̂ for one (validated) key; engines that track only
+	// a subset of keys (top-k) return 0 for untracked ones.
+	Estimate(key int) float64
+	// EstimateAll returns all n estimates in key order. The slice may be
+	// shared with future callers — treat as read-only.
+	EstimateAll() []float64
+	// TopK returns up to k keys of the range [lo, hi) ranked by descending
+	// estimate (ties toward the smaller key). The range must be aligned
+	// for engines with AlignPartitions > 0; [0, Len) is always valid.
+	TopK(k, lo, hi int) ([]Entry, error)
+
+	// HashRange returns an order-dependent hash of the engine state
+	// restricted to keys [lo, hi) — equal hashes across replicas mean (up
+	// to collision) identical state, the anti-entropy pre-check.
+	HashRange(lo, hi int) (uint64, error)
+
+	// Snapshot captures the engine state as a snapcodec snapshot: the
+	// whole key space (parts == 0) or one partition of a parts-way split.
+	// withState additionally captures the generator streams (and any other
+	// private state) needed for exact replay — checkpoints only, whole
+	// snapshots only.
+	Snapshot(part, parts int, withState bool) (*snapcodec.Snapshot, error)
+
+	// CheckPeer validates a decoded peer snapshot for merging — engine
+	// kind, algorithm, shape, and full payload validation — so that a
+	// subsequent Merge (disjoint true) or MergeMax (disjoint false) of the
+	// same snapshot cannot fail. Runs BEFORE the blob is WAL-staged.
+	CheckPeer(snap *snapcodec.Snapshot, disjoint bool) error
+
+	// Merge folds a checked peer snapshot via the engine's disjoint-stream
+	// join. Deterministic: any randomness comes from the engine's own
+	// generator streams in a fixed order.
+	Merge(snap *snapcodec.Snapshot) error
+	// MergeMax folds a checked peer snapshot via the engine's idempotent
+	// same-stream replica join. Draws no randomness.
+	MergeMax(snap *snapcodec.Snapshot) error
+}
+
+// FromSnapshot reconstructs the engine a snapshot was captured from — the
+// checkpoint-restore dispatch: the engine kind in the header picks the
+// implementation, and the header plus payload rebuild its exact state.
+func FromSnapshot(snap *snapcodec.Snapshot) (Engine, error) {
+	switch snap.Engine {
+	case "":
+		return BankFromSnapshot(snap)
+	case KindTopK:
+		return TopKFromSnapshot(snap)
+	default:
+		return nil, fmt.Errorf("engine: unknown engine kind %q", snap.Engine)
+	}
+}
+
+// SnapshotTo streams an engine snapshot (see Engine.Snapshot) to w.
+func SnapshotTo(w io.Writer, e Engine, part, parts int, withState bool) error {
+	snap, err := e.Snapshot(part, parts, withState)
+	if err != nil {
+		return err
+	}
+	return snapcodec.EncodeTo(w, snap)
+}
+
+// fnv1a64 folds 64-bit words into an FNV-1a hash byte by byte — the shared
+// register/slot hashing of HashRange implementations (identical to the
+// pre-engine Store.PartitionHash).
+type fnv1a64 uint64
+
+func newFNV() fnv1a64 { return 14695981039346656037 }
+
+func (h *fnv1a64) word(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= (v >> (8 * i)) & 0xFF
+		x *= 1099511628211
+	}
+	*h = fnv1a64(x)
+}
+
+func (h fnv1a64) sum() uint64 { return uint64(h) }

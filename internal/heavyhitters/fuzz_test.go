@@ -1,0 +1,73 @@
+package heavyhitters
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/xrand"
+)
+
+// FuzzSummary feeds an arbitrary byte-derived stream through an
+// exact-register Summary and checks the classical SpaceSaving guarantees
+// against the true frequency table: no tracked item is ever underestimated
+// (registers are exact and wide enough not to saturate on a fuzz-sized
+// stream), every guaranteed-frequent item (count > n/k) is tracked, and
+// the structural invariants (slot count ≤ cap, stream length) hold — also
+// after an Export/Restore round-trip.
+func FuzzSummary(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 2, 1, 2, 2, 2, 9}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1))
+	f.Add([]byte{255, 254, 253}, uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, capSeed uint8) {
+		k := int(capSeed)%32 + 1
+		sum := NewSummary(bank.NewExactAlg(30), k)
+		rng := xrand.NewSeeded(uint64(capSeed) + 1)
+		truth := make(map[uint64]uint64)
+		// Two stream shapes from the same bytes: single-byte items (heavy
+		// collisions) and 16-bit items (sparser).
+		for _, b := range data {
+			it := uint64(b)
+			truth[it]++
+			sum.Process(it, rng)
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			it := uint64(binary.LittleEndian.Uint16(data[i:]))
+			truth[it]++
+			sum.Process(it, rng)
+		}
+		n := sum.StreamLen()
+		var want uint64
+		for _, c := range truth {
+			want += c
+		}
+		if n != want {
+			t.Fatalf("stream length %d, true events %d", n, want)
+		}
+		if sum.Len() > k {
+			t.Fatalf("%d slots exceed capacity %d", sum.Len(), k)
+		}
+		check := func(s *Summary) {
+			for _, e := range s.Top(0) {
+				if e.Count+0.5 < float64(truth[e.Item]) {
+					t.Fatalf("item %d: estimate %.0f under true count %d",
+						e.Item, e.Count, truth[e.Item])
+				}
+			}
+			thresh := n / uint64(k)
+			for it, c := range truth {
+				if c > thresh && s.Estimate(it) == 0 {
+					t.Fatalf("guaranteed-frequent item %d (count %d > n/k = %d) untracked",
+						it, c, thresh)
+				}
+			}
+		}
+		check(sum)
+		items, regs := sum.Export()
+		clone := NewSummary(bank.NewExactAlg(30), k)
+		if err := clone.Restore(items, regs, n); err != nil {
+			t.Fatalf("restore of a fresh export failed: %v", err)
+		}
+		check(clone)
+	})
+}

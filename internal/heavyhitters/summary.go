@@ -1,0 +1,284 @@
+// Summary is the serving-grade flavor of SpaceSaving: the [BDW19]
+// construction (SpaceSaving slots holding fixed-width approximate registers
+// instead of exact counts) rebuilt for the durable/replicated stack in
+// internal/engine. The map-of-counters SpaceSaving above is fine for
+// experiments; a served summary additionally needs
+//
+//   - determinism: WAL replay reconstructs a crashed summary bit-for-bit,
+//     so every choice the structure makes — which slot to evict, which
+//     order merge draws consume randomness in — is a pure function of the
+//     (state, operation order, rng stream). Eviction ties break on the
+//     smallest item id; merges fold the incoming slots in ascending item
+//     order.
+//   - registers, not counter objects: a slot is (item, register) with the
+//     register stepped by a bank.Algorithm, so the same Morris/Csűrös/exact
+//     vocabulary (and the paper's ~log log m bit bound per slot) that backs
+//     the counter bank backs the heavy-hitters summary.
+//   - mergeability, in both of the repository's join flavors:
+//     MergeDisjoint is the SpaceSaving union for summaries that absorbed
+//     DISJOINT streams — slot sets union, common items fold via the
+//     paper's Remark 2.4 register merge, then the result re-prunes to
+//     capacity; MergeMax is the idempotent same-stream replica join —
+//     common items take the register-wise maximum (the "max takeover"),
+//     absent slots transfer, then re-prune. Like the bank's MergeMaxRange,
+//     one pull-push MergeMax exchange converges two replicas to identical
+//     slot tables (see TestSummaryMergeMaxConverges).
+//   - a canonical serialized order: Export lists slots sorted by item id,
+//     so two summaries with equal state encode byte-identically.
+package heavyhitters
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bank"
+	"repro/internal/xrand"
+)
+
+// Summary maintains the ≤ cap most frequent items with register slots.
+// Not safe for concurrent use; the engine layer stripes and locks.
+type Summary struct {
+	alg    bank.Algorithm
+	cap    int
+	maxReg uint64
+	idx    map[uint64]int // item → slot position in items/regs
+	items  []uint64
+	regs   []uint64
+	n      uint64 // events absorbed (diagnostics; merges sum/max it)
+}
+
+// NewSummary returns an empty summary of capacity k over alg registers.
+func NewSummary(alg bank.Algorithm, k int) *Summary {
+	if k < 1 {
+		panic(fmt.Sprintf("heavyhitters: capacity %d < 1", k))
+	}
+	return &Summary{
+		alg:    alg,
+		cap:    k,
+		maxReg: ^uint64(0) >> uint(64-alg.Width()),
+		idx:    make(map[uint64]int, k),
+	}
+}
+
+// Cap returns the slot capacity k.
+func (s *Summary) Cap() int { return s.cap }
+
+// Len returns the number of occupied slots.
+func (s *Summary) Len() int { return len(s.items) }
+
+// StreamLen returns the number of events absorbed (including, after a
+// disjoint merge, the donor's).
+func (s *Summary) StreamLen() uint64 { return s.n }
+
+// Algorithm returns the slot register algorithm.
+func (s *Summary) Algorithm() bank.Algorithm { return s.alg }
+
+// Process absorbs one occurrence of item, drawing any step randomness from
+// rng. Tracked items step their register; a new item takes a free slot at
+// register Step(0), or evicts the minimum slot (smallest register, ties to
+// the smallest item id) and inherits its register — the SpaceSaving
+// overestimate-preserving takeover — before stepping.
+func (s *Summary) Process(item uint64, rng *xrand.Rand) {
+	s.n++
+	if i, ok := s.idx[item]; ok {
+		s.regs[i] = s.alg.Step(s.regs[i], rng)
+		return
+	}
+	if len(s.items) < s.cap {
+		s.idx[item] = len(s.items)
+		s.items = append(s.items, item)
+		s.regs = append(s.regs, s.alg.Step(0, rng))
+		return
+	}
+	v := s.victim()
+	delete(s.idx, s.items[v])
+	s.items[v] = item
+	s.idx[item] = v
+	s.regs[v] = s.alg.Step(s.regs[v], rng)
+}
+
+// victim returns the slot position holding the smallest register, ties
+// broken toward the smallest item id. cap is small (the summary's whole
+// point), so a linear scan beats any heap bookkeeping on the hot path.
+func (s *Summary) victim() int {
+	v := 0
+	for i := 1; i < len(s.items); i++ {
+		if s.regs[i] < s.regs[v] || (s.regs[i] == s.regs[v] && s.items[i] < s.items[v]) {
+			v = i
+		}
+	}
+	return v
+}
+
+// Estimate returns the estimated occurrence count for item — an
+// overestimate (up to register noise) for tracked items, 0 for untracked.
+func (s *Summary) Estimate(item uint64) float64 {
+	if i, ok := s.idx[item]; ok {
+		return s.alg.Estimate(s.regs[i])
+	}
+	return 0
+}
+
+// Top returns up to k tracked items sorted by decreasing register (ties to
+// the smaller item id). k <= 0 means all tracked items.
+func (s *Summary) Top(k int) []Entry {
+	order := s.order()
+	if k <= 0 || k > len(order) {
+		k = len(order)
+	}
+	out := make([]Entry, k)
+	for i := 0; i < k; i++ {
+		out[i] = Entry{Item: s.items[order[i]], Count: s.alg.Estimate(s.regs[order[i]])}
+	}
+	return out
+}
+
+// order returns slot positions sorted by (register desc, item asc) — the
+// canonical ranking shared by Top and prune.
+func (s *Summary) order() []int {
+	order := make([]int, len(s.items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if s.regs[ia] != s.regs[ib] {
+			return s.regs[ia] > s.regs[ib]
+		}
+		return s.items[ia] < s.items[ib]
+	})
+	return order
+}
+
+// Export returns the slot table sorted by ascending item id — the canonical
+// serialized order, so equal summaries export identically. The slices are
+// fresh copies.
+func (s *Summary) Export() (items []uint64, regs []uint64) {
+	order := make([]int, len(s.items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return s.items[order[a]] < s.items[order[b]] })
+	items = make([]uint64, len(order))
+	regs = make([]uint64, len(order))
+	for i, p := range order {
+		items[i] = s.items[p]
+		regs[i] = s.regs[p]
+	}
+	return items, regs
+}
+
+// checkSlots validates an imported slot table: sorted strictly ascending by
+// item, registers within the algorithm width.
+func (s *Summary) checkSlots(items, regs []uint64) error {
+	if len(items) != len(regs) {
+		return fmt.Errorf("heavyhitters: %d items for %d registers", len(items), len(regs))
+	}
+	for i := range items {
+		if i > 0 && items[i] <= items[i-1] {
+			return fmt.Errorf("heavyhitters: slot items not strictly ascending at %d", i)
+		}
+		if regs[i] > s.maxReg {
+			return fmt.Errorf("heavyhitters: slot register %d exceeds %d-bit width", regs[i], s.alg.Width())
+		}
+	}
+	return nil
+}
+
+// Restore replaces the summary's slots with an Export-format table (and
+// stream length), validating shape first; on error the summary is
+// unmodified. len(items) may not exceed the capacity.
+func (s *Summary) Restore(items, regs []uint64, n uint64) error {
+	if err := s.checkSlots(items, regs); err != nil {
+		return err
+	}
+	if len(items) > s.cap {
+		return fmt.Errorf("heavyhitters: %d slots exceed capacity %d", len(items), s.cap)
+	}
+	s.items = append(s.items[:0], items...)
+	s.regs = append(s.regs[:0], regs...)
+	s.idx = make(map[uint64]int, s.cap)
+	for i, it := range s.items {
+		s.idx[it] = i
+	}
+	s.n = n
+	return nil
+}
+
+// MergeDisjoint folds an Export-format slot table from a summary that
+// absorbed a DISJOINT stream: slot sets union, items present on both sides
+// merge their registers via the paper's Remark 2.4 (drawing from rng in
+// ascending item order — a deterministic order, so a WAL-logged merge
+// replays bit-identically), and the union re-prunes to capacity by the
+// canonical (register desc, item asc) ranking. Counts of pruned slots are
+// forgotten, exactly as in the classical SpaceSaving union: the summary
+// stays a capped overestimate sketch, not a lossless union. Requires a
+// bank.MergeAlgorithm; on validation error the summary is unmodified.
+func (s *Summary) MergeDisjoint(items, regs []uint64, n uint64, rng *xrand.Rand) error {
+	ma, ok := s.alg.(bank.MergeAlgorithm)
+	if !ok {
+		return fmt.Errorf("heavyhitters: algorithm %q does not support merge", s.alg.Name())
+	}
+	if err := s.checkSlots(items, regs); err != nil {
+		return err
+	}
+	for i, it := range items {
+		if j, ok := s.idx[it]; ok {
+			s.regs[j] = ma.MergeRegs(s.regs[j], regs[i], rng)
+		} else {
+			s.idx[it] = len(s.items)
+			s.items = append(s.items, it)
+			s.regs = append(s.regs, regs[i])
+		}
+	}
+	s.n += n
+	s.prune()
+	return nil
+}
+
+// MergeMax folds an Export-format slot table from a replica of the SAME
+// logical stream: items present on both sides take the register-wise
+// maximum, absent slots transfer, and the union re-prunes to capacity.
+// No randomness is drawn; the join is idempotent, commutative up to the
+// canonical pruning order, and a pull-push exchange leaves both replicas
+// with identical slot tables. On validation error the summary is
+// unmodified.
+func (s *Summary) MergeMax(items, regs []uint64, n uint64) error {
+	if err := s.checkSlots(items, regs); err != nil {
+		return err
+	}
+	for i, it := range items {
+		if j, ok := s.idx[it]; ok {
+			if regs[i] > s.regs[j] {
+				s.regs[j] = regs[i]
+			}
+		} else {
+			s.idx[it] = len(s.items)
+			s.items = append(s.items, it)
+			s.regs = append(s.regs, regs[i])
+		}
+	}
+	if n > s.n {
+		s.n = n
+	}
+	s.prune()
+	return nil
+}
+
+// prune drops the lowest-ranked slots until the summary fits its capacity.
+func (s *Summary) prune() {
+	if len(s.items) <= s.cap {
+		return
+	}
+	order := s.order()[:s.cap]
+	sort.Ints(order) // keep survivors in their relative slot order
+	items := make([]uint64, len(order))
+	regs := make([]uint64, len(order))
+	idx := make(map[uint64]int, s.cap)
+	for i, p := range order {
+		items[i] = s.items[p]
+		regs[i] = s.regs[p]
+		idx[items[i]] = i
+	}
+	s.items, s.regs, s.idx = items, regs, idx
+}

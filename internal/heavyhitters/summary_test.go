@@ -1,0 +1,219 @@
+package heavyhitters
+
+import (
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func exactSummary(k int) *Summary { return NewSummary(bank.NewExactAlg(30), k) }
+
+// feedZipf drives events Zipf(s)-distributed items through sum, returning
+// the exact frequency table.
+func feedZipf(sum *Summary, events int, universe uint64, s float64, seed uint64) map[uint64]uint64 {
+	src := stream.NewZipf(universe, s, xrand.NewSeeded(seed))
+	rng := xrand.NewSeeded(seed + 1)
+	counts := make(map[uint64]uint64)
+	for i := 0; i < events; i++ {
+		it := src.Next()
+		counts[it]++
+		sum.Process(it, rng)
+	}
+	return counts
+}
+
+// With exact registers the classical SpaceSaving guarantees hold: tracked
+// estimates never underestimate, and every item with true count > n/(k+1)
+// is tracked.
+func TestSummaryExactInvariants(t *testing.T) {
+	const events = 20_000
+	sum := exactSummary(64)
+	counts := feedZipf(sum, events, 10_000, 1.2, 7)
+	if sum.StreamLen() != events {
+		t.Fatalf("stream length %d, want %d", sum.StreamLen(), events)
+	}
+	for _, e := range sum.Top(0) {
+		if truth := counts[e.Item]; e.Count+0.5 < float64(truth) {
+			t.Fatalf("item %d: estimate %.0f under true count %d", e.Item, e.Count, truth)
+		}
+	}
+	thresh := uint64(events / 64)
+	for it, c := range counts {
+		if c > thresh && sum.Estimate(it) == 0 {
+			t.Fatalf("guaranteed-frequent item %d (count %d > %d) untracked", it, c, thresh)
+		}
+	}
+}
+
+// Morris slot registers recover the true heavy hitters of a skewed stream.
+func TestSummaryMorrisRecall(t *testing.T) {
+	sum := NewSummary(bank.NewMorrisAlg(0.02, 12), 128)
+	counts := feedZipf(sum, 200_000, 50_000, 1.3, 11)
+	got := sum.Top(10)
+	if r := Recall(got, TrueTop(counts, 10)); r < 0.9 {
+		t.Fatalf("recall %.2f < 0.9 (top: %v)", r, got)
+	}
+}
+
+// Replay determinism: the same operation sequence against the same rng
+// stream must produce identical exports — the property WAL replay rests on.
+func TestSummaryDeterministicReplay(t *testing.T) {
+	run := func() ([]uint64, []uint64) {
+		sum := NewSummary(bank.NewMorrisAlg(0.05, 10), 32)
+		src := stream.NewZipf(5_000, 1.1, xrand.NewSeeded(3))
+		rng := xrand.NewSeeded(4)
+		for i := 0; i < 30_000; i++ {
+			sum.Process(src.Next(), rng)
+		}
+		return sum.Export()
+	}
+	i1, r1 := run()
+	i2, r2 := run()
+	if len(i1) != len(i2) {
+		t.Fatalf("slot counts differ: %d vs %d", len(i1), len(i2))
+	}
+	for i := range i1 {
+		if i1[i] != i2[i] || r1[i] != r2[i] {
+			t.Fatalf("slot %d differs: (%d,%d) vs (%d,%d)", i, i1[i], r1[i], i2[i], r2[i])
+		}
+	}
+}
+
+// Restore round-trips an export, and future behavior matches the original.
+func TestSummaryExportRestore(t *testing.T) {
+	sum := NewSummary(bank.NewMorrisAlg(0.05, 10), 32)
+	feedZipf(sum, 10_000, 2_000, 1.2, 5)
+	items, regs := sum.Export()
+
+	clone := NewSummary(bank.NewMorrisAlg(0.05, 10), 32)
+	if err := clone.Restore(items, regs, sum.StreamLen()); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// Same future stream + same rng stream → identical exports.
+	srcA := stream.NewZipf(2_000, 1.2, xrand.NewSeeded(9))
+	srcB := stream.NewZipf(2_000, 1.2, xrand.NewSeeded(9))
+	rngA, rngB := xrand.NewSeeded(10), xrand.NewSeeded(10)
+	for i := 0; i < 5_000; i++ {
+		sum.Process(srcA.Next(), rngA)
+		clone.Process(srcB.Next(), rngB)
+	}
+	ia, ra := sum.Export()
+	ib, rb := clone.Export()
+	if len(ia) != len(ib) {
+		t.Fatalf("slot counts differ: %d vs %d", len(ia), len(ib))
+	}
+	for i := range ia {
+		if ia[i] != ib[i] || ra[i] != rb[i] {
+			t.Fatalf("slot %d diverged after restore", i)
+		}
+	}
+
+	// Invalid tables are rejected with the summary unmodified.
+	if err := clone.Restore([]uint64{5, 5}, []uint64{1, 1}, 0); err == nil {
+		t.Fatal("unsorted items accepted")
+	}
+	if err := clone.Restore([]uint64{1}, []uint64{1 << 60}, 0); err == nil {
+		t.Fatal("oversized register accepted")
+	}
+	if got, _ := clone.Export(); len(got) != len(ia) {
+		t.Fatal("failed restore modified the summary")
+	}
+}
+
+// MergeDisjoint behaves as the SpaceSaving union over Remark 2.4 register
+// merges: slots union and re-prune, stream lengths sum, and a common item's
+// merged register dominates both inputs (MergeRegs never returns below the
+// larger register).
+func TestSummaryMergeDisjoint(t *testing.T) {
+	alg := bank.NewMorrisAlg(0.02, 12)
+	a := NewSummary(alg, 64)
+	b := NewSummary(alg, 64)
+	feedZipf(a, 20_000, 5_000, 1.3, 21)
+	feedZipf(b, 20_000, 5_000, 1.3, 22)
+	ai, ar := a.Export()
+	aRegs := make(map[uint64]uint64, len(ai))
+	for i, it := range ai {
+		aRegs[it] = ar[i]
+	}
+	items, regs := b.Export()
+	if err := a.MergeDisjoint(items, regs, b.StreamLen(), xrand.NewSeeded(1)); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.StreamLen() != 40_000 {
+		t.Fatalf("merged stream length %d", a.StreamLen())
+	}
+	if a.Len() > a.Cap() {
+		t.Fatalf("merged summary holds %d slots over capacity %d", a.Len(), a.Cap())
+	}
+	bRegs := make(map[uint64]uint64, len(items))
+	for i, it := range items {
+		bRegs[it] = regs[i]
+	}
+	mi, mr := a.Export()
+	for i, it := range mi {
+		if mr[i] < aRegs[it] || mr[i] < bRegs[it] {
+			t.Fatalf("item %d: merged register %d below inputs (%d, %d)",
+				it, mr[i], aRegs[it], bRegs[it])
+		}
+	}
+	// The disjoint merge requires MergeAlgorithm — csuros and exact lack it.
+	c := NewSummary(bank.NewCsurosAlg(12, 6), 8)
+	if err := c.MergeDisjoint([]uint64{1}, []uint64{1}, 1, xrand.NewSeeded(1)); err == nil {
+		t.Fatal("disjoint merge accepted on a non-mergeable algorithm")
+	}
+}
+
+// One pull-push MergeMax exchange converges two replicas to identical slot
+// tables, and further exchanges are no-ops (idempotence).
+func TestSummaryMergeMaxConverges(t *testing.T) {
+	a := NewSummary(bank.NewMorrisAlg(0.05, 10), 24)
+	b := NewSummary(bank.NewMorrisAlg(0.05, 10), 24)
+	// The same logical stream absorbed with different rng universes and one
+	// replica missing a suffix (a crashed replica catching up).
+	src1 := stream.NewZipf(1_000, 1.2, xrand.NewSeeded(31))
+	src2 := stream.NewZipf(1_000, 1.2, xrand.NewSeeded(31))
+	ra, rb := xrand.NewSeeded(41), xrand.NewSeeded(42)
+	for i := 0; i < 30_000; i++ {
+		a.Process(src1.Next(), ra)
+		if i < 20_000 {
+			b.Process(src2.Next(), rb)
+		}
+	}
+	// Pull: a folds b; push: b folds the joined a.
+	bi, br := b.Export()
+	if err := a.MergeMax(bi, br, b.StreamLen()); err != nil {
+		t.Fatal(err)
+	}
+	ai, ar := a.Export()
+	if err := b.MergeMax(ai, ar, a.StreamLen()); err != nil {
+		t.Fatal(err)
+	}
+	assertSameExport(t, a, b)
+
+	// Idempotence: repeating the exchange changes nothing.
+	bi, br = b.Export()
+	if err := a.MergeMax(bi, br, b.StreamLen()); err != nil {
+		t.Fatal(err)
+	}
+	assertSameExport(t, a, b)
+}
+
+func assertSameExport(t *testing.T, a, b *Summary) {
+	t.Helper()
+	ai, ar := a.Export()
+	bi, br := b.Export()
+	if len(ai) != len(bi) {
+		t.Fatalf("slot counts differ after exchange: %d vs %d", len(ai), len(bi))
+	}
+	for i := range ai {
+		if ai[i] != bi[i] || ar[i] != br[i] {
+			t.Fatalf("slot %d differs after exchange: (%d,%d) vs (%d,%d)",
+				i, ai[i], ar[i], bi[i], br[i])
+		}
+	}
+	if a.StreamLen() != b.StreamLen() {
+		t.Fatalf("stream lengths differ: %d vs %d", a.StreamLen(), b.StreamLen())
+	}
+}

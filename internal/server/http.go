@@ -22,10 +22,14 @@ const maxIncBody = 16 << 20
 //	POST /inc            {"key": 5} or {"keys": [1, 2, 2, 7]} → {"applied": n}
 //	GET  /estimate/{key} → {"key": 5, "estimate": 1234.5}
 //	GET  /estimates      → {"estimates": [...]} (all n, key order)
+//	GET  /topk?k=10      → {"k":10, "topk":[{"key":3,"estimate":...},...]}
+//	                       (&partition=p scopes to one partition — the unit
+//	                       the smart client merges cluster-wide)
 //	GET  /snapshot       → snapcodec stream (application/octet-stream)
 //	GET  /snapshot/{p}   → one partition's snapcodec stream
-//	POST /merge          body = a peer snapshot → Remark 2.4 merge (disjoint streams)
-//	POST /mergemax       body = a peer snapshot → register-wise max (same-stream replicas)
+//	POST /merge          body = a peer snapshot → disjoint-stream join
+//	                       (Remark 2.4 / SpaceSaving union)
+//	POST /mergemax       body = a peer snapshot → replica max join
 //	GET  /healthz        → Stats JSON
 //
 // Increments and merges are durable (WAL group commit) before the 200
@@ -73,6 +77,31 @@ func Handler(st *Store) http.Handler {
 
 	mux.HandleFunc("GET /estimates", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{"estimates": st.EstimateAll()})
+	})
+
+	mux.HandleFunc("GET /topk", func(w http.ResponseWriter, r *http.Request) {
+		k, err := strconv.Atoi(r.URL.Query().Get("k"))
+		if err != nil || k <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("need a positive integer k"))
+			return
+		}
+		part := -1
+		if p := r.URL.Query().Get("partition"); p != "" {
+			if part, err = strconv.Atoi(p); err != nil || part < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition %q", p))
+				return
+			}
+		}
+		top, err := st.TopK(k, part)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"k":      k,
+			"engine": st.Engine().Kind(),
+			"topk":   top,
+		})
 	})
 
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {

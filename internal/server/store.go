@@ -1,26 +1,29 @@
-// Package server turns the in-memory sharded counter bank into a durable,
+// Package server turns an in-memory sketch engine into a durable,
 // restartable network service. It has two halves:
 //
-//   - Store: the persistence engine. Every write is staged to the WAL and
-//     applied to the bank under one lock, so log order equals apply order —
-//     the invariant that makes recovery exact. Recovery loads the newest
-//     snapcodec checkpoint (registers + per-shard rng states) and replays
-//     the WAL segments at or after it; with no checkpoint it rebuilds from
-//     the seed and the full log. Either way the recovered registers are
-//     bit-identical to the pre-crash bank, because shardbank's batched
-//     apply is deterministic in batch order and the rng streams are part of
-//     the checkpoint.
+//   - Store: the persistence layer over a pluggable internal/engine sketch
+//     (the Morris/Csűrös/exact register bank by default, the SpaceSaving
+//     heavy-hitters engine with Config.Engine "topk"). Every write is
+//     staged to the WAL and applied to the engine under one lock, so log
+//     order equals apply order — the invariant that makes recovery exact.
+//     Recovery loads the newest snapcodec checkpoint (engine state + its
+//     generator streams) and replays the WAL segments at or after it; with
+//     no checkpoint it rebuilds from the seed and the full log. Either way
+//     the recovered state is bit-identical to the pre-crash engine,
+//     because every engine's batched apply is deterministic in batch order
+//     and its rng streams are part of the checkpoint.
 //
 //   - HTTP handler (http.go): POST /inc, GET /estimate/{key},
-//     GET /estimates, GET /snapshot (a streamed snapcodec snapshot),
-//     POST /merge (ingest a peer snapshot via Remark 2.4), GET /healthz.
+//     GET /estimates, GET /topk, GET /snapshot (a streamed snapcodec
+//     snapshot), POST /merge (ingest a peer snapshot via the engine's
+//     disjoint-stream join), POST /mergemax (replica join), GET /healthz.
 //
 // Checkpoints pair a WAL rotation with a snapshot write: rotate (the new
-// segment number S becomes the checkpoint tag), export the bank state,
+// segment number S becomes the checkpoint tag), export the engine state,
 // write snap-S.nysc atomically (tmp + rename + dir fsync), then delete
 // snapshots and WAL segments older than S. A crash at any point leaves
 // either the old checkpoint plus a longer log, or the new checkpoint plus a
-// shorter one — both replay to the same registers.
+// shorter one — both replay to the same state.
 package server
 
 import (
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/bank"
+	"repro/internal/engine"
 	"repro/internal/shardbank"
 	"repro/internal/snapcodec"
 	"repro/internal/wal"
@@ -51,13 +55,21 @@ const (
 // everything else becomes 500.
 var ErrBadInput = errors.New("bad input")
 
-// Config describes the bank a Store serves and where it persists.
+// Config describes the engine a Store serves and where it persists.
 type Config struct {
 	Dir    string
 	N      int
 	Shards int
 	Alg    bank.Algorithm
 	Seed   uint64
+	// Engine selects the sketch engine: "bank" (default — one register per
+	// key) or "topk" (SpaceSaving heavy hitters, one summary per
+	// partition). Ignored when the data dir has a checkpoint: the on-disk
+	// engine kind is the source of truth for an existing store.
+	Engine string
+	// TopKCap is the slot capacity per partition summary of the "topk"
+	// engine (0 = 64).
+	TopKCap int
 	// SegmentBytes is the WAL rotation threshold (0 = wal default).
 	SegmentBytes int64
 	// NoSync disables WAL fsync (tests/benchmarks only); it overrides Sync.
@@ -74,14 +86,14 @@ type Config struct {
 	Partitions int
 }
 
-// Store is the durable counter bank: shardbank + WAL + checkpoints.
+// Store is the durable sketch service: engine + WAL + checkpoints.
 type Store struct {
-	cfg  Config
-	bank *shardbank.Bank
-	log  *wal.Log
+	cfg Config
+	eng engine.Engine
+	log *wal.Log
 
 	// writeMu serializes Stage+apply so WAL record order always equals
-	// bank apply order. Group commit (wal.Commit) happens outside it, so
+	// engine apply order. Group commit (wal.Commit) happens outside it, so
 	// the lock is never held across an fsync.
 	writeMu sync.Mutex
 
@@ -125,31 +137,45 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	if snap != nil {
-		alg, err := snap.Alg()
+		st.eng, err = engine.FromSnapshot(snap)
 		if err != nil {
-			return nil, fmt.Errorf("server: checkpoint %d: %w", snapSeq, err)
-		}
-		st.bank = shardbank.New(snap.N, alg, snap.Shards, snap.Seed)
-		if err := st.bank.RestoreState(shardbank.State{
-			Registers: snap.Registers,
-			RNG:       snap.RNG,
-		}); err != nil {
 			return nil, fmt.Errorf("server: checkpoint %d: %w", snapSeq, err)
 		}
 		st.ckptSeq.Store(snapSeq)
 		st.fromSnap = true
 	} else {
 		if cfg.N <= 0 || cfg.Alg == nil {
-			return nil, errors.New("server: empty store and no bank shape configured")
+			return nil, errors.New("server: empty store and no engine shape configured")
 		}
-		shards := cfg.Shards
-		if shards <= 0 {
-			shards = 64
+		switch cfg.Engine {
+		case "", engine.KindBank:
+			shards := cfg.Shards
+			if shards <= 0 {
+				shards = 64
+			}
+			st.eng = engine.NewBank(shardbank.New(cfg.N, cfg.Alg, shards, cfg.Seed))
+		case engine.KindTopK:
+			k := cfg.TopKCap
+			if k <= 0 {
+				k = 64
+			}
+			st.eng, err = engine.NewTopK(cfg.N, cfg.Alg, st.cfg.Partitions, k, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("server: unknown engine %q (want %s | %s)",
+				cfg.Engine, engine.KindBank, engine.KindTopK)
 		}
-		st.bank = shardbank.New(cfg.N, cfg.Alg, shards, cfg.Seed)
+	}
+	// Engines with internal sharding pin the serving partition count — on a
+	// restore the on-disk stripe count wins over the configured one, like
+	// every other piece of on-disk shape.
+	if ap := st.eng.AlignPartitions(); ap > 0 {
+		st.cfg.Partitions = ap
 	}
 
-	st.partVer = make([]atomic.Uint64, cfg.Partitions)
+	st.partVer = make([]atomic.Uint64, st.cfg.Partitions)
 
 	st.recovered, err = wal.Replay(cfg.Dir, st.ckptSeq.Load(), st.applyRecord)
 	if err != nil {
@@ -173,33 +199,33 @@ func Open(cfg Config) (*Store, error) {
 	return st, nil
 }
 
-// applyRecord applies one replayed WAL record to the bank.
+// applyRecord applies one replayed WAL record to the engine.
 func (st *Store) applyRecord(rec wal.Record) error {
 	switch rec.Type {
 	case wal.RecBatch:
 		for _, k := range rec.Keys {
-			if k < 0 || k >= st.bank.Len() {
-				return fmt.Errorf("server: replayed key %d out of range [0,%d)", k, st.bank.Len())
+			if k < 0 || k >= st.eng.Len() {
+				return fmt.Errorf("server: replayed key %d out of range [0,%d)", k, st.eng.Len())
 			}
 		}
-		st.bank.IncrementBatch(rec.Keys)
+		st.eng.ApplyBatch(rec.Keys)
 		st.batches.Add(1)
 		st.keys.Add(uint64(len(rec.Keys)))
 	case wal.RecMerge:
-		snap, lo, err := st.decodePeer(rec.Blob, true)
+		snap, err := st.decodePeer(rec.Blob, true)
 		if err != nil {
 			return fmt.Errorf("server: replayed merge: %w", err)
 		}
-		if err := st.bank.MergeRange(lo, snap.Registers); err != nil {
+		if err := st.eng.Merge(snap); err != nil {
 			return fmt.Errorf("server: replayed merge: %w", err)
 		}
 		st.merges.Add(1)
 	case wal.RecMergeMax:
-		snap, lo, err := st.decodePeer(rec.Blob, false)
+		snap, err := st.decodePeer(rec.Blob, false)
 		if err != nil {
 			return fmt.Errorf("server: replayed merge-max: %w", err)
 		}
-		if err := st.bank.MergeMaxRange(lo, snap.Registers); err != nil {
+		if err := st.eng.MergeMax(snap); err != nil {
 			return fmt.Errorf("server: replayed merge-max: %w", err)
 		}
 		st.mergeMaxs.Add(1)
@@ -209,62 +235,37 @@ func (st *Store) applyRecord(rec wal.Record) error {
 	return nil
 }
 
-// decodePeer validates a peer snapshot blob — whole-bank or one partition —
-// against the local bank shape, returning the decoded snapshot and the key
-// offset its registers apply at. With needMergeAlg the local algorithm must
-// support the Remark 2.4 merge (a max join needs no algorithm support).
-// Every check here runs BEFORE the blob is WAL-staged: a record that fails
-// during live apply would fail identically during recovery replay and brick
-// the store.
-func (st *Store) decodePeer(blob []byte, needMergeAlg bool) (*snapcodec.Snapshot, int, error) {
-	if needMergeAlg {
-		if _, ok := st.bank.Algorithm().(bank.MergeAlgorithm); !ok {
-			return nil, 0, fmt.Errorf("algorithm %q does not support merge", st.bank.Algorithm().Name())
-		}
-	}
+// decodePeer decodes and validates a peer snapshot blob — whole or one
+// partition — against the local engine (engine.CheckPeer). With disjoint
+// the engine's disjoint-stream join must be supported (a max join needs no
+// algorithm support). Every check here runs BEFORE the blob is WAL-staged:
+// a record that fails during live apply would fail identically during
+// recovery replay and brick the store.
+func (st *Store) decodePeer(blob []byte, disjoint bool) (*snapcodec.Snapshot, error) {
 	// Cap the decode at the local register count: a hostile header claiming
 	// snapcodec.MaxRegisters would otherwise allocate ~512 MiB before the
-	// shape comparison below ever ran.
-	snap, err := snapcodec.DecodeCapped(blob, st.bank.Len())
+	// engine's shape comparison ever ran.
+	snap, err := snapcodec.DecodeCapped(blob, st.eng.Len())
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	alg, err := snap.Alg()
-	if err != nil {
-		return nil, 0, err
+	if err := st.eng.CheckPeer(snap, disjoint); err != nil {
+		return nil, err
 	}
-	if alg != st.bank.Algorithm() {
-		return nil, 0, fmt.Errorf("algorithm mismatch: peer %s/%d-bit, local %s/%d-bit",
-			snap.AlgName, snap.Width, st.bank.Algorithm().Name(), st.bank.BitsPerCounter())
-	}
-	if snap.N != st.bank.Len() || snap.Shards != st.bank.Shards() {
-		return nil, 0, fmt.Errorf("shape mismatch: peer %d keys/%d shards, local %d/%d",
-			snap.N, snap.Shards, st.bank.Len(), st.bank.Shards())
-	}
-	// The codec already rejects registers wider than the header width, and
-	// the algorithm equality above pins that width to the bank's — but the
-	// no-post-stage-failure invariant is too important to leave implicit in
-	// another package: re-check here so a WAL-staged blob can never fail
-	// the in-bank merge (which would poison recovery replay).
-	maxReg := ^uint64(0) >> uint(64-st.bank.BitsPerCounter())
-	for i, v := range snap.Registers {
-		if v > maxReg {
-			return nil, 0, fmt.Errorf("register %d = %d exceeds %d-bit width", i, v, st.bank.BitsPerCounter())
-		}
-	}
-	lo := 0
+	return snap, nil
+}
+
+// peerSpan returns the key range a peer snapshot covers.
+func (st *Store) peerSpan(snap *snapcodec.Snapshot) (lo, hi int) {
 	if snap.IsPartition() {
-		// The partition count does not have to match cfg.Partitions: the
-		// range is fully determined by (N, Parts, Partition), all validated
-		// by the codec, so any consistent split merges correctly.
-		lo, _ = snapcodec.PartitionRange(snap.N, snap.Parts, snap.Partition)
+		return snapcodec.PartitionRange(snap.N, snap.Parts, snap.Partition)
 	}
-	return snap, lo, nil
+	return 0, snap.N
 }
 
 // Apply durably counts one event per key: the batch is WAL-staged and
-// applied to the bank under the write lock (log order = apply order), then
-// group-committed. It returns once the batch is fsync-durable.
+// applied to the engine under the write lock (log order = apply order),
+// then group-committed. It returns once the batch is fsync-durable.
 func (st *Store) Apply(keys []int) error {
 	if len(keys) == 0 {
 		return nil
@@ -273,14 +274,14 @@ func (st *Store) Apply(keys []int) error {
 		return fmt.Errorf("%w: batch of %d keys exceeds limit %d", ErrBadInput, len(keys), st.cfg.MaxBatch)
 	}
 	for _, k := range keys {
-		if k < 0 || k >= st.bank.Len() {
-			return fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, k, st.bank.Len())
+		if k < 0 || k >= st.eng.Len() {
+			return fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, k, st.eng.Len())
 		}
 	}
 	st.writeMu.Lock()
 	ticket, err := st.log.Stage(wal.Record{Type: wal.RecBatch, Keys: keys})
 	if err == nil {
-		st.bank.IncrementBatch(keys)
+		st.eng.ApplyBatch(keys)
 	}
 	st.writeMu.Unlock()
 	if err != nil {
@@ -300,7 +301,7 @@ func (st *Store) bumpPartitions(keys []int) {
 		st.partVer[0].Add(1)
 		return
 	}
-	n := st.bank.Len()
+	n := st.eng.Len()
 	last := -1
 	for _, k := range keys {
 		if p := snapcodec.PartitionOf(k, n, parts); p != last {
@@ -317,7 +318,7 @@ func (st *Store) bumpRange(lo, hi int) {
 		return
 	}
 	parts := len(st.partVer)
-	n := st.bank.Len()
+	n := st.eng.Len()
 	for p := snapcodec.PartitionOf(lo, n, parts); p <= snapcodec.PartitionOf(hi-1, n, parts); p++ {
 		st.partVer[p].Add(1)
 	}
@@ -334,48 +335,38 @@ func (st *Store) PartitionVersion(p int) uint64 {
 }
 
 // PartitionHash returns an order-dependent 64-bit hash of partition p's
-// registers — equal hashes across replicas mean (up to hash collision)
-// identical register ranges, which is what the cluster's anti-entropy
-// checks before deciding a merge is needed.
+// engine state — equal hashes across replicas mean (up to hash collision)
+// identical state, which is what the cluster's anti-entropy checks before
+// deciding a merge is needed.
 func (st *Store) PartitionHash(p int) (uint64, error) {
 	if p < 0 || p >= st.cfg.Partitions {
 		return 0, fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, p, st.cfg.Partitions)
 	}
-	lo, hi := snapcodec.PartitionRange(st.bank.Len(), st.cfg.Partitions, p)
-	regs, err := st.bank.ExportRange(lo, hi)
-	if err != nil {
-		return 0, err
-	}
-	h := uint64(14695981039346656037)
-	for _, v := range regs {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xFF
-			h *= 1099511628211
-		}
-	}
-	return h, nil
+	lo, hi := snapcodec.PartitionRange(st.eng.Len(), st.cfg.Partitions, p)
+	return st.eng.HashRange(lo, hi)
 }
 
-// Merge ingests a peer snapshot (snapcodec bytes, whole-bank or one
-// partition) via the paper's Remark 2.4 merge, WAL-logging the blob so
+// Merge ingests a peer snapshot (snapcodec bytes, whole or one partition)
+// via the engine's disjoint-stream join — the paper's Remark 2.4 for
+// register banks, the SpaceSaving union for top-k — WAL-logging the blob so
 // recovery replays the merge at the same point in the operation order. Use
-// it for counters that absorbed DISJOINT streams; replicas of the same
+// it for sketches that absorbed DISJOINT streams; replicas of the same
 // stream converge with MergeMax instead.
 func (st *Store) Merge(blob []byte) error {
 	return st.mergeBlob(blob, wal.RecMerge)
 }
 
-// MergeMax ingests a peer snapshot as a register-wise maximum — the
-// idempotent join the cluster's anti-entropy uses between replicas that
-// applied the same logical stream (registers are monotone under increments,
-// so max neither loses nor double-counts). WAL-logged like Merge; max draws
-// no randomness, so replay is trivially exact.
+// MergeMax ingests a peer snapshot via the engine's idempotent replica join
+// (register-wise maximum for banks, slot-wise max takeover for top-k) — the
+// join the cluster's anti-entropy uses between replicas that applied the
+// same logical stream. WAL-logged like Merge; max draws no randomness, so
+// replay is trivially exact.
 func (st *Store) MergeMax(blob []byte) error {
 	return st.mergeBlob(blob, wal.RecMergeMax)
 }
 
 func (st *Store) mergeBlob(blob []byte, rec byte) error {
-	snap, lo, err := st.decodePeer(blob, rec == wal.RecMerge)
+	snap, err := st.decodePeer(blob, rec == wal.RecMerge)
 	if err != nil {
 		return fmt.Errorf("%w: %w", ErrBadInput, err)
 	}
@@ -384,9 +375,9 @@ func (st *Store) mergeBlob(blob []byte, rec byte) error {
 	var mergeErr error
 	if err == nil {
 		if rec == wal.RecMerge {
-			mergeErr = st.bank.MergeRange(lo, snap.Registers)
+			mergeErr = st.eng.Merge(snap)
 		} else {
-			mergeErr = st.bank.MergeMaxRange(lo, snap.Registers)
+			mergeErr = st.eng.MergeMax(snap)
 		}
 	}
 	st.writeMu.Unlock()
@@ -395,11 +386,12 @@ func (st *Store) mergeBlob(blob []byte, rec byte) error {
 	}
 	if mergeErr != nil {
 		// The record is logged but the merge failed — decodePeer pre-checks
-		// shape and algorithm, so this is unreachable short of a bug; poison
-		// nothing, just report.
+		// the snapshot via engine.CheckPeer, so this is unreachable short of
+		// a bug; poison nothing, just report.
 		return mergeErr
 	}
-	st.bumpRange(lo, lo+len(snap.Registers))
+	lo, hi := st.peerSpan(snap)
+	st.bumpRange(lo, hi)
 	if rec == wal.RecMerge {
 		st.merges.Add(1)
 	} else {
@@ -410,47 +402,52 @@ func (st *Store) mergeBlob(blob []byte, rec byte) error {
 
 // Estimate returns N̂ for one key.
 func (st *Store) Estimate(key int) (float64, error) {
-	if key < 0 || key >= st.bank.Len() {
-		return 0, fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, key, st.bank.Len())
+	if key < 0 || key >= st.eng.Len() {
+		return 0, fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, key, st.eng.Len())
 	}
-	return st.bank.Estimate(key), nil
+	return st.eng.Estimate(key), nil
 }
 
-// EstimateAll returns all estimates (shared read-only slice, see
-// shardbank.EstimateAll).
-func (st *Store) EstimateAll() []float64 { return st.bank.EstimateAll() }
+// EstimateAll returns all estimates (shared read-only slice for the bank
+// engine; see engine.Engine.EstimateAll).
+func (st *Store) EstimateAll() []float64 { return st.eng.EstimateAll() }
 
-// Bank exposes the underlying bank (read-mostly callers: examples, tools).
-func (st *Store) Bank() *shardbank.Bank { return st.bank }
-
-// snapshot builds the snapcodec image of the current bank state. withRNG
-// selects whether the per-shard generator states are included: checkpoints
-// need them for exact recovery; snapshots served to peers do not.
-func (st *Store) snapshot(withRNG bool) (*snapcodec.Snapshot, error) {
-	state := st.bank.ExportState()
-	snap := &snapcodec.Snapshot{
-		N:         st.bank.Len(),
-		Shards:    st.bank.Shards(),
-		Seed:      st.bank.Seed(),
-		Registers: state.Registers,
+// TopK returns the top-k keys of one partition (partition >= 0) or of the
+// whole key space (partition < 0), ranked by descending estimate.
+func (st *Store) TopK(k, partition int) ([]engine.Entry, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k = %d", ErrBadInput, k)
 	}
-	if withRNG {
-		snap.RNG = state.RNG
+	lo, hi := 0, st.eng.Len()
+	if partition >= 0 {
+		if partition >= st.cfg.Partitions {
+			return nil, fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, partition, st.cfg.Partitions)
+		}
+		lo, hi = snapcodec.PartitionRange(st.eng.Len(), st.cfg.Partitions, partition)
 	}
-	if err := snap.SetAlg(st.bank.Algorithm()); err != nil {
-		return nil, err
-	}
-	return snap, nil
+	return st.eng.TopK(k, lo, hi)
 }
 
-// SnapshotTo streams a snapcodec snapshot of the live bank (registers only)
-// to w — the GET /snapshot payload, and what a peer feeds to POST /merge.
+// Engine exposes the serving engine.
+func (st *Store) Engine() engine.Engine { return st.eng }
+
+// Len returns the key-space size.
+func (st *Store) Len() int { return st.eng.Len() }
+
+// Bank exposes the underlying sharded bank when the store serves the bank
+// engine (read-mostly callers: examples, tools, tests), nil otherwise.
+func (st *Store) Bank() *shardbank.Bank {
+	if be, ok := st.eng.(*engine.BankEngine); ok {
+		return be.Bank()
+	}
+	return nil
+}
+
+// SnapshotTo streams a snapcodec snapshot of the live engine (no generator
+// state) to w — the GET /snapshot payload, and what a peer feeds to
+// POST /merge.
 func (st *Store) SnapshotTo(w io.Writer) error {
-	snap, err := st.snapshot(false)
-	if err != nil {
-		return err
-	}
-	return snapcodec.EncodeTo(w, snap)
+	return engine.SnapshotTo(w, st.eng, 0, 0, false)
 }
 
 // Partitions returns the configured partition count of the key space.
@@ -466,39 +463,23 @@ func (st *Store) PartitionSnapshotTo(w io.Writer, p int) error {
 	if p < 0 || p >= st.cfg.Partitions {
 		return fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, p, st.cfg.Partitions)
 	}
-	lo, hi := snapcodec.PartitionRange(st.bank.Len(), st.cfg.Partitions, p)
-	regs, err := st.bank.ExportRange(lo, hi)
-	if err != nil {
-		return err
-	}
-	snap := &snapcodec.Snapshot{
-		N:         st.bank.Len(),
-		Shards:    st.bank.Shards(),
-		Seed:      st.bank.Seed(),
-		Partition: p,
-		Parts:     st.cfg.Partitions,
-		Registers: regs,
-	}
-	if err := snap.SetAlg(st.bank.Algorithm()); err != nil {
-		return err
-	}
-	return snapcodec.EncodeTo(w, snap)
+	return engine.SnapshotTo(w, st.eng, p, st.cfg.Partitions, false)
 }
 
-// Checkpoint rotates the WAL, writes a snapshot of the bank (with rng
-// states) tagged with the new segment number, and garbage-collects older
-// snapshots and segments. Recovery cost after a checkpoint is one snapshot
-// load plus the segments written since.
+// Checkpoint rotates the WAL, writes a snapshot of the engine (with its
+// generator states) tagged with the new segment number, and garbage-collects
+// older snapshots and segments. Recovery cost after a checkpoint is one
+// snapshot load plus the segments written since.
 func (st *Store) Checkpoint() error {
 	// Rotation and state export happen under writeMu so no write lands
-	// between "records before S" and "bank state at S".
+	// between "records before S" and "engine state at S".
 	st.writeMu.Lock()
 	seq, err := st.log.Rotate()
 	if err != nil {
 		st.writeMu.Unlock()
 		return err
 	}
-	snap, err := st.snapshot(true)
+	snap, err := st.eng.Snapshot(0, 0, true)
 	st.writeMu.Unlock()
 	if err != nil {
 		return err
@@ -561,6 +542,7 @@ func (st *Store) Close(checkpoint bool) error {
 // Stats is the /healthz payload.
 type Stats struct {
 	Status          string  `json:"status"`
+	Engine          string  `json:"engine"`
 	N               int     `json:"n"`
 	Shards          int     `json:"shards"`
 	Algorithm       string  `json:"algorithm"`
@@ -587,12 +569,13 @@ func (st *Store) Stats() Stats {
 	segs, _ := st.log.Segments()
 	s := Stats{
 		Status:          "ok",
-		N:               st.bank.Len(),
-		Shards:          st.bank.Shards(),
-		Algorithm:       st.bank.Algorithm().Name(),
-		WidthBits:       st.bank.BitsPerCounter(),
-		Seed:            st.bank.Seed(),
-		BankBytes:       st.bank.SizeBytes(),
+		Engine:          st.eng.Kind(),
+		N:               st.eng.Len(),
+		Shards:          st.eng.Shards(),
+		Algorithm:       st.eng.Algorithm().Name(),
+		WidthBits:       st.eng.Algorithm().Width(),
+		Seed:            st.eng.Seed(),
+		BankBytes:       st.eng.SizeBytes(),
 		Partitions:      st.cfg.Partitions,
 		FsyncPolicy:     st.syncPolicy().String(),
 		Batches:         st.batches.Load(),

@@ -1,0 +1,33 @@
+package snapcodec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bank"
+)
+
+// A hostile engine header declaring a huge payload on a tiny body must
+// fail on truncation without allocating the declared size.
+func TestEnginePayloadTruncationBounded(t *testing.T) {
+	s := &Snapshot{N: 100, Shards: 4, Seed: 1, Engine: "topk", Payload: []byte{1, 2, 3}}
+	if err := s.SetAlg(bank.NewMorrisAlg(0.01, 12)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the payload length byte (3) right after the engine name and
+	// inflate it to MaxEnginePayload; the body stays tiny.
+	idx := bytes.Index(data, append([]byte("topk"), 3))
+	if idx < 0 {
+		t.Fatal("payload length byte not found")
+	}
+	bad := append([]byte{}, data[:idx+4]...)
+	bad = append(bad, 0xFF, 0xFF, 0xFF, 0x1F) // uvarint 2^26-ish
+	bad = append(bad, data[idx+5:]...)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("truncated hostile payload accepted")
+	}
+}

@@ -30,6 +30,16 @@
 // key space ever cross the wire. Version-1 snapshots (always whole-bank)
 // still decode.
 //
+// Version 3 adds the optional engine-payload section (flag bit 2), the hook
+// that lets sketches other than the register bank ride the same durability
+// and replication machinery (internal/engine). An engine snapshot carries an
+// engine kind name and an opaque engine-defined payload instead of register
+// blocks; the header's algorithm/width fields describe the engine's slot
+// registers and N/Shards/Seed its key space, stripe count, and rng universe,
+// so shape checks and routing work unchanged. A snapshot without the flag is
+// a register-bank snapshot, byte-identical to what versions 1 and 2 wrote —
+// the bank engine's snapshots remain readable by un-upgraded peers.
+//
 // The trailer is a CRC32C (Castagnoli) of every preceding byte, so torn or
 // bit-rotted snapshot files are detected before a single register is
 // trusted. Encode/Decode work on []byte; EncodeTo/DecodeFrom stream over
@@ -54,12 +64,13 @@ import (
 
 const (
 	// Version is the newest format version the decoder accepts. Version 2
-	// added the optional partition section; version-1 input still decodes,
-	// and the encoder stamps 2 only on snapshots that actually carry a
-	// partition section — a whole-bank snapshot's bytes are identical
-	// under both versions, so keeping the 1 stamp lets un-upgraded peers
-	// read new whole-bank snapshots during a rolling upgrade.
-	Version = 2
+	// added the optional partition section, version 3 the optional engine
+	// payload section; older input still decodes, and the encoder stamps
+	// the lowest version whose features the snapshot actually uses — a
+	// whole-bank snapshot's bytes are identical under all versions, so
+	// keeping the 1 stamp lets un-upgraded peers read new whole-bank
+	// snapshots during a rolling upgrade.
+	Version = 3
 	// BlockLen is the number of registers per packed block. It must stay
 	// ≤ 256 so exception positions fit one byte.
 	BlockLen = 128
@@ -73,6 +84,10 @@ const (
 	// to spread MaxRegisters at ~4k registers per partition, small enough
 	// that per-partition loops stay cheap.
 	MaxPartitions = 1 << 14
+	// MaxEnginePayload caps the opaque engine-payload section a decoder will
+	// read (the same hostile-header bound MaxRegisters provides for register
+	// blocks).
+	MaxEnginePayload = 1 << 26
 	// maxAlgName caps the algorithm-name length.
 	maxAlgName = 32
 )
@@ -81,8 +96,9 @@ var magic = [4]byte{'N', 'Y', 'S', '1'}
 
 // flag bits in the header flags byte.
 const (
-	flagRNG  = 1 << 0
-	flagPart = 1 << 1 // version ≥ 2: partition section present
+	flagRNG    = 1 << 0
+	flagPart   = 1 << 1 // version ≥ 2: partition section present
+	flagEngine = 1 << 2 // version ≥ 3: engine payload section present
 )
 
 // ErrChecksum is returned when the CRC32C trailer does not match the
@@ -111,9 +127,21 @@ type Snapshot struct {
 	Partition int
 	Parts     int
 
+	// Engine != "" marks an engine snapshot (version 3): the state is the
+	// opaque Payload in the engine's own encoding, Registers is empty, and
+	// the algorithm header fields describe the engine's slot registers. The
+	// empty string is the register bank, whose snapshots carry no engine
+	// section and stay byte-compatible with older decoders.
+	Engine  string
+	Payload []byte
+
 	Registers []uint64    // len N (whole bank) or the partition range length
 	RNG       [][4]uint64 // len Shards or nil (whole-bank snapshots only)
 }
+
+// IsEngine reports whether s is an engine snapshot (opaque payload) rather
+// than a register-bank snapshot.
+func (s *Snapshot) IsEngine() bool { return s.Engine != "" }
 
 // IsPartition reports whether s carries one partition rather than the whole
 // bank.
@@ -230,19 +258,35 @@ func (s *Snapshot) validate() error {
 	if s.Parts < 0 || s.Parts > MaxPartitions {
 		return fmt.Errorf("snapcodec: partition count %d out of [0, %d]", s.Parts, MaxPartitions)
 	}
+	if s.IsEngine() {
+		if len(s.Engine) > maxAlgName {
+			return fmt.Errorf("snapcodec: engine name length %d exceeds %d", len(s.Engine), maxAlgName)
+		}
+		if len(s.Payload) > MaxEnginePayload {
+			return fmt.Errorf("snapcodec: engine payload %d bytes exceeds %d", len(s.Payload), MaxEnginePayload)
+		}
+		if len(s.Registers) != 0 {
+			return errors.New("snapcodec: engine snapshots carry a payload, not registers")
+		}
+		if s.RNG != nil {
+			return errors.New("snapcodec: engine snapshots encode generator state in the payload")
+		}
+	} else if len(s.Payload) != 0 {
+		return errors.New("snapcodec: payload without an engine name")
+	}
 	if s.IsPartition() {
 		if s.Partition < 0 || s.Partition >= s.Parts {
 			return fmt.Errorf("snapcodec: partition %d out of [0, %d)", s.Partition, s.Parts)
 		}
 		lo, hi := PartitionRange(s.N, s.Parts, s.Partition)
-		if len(s.Registers) != hi-lo {
+		if !s.IsEngine() && len(s.Registers) != hi-lo {
 			return fmt.Errorf("snapcodec: partition %d/%d of %d keys spans %d registers, got %d",
 				s.Partition, s.Parts, s.N, hi-lo, len(s.Registers))
 		}
 		if s.RNG != nil {
 			return errors.New("snapcodec: partition snapshots cannot carry rng state")
 		}
-	} else if s.N != len(s.Registers) {
+	} else if !s.IsEngine() && s.N != len(s.Registers) {
 		return fmt.Errorf("snapcodec: N = %d but %d registers", s.N, len(s.Registers))
 	}
 	if s.Shards < 0 || s.Shards > maxShards {
@@ -306,11 +350,15 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 	e := &encoder{w: mw}
 
 	e.write(magic[:])
-	// Whole-bank snapshots keep the version-1 stamp (their layout is
-	// unchanged); only the partition section requires version 2.
-	if s.IsPartition() {
-		e.writeByte(Version)
-	} else {
+	// Stamp the lowest version whose features the snapshot uses: whole-bank
+	// register snapshots keep the version-1 stamp (their layout is
+	// unchanged), the partition section requires 2, the engine section 3.
+	switch {
+	case s.IsEngine():
+		e.writeByte(3)
+	case s.IsPartition():
+		e.writeByte(2)
+	default:
 		e.writeByte(1)
 	}
 	e.writeByte(byte(len(s.AlgName)))
@@ -327,11 +375,20 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 	if s.IsPartition() {
 		flags |= flagPart
 	}
+	if s.IsEngine() {
+		flags |= flagEngine
+	}
 	e.writeByte(flags)
 	e.writeUvarint(BlockLen)
 	if s.IsPartition() {
 		e.writeUvarint(uint64(s.Partition))
 		e.writeUvarint(uint64(s.Parts))
+	}
+	if s.IsEngine() {
+		e.writeByte(byte(len(s.Engine)))
+		e.write([]byte(s.Engine))
+		e.writeUvarint(uint64(len(s.Payload)))
+		e.write(s.Payload)
 	}
 
 	for lo := 0; lo < len(s.Registers); lo += BlockLen {
@@ -584,11 +641,14 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 	if blockLen < 1 || blockLen > 256 {
 		return nil, fmt.Errorf("snapcodec: block length %d out of [1, 256]", blockLen)
 	}
-	if known := byte(flagRNG | flagPart); flags&^known != 0 {
+	if known := byte(flagRNG | flagPart | flagEngine); flags&^known != 0 {
 		return nil, fmt.Errorf("snapcodec: unknown flag bits %#02x", flags&^known)
 	}
 	if version < 2 && flags&flagPart != 0 {
 		return nil, fmt.Errorf("snapcodec: version %d snapshot with partition flag", version)
+	}
+	if version < 3 && flags&flagEngine != 0 {
+		return nil, fmt.Errorf("snapcodec: version %d snapshot with engine flag", version)
 	}
 	s.N = int(n)
 	s.Shards = int(shards)
@@ -613,6 +673,43 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 		s.Parts = int(parts)
 		lo, hi := PartitionRange(s.N, s.Parts, s.Partition)
 		regCount = hi - lo
+	}
+
+	if flags&flagEngine != 0 {
+		if flags&flagRNG != 0 {
+			return nil, errors.New("snapcodec: engine snapshot with rng section")
+		}
+		engLen := int(d.byte())
+		if d.err == nil && (engLen == 0 || engLen > maxAlgName) {
+			return nil, fmt.Errorf("snapcodec: engine name length %d out of [1, %d]", engLen, maxAlgName)
+		}
+		eng := make([]byte, engLen)
+		d.read(eng)
+		s.Engine = string(eng)
+		plen := d.uvarint()
+		if d.err != nil {
+			return nil, d.fail("engine section")
+		}
+		if plen > MaxEnginePayload {
+			return nil, fmt.Errorf("snapcodec: engine payload %d bytes exceeds %d", plen, MaxEnginePayload)
+		}
+		// Read in bounded chunks so allocation tracks bytes actually
+		// present: a hostile header declaring MaxEnginePayload on a
+		// 20-byte body must fail on truncation, not allocate 64 MiB first
+		// (the same defense the register path gets from its incremental
+		// block reads).
+		s.Payload = make([]byte, 0, min(int(plen), 1<<16))
+		for rem := int(plen); rem > 0; {
+			chunk := min(rem, 1<<16)
+			start := len(s.Payload)
+			s.Payload = append(s.Payload, make([]byte, chunk)...)
+			d.read(s.Payload[start:])
+			if d.err != nil {
+				return nil, d.fail("engine payload")
+			}
+			rem -= chunk
+		}
+		regCount = 0 // the payload is the state; no register blocks follow
 	}
 
 	s.Registers = make([]uint64, 0, min(regCount, 1<<20))

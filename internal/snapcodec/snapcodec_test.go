@@ -532,3 +532,89 @@ func TestDecodeVersion1(t *testing.T) {
 		t.Fatal("v1 snapshot with partition flag accepted")
 	}
 }
+
+// Engine snapshots (version 3): opaque payload round-trips, whole and
+// partitioned, and the validation rules hold.
+func TestEngineSectionRoundTrip(t *testing.T) {
+	payload := []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	s := &Snapshot{N: 10_000, Shards: 16, Seed: 7, Engine: "topk", Payload: payload}
+	if err := s.SetAlg(bank.NewMorrisAlg(0.01, 12)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if data[4] != 3 {
+		t.Fatalf("engine snapshot stamped version %d, want 3", data[4])
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Engine != "topk" || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("engine round-trip: %q %v", got.Engine, got.Payload)
+	}
+	if got.N != s.N || got.Shards != s.Shards || got.Seed != s.Seed || got.AlgName != "morris" {
+		t.Fatalf("engine header mismatch: %+v", got)
+	}
+	if len(got.Registers) != 0 {
+		t.Fatalf("engine snapshot decoded %d registers", len(got.Registers))
+	}
+
+	// Partitioned engine snapshot.
+	p := &Snapshot{N: 10_000, Shards: 16, Seed: 7, Engine: "topk",
+		Payload: payload, Partition: 3, Parts: 16}
+	if err := p.SetAlg(bank.NewMorrisAlg(0.01, 12)); err != nil {
+		t.Fatal(err)
+	}
+	data, err = Encode(p)
+	if err != nil {
+		t.Fatalf("encode partition: %v", err)
+	}
+	got, err = Decode(data)
+	if err != nil {
+		t.Fatalf("decode partition: %v", err)
+	}
+	if !got.IsPartition() || got.Partition != 3 || got.Parts != 16 || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("partitioned engine round-trip: %+v", got)
+	}
+}
+
+func TestEngineSectionValidation(t *testing.T) {
+	base := func() *Snapshot {
+		s := &Snapshot{N: 100, Shards: 4, Seed: 1, Engine: "topk", Payload: []byte{1}}
+		if err := s.SetAlg(bank.NewMorrisAlg(0.01, 12)); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := base()
+	s.Registers = []uint64{1}
+	if _, err := Encode(s); err == nil {
+		t.Fatal("engine snapshot with registers accepted")
+	}
+	s = base()
+	s.RNG = make([][4]uint64, 4)
+	if _, err := Encode(s); err == nil {
+		t.Fatal("engine snapshot with rng section accepted")
+	}
+	s = base()
+	s.Engine = ""
+	if _, err := Encode(s); err == nil {
+		t.Fatal("payload without engine name accepted")
+	}
+	// A version-2 stamp with the engine flag must be rejected.
+	s = base()
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Clone(data)
+	bad[4] = 2
+	crc := crc32.Checksum(bad[:len(bad)-4], castagnoli)
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("v2 snapshot with engine flag accepted")
+	}
+}
