@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-cluster fuzz-smoke ci \
-	counterd serve cluster-smoke cluster-demo
+.PHONY: all build vet fmt-check doclint test race bench bench-cluster fuzz-smoke ci \
+	counterd serve cluster-smoke cluster-demo windowed-demo
 
 all: build
 
@@ -21,8 +21,19 @@ serve: counterd
 cluster-demo:
 	$(GO) run ./examples/distributed
 
+# The sliding-window demo: drift, rotation, kill -9 byte-identity
+# (see docs/ENGINES.md, "Engine: window").
+windowed-demo:
+	$(GO) run ./examples/windowed
+
 vet:
 	$(GO) vet ./...
+
+# Documentation lint: intra-repo markdown links resolve, and every flag or
+# path reference in README.md / docs/*.md names something real (see
+# tools/doclint.sh).
+doclint:
+	bash tools/doclint.sh
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -72,4 +83,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/snapcodec
 	$(GO) test -run='^$$' -fuzz=FuzzSummary -fuzztime=5s ./internal/heavyhitters
 
-ci: build vet fmt-check race fuzz-smoke
+ci: build vet fmt-check doclint race fuzz-smoke

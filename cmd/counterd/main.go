@@ -1,8 +1,9 @@
 // Command counterd serves a durable sketch engine over HTTP: the paper's
 // motivating analytics system (millions of approximate counters in a few
 // bits each) as a restartable network daemon, with the engine pluggable —
-// the Morris/Csűrös/exact register bank by default, or the cluster-wide
-// heavy-hitters (top-k) engine with -engine topk.
+// the Morris/Csűrös/exact register bank by default, the cluster-wide
+// heavy-hitters (top-k) engine with -engine topk, or the sliding-window
+// engine with -engine window (bucket width -bucket, span -window).
 //
 // Every increment batch is WAL-logged before it is applied and acknowledged,
 // so a kill -9 at any moment loses nothing that was acked: on restart the
@@ -14,9 +15,10 @@
 // Endpoints (see internal/server):
 //
 //	POST /inc            {"key": 5} or {"keys": [1, 2, 2, 7]}
-//	GET  /estimate/{key}
-//	GET  /estimates
-//	GET  /topk?k=10      ranked heavy hitters (&partition=p for one partition)
+//	GET  /estimate/{key} (&window=5m on the window engine)
+//	GET  /estimates      (&window=5m on the window engine)
+//	GET  /topk?k=10      ranked heavy hitters (&partition=p for one partition,
+//	                     &window=5m on the window engine)
 //	GET  /snapshot       compressed snapshot stream (feed to a peer's /merge)
 //	GET  /snapshot/{p}   one partition's compressed snapshot
 //	POST /merge          ingest a peer snapshot (disjoint-stream join)
@@ -42,6 +44,12 @@
 //
 //	counterd -addr :8347 -dir ./topk-data -n 1000000 -engine topk -topk-cap 256
 //	curl 'localhost:8347/topk?k=10'
+//
+// Example (sliding-window engine, 10 minutes of 1-minute buckets):
+//
+//	counterd -addr :8347 -dir ./win-data -n 1000000 -engine window -bucket 1m -window 10m
+//	curl 'localhost:8347/topk?k=10&window=5m'
+//	curl 'localhost:8347/estimate/2?window=1m'
 //
 // Example (local 3-node ring, replication factor 2):
 //
@@ -84,6 +92,8 @@ type options struct {
 	seed       uint64
 	engine     string
 	topkCap    int
+	bucket     time.Duration
+	window     time.Duration
 	checkpoint time.Duration
 	segBytes   int64
 	maxBatch   int
@@ -118,8 +128,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.width, "width", 14, "register width in bits")
 	fs.IntVar(&o.mantissa, "mantissa", 8, "Csűrös mantissa bits")
 	fs.Uint64Var(&o.seed, "seed", 42, "deterministic replay seed")
-	fs.StringVar(&o.engine, "engine", "bank", "sketch engine: bank | topk (see docs/ENGINES.md)")
+	fs.StringVar(&o.engine, "engine", "bank", "sketch engine: bank | topk | window (see docs/ENGINES.md)")
 	fs.IntVar(&o.topkCap, "topk-cap", 64, "top-k slots per partition (topk engine)")
+	fs.DurationVar(&o.bucket, "bucket", time.Minute, "time-bucket width (window engine)")
+	fs.DurationVar(&o.window, "window", 8*time.Minute, "sliding-window span, rounded up to whole buckets (window engine)")
 	fs.DurationVar(&o.checkpoint, "checkpoint", 30*time.Second, "checkpoint cadence (0 disables the loop)")
 	fs.Int64Var(&o.segBytes, "segbytes", 64<<20, "WAL segment rotation size")
 	fs.IntVar(&o.maxBatch, "maxbatch", 1<<16, "largest accepted increment batch")
@@ -154,6 +166,16 @@ func openStore(o *options) (*server.Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	buckets := 0
+	if o.engine == "window" {
+		if o.bucket <= 0 {
+			return nil, fmt.Errorf("counterd: non-positive -bucket %v", o.bucket)
+		}
+		if o.window < o.bucket {
+			return nil, fmt.Errorf("counterd: -window %v narrower than -bucket %v", o.window, o.bucket)
+		}
+		buckets = int((o.window + o.bucket - 1) / o.bucket)
+	}
 	return server.Open(server.Config{
 		Dir:          o.dir,
 		N:            o.n,
@@ -162,6 +184,8 @@ func openStore(o *options) (*server.Store, error) {
 		Seed:         o.seed,
 		Engine:       o.engine,
 		TopKCap:      o.topkCap,
+		Buckets:      buckets,
+		BucketDur:    o.bucket,
 		SegmentBytes: o.segBytes,
 		MaxBatch:     o.maxBatch,
 		Sync:         policy,
@@ -224,6 +248,37 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Background window-tick loop: a windowed engine must rotate buckets
+	// even when no writes arrive, so idle traffic still expires. Writes
+	// also tick inline; this loop only covers quiet periods.
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		if !st.Windowed() {
+			return
+		}
+		// The restored engine's bucket width wins over the -bucket flag,
+		// exactly like every other piece of on-disk shape — a flagless
+		// restart must tick at the ring's real rate.
+		bucket := time.Duration(st.Stats().BucketNanos)
+		if bucket <= 0 {
+			bucket = o.bucket
+		}
+		cadence := max(bucket/4, 10*time.Millisecond)
+		t := time.NewTicker(cadence)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := st.AdvanceWindow(); err != nil {
+					log.Printf("counterd: window tick failed: %v", err)
+				}
+			}
+		}
+	}()
+
 	// Background checkpoint loop: WAL → snapshot → truncate.
 	ckptDone := make(chan struct{})
 	go func() {
@@ -272,6 +327,7 @@ func main() {
 	if node != nil {
 		node.Stop()
 	}
+	<-tickDone
 	<-ckptDone
 	if err := st.Close(o.finalCkpt); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("counterd: close: %v", err)

@@ -16,12 +16,15 @@
 //	countertool bench-serve -addr http://localhost:8347 -events 1000000
 //	countertool bench-cluster -nodes http://localhost:8347 -events 1000000
 //	countertool topk -nodes http://localhost:8347 -events 1000000 -zipf 1.1
+//	countertool windowed -nodes http://localhost:8347 -events 300000 -phases 3
 //
 // The bench-serve subcommand (benchserve.go) drives a running counterd
 // daemon over HTTP; bench-cluster (benchcluster.go) drives a whole counterd
 // cluster through the ring-aware smart client; topk (topk.go) drives a
 // Zipf heavy-hitters workload against the topk engine and reports how well
-// the cluster recovered the true top-k.
+// the cluster recovered the true top-k; windowed (windowed.go) drives a
+// Zipf-with-drift workload against the window engine and verifies the
+// trailing-window top-k tracks the shifting hot set.
 package main
 
 import (
@@ -48,6 +51,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "topk" {
 		topkMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "windowed" {
+		windowedMain(os.Args[2:])
 		return
 	}
 	var (

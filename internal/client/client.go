@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"time"
 
@@ -236,12 +237,31 @@ func (c *Client) post(dest string, keys []int) error {
 // Estimate asks a replica of k's partition for N̂, failing over through the
 // replica set.
 func (c *Client) Estimate(k int) (float64, error) {
+	return c.estimate(k, "")
+}
+
+// EstimateWindow is Estimate scoped to the trailing window — a duration
+// ("5m") or bucket count ("3"), forwarded verbatim as the ?window= query
+// parameter (the serving node owns the bucket math). Only meaningful
+// against window-engine clusters; other engines answer 400.
+func (c *Client) EstimateWindow(k int, window string) (float64, error) {
+	if window == "" {
+		return 0, errors.New("client: empty window")
+	}
+	return c.estimate(k, window)
+}
+
+func (c *Client) estimate(k int, window string) (float64, error) {
 	if k < 0 || k >= c.info.N {
 		return 0, fmt.Errorf("client: key %d out of range [0,%d)", k, c.info.N)
 	}
+	q := ""
+	if window != "" {
+		q = "?window=" + url.QueryEscape(window)
+	}
 	var lastErr error
 	for _, rep := range c.replicasFor(k) {
-		resp, err := c.hc.Get(fmt.Sprintf("%s/estimate/%d", rep, k))
+		resp, err := c.hc.Get(fmt.Sprintf("%s/estimate/%d%s", rep, k, q))
 		if err != nil {
 			lastErr = err
 			continue
@@ -277,13 +297,28 @@ func (c *Client) Estimate(k int) (float64, error) {
 // whose whole replica set is unreachable fails the query rather than
 // silently under-reporting.
 func (c *Client) TopK(k int) ([]engine.Entry, error) {
+	return c.topK(k, "")
+}
+
+// TopKWindow is TopK scoped to the trailing window — a duration ("5m") or
+// bucket count ("3"), forwarded verbatim as ?window= to every partition
+// primary. The per-partition reports are still disjoint (the window scopes
+// time, not the key space), so the client-side merge is unchanged.
+func (c *Client) TopKWindow(k int, window string) ([]engine.Entry, error) {
+	if window == "" {
+		return nil, errors.New("client: empty window")
+	}
+	return c.topK(k, window)
+}
+
+func (c *Client) topK(k int, window string) ([]engine.Entry, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("client: k = %d", k)
 	}
 	var all []engine.Entry
 	n0, parts0 := c.info.N, c.info.Partitions
 	for p := 0; p < parts0; p++ {
-		entries, err := c.partitionTopK(k, p, c.reps[p])
+		entries, err := c.partitionTopK(k, p, window, c.reps[p])
 		if err != nil {
 			// One refresh: the ring may have moved under us. Entries
 			// already gathered assume the (N, Partitions) tiling the query
@@ -294,7 +329,7 @@ func (c *Client) TopK(k int) ([]engine.Entry, error) {
 					return nil, fmt.Errorf("client: topk partition %d: cluster reshaped mid-query (%d keys/%d partitions → %d/%d)",
 						p, n0, parts0, c.info.N, c.info.Partitions)
 				}
-				entries, err = c.partitionTopK(k, p, c.reps[p])
+				entries, err = c.partitionTopK(k, p, window, c.reps[p])
 			}
 			if err != nil {
 				return nil, fmt.Errorf("client: topk partition %d: %w", p, err)
@@ -315,11 +350,15 @@ func (c *Client) TopK(k int) ([]engine.Entry, error) {
 }
 
 // partitionTopK asks p's replicas (primary first) for the partition's top
-// k entries.
-func (c *Client) partitionTopK(k, p int, reps []string) ([]engine.Entry, error) {
+// k entries, optionally window-scoped.
+func (c *Client) partitionTopK(k, p int, window string, reps []string) ([]engine.Entry, error) {
+	q := ""
+	if window != "" {
+		q = "&window=" + url.QueryEscape(window)
+	}
 	var lastErr error
 	for _, rep := range reps {
-		resp, err := c.hc.Get(fmt.Sprintf("%s/topk?k=%d&partition=%d", rep, k, p))
+		resp, err := c.hc.Get(fmt.Sprintf("%s/topk?k=%d&partition=%d%s", rep, k, p, q))
 		if err != nil {
 			lastErr = err
 			continue

@@ -37,6 +37,12 @@ type testClusterConfig struct {
 	alg                       bank.Algorithm
 	engine                    string // "" = bank
 	topkCap                   int
+
+	// Window engine only: ring length, bucket width, and the shared
+	// logical clock (the test advances it; nodes never read wall time).
+	buckets   int
+	bucketDur time.Duration
+	clock     func() uint64
 }
 
 func defaultClusterConfig() testClusterConfig {
@@ -70,6 +76,9 @@ func startNode(t testing.TB, dir, addr string, cc testClusterConfig, join []stri
 		Partitions: cc.partitions,
 		Engine:     cc.engine,
 		TopKCap:    cc.topkCap,
+		Buckets:    cc.buckets,
+		BucketDur:  cc.bucketDur,
+		Clock:      cc.clock,
 		NoSync:     true, // process-crash durability (page cache), fast tests
 	})
 	if err != nil {

@@ -4,8 +4,28 @@
 // converged, a durable per-peer outbox (the WAL format, doubling as hinted
 // handoff) fans acknowledged increments out to peer replicas, and an
 // anti-entropy loop exchanges snapcodec-compressed partition snapshots so
-// replicas converge to identical registers after failures heal. See
-// docs/CLUSTER.md for the protocol and its failure modes.
+// replicas converge to identical state after failures heal.
+//
+// The invariants the subsystem maintains:
+//
+//   - Determinism of routing: the ring is a pure function of (member set,
+//     RF, vnodes), so every node and client derives identical routes from
+//     the gossiped membership — no coordination service.
+//   - Ack durability: the HTTP 200 for a write means a WAL-durable apply
+//     on at least one replica; replication is asynchronous and
+//     at-least-once on top of that.
+//   - Join semantics: anti-entropy repairs replicas exclusively with the
+//     engine's idempotent MergeMax (replicas absorb the SAME logical
+//     stream — Remark 2.4 there would double-count; it remains the
+//     explicit /merge operation for disjoint off-cluster streams), and
+//     merges only through quiescence/repair gates, because unconditional
+//     max-joins of in-flight replicas measurably ratchet estimates upward.
+//   - Convergence: once writes quiesce, every replica pair reaches
+//     byte-identical partition snapshots (asserted on /snapshot bytes by
+//     the integration tests, for all three engines).
+//
+// See docs/CLUSTER.md for the protocol and its failure modes, and
+// docs/OPERATIONS.md for the operator's view of the gates.
 package cluster
 
 import (

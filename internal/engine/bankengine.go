@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bank"
 	"repro/internal/shardbank"
@@ -100,22 +99,9 @@ func (e *BankEngine) TopK(k, lo, hi int) ([]Entry, error) {
 	}
 	est := e.b.EstimateAll()
 	out := make([]Entry, 0, k+1)
-	// Selection by insertion into a small sorted buffer: k is a report
-	// size, not a scan size.
 	for key := lo; key < hi; key++ {
-		v := est[key]
-		if v <= 0 {
-			continue
-		}
-		if len(out) == k && v <= out[k-1].Estimate {
-			continue
-		}
-		i := sort.Search(len(out), func(i int) bool { return out[i].Estimate < v })
-		out = append(out, Entry{})
-		copy(out[i+1:], out[i:])
-		out[i] = Entry{Key: key, Estimate: v}
-		if len(out) > k {
-			out = out[:k]
+		if v := est[key]; v > 0 {
+			out = topkPush(out, k, key, v)
 		}
 	}
 	return out, nil

@@ -74,3 +74,72 @@ func BenchmarkTopKSnapshotEncode(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkWindowApplyBatch(b *testing.B) {
+	const n = 100_000
+	e, err := NewWindow(n, bank.NewMorrisAlg(0.005, 14), 64, 8, int64(1e9), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := benchBatch(n, 1024)
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ApplyBatch(batch)
+		if i%64 == 63 {
+			e.Advance(uint64(i / 64)) // rotation cost rides along, 1/64 of batches
+		}
+	}
+	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+// The windowed read path: a trailing-half-ring top-10 scan, Remark 2.4
+// folds included.
+func BenchmarkWindowTopKQuery(b *testing.B) {
+	const n = 100_000
+	e, err := NewWindow(n, bank.NewMorrisAlg(0.005, 14), 64, 8, int64(1e9), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for ep, batch := range batches(zipfKeys(n, 200_000, 1.1, 3), 4096) {
+		e.Advance(uint64(ep / 8))
+		e.ApplyBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.TopKWindow(10, 0, n, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowSnapshotEncode(b *testing.B) {
+	const n = 100_000
+	e, err := NewWindow(n, bank.NewMorrisAlg(0.005, 14), 64, 8, int64(1e9), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for ep, batch := range batches(zipfKeys(n, 200_000, 1.1, 3), 4096) {
+		e.Advance(uint64(ep / 8))
+		e.ApplyBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SnapshotTo(io.Discard, e, 0, 0, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf countingWriter
+	if err := SnapshotTo(&buf, e, 0, 0, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(buf)/float64(n*8), "bytes/register")
+}
+
+// countingWriter counts bytes written (snapshot size metric).
+type countingWriter int64
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
+}

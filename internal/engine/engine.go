@@ -6,7 +6,7 @@
 // Everything above this interface (internal/server's WAL + checkpoint
 // store, internal/cluster's ring/outbox/anti-entropy, internal/client,
 // cmd/counterd) speaks only Engine; everything below it is a concrete
-// sketch. Two engines ship today:
+// sketch. Three engines ship today:
 //
 //   - BankEngine ("bank", the default): the Morris/Csűrös/exact register
 //     bank (internal/shardbank) — one approximate counter per key. Its
@@ -16,6 +16,11 @@
 //     approximate registers (internal/heavyhitters.Summary, the [BDW19]
 //     construction the paper cites) — the true top-k of the stream in
 //     O(k · log log m) bits per partition instead of one counter per key.
+//   - WindowEngine ("window"): sliding-window counting — a ring of B
+//     time-bucket register banks per partition, rotated by a logical clock
+//     carried in WAL tick records (never a wall clock on replay), with
+//     windowed estimates, windowed top-k, and epoch-aligned merges. See
+//     the Windowed interface.
 //
 // The contract an Engine signs up for, in exchange for durability and
 // replication "for free":
@@ -43,6 +48,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/bank"
 	"repro/internal/snapcodec"
@@ -134,6 +140,8 @@ func FromSnapshot(snap *snapcodec.Snapshot) (Engine, error) {
 		return BankFromSnapshot(snap)
 	case KindTopK:
 		return TopKFromSnapshot(snap)
+	case KindWindow:
+		return WindowFromSnapshot(snap)
 	default:
 		return nil, fmt.Errorf("engine: unknown engine kind %q", snap.Engine)
 	}
@@ -146,6 +154,25 @@ func SnapshotTo(w io.Writer, e Engine, part, parts int, withState bool) error {
 		return err
 	}
 	return snapcodec.EncodeTo(w, snap)
+}
+
+// topkPush inserts (key, v) into out, a ≤ k-entry buffer kept sorted by
+// descending estimate with ties toward the smaller key — the shared
+// selection-by-insertion accumulator of the scanning TopK implementations
+// (bank, window). k is a report size, not a scan size, so insertion into a
+// small sorted buffer beats any heap bookkeeping.
+func topkPush(out []Entry, k, key int, v float64) []Entry {
+	if len(out) == k && v <= out[k-1].Estimate {
+		return out
+	}
+	i := sort.Search(len(out), func(i int) bool { return out[i].Estimate < v })
+	out = append(out, Entry{})
+	copy(out[i+1:], out[i:])
+	out[i] = Entry{Key: key, Estimate: v}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // fnv1a64 folds 64-bit words into an FNV-1a hash byte by byte — the shared

@@ -3,7 +3,7 @@
 // whose optimal algorithm drives down per-item counter cost by replacing
 // exact counters with Morris counters.
 //
-// Two structures are provided:
+// Three structures are provided:
 //
 //   - SpaceSaving, the classical top-k summary, generic over the counter
 //     type: with exact counters it is the textbook algorithm; with Morris+
@@ -12,6 +12,17 @@
 //     item (the standard overestimate-preserving takeover) so any
 //     increment-only counter works.
 //   - MisraGries, the deterministic frequent-elements baseline.
+//   - Summary (summary.go), the serving-grade flavor the engine layer
+//     durably replicates. Its invariants: full determinism (every
+//     structural choice — eviction, pruning, merge draw order — is a pure
+//     function of state, operation order, and an injected rng stream, so
+//     WAL replay reconstructs it bit-for-bit); a canonical item-sorted
+//     export (equal states serialize byte-identically, which is what
+//     cluster convergence is asserted on); and both join flavors —
+//     MergeDisjoint, the SpaceSaving union with Remark 2.4 register
+//     merges for DISJOINT streams, and MergeMax, the idempotent max
+//     takeover under which one pull-push exchange converges two replicas
+//     of the same stream to identical slot tables.
 package heavyhitters
 
 import (

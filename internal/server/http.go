@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"repro/internal/engine"
 )
 
 // maxMergeBody caps a POST /merge request body. A MaxRegisters-key snapshot
@@ -25,6 +27,12 @@ const maxIncBody = 16 << 20
 //	GET  /topk?k=10      → {"k":10, "topk":[{"key":3,"estimate":...},...]}
 //	                       (&partition=p scopes to one partition — the unit
 //	                       the smart client merges cluster-wide)
+//
+// On a window engine the three read endpoints additionally accept
+// &window=5m (a duration, rounded up to whole buckets) or &window=3 (a
+// bucket count) to scope the answer to the trailing window; other engines
+// reject the parameter with a 400.
+//
 //	GET  /snapshot       → snapcodec stream (application/octet-stream)
 //	GET  /snapshot/{p}   → one partition's snapcodec stream
 //	POST /merge          body = a peer snapshot → disjoint-stream join
@@ -67,6 +75,20 @@ func Handler(st *Store) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad key: %w", err))
 			return
 		}
+		if q := r.URL.Query().Get("window"); q != "" {
+			wn, err := st.ParseWindow(q)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			est, err := st.EstimateWindow(key, wn)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, map[string]any{"key": key, "estimate": est, "window": wn})
+			return
+		}
 		est, err := st.Estimate(key)
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
@@ -76,6 +98,20 @@ func Handler(st *Store) http.Handler {
 	})
 
 	mux.HandleFunc("GET /estimates", func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("window"); q != "" {
+			wn, err := st.ParseWindow(q)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			ests, err := st.EstimateAllWindow(wn)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, map[string]any{"estimates": ests, "window": wn})
+			return
+		}
 		writeJSON(w, map[string]any{"estimates": st.EstimateAll()})
 	})
 
@@ -92,16 +128,25 @@ func Handler(st *Store) http.Handler {
 				return
 			}
 		}
-		top, err := st.TopK(k, part)
+		resp := map[string]any{"k": k, "engine": st.Engine().Kind()}
+		var top []engine.Entry
+		if q := r.URL.Query().Get("window"); q != "" {
+			wn, werr := st.ParseWindow(q)
+			if werr != nil {
+				httpError(w, statusFor(werr), werr)
+				return
+			}
+			top, err = st.TopKWindow(k, part, wn)
+			resp["window"] = wn
+		} else {
+			top, err = st.TopK(k, part)
+		}
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, map[string]any{
-			"k":      k,
-			"engine": st.Engine().Kind(),
-			"topk":   top,
-		})
+		resp["topk"] = top
+		writeJSON(w, resp)
 	})
 
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {

@@ -3,20 +3,25 @@
 //
 //   - Store: the persistence layer over a pluggable internal/engine sketch
 //     (the Morris/Csűrös/exact register bank by default, the SpaceSaving
-//     heavy-hitters engine with Config.Engine "topk"). Every write is
-//     staged to the WAL and applied to the engine under one lock, so log
-//     order equals apply order — the invariant that makes recovery exact.
-//     Recovery loads the newest snapcodec checkpoint (engine state + its
-//     generator streams) and replays the WAL segments at or after it; with
-//     no checkpoint it rebuilds from the seed and the full log. Either way
+//     heavy-hitters engine with Config.Engine "topk", the sliding-window
+//     engine with "window"). Every write is staged to the WAL and applied
+//     to the engine under one lock, so log order equals apply order — the
+//     invariant that makes recovery exact. For windowed engines that
+//     includes time itself: the store observes the bucket clock once per
+//     write (and on AdvanceWindow) and stages the epoch as a tick record,
+//     so rotation is part of the logged operation order. Recovery loads
+//     the newest snapcodec checkpoint (engine state + its generator
+//     streams) and replays the WAL segments at or after it; with no
+//     checkpoint it rebuilds from the seed and the full log. Either way
 //     the recovered state is bit-identical to the pre-crash engine,
 //     because every engine's batched apply is deterministic in batch order
 //     and its rng streams are part of the checkpoint.
 //
 //   - HTTP handler (http.go): POST /inc, GET /estimate/{key},
-//     GET /estimates, GET /topk, GET /snapshot (a streamed snapcodec
-//     snapshot), POST /merge (ingest a peer snapshot via the engine's
-//     disjoint-stream join), POST /mergemax (replica join), GET /healthz.
+//     GET /estimates, GET /topk (all three accepting ?window= on windowed
+//     engines), GET /snapshot (a streamed snapcodec snapshot), POST /merge
+//     (ingest a peer snapshot via the engine's disjoint-stream join),
+//     POST /mergemax (replica join), GET /healthz.
 //
 // Checkpoints pair a WAL rotation with a snapshot write: rotate (the new
 // segment number S becomes the checkpoint tag), export the engine state,
@@ -33,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,13 +69,25 @@ type Config struct {
 	Alg    bank.Algorithm
 	Seed   uint64
 	// Engine selects the sketch engine: "bank" (default — one register per
-	// key) or "topk" (SpaceSaving heavy hitters, one summary per
-	// partition). Ignored when the data dir has a checkpoint: the on-disk
-	// engine kind is the source of truth for an existing store.
+	// key), "topk" (SpaceSaving heavy hitters, one summary per partition),
+	// or "window" (sliding-window bucket banks). Ignored when the data dir
+	// has a checkpoint: the on-disk engine kind is the source of truth for
+	// an existing store.
 	Engine string
 	// TopKCap is the slot capacity per partition summary of the "topk"
 	// engine (0 = 64).
 	TopKCap int
+	// Buckets is the "window" engine's ring length B — the widest queryable
+	// window, in buckets (0 = 8).
+	Buckets int
+	// BucketDur is the "window" engine's wall-clock bucket width (0 = 1m);
+	// the serving window spans Buckets × BucketDur. Like every other piece
+	// of engine shape it is ignored when the data dir has a checkpoint.
+	BucketDur time.Duration
+	// Clock overrides the windowed engines' bucket-epoch source (tests;
+	// nil = wall clock divided by the bucket width). The epoch each write
+	// observes is WAL-logged, so replay never consults this.
+	Clock func() uint64
 	// SegmentBytes is the WAL rotation threshold (0 = wal default).
 	SegmentBytes int64
 	// NoSync disables WAL fsync (tests/benchmarks only); it overrides Sync.
@@ -92,6 +110,12 @@ type Store struct {
 	eng engine.Engine
 	log *wal.Log
 
+	// windowed is non-nil when eng is a sliding-window engine; clock is its
+	// bucket-epoch source. Epochs are observed once on the live write path
+	// and WAL-logged as tick records, never re-derived on replay.
+	windowed engine.Windowed
+	clock    func() uint64
+
 	// writeMu serializes Stage+apply so WAL record order always equals
 	// engine apply order. Group commit (wal.Commit) happens outside it, so
 	// the lock is never held across an fsync.
@@ -108,6 +132,7 @@ type Store struct {
 	keys      atomic.Uint64
 	merges    atomic.Uint64
 	mergeMaxs atomic.Uint64
+	ticks     atomic.Uint64
 	lastCkpt  atomic.Int64 // unix nanos of last successful checkpoint
 	recovered wal.ReplayStats
 	fromSnap  bool
@@ -163,9 +188,36 @@ func Open(cfg Config) (*Store, error) {
 			if err != nil {
 				return nil, fmt.Errorf("server: %w", err)
 			}
+		case engine.KindWindow:
+			b := cfg.Buckets
+			if b <= 0 {
+				b = 8
+			}
+			dur := cfg.BucketDur
+			if dur <= 0 {
+				dur = time.Minute
+			}
+			st.eng, err = engine.NewWindow(cfg.N, cfg.Alg, st.cfg.Partitions, b, int64(dur), cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
 		default:
-			return nil, fmt.Errorf("server: unknown engine %q (want %s | %s)",
-				cfg.Engine, engine.KindBank, engine.KindTopK)
+			return nil, fmt.Errorf("server: unknown engine %q (want %s | %s | %s)",
+				cfg.Engine, engine.KindBank, engine.KindTopK, engine.KindWindow)
+		}
+	}
+	// Windowed engines need an epoch source for the live write path; the
+	// engine's (possibly restored) bucket width defines the wall-clock
+	// mapping unless the caller injected one.
+	if w, ok := st.eng.(engine.Windowed); ok {
+		st.windowed = w
+		st.clock = cfg.Clock
+		if st.clock == nil {
+			bn := w.BucketNanos()
+			if bn <= 0 {
+				bn = int64(time.Minute)
+			}
+			st.clock = func() uint64 { return uint64(time.Now().UnixNano() / bn) }
 		}
 	}
 	// Engines with internal sharding pin the serving partition count — on a
@@ -229,6 +281,13 @@ func (st *Store) applyRecord(rec wal.Record) error {
 			return fmt.Errorf("server: replayed merge-max: %w", err)
 		}
 		st.mergeMaxs.Add(1)
+	case wal.RecTick:
+		if st.windowed == nil {
+			return fmt.Errorf("server: replayed tick to epoch %d on non-windowed engine %q",
+				rec.Epoch, st.eng.Kind())
+		}
+		st.windowed.Advance(rec.Epoch)
+		st.ticks.Add(1)
 	default:
 		return fmt.Errorf("server: unknown WAL record type %d", rec.Type)
 	}
@@ -244,8 +303,13 @@ func (st *Store) applyRecord(rec wal.Record) error {
 func (st *Store) decodePeer(blob []byte, disjoint bool) (*snapcodec.Snapshot, error) {
 	// Cap the decode at the local register count: a hostile header claiming
 	// snapcodec.MaxRegisters would otherwise allocate ~512 MiB before the
-	// engine's shape comparison ever ran.
-	snap, err := snapcodec.DecodeCapped(blob, st.eng.Len())
+	// engine's shape comparison ever ran. A window engine's snapshots carry
+	// one register per key per bucket, so its cap is B × n.
+	capRegs := st.eng.Len()
+	if st.windowed != nil {
+		capRegs *= st.windowed.WindowBuckets()
+	}
+	snap, err := snapcodec.DecodeCapped(blob, capRegs)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +343,11 @@ func (st *Store) Apply(keys []int) error {
 		}
 	}
 	st.writeMu.Lock()
-	ticket, err := st.log.Stage(wal.Record{Type: wal.RecBatch, Keys: keys})
+	ticked, err := st.tickLocked()
+	var ticket uint64
+	if err == nil {
+		ticket, err = st.log.Stage(wal.Record{Type: wal.RecBatch, Keys: keys})
+	}
 	if err == nil {
 		st.eng.ApplyBatch(keys)
 	}
@@ -287,10 +355,63 @@ func (st *Store) Apply(keys []int) error {
 	if err != nil {
 		return err
 	}
+	if ticked {
+		st.bumpAll()
+	}
 	st.bumpPartitions(keys)
 	st.batches.Add(1)
 	st.keys.Add(uint64(len(keys)))
+	// Committing the batch ticket also makes any tick staged before it
+	// durable (group commit flushes in stage order).
 	return st.log.Commit(ticket)
+}
+
+// tickLocked advances a windowed engine to the clock's current bucket
+// epoch, staging the tick in the WAL FIRST so replay rotates at exactly
+// this point in the record order. The epoch value is whatever the clock
+// read now — it is never re-derived on replay. Caller holds writeMu;
+// reports whether a tick was staged (the caller bumps partition versions
+// outside the lock).
+func (st *Store) tickLocked() (bool, error) {
+	if st.windowed == nil {
+		return false, nil
+	}
+	epoch := st.clock()
+	if epoch <= st.windowed.Epoch() {
+		return false, nil
+	}
+	if _, err := st.log.Stage(wal.Record{Type: wal.RecTick, Epoch: epoch}); err != nil {
+		return false, err
+	}
+	st.windowed.Advance(epoch)
+	st.ticks.Add(1)
+	return true, nil
+}
+
+// bumpAll advances every partition's write version — a bucket rotation
+// mutates all partitions' serialized state at once.
+func (st *Store) bumpAll() {
+	for p := range st.partVer {
+		st.partVer[p].Add(1)
+	}
+}
+
+// AdvanceWindow rotates a windowed engine to the current bucket epoch even
+// when no writes arrive (counterd runs this on a timer so idle traffic
+// still expires), committing the WAL tick before returning. A no-op —
+// including on non-windowed engines — when there is nothing to advance.
+func (st *Store) AdvanceWindow() error {
+	if st.windowed == nil {
+		return nil
+	}
+	st.writeMu.Lock()
+	ticked, err := st.tickLocked()
+	st.writeMu.Unlock()
+	if err != nil || !ticked {
+		return err
+	}
+	st.bumpAll()
+	return st.log.Sync()
 }
 
 // bumpPartitions advances the write version of every partition the batch
@@ -428,6 +549,89 @@ func (st *Store) TopK(k, partition int) ([]engine.Entry, error) {
 	return st.eng.TopK(k, lo, hi)
 }
 
+// Windowed reports whether the store serves a sliding-window engine.
+func (st *Store) Windowed() bool { return st.windowed != nil }
+
+// ParseWindow resolves a ?window= query value against the windowed
+// engine's ring: a Go duration ("5m", "90s") is rounded up to whole
+// buckets, a bare integer is a bucket count. The result is clamped-checked
+// against [1, B] — asking for a wider window than the ring retains is an
+// input error, not a silent truncation.
+func (st *Store) ParseWindow(q string) (int, error) {
+	if st.windowed == nil {
+		return 0, fmt.Errorf("%w: engine %q serves no windowed queries", ErrBadInput, st.eng.Kind())
+	}
+	b := st.windowed.WindowBuckets()
+	var w int
+	if d, err := time.ParseDuration(q); err == nil {
+		bn := st.windowed.BucketNanos()
+		if bn <= 0 {
+			return 0, fmt.Errorf("%w: engine has no wall-clock bucket width; pass a bucket count", ErrBadInput)
+		}
+		if d <= 0 {
+			return 0, fmt.Errorf("%w: non-positive window %q", ErrBadInput, q)
+		}
+		w = int((int64(d) + bn - 1) / bn)
+	} else if n, err := strconv.Atoi(q); err == nil {
+		w = n
+	} else {
+		return 0, fmt.Errorf("%w: window %q is neither a duration nor a bucket count", ErrBadInput, q)
+	}
+	if w < 1 || w > b {
+		return 0, fmt.Errorf("%w: window of %d buckets outside the ring's [1, %d]", ErrBadInput, w, b)
+	}
+	return w, nil
+}
+
+// EstimateWindow returns N̂ for one key over the trailing w buckets.
+func (st *Store) EstimateWindow(key, w int) (float64, error) {
+	if st.windowed == nil {
+		return 0, fmt.Errorf("%w: engine %q serves no windowed queries", ErrBadInput, st.eng.Kind())
+	}
+	if key < 0 || key >= st.eng.Len() {
+		return 0, fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, key, st.eng.Len())
+	}
+	v, err := st.windowed.EstimateWindow(key, w)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	return v, nil
+}
+
+// EstimateAllWindow returns all estimates over the trailing w buckets.
+func (st *Store) EstimateAllWindow(w int) ([]float64, error) {
+	if st.windowed == nil {
+		return nil, fmt.Errorf("%w: engine %q serves no windowed queries", ErrBadInput, st.eng.Kind())
+	}
+	out, err := st.windowed.EstimateAllWindow(w)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	return out, nil
+}
+
+// TopKWindow is TopK restricted to the trailing w buckets.
+func (st *Store) TopKWindow(k, partition, w int) ([]engine.Entry, error) {
+	if st.windowed == nil {
+		return nil, fmt.Errorf("%w: engine %q serves no windowed queries", ErrBadInput, st.eng.Kind())
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k = %d", ErrBadInput, k)
+	}
+	lo, hi := 0, st.eng.Len()
+	if partition >= 0 {
+		if partition >= st.cfg.Partitions {
+			return nil, fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, partition, st.cfg.Partitions)
+		}
+		lo, hi = snapcodec.PartitionRange(st.eng.Len(), st.cfg.Partitions, partition)
+	}
+	top, err := st.windowed.TopKWindow(k, lo, hi, w)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	return top, nil
+}
+
 // Engine exposes the serving engine.
 func (st *Store) Engine() engine.Engine { return st.eng }
 
@@ -541,16 +745,23 @@ func (st *Store) Close(checkpoint bool) error {
 
 // Stats is the /healthz payload.
 type Stats struct {
-	Status          string  `json:"status"`
-	Engine          string  `json:"engine"`
-	N               int     `json:"n"`
-	Shards          int     `json:"shards"`
-	Algorithm       string  `json:"algorithm"`
-	WidthBits       int     `json:"widthBits"`
-	Seed            uint64  `json:"seed"`
-	BankBytes       int     `json:"bankBytes"`
-	Partitions      int     `json:"partitions"`
-	FsyncPolicy     string  `json:"fsyncPolicy"`
+	Status      string `json:"status"`
+	Engine      string `json:"engine"`
+	N           int    `json:"n"`
+	Shards      int    `json:"shards"`
+	Algorithm   string `json:"algorithm"`
+	WidthBits   int    `json:"widthBits"`
+	Seed        uint64 `json:"seed"`
+	BankBytes   int    `json:"bankBytes"`
+	Partitions  int    `json:"partitions"`
+	FsyncPolicy string `json:"fsyncPolicy"`
+	// Window engine only: ring length, wall-clock bucket width, logical
+	// clock, and ticks applied since start.
+	WindowBuckets int    `json:"windowBuckets,omitempty"`
+	BucketNanos   int64  `json:"bucketNanos,omitempty"`
+	WindowEpoch   uint64 `json:"windowEpoch,omitempty"`
+	Ticks         uint64 `json:"ticks,omitempty"`
+
 	Batches         uint64  `json:"batches"`
 	Keys            uint64  `json:"keys"`
 	Merges          uint64  `json:"merges"`
@@ -588,6 +799,12 @@ func (st *Store) Stats() Stats {
 		ReplayedRecords: st.recovered.Records,
 		ReplayTorn:      st.recovered.Torn,
 		UptimeSeconds:   time.Since(st.started).Seconds(),
+	}
+	if st.windowed != nil {
+		s.WindowBuckets = st.windowed.WindowBuckets()
+		s.BucketNanos = st.windowed.BucketNanos()
+		s.WindowEpoch = st.windowed.Epoch()
+		s.Ticks = st.ticks.Load()
 	}
 	if st.fromSnap {
 		s.RecoveredFrom = "snapshot"

@@ -65,12 +65,16 @@ import (
 const (
 	// Version is the newest format version the decoder accepts. Version 2
 	// added the optional partition section, version 3 the optional engine
-	// payload section; older input still decodes, and the encoder stamps
-	// the lowest version whose features the snapshot actually uses — a
-	// whole-bank snapshot's bytes are identical under all versions, so
-	// keeping the 1 stamp lets un-upgraded peers read new whole-bank
-	// snapshots during a rolling upgrade.
-	Version = 3
+	// payload section, version 4 the engine register section (an engine
+	// snapshot may carry block-packed registers next to its opaque payload,
+	// so register-shaped engine state — e.g. the window engine's bucket
+	// banks — rides the same FastPFOR compression as the counter bank);
+	// older input still decodes, and the encoder stamps the lowest version
+	// whose features the snapshot actually uses — a whole-bank snapshot's
+	// bytes are identical under all versions, so keeping the 1 stamp lets
+	// un-upgraded peers read new whole-bank snapshots during a rolling
+	// upgrade.
+	Version = 4
 	// BlockLen is the number of registers per packed block. It must stay
 	// ≤ 256 so exception positions fit one byte.
 	BlockLen = 128
@@ -127,15 +131,22 @@ type Snapshot struct {
 	Partition int
 	Parts     int
 
-	// Engine != "" marks an engine snapshot (version 3): the state is the
-	// opaque Payload in the engine's own encoding, Registers is empty, and
-	// the algorithm header fields describe the engine's slot registers. The
-	// empty string is the register bank, whose snapshots carry no engine
-	// section and stay byte-compatible with older decoders.
+	// Engine != "" marks an engine snapshot (version ≥ 3): the state is the
+	// opaque Payload in the engine's own encoding, and the algorithm header
+	// fields describe the engine's slot registers. The empty string is the
+	// register bank, whose snapshots carry no engine section and stay
+	// byte-compatible with older decoders. An engine snapshot may
+	// additionally carry Registers (version 4): an engine-defined number of
+	// register values — the window engine's bucket banks, for example —
+	// encoded as ordinary packed register blocks, with the payload
+	// describing their structure.
 	Engine  string
 	Payload []byte
 
-	Registers []uint64    // len N (whole bank) or the partition range length
+	// Registers holds n values for a whole-bank snapshot, the partition
+	// range length for a bank partition snapshot, or an engine-defined
+	// count for a version-4 engine snapshot (empty for version-3 engines).
+	Registers []uint64
 	RNG       [][4]uint64 // len Shards or nil (whole-bank snapshots only)
 }
 
@@ -265,8 +276,8 @@ func (s *Snapshot) validate() error {
 		if len(s.Payload) > MaxEnginePayload {
 			return fmt.Errorf("snapcodec: engine payload %d bytes exceeds %d", len(s.Payload), MaxEnginePayload)
 		}
-		if len(s.Registers) != 0 {
-			return errors.New("snapcodec: engine snapshots carry a payload, not registers")
+		if len(s.Registers) > MaxRegisters {
+			return fmt.Errorf("snapcodec: engine register count %d exceeds %d", len(s.Registers), MaxRegisters)
 		}
 		if s.RNG != nil {
 			return errors.New("snapcodec: engine snapshots encode generator state in the payload")
@@ -352,8 +363,11 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 	e.write(magic[:])
 	// Stamp the lowest version whose features the snapshot uses: whole-bank
 	// register snapshots keep the version-1 stamp (their layout is
-	// unchanged), the partition section requires 2, the engine section 3.
+	// unchanged), the partition section requires 2, the engine section 3,
+	// and the engine register section 4.
 	switch {
+	case s.IsEngine() && len(s.Registers) > 0:
+		e.writeByte(4)
 	case s.IsEngine():
 		e.writeByte(3)
 	case s.IsPartition():
@@ -389,6 +403,13 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 		e.write([]byte(s.Engine))
 		e.writeUvarint(uint64(len(s.Payload)))
 		e.write(s.Payload)
+		// Version 4 only: the engine register count (the register blocks
+		// below hold engine-defined state, not one register per key). A
+		// version-3 engine snapshot has no registers and no count field, so
+		// its bytes are unchanged.
+		if len(s.Registers) > 0 {
+			e.writeUvarint(uint64(len(s.Registers)))
+		}
 	}
 
 	for lo := 0; lo < len(s.Registers); lo += BlockLen {
@@ -650,6 +671,9 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 	if version < 3 && flags&flagEngine != 0 {
 		return nil, fmt.Errorf("snapcodec: version %d snapshot with engine flag", version)
 	}
+	if version >= 4 && flags&flagEngine == 0 {
+		return nil, fmt.Errorf("snapcodec: version %d snapshot without engine flag", version)
+	}
 	s.N = int(n)
 	s.Shards = int(shards)
 
@@ -709,7 +733,20 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 			}
 			rem -= chunk
 		}
-		regCount = 0 // the payload is the state; no register blocks follow
+		// Version 3: the payload is the whole state, no register blocks.
+		// Version 4: an explicit engine register count follows, and that
+		// many registers ride the ordinary block encoding.
+		regCount = 0
+		if version >= 4 {
+			rc := d.uvarint()
+			if d.err != nil {
+				return nil, d.fail("engine register count")
+			}
+			if rc < 1 || rc > uint64(maxRegisters) {
+				return nil, fmt.Errorf("snapcodec: engine register count %d out of [1, %d]", rc, maxRegisters)
+			}
+			regCount = int(rc)
+		}
 	}
 
 	s.Registers = make([]uint64, 0, min(regCount, 1<<20))

@@ -589,10 +589,28 @@ func TestEngineSectionValidation(t *testing.T) {
 		}
 		return s
 	}
+	// Version 4: an engine snapshot MAY carry registers (the engine
+	// register section); it round-trips and stamps version 4, while a
+	// register-free engine snapshot keeps the version-3 stamp.
 	s := base()
-	s.Registers = []uint64{1}
-	if _, err := Encode(s); err == nil {
-		t.Fatal("engine snapshot with registers accepted")
+	s.Registers = []uint64{1, 0, 3}
+	data4, err := Encode(s)
+	if err != nil {
+		t.Fatalf("engine snapshot with registers: %v", err)
+	}
+	if data4[4] != 4 {
+		t.Fatalf("engine+registers snapshot stamped version %d, want 4", data4[4])
+	}
+	dec, err := Decode(data4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Engine != "topk" || len(dec.Registers) != 3 || dec.Registers[2] != 3 {
+		t.Fatalf("engine register section did not round-trip: %+v", dec)
+	}
+	s = base()
+	if data3, err := Encode(s); err != nil || data3[4] != 3 {
+		t.Fatalf("register-free engine snapshot stamp: version %d, err %v", data3[4], err)
 	}
 	s = base()
 	s.RNG = make([][4]uint64, 4)

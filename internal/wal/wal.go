@@ -1,15 +1,21 @@
-// Package wal is the segmented write-ahead increment log that makes a
-// counter bank restartable: every applied batch of keys is appended as one
-// CRC-protected record before it is acknowledged, and a crashed bank is
+// Package wal is the segmented write-ahead operation log that makes a
+// sketch engine restartable: every applied operation is appended as one
+// CRC-protected record before it is acknowledged, and a crashed engine is
 // rebuilt deterministically by replaying the log (in order) onto a fresh
-// bank constructed from the same seed — bit-identical registers, because
-// shardbank's batched apply is itself deterministic in batch order.
+// engine constructed from the same seed — bit-identical state, because
+// every engine's apply is deterministic in record order.
 //
-// Records ride the same unit as the hot path: one record is exactly one
-// shardbank.IncrementBatch batch, so the log preserves the batch-order
-// contract that makes replay exact. Two record types exist — key batches
-// (uvarint-coded) and Remark 2.4 merge ingests (a snapcodec snapshot blob) —
-// framed as [type | length | payload | CRC32C].
+// The replay-exactness invariant the log guarantees its callers: records
+// replay in exactly the order they were staged, with no gaps (segment
+// numbering is checked) and no trailing garbage (per-record CRC32C); the
+// caller guarantees in return that staging order equals apply order
+// (internal/server holds one write lock across both). Records ride the
+// same unit as the hot path: one batch record is exactly one engine
+// ApplyBatch call. Four record types exist — key batches (uvarint-coded),
+// Remark 2.4 merge ingests and replica max-joins (snapcodec snapshot
+// blobs), and window-clock ticks (an explicit bucket epoch, so time-based
+// rotation replays from the log rather than the wall clock) — framed as
+// [type | length | payload | CRC32C].
 //
 // Durability is group-committed: Append (or the lower-level Stage/Commit
 // pair) buffers the record under the write lock and then joins a leader-
@@ -49,10 +55,15 @@ const (
 	// RecBatch is a batch of register keys; RecMerge is a snapcodec
 	// snapshot blob merged into the bank via Remark 2.4; RecMergeMax is a
 	// snapshot blob applied as a register-wise maximum (the cluster's
-	// anti-entropy join, see internal/cluster).
+	// anti-entropy join, see internal/cluster); RecTick advances a windowed
+	// engine's logical clock to an explicit bucket epoch (internal/engine's
+	// WindowEngine) — the epoch is captured in the record, never re-derived
+	// from the wall clock, so replay rotates buckets at exactly the same
+	// points in the operation order as the live run.
 	RecBatch    = byte(1)
 	RecMerge    = byte(2)
 	RecMergeMax = byte(3)
+	RecTick     = byte(4)
 
 	// maxPayload bounds a single record payload (a merge blob of a
 	// MaxRegisters-key snapshot fits comfortably).
@@ -66,9 +77,10 @@ var ErrClosed = errors.New("wal: log closed")
 
 // Record is one logged operation.
 type Record struct {
-	Type byte
-	Keys []int  // RecBatch
-	Blob []byte // RecMerge / RecMergeMax: snapcodec snapshot bytes
+	Type  byte
+	Keys  []int  // RecBatch
+	Blob  []byte // RecMerge / RecMergeMax: snapcodec snapshot bytes
+	Epoch uint64 // RecTick: the logical bucket epoch advanced to
 }
 
 // SyncPolicy selects when committed records are fsynced — the durability
@@ -313,6 +325,8 @@ func encodeRecord(dst []byte, rec Record) ([]byte, error) {
 		}
 	case RecMerge, RecMergeMax:
 		payload = rec.Blob
+	case RecTick:
+		payload = binary.AppendUvarint(make([]byte, 0, binary.MaxVarintLen64), rec.Epoch)
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", rec.Type)
 	}
@@ -358,6 +372,15 @@ func decodePayload(typ byte, payload []byte) (Record, error) {
 		return Record{Type: RecBatch, Keys: keys}, nil
 	case RecMerge, RecMergeMax:
 		return Record{Type: typ, Blob: payload}, nil
+	case RecTick:
+		epoch, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return Record{}, errors.New("wal: tick record: bad epoch")
+		}
+		if len(payload) != sz {
+			return Record{}, fmt.Errorf("wal: tick record: %d trailing bytes", len(payload)-sz)
+		}
+		return Record{Type: RecTick, Epoch: epoch}, nil
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d", typ)
 	}
