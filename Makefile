@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build vet fmt-check doclint test race bench bench-cluster fuzz-smoke ci \
-	counterd serve cluster-smoke cluster-demo windowed-demo
+	counterd serve cluster-smoke cluster-demo windowed-demo wire-smoke
 
 all: build
 
@@ -25,6 +25,15 @@ cluster-demo:
 # (see docs/ENGINES.md, "Engine: window").
 windowed-demo:
 	$(GO) run ./examples/windowed
+
+# Wire-protocol smoke: the mixed-transport 3-node demo (half the writers on
+# the binary protocol, half on HTTP, replica fan-out over the wire) plus the
+# wire package's own suite and the mixed-transport crash test under race
+# (see docs/FORMAT.md, "The wire protocol").
+wire-smoke:
+	$(GO) test -race ./internal/wire
+	$(GO) test -race -run 'TestClusterMixedTransportCrashRecovery' ./internal/cluster
+	$(GO) run ./examples/distributed
 
 vet:
 	$(GO) vet ./...
@@ -60,7 +69,7 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=100x . | tee bench-out/bench-core.txt
 	$(GO) run ./cmd/benchjson < bench-out/bench-core.txt > bench-out/BENCH_core.json
 	$(GO) test -run='^$$' -bench=. -benchtime=100x \
-		./internal/server ./internal/wal ./internal/snapcodec ./internal/engine \
+		./internal/server ./internal/wal ./internal/snapcodec ./internal/engine ./internal/wire \
 		| tee bench-out/bench-serve.txt
 	$(GO) run ./cmd/benchjson < bench-out/bench-serve.txt > bench-out/BENCH_serve.json
 	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/cluster | tee bench-out/bench-cluster.txt
@@ -82,5 +91,6 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/snapcodec
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/snapcodec
 	$(GO) test -run='^$$' -fuzz=FuzzSummary -fuzztime=5s ./internal/heavyhitters
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=5s ./internal/wire
 
 ci: build vet fmt-check doclint race fuzz-smoke

@@ -65,7 +65,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,6 +78,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // options is the parsed daemon configuration — split from main so tests can
@@ -102,6 +105,9 @@ type options struct {
 	fsyncEvery time.Duration
 	partitions int
 
+	wireListen    string
+	advertiseWire string
+
 	clusterOn   bool
 	advertise   string
 	join        string
@@ -114,7 +120,8 @@ type options struct {
 }
 
 // parseFlags parses the daemon's command line. Both -alg and its legacy
-// spelling -algo select the register algorithm; the last one given wins.
+// spelling -algo select the register algorithm, and -listen-wire has the
+// alias -wire-listen; for each pair the last one given wins.
 func parseFlags(args []string) (*options, error) {
 	o := &options{}
 	fs := flag.NewFlagSet("counterd", flag.ContinueOnError)
@@ -139,6 +146,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.fsync, "fsync", "always", "WAL durability policy: always | interval | off")
 	fs.DurationVar(&o.fsyncEvery, "fsync-interval", 100*time.Millisecond, "background fsync cadence with -fsync=interval")
 	fs.IntVar(&o.partitions, "partitions", 64, "key-space partitions (unit of cluster replication)")
+
+	fs.StringVar(&o.wireListen, "listen-wire", "", "binary wire-protocol listen address, e.g. :9347 (empty = HTTP only; see docs/FORMAT.md)")
+	fs.StringVar(&o.wireListen, "wire-listen", "", "alias of -listen-wire")
+	fs.StringVar(&o.advertiseWire, "advertise-wire", "", "wire address peers reach this node at (default: advertised host + -listen-wire port)")
 
 	fs.BoolVar(&o.clusterOn, "cluster", false, "join a replicated cluster (see docs/CLUSTER.md)")
 	fs.StringVar(&o.advertise, "advertise", "", "base URL peers reach this node at (default derived from -addr)")
@@ -211,13 +222,21 @@ func main() {
 		stats.Engine, stats.N, stats.WidthBits, stats.Algorithm, stats.Shards, stats.Partitions, stats.FsyncPolicy,
 		stats.RecoveredFrom, stats.ReplayedRecords, tornNote(stats.ReplayTorn))
 
+	self := o.advertise
+	if self == "" {
+		self = deriveAdvertise(o.addr)
+	}
+	advWire := ""
+	if o.wireListen != "" {
+		advWire = o.advertiseWire
+		if advWire == "" {
+			advWire = deriveWireAdvertise(self, o.wireListen)
+		}
+	}
+
 	handler := server.Handler(st)
 	var node *cluster.Node
 	if o.clusterOn {
-		self := o.advertise
-		if self == "" {
-			self = deriveAdvertise(o.addr)
-		}
 		hints := o.hintDir
 		if hints == "" {
 			hints = filepath.Join(o.dir, "hints")
@@ -235,6 +254,7 @@ func main() {
 			VNodes:              o.vnodes,
 			HintDir:             hints,
 			HintFsync:           o.hintFsync,
+			WireAddr:            advWire,
 			GossipInterval:      o.gossipEvery,
 			AntiEntropyInterval: o.aeEvery,
 		})
@@ -243,6 +263,36 @@ func main() {
 		}
 		handler = node.Handler()
 		log.Printf("counterd: cluster member %s, rf %d, joining %v", self, o.rf, seeds)
+	}
+
+	// Binary wire listener: the same ingest verbs as HTTP, framed and
+	// delta-packed (internal/wire). In cluster mode BATCH frames coordinate
+	// across the ring exactly like POST /inc; single-node they apply to the
+	// store directly. /healthz reports the advertised address and protocol
+	// version so clients can confirm what the node speaks.
+	var wireSrv *wire.Server
+	if o.wireListen != "" {
+		var sink wire.Sink = storeSink{st}
+		if node != nil {
+			sink = node.WireSink()
+		}
+		wireSrv = wire.NewServer(sink, wire.ServerConfig{
+			MaxBatch:  o.maxBatch,
+			MaxKey:    st.Len(),
+			ErrorCode: server.StatusFor,
+			Logf:      log.Printf,
+		})
+		ln, err := net.Listen("tcp", o.wireListen)
+		if err != nil {
+			log.Fatalf("counterd: wire listen: %v", err)
+		}
+		go func() {
+			if err := wireSrv.Serve(ln); err != nil {
+				log.Printf("counterd: wire serve: %v", err)
+			}
+		}()
+		st.SetWireInfo(advWire, wire.ProtocolVersion)
+		log.Printf("counterd: wire protocol v%d on %s (advertised %s)", wire.ProtocolVersion, o.wireListen, advWire)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -324,6 +374,9 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("counterd: http shutdown: %v", err)
 	}
+	if wireSrv != nil {
+		wireSrv.Close()
+	}
 	if node != nil {
 		node.Stop()
 	}
@@ -344,6 +397,37 @@ func deriveAdvertise(addr string) string {
 	}
 	return "http://" + addr
 }
+
+// deriveWireAdvertise guesses the peer-reachable wire address: the wire
+// listener's own host when it has a concrete one, otherwise the advertised
+// HTTP host with the wire port (":9347" + "http://10.0.0.7:8347" →
+// "10.0.0.7:9347"). Real deployments pass -advertise-wire.
+func deriveWireAdvertise(selfURL, wireAddr string) string {
+	host, port, err := net.SplitHostPort(wireAddr)
+	if err != nil {
+		return wireAddr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+		if u, err := url.Parse(selfURL); err == nil && u.Hostname() != "" {
+			host = u.Hostname()
+		}
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// storeSink adapts a single-node store to the wire ingest interface: both
+// verbs apply locally (there is no ring to coordinate or replicate across).
+type storeSink struct{ st *server.Store }
+
+func (s storeSink) Batch(keys []int) (int, error) {
+	if err := s.st.Apply(keys); err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+func (s storeSink) Repl(keys []int) (int, error) { return s.Batch(keys) }
 
 func tornNote(torn bool) string {
 	if torn {

@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"testing"
 	"time"
 
 	"repro/internal/server"
 	"repro/internal/stream"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -63,6 +66,106 @@ func healthz(t *testing.T, srv *httptest.Server) server.Stats {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// Both spellings of the wire-listen flag land in the same option, like
+// -alg/-algo; -advertise-wire derives from the advertised host + wire port
+// when not given.
+func TestWireFlagAliasAndAdvertise(t *testing.T) {
+	for _, flagName := range []string{"-listen-wire", "-wire-listen"} {
+		o, err := parseFlags([]string{flagName, ":9347"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.wireListen != ":9347" {
+			t.Fatalf("%s: wireListen = %q", flagName, o.wireListen)
+		}
+	}
+	if got := deriveWireAdvertise("http://10.0.0.7:8347", ":9347"); got != "10.0.0.7:9347" {
+		t.Fatalf("derived wire advertise %q, want 10.0.0.7:9347", got)
+	}
+	if got := deriveWireAdvertise("http://127.0.0.1:8347", "10.0.0.9:9347"); got != "10.0.0.9:9347" {
+		t.Fatalf("explicit wire host lost: %q", got)
+	}
+}
+
+// TestWireDaemonIngest drives the daemon's wire path end to end: events
+// shipped as one BATCH frame must land in the same WAL-stage+apply path as
+// HTTP ingest (identical /snapshot as the same keys POSTed), /healthz must
+// report the wire listener, and a malformed key must answer a 400-coded
+// ERROR frame without poisoning the connection.
+func TestWireDaemonIngest(t *testing.T) {
+	httpDir, wireDir := t.TempDir(), t.TempDir()
+	keys := make([]int, 0, 3*256)
+	src := stream.NewZipf(3000, 1.1, xrand.NewSeeded(7))
+	for i := 0; i < cap(keys); i++ {
+		keys = append(keys, int(src.Next()))
+	}
+	// The wire codec ships batches sorted+coalesced, so the daemon applies
+	// them in key order; pre-sort so the HTTP reference applies the exact
+	// same sequence (apply order steers the seeded probabilistic engines).
+	sort.Ints(keys)
+
+	// Reference: the same batch over HTTP.
+	stHTTP, srvHTTP := openDaemon(t, daemonArgs(httpDir))
+	defer srvHTTP.Close()
+	defer stHTTP.Close(false)
+	body, _ := json.Marshal(map[string][]int{"keys": keys})
+	resp, err := http.Post(srvHTTP.URL+"/inc", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := fetchSnapshot(t, srvHTTP)
+
+	// Same batch over the wire into an identically-shaped store.
+	o, err := parseFlags(daemonArgs(wireDir, "-listen-wire", "127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := openStore(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(false)
+	srv := httptest.NewServer(server.Handler(st))
+	defer srv.Close()
+	ws := wire.NewServer(storeSink{st}, wire.ServerConfig{
+		MaxBatch:  o.maxBatch,
+		MaxKey:    st.Len(),
+		ErrorCode: server.StatusFor,
+	})
+	ln, err := net.Listen("tcp", o.wireListen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	defer ws.Close()
+	st.SetWireInfo(ln.Addr().String(), wire.ProtocolVersion)
+
+	if s := healthz(t, srv); s.WireAddr != ln.Addr().String() || s.WireProto != wire.ProtocolVersion {
+		t.Fatalf("healthz wire info: addr %q proto %d", s.WireAddr, s.WireProto)
+	}
+
+	conn, err := wire.Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A key past -n is a 400 on a healthy stream, exactly like HTTP.
+	if _, err := conn.SendBatch([]int{999_999}); err == nil {
+		t.Fatal("out-of-range key accepted over the wire")
+	}
+	applied, err := conn.SendBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(keys) {
+		t.Fatalf("applied %d, want %d", applied, len(keys))
+	}
+	if got := fetchSnapshot(t, srv); !bytes.Equal(got, want) {
+		t.Fatal("wire-ingested /snapshot differs from the HTTP-ingested one")
+	}
 }
 
 // TestCsurosDaemonCheckpointRestart drives -alg csuros end to end through

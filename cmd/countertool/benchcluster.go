@@ -3,14 +3,19 @@
 // the smart client (internal/client): it learns the ring from a seed node,
 // shard-batches a Zipf increment stream per goroutine straight to each
 // partition's primary, and reports the acknowledged cluster-wide ingest
-// rate. With -verify it tallies ground truth locally and samples hot-key
-// estimates back through the ring, reporting the observed relative error.
+// rate. -transport picks the ingest path: http (JSON POST /inc), wire (the
+// internal/wire binary protocol, requires -listen-wire daemons), or auto
+// (wire where advertised, HTTP otherwise). With -verify it tallies ground
+// truth locally and samples hot-key estimates back through the ring,
+// reporting the observed relative error.
 //
 //	counterd -cluster ... (×3) &
 //	countertool bench-cluster -nodes http://localhost:8347 -events 1000000
+//	countertool bench-cluster -nodes http://localhost:8347 -transport wire
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +37,7 @@ func benchClusterMain(args []string) {
 		goroutines = fs.Int("goroutines", 8, "concurrent client goroutines")
 		batch      = fs.Int("batch", 1024, "keys per POST /inc request")
 		zipfS      = fs.Float64("zipf", 1.05, "Zipf exponent of the key popularity law")
+		transport  = fs.String("transport", client.TransportAuto, "ingest transport: auto, http, or wire")
 		seed       = fs.Uint64("seed", 42, "key stream seed")
 		verify     = fs.Bool("verify", true, "tally local truth and report hot-key estimate error (meaningful on a fresh cluster: pre-existing counts read as overcount)")
 		hotMin     = fs.Uint64("hot", 1000, "minimum true count for a key to be error-checked")
@@ -58,7 +64,7 @@ func benchClusterMain(args []string) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			c, err := client.New(client.Config{Seeds: seeds, BatchSize: *batch})
+			c, err := client.New(client.Config{Seeds: seeds, BatchSize: *batch, Transport: *transport})
 			if err != nil {
 				errs[g] = err
 				return
@@ -86,8 +92,8 @@ func benchClusterMain(args []string) {
 		}
 	}
 	total := perG * *goroutines
-	fmt.Printf("acked %d events in %v — %.0f events/s (%d goroutines × %d-key batches)\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *goroutines, *batch)
+	fmt.Printf("acked %d events in %v — %.0f events/s (%d goroutines × %d-key batches, %s transport)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *goroutines, *batch, *transport)
 
 	if !*verify {
 		return
@@ -107,12 +113,12 @@ func benchClusterMain(args []string) {
 		if tr < *hotMin {
 			continue
 		}
-		est, err := probe.Estimate(k)
+		res, err := probe.Query(context.Background(), client.QueryOptions{Kind: client.KindEstimate, Key: k})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench-cluster: estimate key %d: %v\n", k, err)
 			os.Exit(1)
 		}
-		errSummary.Add(stats.SignedRelativeError(est, float64(tr)))
+		errSummary.Add(stats.SignedRelativeError(res.Estimate, float64(tr)))
 		checked++
 	}
 	if checked == 0 {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -66,11 +67,12 @@ func topkMain(args []string) {
 		fmt.Printf("acked %d Zipf(%.2f) events\n", *events, *zipfS)
 	}
 
-	top, err := c.TopK(*k)
+	res, err := c.Query(context.Background(), client.QueryOptions{Kind: client.KindTopK, K: *k})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topk: query: %v\n", err)
 		os.Exit(1)
 	}
+	top := res.TopK
 	if *events == 0 {
 		fmt.Printf("%-6s %-8s %s\n", "rank", "key", "estimate")
 		for i, e := range top {

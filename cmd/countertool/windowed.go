@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -71,14 +72,15 @@ func windowedMain(args []string) {
 
 	// Query both horizons. The trailing window covers roughly one bucket —
 	// the one the last phase just wrote — and must rank the drifted hot set.
-	full, err := c.TopK(*k)
+	fullRes, err := c.Query(context.Background(), client.QueryOptions{Kind: client.KindTopK, K: *k})
 	if err != nil {
 		fatalf("windowed: full-window query: %v", err)
 	}
-	recent, err := c.TopKWindow(*k, "1")
+	recentRes, err := c.Query(context.Background(), client.QueryOptions{Kind: client.KindTopK, K: *k, Window: "1"})
 	if err != nil {
 		fatalf("windowed: trailing-window query: %v", err)
 	}
+	full, recent := fullRes.TopK, recentRes.TopK
 	if *events == 0 {
 		printPlain("full window", full)
 		printPlain("trailing bucket", recent)

@@ -2,12 +2,17 @@
 // the paper's mergeable counters (Remark 2.4 makes them natural CRDTs)
 // scaled past one machine by internal/cluster.
 //
-// The demo boots three nodes with replication factor 2, joins them by
-// gossip, and drives a concurrent Zipf workload through the smart client
+// The demo boots three nodes with replication factor 2 — each serving both
+// HTTP and the internal/wire binary protocol — joins them by gossip, and
+// drives a concurrent Zipf workload through the smart client
 // (internal/client), which learns the consistent-hash ring and ships each
-// batch straight to its partition's primary. Then it gets violent: one node
-// is hard-killed mid-traffic (listener cut, store abandoned un-closed, like
-// kill -9 with the page cache surviving) while writes keep flowing — the
+// batch straight to its partition's primary. The workload is deliberately
+// mixed-transport: half the writers batch over persistent wire connections,
+// half POST JSON, and both land in the same WAL-staged apply path (node-to-
+// node replication rides the wire too, with HTTP as fallback). Then it gets
+// violent: one node is hard-killed mid-traffic (listeners cut, store
+// abandoned un-closed, like kill -9 with the page cache surviving) while
+// writes keep flowing — the
 // survivors queue that node's share in durable WAL-format hint logs. The
 // node restarts from its data directory, recovery replays its WAL, hinted
 // handoff drains, and the anti-entropy loop max-joins partition snapshots
@@ -22,6 +27,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -38,6 +44,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/snapcodec"
 	"repro/internal/stream"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -59,11 +66,16 @@ type demoNode struct {
 	st   *server.Store
 	node *cluster.Node
 	srv  *http.Server
+	wsrv *wire.Server
 	done chan struct{}
 }
 
 func startNode(name, dir, addr string, join []string) *demoNode {
 	ln, err := net.Listen("tcp", addr)
+	check(err)
+	// Every node serves both transports: JSON over ln, binary frames over
+	// wln. The wire address rides the gossip so clients and peers find it.
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
 	d := &demoNode{
 		name: name, dir: dir,
@@ -78,6 +90,7 @@ func startNode(name, dir, addr string, join []string) *demoNode {
 	check(err)
 	d.node, err = cluster.New(d.st, cluster.Config{
 		Self: d.self, Join: join, RF: rf,
+		WireAddr:            wln.Addr().String(),
 		HintDir:             filepath.Join(dir, "hints"),
 		GossipInterval:      50 * time.Millisecond,
 		ReplInterval:        25 * time.Millisecond,
@@ -89,6 +102,11 @@ func startNode(name, dir, addr string, join []string) *demoNode {
 		Logf: func(string, ...any) {}, // the demo narrates; keep nodes quiet
 	})
 	check(err)
+	d.wsrv = wire.NewServer(d.node.WireSink(), wire.ServerConfig{
+		MaxBatch: 1 << 16, MaxKey: nKeys, ErrorCode: server.StatusFor,
+	})
+	go d.wsrv.Serve(wln)
+	d.st.SetWireInfo(wln.Addr().String(), wire.ProtocolVersion)
 	d.srv = &http.Server{Handler: d.node.Handler()}
 	go func() { defer close(d.done); d.srv.Serve(ln) }()
 	d.node.Start()
@@ -98,6 +116,7 @@ func startNode(name, dir, addr string, join []string) *demoNode {
 // kill is the hard stop: no flush, no checkpoint, store abandoned.
 func (d *demoNode) kill() {
 	d.srv.Close()
+	d.wsrv.Close()
 	<-d.done
 	d.node.Stop()
 	time.Sleep(100 * time.Millisecond)
@@ -105,6 +124,7 @@ func (d *demoNode) kill() {
 
 func (d *demoNode) shutdown() {
 	d.srv.Close()
+	d.wsrv.Close()
 	<-d.done
 	d.node.Stop()
 	d.st.Close(false)
@@ -136,9 +156,11 @@ func main() {
 		fmt.Printf("  %s (%s) replicates %d/%d partitions\n", d.name, d.self, owned[d.self], partitions)
 	}
 
-	// --- Phase 1: concurrent load through the smart client ---------------
+	// --- Phase 1: concurrent mixed-transport load through the smart client
 	truth := make([]uint64, nKeys)
 	var truthMu sync.Mutex
+	// Even workers batch over the binary wire protocol, odd workers POST
+	// JSON — both transports interleave against the same ring.
 	drive := func(events, workers int, seedBase uint64, targets []string) {
 		var wg sync.WaitGroup
 		perW := events / workers
@@ -146,7 +168,11 @@ func main() {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				c, err := client.New(client.Config{Seeds: targets, BatchSize: 512})
+				transport := client.TransportWire
+				if w%2 == 1 {
+					transport = client.TransportHTTP
+				}
+				c, err := client.New(client.Config{Seeds: targets, BatchSize: 512, Transport: transport})
 				check(err)
 				local := make([]uint64, nKeys)
 				src := stream.NewZipf(nKeys, zipfS, xrand.NewSeeded(seedBase+uint64(w)))
@@ -155,7 +181,7 @@ func main() {
 					check(c.Inc(k))
 					local[k]++
 				}
-				check(c.Flush())
+				check(c.Close())
 				truthMu.Lock()
 				for k, v := range local {
 					truth[k] += v
@@ -169,8 +195,15 @@ func main() {
 	start := time.Now()
 	drive(300_000, 4, 500, []string{n0.self, n1.self, n2.self})
 	el := time.Since(start)
-	fmt.Printf("\nphase 1: 300000 events through the ring in %v (%.0f events/s)\n",
+	fmt.Printf("\nphase 1: 300000 events through the ring in %v (%.0f events/s), half wire / half HTTP\n",
 		el.Round(time.Millisecond), 300_000/el.Seconds())
+	var wireRepl uint64
+	for _, d := range nodes {
+		var info cluster.Info
+		check(getJSON(d.self+"/v1/cluster/info", &info))
+		wireRepl += info.ReplWire
+	}
+	fmt.Printf("replica fan-out over the wire so far: %d keys\n", wireRepl)
 
 	// --- Phase 2: kill node2 mid-traffic ----------------------------------
 	fmt.Printf("\nphase 2: hard-killing %s, traffic continues against the survivors\n", n2.name)
@@ -216,9 +249,9 @@ func main() {
 		if tr < 1000 {
 			continue
 		}
-		est, err := c.Estimate(k)
+		res, err := c.Query(context.Background(), client.QueryOptions{Kind: client.KindEstimate, Key: k})
 		check(err)
-		d := (est - float64(tr)) / float64(tr)
+		d := (res.Estimate - float64(tr)) / float64(tr)
 		if d < 0 {
 			d = -d
 		}
@@ -253,7 +286,8 @@ func main() {
 		panic(fmt.Sprintf("merge rejected: status %d: %s", resp.StatusCode, msg))
 	}
 	resp.Body.Close()
-	est0, _ := c.Estimate(0)
+	res0, _ := c.Query(context.Background(), client.QueryOptions{Kind: client.KindEstimate, Key: 0})
+	est0 := res0.Estimate
 	fmt.Printf("site merged into %s: key 0 estimate rose to %.0f (replica copies converge on the next anti-entropy round)\n",
 		n0.name, est0)
 	fmt.Println("\ndone.")

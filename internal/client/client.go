@@ -3,8 +3,10 @@
 // locally, and routes every increment and estimate straight to a replica
 // that owns the key's partition — no proxy hop, no load balancer. Writes
 // are shard-batched: keys buffer per destination node and flush as one
-// POST /inc per node, so a Zipf stream against a 3-node ring costs three
-// HTTP streams, not one per key.
+// batch per node — over the binary wire protocol when the node advertises
+// a wire listener (one delta-packed frame on a persistent connection), over
+// POST /inc otherwise — so a Zipf stream against a 3-node ring costs three
+// persistent streams, not one request per key.
 //
 // A Client is not safe for concurrent use (each goroutine of a load driver
 // gets its own; they share nothing but the cluster). On routing errors it
@@ -13,18 +15,31 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
-	"sort"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/snapcodec"
+	"repro/internal/wire"
+)
+
+// Transport names for Config.Transport.
+const (
+	// TransportAuto sends batches over the wire protocol to nodes that
+	// gossip a wire address and over HTTP to nodes that do not, falling
+	// back to HTTP when a wire send fails at the transport level.
+	TransportAuto = "auto"
+	// TransportHTTP forces JSON-over-HTTP for every batch.
+	TransportHTTP = "http"
+	// TransportWire forces the wire protocol; a destination without an
+	// advertised wire address is an error instead of a silent downgrade.
+	TransportWire = "wire"
 )
 
 // Config tunes a Client.
@@ -32,10 +47,21 @@ type Config struct {
 	// Seeds are node base URLs; the first one that answers
 	// GET /cluster/ring bootstraps the ring.
 	Seeds []string
-	// BatchSize is the per-destination buffer flushed as one POST /inc
+	// BatchSize is the per-destination buffer flushed as one batch
 	// (default 1024).
 	BatchSize int
-	// HTTPTimeout is the per-request deadline (default 5s).
+	// MaxDelay bounds how long an event may sit in a destination buffer
+	// before the buffer flushes even when not full — the time half of the
+	// "N ms or M events" coalescing contract. 0 (default) disables the
+	// timer: buffers flush on size or explicit Flush only. The check rides
+	// the Inc path (the client has no background goroutine), so a silent
+	// client still needs Flush.
+	MaxDelay time.Duration
+	// Transport selects the batch transport: TransportAuto (default),
+	// TransportHTTP, or TransportWire.
+	Transport string
+	// HTTPTimeout is the per-request deadline, for both transports
+	// (default 5s).
 	HTTPTimeout time.Duration
 }
 
@@ -43,13 +69,18 @@ type Config struct {
 type Client struct {
 	cfg  Config
 	hc   *http.Client
+	pool *wire.Pool // persistent wire conns, one per destination
 	ring *cluster.Ring
 	info cluster.RingInfo
 	// reps caches ring.Replicas per partition: the per-event hot path
 	// (Inc) then costs one multiply and one slice index instead of a hash
 	// walk and three allocations per key.
 	reps [][]string
-	bufs map[string][]int // destination → pending keys
+	// wires maps node ID → advertised wire address ("" = HTTP only),
+	// rebuilt from the member table on every Refresh.
+	wires map[string]string
+	bufs  map[string][]int     // destination → pending keys
+	since map[string]time.Time // destination → first buffered event's arrival
 }
 
 // New builds a client and fetches the ring from the first answering seed.
@@ -63,10 +94,20 @@ func New(cfg Config) (*Client, error) {
 	if cfg.HTTPTimeout <= 0 {
 		cfg.HTTPTimeout = 5 * time.Second
 	}
+	switch cfg.Transport {
+	case "":
+		cfg.Transport = TransportAuto
+	case TransportAuto, TransportHTTP, TransportWire:
+	default:
+		return nil, fmt.Errorf("client: unknown transport %q (want %q, %q, or %q)",
+			cfg.Transport, TransportAuto, TransportHTTP, TransportWire)
+	}
 	c := &Client{
-		cfg:  cfg,
-		hc:   &http.Client{Timeout: cfg.HTTPTimeout},
-		bufs: make(map[string][]int),
+		cfg:   cfg,
+		hc:    &http.Client{Timeout: cfg.HTTPTimeout},
+		pool:  wire.NewPool(cfg.HTTPTimeout),
+		bufs:  make(map[string][]int),
+		since: make(map[string]time.Time),
 	}
 	if err := c.Refresh(); err != nil {
 		return nil, err
@@ -94,12 +135,15 @@ func (c *Client) Refresh() error {
 			continue
 		}
 		var members []string
+		wires := make(map[string]string)
 		for _, m := range info.Members {
 			if m.State != cluster.StateDead {
 				members = append(members, m.ID)
+				wires[m.ID] = m.Wire
 			}
 		}
 		c.info = info
+		c.wires = wires
 		c.ring = cluster.NewRing(members, info.RF, info.VNodes)
 		c.reps = make([][]string, info.Partitions)
 		for p := range c.reps {
@@ -145,8 +189,8 @@ func (c *Client) replicasFor(k int) []string {
 	return c.reps[snapcodec.PartitionOf(k, c.info.N, c.info.Partitions)]
 }
 
-// Inc buffers one event for key k, flushing the destination's batch when
-// full.
+// Inc buffers one event for key k, flushing the destination's batch when it
+// fills (BatchSize) or when its oldest buffered event has waited MaxDelay.
 func (c *Client) Inc(k int) error {
 	if k < 0 || k >= c.info.N {
 		return fmt.Errorf("client: key %d out of range [0,%d)", k, c.info.N)
@@ -156,8 +200,12 @@ func (c *Client) Inc(k int) error {
 		return errors.New("client: empty ring")
 	}
 	dest := reps[0]
+	if len(c.bufs[dest]) == 0 {
+		c.since[dest] = time.Now()
+	}
 	c.bufs[dest] = append(c.bufs[dest], k)
-	if len(c.bufs[dest]) >= c.cfg.BatchSize {
+	if len(c.bufs[dest]) >= c.cfg.BatchSize ||
+		(c.cfg.MaxDelay > 0 && time.Since(c.since[dest]) >= c.cfg.MaxDelay) {
 		return c.flushDest(dest)
 	}
 	return nil
@@ -190,9 +238,13 @@ func (c *Client) flushDest(dest string) error {
 	if len(keys) == 0 {
 		return nil
 	}
-	err := c.post(dest, keys)
-	if err == nil {
+	done := func() {
 		delete(c.bufs, dest)
+		delete(c.since, dest)
+	}
+	err := c.send(dest, keys)
+	if err == nil {
+		done()
 		return nil
 	}
 	// The primary is unreachable: any replica of the batch's partitions can
@@ -200,20 +252,51 @@ func (c *Client) flushDest(dest string) error {
 	// through the other replicas of the first key, then refresh and retry.
 	reps := c.replicasFor(keys[0])
 	for _, alt := range reps[1:] {
-		if c.post(alt, keys) == nil {
-			delete(c.bufs, dest)
+		if c.send(alt, keys) == nil {
+			done()
 			return nil
 		}
 	}
 	if rerr := c.Refresh(); rerr == nil {
 		for _, alt := range c.replicasFor(keys[0]) {
-			if c.post(alt, keys) == nil {
-				delete(c.bufs, dest)
+			if c.send(alt, keys) == nil {
+				done()
 				return nil
 			}
 		}
 	}
 	return fmt.Errorf("client: flush to %s: %w", dest, err)
+}
+
+// send ships one batch to dest over the configured transport. Under
+// TransportAuto a destination with a gossiped wire address gets one
+// delta-packed BATCH frame on the pooled persistent connection; a wire
+// transport failure downgrades to HTTP for this batch (a *wire.RemoteError
+// does not — the server answered, HTTP would reject identically).
+func (c *Client) send(dest string, keys []int) error {
+	wa := c.wires[dest]
+	switch c.cfg.Transport {
+	case TransportHTTP:
+		return c.post(dest, keys)
+	case TransportWire:
+		if wa == "" {
+			return fmt.Errorf("client: %s advertises no wire address", dest)
+		}
+		_, err := c.pool.SendBatch(wa, keys)
+		return err
+	}
+	if wa == "" {
+		return c.post(dest, keys)
+	}
+	_, err := c.pool.SendBatch(wa, keys)
+	if err == nil {
+		return nil
+	}
+	var re *wire.RemoteError
+	if errors.As(err, &re) {
+		return err
+	}
+	return c.post(dest, keys)
 }
 
 func (c *Client) post(dest string, keys []int) error {
@@ -236,155 +319,60 @@ func (c *Client) post(dest string, keys []int) error {
 
 // Estimate asks a replica of k's partition for N̂, failing over through the
 // replica set.
+//
+// Deprecated: use Query with KindEstimate.
 func (c *Client) Estimate(k int) (float64, error) {
-	return c.estimate(k, "")
+	res, err := c.Query(context.Background(), QueryOptions{Kind: KindEstimate, Key: k})
+	return res.Estimate, err
 }
 
 // EstimateWindow is Estimate scoped to the trailing window — a duration
 // ("5m") or bucket count ("3"), forwarded verbatim as the ?window= query
 // parameter (the serving node owns the bucket math). Only meaningful
 // against window-engine clusters; other engines answer 400.
+//
+// Deprecated: use Query with KindEstimate and a Window.
 func (c *Client) EstimateWindow(k int, window string) (float64, error) {
 	if window == "" {
 		return 0, errors.New("client: empty window")
 	}
-	return c.estimate(k, window)
+	res, err := c.Query(context.Background(), QueryOptions{Kind: KindEstimate, Key: k, Window: window})
+	return res.Estimate, err
 }
 
-func (c *Client) estimate(k int, window string) (float64, error) {
-	if k < 0 || k >= c.info.N {
-		return 0, fmt.Errorf("client: key %d out of range [0,%d)", k, c.info.N)
-	}
-	q := ""
-	if window != "" {
-		q = "?window=" + url.QueryEscape(window)
-	}
-	var lastErr error
-	for _, rep := range c.replicasFor(k) {
-		resp, err := c.hc.Get(fmt.Sprintf("%s/estimate/%d%s", rep, k, q))
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-			resp.Body.Close()
-			lastErr = fmt.Errorf("%s: status %d", rep, resp.StatusCode)
-			continue
-		}
-		var out struct {
-			Estimate float64 `json:"estimate"`
-		}
-		err = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&out)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		return out.Estimate, nil
-	}
-	if lastErr == nil {
-		lastErr = errors.New("empty ring")
-	}
-	return 0, fmt.Errorf("client: estimate key %d: %w", k, lastErr)
+// EstimateAll returns every key's estimate, stitched partition by partition
+// from the partition's own replicas.
+//
+// Deprecated: use Query with KindEstimateAll.
+func (c *Client) EstimateAll() ([]float64, error) {
+	res, err := c.Query(context.Background(), QueryOptions{Kind: KindEstimateAll})
+	return res.Estimates, err
 }
 
-// TopK returns the cluster-wide top-k keys by estimate: every partition's
-// primary (failing over through the replica set) reports its partition-local
-// top k via GET /topk, and the reports merge client-side. Partitions tile
-// the key space, so their key sets are disjoint and the merge is a
-// concatenate-sort-truncate — no double counting across nodes. A partition
-// whose whole replica set is unreachable fails the query rather than
-// silently under-reporting.
+// TopK returns the cluster-wide top-k keys by estimate.
+//
+// Deprecated: use Query with KindTopK.
 func (c *Client) TopK(k int) ([]engine.Entry, error) {
-	return c.topK(k, "")
+	res, err := c.Query(context.Background(), QueryOptions{Kind: KindTopK, K: k})
+	return res.TopK, err
 }
 
 // TopKWindow is TopK scoped to the trailing window — a duration ("5m") or
 // bucket count ("3"), forwarded verbatim as ?window= to every partition
-// primary. The per-partition reports are still disjoint (the window scopes
-// time, not the key space), so the client-side merge is unchanged.
+// primary.
+//
+// Deprecated: use Query with KindTopK and a Window.
 func (c *Client) TopKWindow(k int, window string) ([]engine.Entry, error) {
 	if window == "" {
 		return nil, errors.New("client: empty window")
 	}
-	return c.topK(k, window)
+	res, err := c.Query(context.Background(), QueryOptions{Kind: KindTopK, K: k, Window: window})
+	return res.TopK, err
 }
 
-func (c *Client) topK(k int, window string) ([]engine.Entry, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("client: k = %d", k)
-	}
-	var all []engine.Entry
-	n0, parts0 := c.info.N, c.info.Partitions
-	for p := 0; p < parts0; p++ {
-		entries, err := c.partitionTopK(k, p, window, c.reps[p])
-		if err != nil {
-			// One refresh: the ring may have moved under us. Entries
-			// already gathered assume the (N, Partitions) tiling the query
-			// started with — if the refreshed cluster is reshaped, ranges
-			// would overlap and keys double-count, so fail instead.
-			if rerr := c.Refresh(); rerr == nil {
-				if c.info.N != n0 || c.info.Partitions != parts0 {
-					return nil, fmt.Errorf("client: topk partition %d: cluster reshaped mid-query (%d keys/%d partitions → %d/%d)",
-						p, n0, parts0, c.info.N, c.info.Partitions)
-				}
-				entries, err = c.partitionTopK(k, p, window, c.reps[p])
-			}
-			if err != nil {
-				return nil, fmt.Errorf("client: topk partition %d: %w", p, err)
-			}
-		}
-		all = append(all, entries...)
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Estimate != all[j].Estimate {
-			return all[i].Estimate > all[j].Estimate
-		}
-		return all[i].Key < all[j].Key
-	})
-	if len(all) > k {
-		all = all[:k]
-	}
-	return all, nil
+// Close flushes pending batches and tears down pooled wire connections.
+func (c *Client) Close() error {
+	err := c.Flush()
+	c.pool.Close()
+	return err
 }
-
-// partitionTopK asks p's replicas (primary first) for the partition's top
-// k entries, optionally window-scoped.
-func (c *Client) partitionTopK(k, p int, window string, reps []string) ([]engine.Entry, error) {
-	q := ""
-	if window != "" {
-		q = "&window=" + url.QueryEscape(window)
-	}
-	var lastErr error
-	for _, rep := range reps {
-		resp, err := c.hc.Get(fmt.Sprintf("%s/topk?k=%d&partition=%d%s", rep, k, p, q))
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
-			lastErr = fmt.Errorf("%s: status %d: %s", rep, resp.StatusCode, bytes.TrimSpace(msg))
-			continue
-		}
-		var out struct {
-			TopK []engine.Entry `json:"topk"`
-		}
-		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<22)).Decode(&out)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		return out.TopK, nil
-	}
-	if lastErr == nil {
-		lastErr = errors.New("empty replica set")
-	}
-	return nil, lastErr
-}
-
-// Close flushes pending batches.
-func (c *Client) Close() error { return c.Flush() }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bank"
 	"repro/internal/server"
 	"repro/internal/stream"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -25,10 +26,12 @@ type testNode struct {
 	dir  string
 	addr string // host:port, stable across restarts
 	self string // http://host:port
+	wire string // wire host:port, "" unless cc.wire
 
 	st   *server.Store
 	node *Node
 	srv  *http.Server
+	wsrv *wire.Server
 	done chan struct{}
 }
 
@@ -37,6 +40,7 @@ type testClusterConfig struct {
 	alg                       bank.Algorithm
 	engine                    string // "" = bank
 	topkCap                   int
+	wire                      bool // also serve the binary wire protocol
 
 	// Window engine only: ring length, bucket width, and the shared
 	// logical clock (the test advances it; nodes never read wall time).
@@ -84,10 +88,21 @@ func startNode(t testing.TB, dir, addr string, cc testClusterConfig, join []stri
 	if err != nil {
 		t.Fatalf("open store: %v", err)
 	}
+	// With cc.wire the node also serves binary frames on a fresh loopback
+	// port; the address rides the gossip (a restart advertises its new port
+	// under a higher incarnation, so peers re-learn it).
+	var wln net.Listener
+	if cc.wire {
+		if wln, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			t.Fatalf("wire listen: %v", err)
+		}
+		tn.wire = wln.Addr().String()
+	}
 	tn.node, err = New(tn.st, Config{
 		Self:                tn.self,
 		Join:                join,
 		RF:                  cc.rf,
+		WireAddr:            tn.wire,
 		HintDir:             filepath.Join(dir, "hints"),
 		GossipInterval:      50 * time.Millisecond,
 		ReplInterval:        25 * time.Millisecond,
@@ -102,6 +117,13 @@ func startNode(t testing.TB, dir, addr string, cc testClusterConfig, join []stri
 	})
 	if err != nil {
 		t.Fatalf("new node: %v", err)
+	}
+	if cc.wire {
+		tn.wsrv = wire.NewServer(tn.node.WireSink(), wire.ServerConfig{
+			MaxBatch: 1 << 16, MaxKey: cc.n, ErrorCode: server.StatusFor,
+		})
+		go tn.wsrv.Serve(wln)
+		tn.st.SetWireInfo(tn.wire, wire.ProtocolVersion)
 	}
 	tn.srv = &http.Server{Handler: tn.node.Handler()}
 	go func() {
@@ -125,6 +147,9 @@ func orFresh(addr string) string {
 // page cache surviving. The data directory can then be reopened.
 func (tn *testNode) kill() {
 	tn.srv.Close()
+	if tn.wsrv != nil {
+		tn.wsrv.Close()
+	}
 	<-tn.done
 	tn.node.Stop()
 	// Give any in-flight handler a moment to fail out before the dir is
@@ -135,6 +160,9 @@ func (tn *testNode) kill() {
 // shutdown is the graceful path: drain HTTP, stop loops, close the store.
 func (tn *testNode) shutdown() {
 	tn.srv.Close()
+	if tn.wsrv != nil {
+		tn.wsrv.Close()
+	}
 	<-tn.done
 	tn.node.Stop()
 	if err := tn.st.Close(false); err != nil {
@@ -516,4 +544,117 @@ func awaitWholeBankConvergence(t *testing.T, nodes []*testNode) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// driveWireLoad is driveLoad's binary twin: Zipf batches over persistent
+// wire connections, failing over across nodes on transport errors. Returns
+// per-key acked truth.
+func driveWireLoad(t *testing.T, nodes []*testNode, cc testClusterConfig, events, batch int, seed uint64) []uint64 {
+	t.Helper()
+	pool := wire.NewPool(2 * time.Second)
+	defer pool.Close()
+	truth := make([]uint64, cc.n)
+	src := stream.NewZipf(uint64(cc.n), 1.05, xrand.NewSeeded(seed))
+	keys := make([]int, 0, batch)
+	sent := 0
+	for i := 0; sent < events; i++ {
+		keys = keys[:0]
+		for len(keys) < batch && sent+len(keys) < events {
+			keys = append(keys, int(src.Next()))
+		}
+		var err error
+		for try := 0; try < len(nodes); try++ {
+			tn := nodes[(i+try)%len(nodes)]
+			if _, err = pool.SendBatch(tn.wire, keys); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("no node accepted the wire batch: %v", err)
+		}
+		for _, k := range keys {
+			truth[k]++
+		}
+		sent += len(keys)
+	}
+	return truth
+}
+
+// TestClusterMixedTransportCrashRecovery is the crash test for the binary
+// ingest path: a 3-node RF=3 cluster fed by concurrent HTTP AND wire
+// writers, one node hard-killed mid-stream (both listeners cut, store
+// abandoned un-closed) while mixed-transport load continues against the
+// survivors, then restarted from its directory. Wire-ingested events must be
+// exactly as durable as HTTP ones — all three replicas converge to
+// byte-identical whole-bank /snapshot output — and replica fan-out must
+// actually have traveled the wire, not just fallen back to HTTP.
+func TestClusterMixedTransportCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-node loopback crash cluster")
+	}
+	cc := defaultClusterConfig()
+	cc.rf = 3
+	cc.wire = true
+	dir2 := t.TempDir()
+	n0 := startNode(t, t.TempDir(), "", cc, nil)
+	defer n0.shutdown()
+	n1 := startNode(t, t.TempDir(), "", cc, []string{n0.self})
+	defer n1.shutdown()
+	n2 := startNode(t, dir2, "", cc, []string{n0.self})
+	nodes := []*testNode{n0, n1, n2}
+	awaitMembers(t, nodes)
+
+	const batch = 256
+	truth := make([]uint64, cc.n)
+	add := func(tr []uint64) {
+		for k, c := range tr {
+			truth[k] += c
+		}
+	}
+
+	// Phase 1: both transports at once, interleaving against all nodes.
+	var wg sync.WaitGroup
+	phase1 := make([][]uint64, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			targets := []*testNode{nodes[g%3], nodes[(g+1)%3]}
+			if g%2 == 0 {
+				phase1[g] = driveWireLoad(t, targets, cc, 15_000, batch, uint64(400+g))
+			} else {
+				phase1[g] = driveLoad(t, targets, cc, 15_000, batch, uint64(400+g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, tr := range phase1 {
+		add(tr)
+	}
+
+	// Kill node 2 mid-life; survivors keep taking both transports and queue
+	// its share as hinted handoff.
+	n2.kill()
+	add(driveWireLoad(t, []*testNode{n0, n1}, cc, 10_000, batch, 500))
+	add(driveLoad(t, []*testNode{n0, n1}, cc, 10_000, batch, 501))
+
+	// Restart from the same directory: WAL replay + hinted handoff +
+	// anti-entropy must reconstruct the wire-ingested state too.
+	n2 = startNode(t, dir2, n2.addr, cc, []string{n0.self})
+	defer n2.shutdown()
+	nodes = []*testNode{n0, n1, n2}
+	awaitMembers(t, nodes)
+	add(driveWireLoad(t, nodes, cc, 6_000, batch, 600))
+
+	awaitWholeBankConvergence(t, nodes)
+	checkEstimates(t, []*testNode{n2}, cc, truth, "restarted node2 (mixed transport)")
+
+	var replWire uint64
+	for _, tn := range nodes {
+		replWire += tn.node.replWire.Load()
+	}
+	if replWire == 0 {
+		t.Fatal("replica fan-out never used the wire transport")
+	}
+	t.Logf("replica keys fanned out over the wire: %d", replWire)
 }

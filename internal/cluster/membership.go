@@ -56,11 +56,15 @@ func (s *MemberState) UnmarshalJSON(b []byte) error {
 
 // Member is one row of the gossiped member table. ID is the member's
 // advertised base URL (e.g. "http://10.0.0.7:8347") — identity and address
-// are the same thing, which is what makes the table routable.
+// are the same thing, which is what makes the table routable. Wire, when
+// non-empty, is the member's binary wire listener ("host:port"); it rides
+// the same gossip so peers and smart clients can upgrade replication and
+// ingest to the wire transport without extra discovery.
 type Member struct {
 	ID          string      `json:"id"`
 	Incarnation uint64      `json:"incarnation"`
 	State       MemberState `json:"state"`
+	Wire        string      `json:"wire,omitempty"`
 }
 
 type memberEntry struct {
@@ -123,6 +127,26 @@ func NewMembership(self string, cfg MembershipConfig, onChange func()) *Membersh
 
 // Self returns the local member ID.
 func (m *Membership) Self() string { return m.self }
+
+// SetSelfWire records the local node's advertised wire address so gossip
+// spreads it. Call before the first gossip round; the member's own row is
+// authoritative for its wire address (rumors never overwrite it).
+func (m *Membership) SetSelfWire(addr string) {
+	m.mu.Lock()
+	m.members[m.self].Wire = addr
+	m.mu.Unlock()
+}
+
+// WireAddr returns the gossiped wire address of a member ("" if the member
+// is unknown or serves no wire listener).
+func (m *Membership) WireAddr(id string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.members[id]; ok {
+		return e.Wire
+	}
+	return ""
+}
 
 // AddSeed registers a join seed optimistically as alive at incarnation 0 —
 // the first gossip exchange replaces it with the seed's real row, and a
@@ -246,12 +270,19 @@ func (m *Membership) MergeFrom(remote []Member) {
 			}
 			e.Incarnation = r.Incarnation
 			e.State = r.State
+			e.Wire = r.Wire // a higher incarnation carries the fresher row
 			if r.State == StateAlive {
 				e.lastSeen = time.Now()
 			}
 		case r.Incarnation == e.Incarnation && r.State > e.State:
 			e.State = r.State
 			changed = true
+		}
+		// A wire address fills in at any >= incarnation: seed and
+		// contact-created rows start without one, and the member's own
+		// gossip is the only source that sets it.
+		if e.Wire == "" && r.Wire != "" && r.Incarnation >= e.Incarnation {
+			e.Wire = r.Wire
 		}
 	}
 	m.mu.Unlock()

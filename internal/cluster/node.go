@@ -20,6 +20,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/snapcodec"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // Config wires one Store into a cluster.
@@ -43,6 +44,11 @@ type Config struct {
 	// MaxForward caps the keys per replication/forward HTTP call.
 	// Default 8192.
 	MaxForward int
+
+	// WireAddr is the node's advertised binary wire listener ("host:port"),
+	// gossiped to peers so replication fan-out and smart clients can use the
+	// wire transport. Empty = this node serves HTTP only.
+	WireAddr string
 
 	GossipInterval      time.Duration // member exchange cadence (default 1s)
 	GossipFanout        int           // peers contacted per round (default 3)
@@ -123,6 +129,7 @@ type Node struct {
 
 	ring   atomic.Pointer[Ring]
 	client *http.Client
+	pool   *wire.Pool // persistent wire conns for replica fan-out
 
 	obMu     sync.Mutex
 	outboxes map[string]*outbox
@@ -143,6 +150,7 @@ type Node struct {
 	aeRounds  atomic.Uint64
 	forwards  atomic.Uint64
 	replSent  atomic.Uint64
+	replWire  atomic.Uint64 // subset of replSent shipped over the wire protocol
 	replRecvd atomic.Uint64
 }
 
@@ -158,6 +166,7 @@ func New(st *server.Store, cfg Config) (*Node, error) {
 		cfg:          cfg,
 		st:           st,
 		client:       &http.Client{Timeout: cfg.HTTPTimeout},
+		pool:         wire.NewPool(cfg.HTTPTimeout),
 		outboxes:     make(map[string]*outbox),
 		stop:         make(chan struct{}),
 		needsRepair:  make(map[string]bool),
@@ -171,6 +180,9 @@ func New(st *server.Store, cfg Config) (*Node, error) {
 		n.cfg.MaxForward = st.MaxBatch()
 	}
 	n.mem = NewMembership(cfg.Self, cfg.Membership, n.rebuildRing)
+	if cfg.WireAddr != "" {
+		n.mem.SetSelfWire(cfg.WireAddr)
+	}
 	n.rebuildRing()
 	return n, nil
 }
@@ -227,6 +239,7 @@ func (n *Node) runLoop(every time.Duration, fn func()) {
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() { close(n.stop) })
 	n.wg.Wait()
+	n.pool.Close()
 	n.obMu.Lock()
 	defer n.obMu.Unlock()
 	for peer, o := range n.outboxes {
@@ -421,7 +434,8 @@ func (n *Node) reopenOutboxes() {
 	}
 }
 
-// drainOutboxes ships queued hints to every alive peer.
+// drainOutboxes ships queued hints to every alive peer, preferring the
+// peer's gossiped wire listener over HTTP POSTs.
 func (n *Node) drainOutboxes() {
 	n.obMu.Lock()
 	peers := make(map[string]*outbox, len(n.outboxes))
@@ -437,7 +451,7 @@ func (n *Node) drainOutboxes() {
 			continue // hinted handoff: hold until the peer returns
 		}
 		if err := o.drain(n.cfg.MaxForward, func(chunk []int) error {
-			if err := n.postKeys(peer, "/cluster/repl", chunk); err != nil {
+			if err := n.sendRepl(peer, chunk); err != nil {
 				return err
 			}
 			n.replSent.Add(uint64(len(chunk)))
@@ -446,6 +460,28 @@ func (n *Node) drainOutboxes() {
 			n.cfg.Logf("cluster: draining outbox for %s: %v", peer, err)
 		}
 	}
+}
+
+// sendRepl ships one replication chunk to peer: over the pooled persistent
+// wire connection when the peer gossips a wire address, falling back to the
+// HTTP POST /cluster/repl path when it has none or the wire attempt fails
+// at the transport level. A wire *RemoteError is the peer's store rejecting
+// the batch — HTTP would answer the same way, so it is returned, not
+// retried on the other transport.
+func (n *Node) sendRepl(peer string, chunk []int) error {
+	if wa := n.mem.WireAddr(peer); wa != "" {
+		_, err := n.pool.SendRepl(wa, chunk)
+		if err == nil {
+			n.replWire.Add(uint64(len(chunk)))
+			return nil
+		}
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return err
+		}
+		n.cfg.Logf("cluster: wire repl to %s (%s) failed, falling back to http: %v", peer, wa, err)
+	}
+	return n.postKeys(peer, "/cluster/repl", chunk)
 }
 
 // postKeysChunked posts keys in MaxForward-sized slices. Chunks deliver
@@ -479,6 +515,35 @@ func (n *Node) postKeys(peer, path string, keys []int) error {
 	io.Copy(io.Discard, resp.Body)
 	return nil
 }
+
+// --- wire ingest --------------------------------------------------------
+
+// applyRepl replica-applies keys locally in store-cap slices — the verb
+// behind both POST /cluster/repl and wire REPL frames. Replication traffic
+// may bundle many coordinator batches (and a peer's MaxForward may exceed
+// ours), so it slices by the store's own batch cap to never be rejected as
+// oversized.
+func (n *Node) applyRepl(keys []int) (int, error) {
+	for lo := 0; lo < len(keys); lo += n.st.MaxBatch() {
+		hi := min(lo+n.st.MaxBatch(), len(keys))
+		if err := n.st.Apply(keys[lo:hi]); err != nil {
+			return lo, err
+		}
+	}
+	n.replRecvd.Add(uint64(len(keys)))
+	return len(keys), nil
+}
+
+// WireSink adapts the node to the wire server's ingest interface: BATCH
+// frames coordinate across the ring exactly like POST /inc, REPL frames
+// replica-apply exactly like POST /cluster/repl. Both transports share the
+// WAL-stage+apply path underneath, so recovery replays them identically.
+func (n *Node) WireSink() wire.Sink { return nodeSink{n} }
+
+type nodeSink struct{ n *Node }
+
+func (s nodeSink) Batch(keys []int) (int, error) { return s.n.Ingest(keys, false) }
+func (s nodeSink) Repl(keys []int) (int, error)  { return s.n.applyRepl(keys) }
 
 // --- gossip -------------------------------------------------------------
 
@@ -544,6 +609,7 @@ type Info struct {
 	AERounds      uint64           `json:"antiEntropyRounds"`
 	Forwards      uint64           `json:"forwards"`
 	ReplSent      uint64           `json:"replKeysSent"`
+	ReplWire      uint64           `json:"replKeysWire"`
 	ReplReceived  uint64           `json:"replKeysReceived"`
 }
 
@@ -558,9 +624,18 @@ type Info struct {
 //	GET  /cluster/ring    RingInfo for smart clients
 //	GET  /cluster/info    membership/replication introspection
 //	(everything else)     internal/server.Handler
+//
+// Like the store surface, every route is also served under /v1/ — and the
+// cluster's own routes MUST shadow the store's on both prefixes, or a
+// /v1/inc would fall through to the store handler and count locally without
+// ring coordination.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /inc", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, h) // legacy unprefixed alias
+	}
+	handle("POST", "/inc", func(w http.ResponseWriter, r *http.Request) {
 		keys, ok := readKeys(w, r)
 		if !ok {
 			return
@@ -572,25 +647,18 @@ func (n *Node) Handler() http.Handler {
 		}
 		writeJSON(w, map[string]int{"applied": applied})
 	})
-	mux.HandleFunc("POST /cluster/repl", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/cluster/repl", func(w http.ResponseWriter, r *http.Request) {
 		keys, ok := readKeys(w, r)
 		if !ok {
 			return
 		}
-		// Replication traffic may bundle many coordinator batches (and a
-		// peer's MaxForward may exceed ours); apply in slices of the
-		// store's own batch cap so it can never reject them.
-		for lo := 0; lo < len(keys); lo += n.st.MaxBatch() {
-			hi := min(lo+n.st.MaxBatch(), len(keys))
-			if err := n.st.Apply(keys[lo:hi]); err != nil {
-				httpError(w, statusFor(err), err)
-				return
-			}
+		if _, err := n.applyRepl(keys); err != nil {
+			httpError(w, statusFor(err), err)
+			return
 		}
-		n.replRecvd.Add(uint64(len(keys)))
 		writeJSON(w, map[string]int{"applied": len(keys)})
 	})
-	mux.HandleFunc("POST /cluster/gossip", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/cluster/gossip", func(w http.ResponseWriter, r *http.Request) {
 		var msg gossipMsg
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&msg); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad gossip payload: %w", err))
@@ -602,7 +670,7 @@ func (n *Node) Handler() http.Handler {
 		}
 		writeJSON(w, gossipMsg{From: n.cfg.Self, Members: n.mem.Snapshot()})
 	})
-	mux.HandleFunc("GET /cluster/phash/{partition}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/cluster/phash/{partition}", func(w http.ResponseWriter, r *http.Request) {
 		p, err := strconv.Atoi(r.PathValue("partition"))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition: %w", err))
@@ -615,7 +683,7 @@ func (n *Node) Handler() http.Handler {
 		}
 		writeJSON(w, map[string]any{"partition": p, "hash": fmt.Sprintf("%016x", h)})
 	})
-	mux.HandleFunc("GET /cluster/ring", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/cluster/ring", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, RingInfo{
 			Self:       n.cfg.Self,
 			N:          n.st.Len(),
@@ -625,7 +693,7 @@ func (n *Node) Handler() http.Handler {
 			Members:    n.mem.Snapshot(),
 		})
 	})
-	mux.HandleFunc("GET /cluster/info", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/cluster/info", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, n.info())
 	})
 	mux.Handle("/", server.Handler(n.st))
@@ -641,6 +709,7 @@ func (n *Node) info() Info {
 		AERounds:      n.aeRounds.Load(),
 		Forwards:      n.forwards.Load(),
 		ReplSent:      n.replSent.Load(),
+		ReplWire:      n.replWire.Load(),
 		ReplReceived:  n.replRecvd.Load(),
 	}
 	for p := 0; p < n.st.Partitions(); p++ {
@@ -680,12 +749,9 @@ func readKeys(w http.ResponseWriter, r *http.Request) ([]int, bool) {
 	return keys, true
 }
 
-func statusFor(err error) int {
-	if errors.Is(err, server.ErrBadInput) {
-		return http.StatusBadRequest
-	}
-	return http.StatusInternalServerError
-}
+// statusFor delegates to the store surface's classifier so both layers
+// (and the wire transport) share one error taxonomy.
+func statusFor(err error) int { return server.StatusFor(err) }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -697,5 +763,5 @@ func writeJSON(w http.ResponseWriter, v any) {
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "code": code})
 }

@@ -19,32 +19,39 @@ const maxMergeBody = 1 << 30
 // keys in JSON is ~0.5 MB).
 const maxIncBody = 16 << 20
 
-// Handler returns the HTTP API over st:
+// Handler returns the HTTP API over st. Every endpoint is served under the
+// versioned /v1/ prefix; the unprefixed legacy paths remain as aliases for
+// pre-/v1 clients and answer identically. Errors from any endpoint share
+// one envelope: {"error": "message", "code": <http status>}.
 //
-//	POST /inc            {"key": 5} or {"keys": [1, 2, 2, 7]} → {"applied": n}
-//	GET  /estimate/{key} → {"key": 5, "estimate": 1234.5}
-//	GET  /estimates      → {"estimates": [...]} (all n, key order)
-//	GET  /topk?k=10      → {"k":10, "topk":[{"key":3,"estimate":...},...]}
-//	                       (&partition=p scopes to one partition — the unit
-//	                       the smart client merges cluster-wide)
+//	POST /v1/inc            {"key": 5} or {"keys": [1, 2, 2, 7]} → {"applied": n}
+//	GET  /v1/estimate/{key} → {"key": 5, "estimate": 1234.5}
+//	GET  /v1/estimates      → {"estimates": [...]} (all n, key order)
+//	GET  /v1/topk?k=10      → {"k":10, "topk":[{"key":3,"estimate":...},...]}
+//	                          (&partition=p scopes to one partition — the unit
+//	                          the smart client merges cluster-wide)
 //
 // On a window engine the three read endpoints additionally accept
 // &window=5m (a duration, rounded up to whole buckets) or &window=3 (a
 // bucket count) to scope the answer to the trailing window; other engines
 // reject the parameter with a 400.
 //
-//	GET  /snapshot       → snapcodec stream (application/octet-stream)
-//	GET  /snapshot/{p}   → one partition's snapcodec stream
-//	POST /merge          body = a peer snapshot → disjoint-stream join
-//	                       (Remark 2.4 / SpaceSaving union)
-//	POST /mergemax       body = a peer snapshot → replica max join
-//	GET  /healthz        → Stats JSON
+//	GET  /v1/snapshot       → snapcodec stream (application/octet-stream)
+//	GET  /v1/snapshot/{p}   → one partition's snapcodec stream
+//	POST /v1/merge          body = a peer snapshot → disjoint-stream join
+//	                          (Remark 2.4 / SpaceSaving union)
+//	POST /v1/mergemax       body = a peer snapshot → replica max join
+//	GET  /v1/healthz        → Stats JSON
 //
 // Increments and merges are durable (WAL group commit) before the 200
 // returns.
 func Handler(st *Store) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /inc", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, h) // legacy unprefixed alias
+	}
+	handle("POST", "/inc", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Key  *int  `json:"key"`
 			Keys []int `json:"keys"`
@@ -69,7 +76,7 @@ func Handler(st *Store) http.Handler {
 		writeJSON(w, map[string]int{"applied": len(keys)})
 	})
 
-	mux.HandleFunc("GET /estimate/{key}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/estimate/{key}", func(w http.ResponseWriter, r *http.Request) {
 		key, err := strconv.Atoi(r.PathValue("key"))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad key: %w", err))
@@ -97,7 +104,7 @@ func Handler(st *Store) http.Handler {
 		writeJSON(w, map[string]any{"key": key, "estimate": est})
 	})
 
-	mux.HandleFunc("GET /estimates", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/estimates", func(w http.ResponseWriter, r *http.Request) {
 		if q := r.URL.Query().Get("window"); q != "" {
 			wn, err := st.ParseWindow(q)
 			if err != nil {
@@ -115,7 +122,7 @@ func Handler(st *Store) http.Handler {
 		writeJSON(w, map[string]any{"estimates": st.EstimateAll()})
 	})
 
-	mux.HandleFunc("GET /topk", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/topk", func(w http.ResponseWriter, r *http.Request) {
 		k, err := strconv.Atoi(r.URL.Query().Get("k"))
 		if err != nil || k <= 0 {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("need a positive integer k"))
@@ -149,7 +156,7 @@ func Handler(st *Store) http.Handler {
 		writeJSON(w, resp)
 	})
 
-	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		if err := st.SnapshotTo(w); err != nil {
 			// Headers are gone; all we can do is cut the stream so the
@@ -158,7 +165,7 @@ func Handler(st *Store) http.Handler {
 		}
 	})
 
-	mux.HandleFunc("GET /snapshot/{partition}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/snapshot/{partition}", func(w http.ResponseWriter, r *http.Request) {
 		p, err := strconv.Atoi(r.PathValue("partition"))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition: %w", err))
@@ -193,24 +200,29 @@ func Handler(st *Store) http.Handler {
 			writeJSON(w, map[string]any{"merged": true})
 		}
 	}
-	mux.HandleFunc("POST /merge", mergeHandler(st.Merge))
-	mux.HandleFunc("POST /mergemax", mergeHandler(st.MergeMax))
+	handle("POST", "/merge", mergeHandler(st.Merge))
+	handle("POST", "/mergemax", mergeHandler(st.MergeMax))
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, st.Stats())
 	})
 	return mux
 }
 
-// statusFor maps store errors to HTTP codes: caller mistakes are 400,
+// StatusFor maps store errors to HTTP codes: caller mistakes are 400,
 // server faults (a poisoned WAL, a failed fsync) are 500 — a client with
-// valid keys must not be told its request was malformed.
-func statusFor(err error) int {
+// valid keys must not be told its request was malformed. The wire transport
+// uses the same classifier for its ERROR frames, so both transports speak
+// one error taxonomy.
+func StatusFor(err error) int {
 	if errors.Is(err, ErrBadInput) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }
+
+// statusFor is the internal spelling of StatusFor.
+func statusFor(err error) int { return StatusFor(err) }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -219,8 +231,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// httpError writes the unified error envelope shared by every endpoint on
+// both prefixes: {"error": "message", "code": <http status>}. The code rides
+// in the body as well as the status line so clients reading through proxies
+// (or wire ERROR frames, which reuse this vocabulary) see one shape.
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "code": code})
 }

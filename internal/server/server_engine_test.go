@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -278,6 +279,8 @@ func TestHTTPTopK(t *testing.T) {
 // The error-status contract of the HTTP surface, table-driven: malformed
 // bodies and parameters are 400s (never 500 — a client must be able to
 // trust that a 5xx means a server fault), missing resources are 404s.
+// Every case runs against both the /v1 prefix and the legacy unprefixed
+// alias — the two surfaces must answer identically, status and envelope.
 func TestHTTPErrorStatuses(t *testing.T) {
 	st, err := Open(testConfig(t, 100))
 	if err != nil {
@@ -323,26 +326,82 @@ func TestHTTPErrorStatuses(t *testing.T) {
 		{"topk bad partition", "GET", "/topk?k=5&partition=x", "", http.StatusBadRequest},
 		{"topk partition range", "GET", "/topk?k=5&partition=99", "", http.StatusBadRequest},
 	} {
-		t.Run(tc.name, func(t *testing.T) {
-			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
-			if err != nil {
-				t.Fatal(err)
+		for _, prefix := range []string{"", "/v1"} {
+			name := tc.name
+			if prefix != "" {
+				name = tc.name + " (v1)"
 			}
-			resp, err := http.DefaultClient.Do(req)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != tc.want {
-				t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
-			}
-			// Every error body is a JSON {"error": ...} envelope.
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
-				t.Fatalf("error body not a JSON error envelope (%v)", err)
-			}
-		})
+			t.Run(name, func(t *testing.T) {
+				req, err := http.NewRequest(tc.method, srv.URL+prefix+tc.path, strings.NewReader(tc.body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != tc.want {
+					t.Fatalf("%s %s%s: status %d, want %d", tc.method, prefix, tc.path, resp.StatusCode, tc.want)
+				}
+				// Every error body is the unified envelope:
+				// {"error": "...", "code": <status>}.
+				var e struct {
+					Error string `json:"error"`
+					Code  int    `json:"code"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+					t.Fatalf("error body not a JSON error envelope (%v)", err)
+				}
+				if e.Code != tc.want {
+					t.Fatalf("envelope code %d, want %d", e.Code, tc.want)
+				}
+			})
+		}
+	}
+}
+
+// The /v1 prefix and the legacy alias must serve identical success bodies
+// too, not just identical errors — a byte-for-byte check on the read path.
+func TestV1AliasParity(t *testing.T) {
+	st, err := Open(testConfig(t, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(false)
+	srv := httptest.NewServer(Handler(st))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/inc", "application/json", strings.NewReader(`{"keys":[1,2,2,7]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/inc: status %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/estimate/2", "/estimates", "/snapshot", "/healthz"} {
+		legacy, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, _ := io.ReadAll(legacy.Body)
+		legacy.Body.Close()
+		v1, err := http.Get(srv.URL + "/v1" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, _ := io.ReadAll(v1.Body)
+		v1.Body.Close()
+		if legacy.StatusCode != http.StatusOK || v1.StatusCode != http.StatusOK {
+			t.Fatalf("%s: statuses %d / %d", path, legacy.StatusCode, v1.StatusCode)
+		}
+		if path == "/healthz" {
+			continue // uptime differs between the two reads; shape is enough
+		}
+		if !bytes.Equal(lb, vb) {
+			t.Fatalf("%s: legacy and /v1 bodies differ:\n%s\n%s", path, lb, vb)
+		}
 	}
 }

@@ -137,6 +137,19 @@ type Store struct {
 	recovered wal.ReplayStats
 	fromSnap  bool
 	started   time.Time
+
+	// wireAddr/wireProto describe the binary wire listener, when one is up
+	// (set once by SetWireInfo before serving; read by Stats for /healthz).
+	wireAddr  atomic.Pointer[string]
+	wireProto atomic.Int64
+}
+
+// SetWireInfo records the advertised wire-listener address and protocol
+// version so /healthz can report them. Call once, before serving traffic;
+// an empty addr leaves the stats fields absent.
+func (st *Store) SetWireInfo(addr string, proto int) {
+	st.wireAddr.Store(&addr)
+	st.wireProto.Store(int64(proto))
 }
 
 // Open opens (or initializes) a durable store in cfg.Dir. When a checkpoint
@@ -755,6 +768,9 @@ type Stats struct {
 	BankBytes   int    `json:"bankBytes"`
 	Partitions  int    `json:"partitions"`
 	FsyncPolicy string `json:"fsyncPolicy"`
+	// Wire listener, when the node serves the binary ingest protocol.
+	WireAddr  string `json:"wireAddr,omitempty"`
+	WireProto int    `json:"wireProto,omitempty"`
 	// Window engine only: ring length, wall-clock bucket width, logical
 	// clock, and ticks applied since start.
 	WindowBuckets int    `json:"windowBuckets,omitempty"`
@@ -808,6 +824,10 @@ func (st *Store) Stats() Stats {
 	}
 	if st.fromSnap {
 		s.RecoveredFrom = "snapshot"
+	}
+	if p := st.wireAddr.Load(); p != nil && *p != "" {
+		s.WireAddr = *p
+		s.WireProto = int(st.wireProto.Load())
 	}
 	if ns := st.lastCkpt.Load(); ns > 0 {
 		s.LastCheckpoint = time.Unix(0, ns).UTC().Format(time.RFC3339)

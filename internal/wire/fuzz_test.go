@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode throws raw bytes at both decoder layers — frame parsing and
+// batch unpacking. The contract under fuzz: truncated frames, bad CRCs, and
+// oversized varints must come back as errors, never as panics, hangs, or
+// over-allocation. A successful frame decode must satisfy the framing
+// invariants; a successful batch decode must satisfy the batch invariants
+// (bounded events, keys in range, ascending order).
+func FuzzWireDecode(f *testing.F) {
+	// Seed corpus: valid frames, valid batches, and near-miss corruptions.
+	f.Add(AppendFrame(nil, FrameHello, helloPayload()))
+	f.Add(AppendFrame(nil, FrameBatch, EncodeBatch([]int{1, 2, 2, 7})))
+	f.Add(AppendFrame(nil, FrameAck, ackPayload(42)))
+	f.Add(AppendFrame(nil, FrameError, errorPayload(400, "bad input")))
+	f.Add(AppendFrame(nil, FramePing, nil))
+	f.Add(EncodeBatch([]int{0}))
+	f.Add(EncodeBatch([]int{5, 5, 5, 900}))
+	truncated := AppendFrame(nil, FrameBatch, EncodeBatch([]int{3, 1, 4, 1, 5}))
+	f.Add(truncated[:len(truncated)-3])
+	badCRC := AppendFrame(nil, FrameBatch, EncodeBatch([]int{9, 9}))
+	badCRC[len(badCRC)-1] ^= 0xFF
+	f.Add(badCRC)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add([]byte{FrameBatch, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	const maxEvents, maxKey = 1 << 16, 1 << 20
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Layer 1: frame decoding. Must consume only this frame's bytes and
+		// either error or hand back a payload within bounds.
+		r := bytes.NewReader(data)
+		typ, payload, _, err := ReadFrame(r, nil)
+		if err == nil {
+			if len(payload) > MaxFramePayload {
+				t.Fatalf("frame decode returned %d-byte payload past cap", len(payload))
+			}
+			consumed := len(data) - r.Len()
+			if consumed != len(payload)+frameOverhead {
+				t.Fatalf("frame consumed %d bytes, want %d", consumed, len(payload)+frameOverhead)
+			}
+			// A structurally valid frame round-trips byte-identically.
+			if !bytes.Equal(AppendFrame(nil, typ, payload), data[:consumed]) {
+				t.Fatal("frame re-encode mismatch")
+			}
+		}
+
+		// Layer 2: batch decoding on the raw input (the decoder must be safe
+		// on arbitrary bytes, framed or not).
+		keys, err := DecodeBatch(data, maxEvents, maxKey)
+		if err == nil {
+			if len(keys) == 0 || len(keys) > maxEvents {
+				t.Fatalf("batch decode returned %d keys outside (0,%d]", len(keys), maxEvents)
+			}
+			for i, k := range keys {
+				if k < 0 || k >= maxKey {
+					t.Fatalf("key %d out of range", k)
+				}
+				if i > 0 && k < keys[i-1] {
+					t.Fatal("keys not ascending")
+				}
+			}
+			// A valid batch survives a re-encode/re-decode cycle.
+			again, err := DecodeBatch(EncodeBatch(keys), maxEvents, maxKey)
+			if err != nil {
+				t.Fatalf("re-decode of valid batch failed: %v", err)
+			}
+			if len(again) != len(keys) {
+				t.Fatalf("re-decode length %d, want %d", len(again), len(keys))
+			}
+		}
+
+		// Layer 3: the reply codecs must tolerate arbitrary bodies.
+		parseError(data)
+		parseAck(data)
+		parseHello(data)
+	})
+}

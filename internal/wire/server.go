@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Sink is what a wire server feeds: the same two ingest verbs the HTTP
+// surface exposes. BATCH frames call Batch (the coordinated write path —
+// ring fan-out in cluster mode, a plain store apply single-node); REPL
+// frames call Repl (replica-apply only, never re-fanned-out — the verb
+// behind /cluster/repl). Both return the number of events applied.
+type Sink interface {
+	Batch(keys []int) (applied int, err error)
+	Repl(keys []int) (applied int, err error)
+}
+
+// ServerConfig tunes a wire Server.
+type ServerConfig struct {
+	// MaxBatch caps the events accepted in one BATCH/REPL frame (0 = 1<<16,
+	// the store default). Must match the sink's own cap or oversized frames
+	// get a 400 from the sink instead of the decoder — same outcome, worse
+	// message.
+	MaxBatch int
+	// MaxKey bounds accepted keys to [0, MaxKey) at decode time (0 = no
+	// wire-level bound; the sink still validates).
+	MaxKey int
+	// ErrorCode maps a sink error to the HTTP-style status code carried in
+	// ERROR frames (default: 500 for everything — wire callers should pass
+	// the same classifier the HTTP layer uses).
+	ErrorCode func(error) int
+	// IdleTimeout closes a connection with no inbound frames for this long
+	// (0 = no timeout). Persistent clients ping within it.
+	IdleTimeout time.Duration
+	// Logf receives per-connection fault lines (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Server accepts persistent wire connections and pumps their frames into a
+// Sink. One goroutine per connection; frames on a connection are processed
+// strictly in order, so acks need no sequence numbers.
+type Server struct {
+	cfg  ServerConfig
+	sink Sink
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewServer builds a wire server over sink.
+func NewServer(sink Sink, cfg ServerConfig) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1 << 16
+	}
+	if cfg.ErrorCode == nil {
+		cfg.ErrorCode = func(error) int { return 500 }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:   cfg,
+		sink:  sink,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after Close,
+// or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting and tears down every open connection. Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	fail := func(stage string, err error) {
+		// EOF / closed-connection ends are the normal client hangup; only
+		// protocol faults are worth a log line.
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return
+		}
+		s.cfg.Logf("wire: %s: %s: %v", conn.RemoteAddr(), stage, err)
+	}
+
+	touch := func() {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	// Handshake: HELLO in, HELLO out. A bad hello gets an ERROR frame (best
+	// effort — the peer may not even speak the framing) and the connection
+	// dies.
+	touch()
+	typ, payload, scratch, err := ReadFrame(br, nil)
+	if err != nil {
+		fail("handshake read", err)
+		return
+	}
+	if typ != FrameHello {
+		WriteFrame(conn, FrameError, errorPayload(400, "expected HELLO"))
+		fail("handshake", fmt.Errorf("first frame type %d", typ))
+		return
+	}
+	if _, err := parseHello(payload); err != nil {
+		WriteFrame(conn, FrameError, errorPayload(400, err.Error()))
+		fail("handshake", err)
+		return
+	}
+	if err := WriteFrame(conn, FrameHello, helloPayload()); err != nil {
+		fail("handshake write", err)
+		return
+	}
+
+	out := make([]byte, 0, 4096)
+	for {
+		touch()
+		typ, payload, scratch, err = ReadFrame(br, scratch)
+		if err != nil {
+			// Framing faults poison the stream position; there is no safe
+			// way to answer on a stream we can no longer parse.
+			fail("read", err)
+			return
+		}
+		out = out[:0]
+		switch typ {
+		case FramePing:
+			out = AppendFrame(out, FramePong, nil)
+		case FrameBatch, FrameRepl:
+			keys, err := DecodeBatch(payload, s.cfg.MaxBatch, s.cfg.MaxKey)
+			var applied int
+			if err == nil {
+				if typ == FrameBatch {
+					applied, err = s.sink.Batch(keys)
+				} else {
+					applied, err = s.sink.Repl(keys)
+				}
+			}
+			switch {
+			case errors.Is(err, ErrBadBatch):
+				out = AppendFrame(out, FrameError, errorPayload(400, err.Error()))
+			case err != nil:
+				out = AppendFrame(out, FrameError, errorPayload(s.cfg.ErrorCode(err), err.Error()))
+			default:
+				out = AppendFrame(out, FrameAck, ackPayload(applied))
+			}
+		default:
+			out = AppendFrame(out, FrameError, errorPayload(400, fmt.Sprintf("unknown frame type %d", typ)))
+		}
+		if _, err := conn.Write(out); err != nil {
+			fail("write", err)
+			return
+		}
+	}
+}

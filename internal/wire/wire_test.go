@@ -1,0 +1,400 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 100_000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		typ, got, s, err := ReadFrame(&buf, scratch)
+		scratch = s
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, _, _, err := ReadFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("drained stream: err %v, want EOF", err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	frame := AppendFrame(nil, FrameBatch, []byte("payload bytes"))
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		_, _, _, err := ReadFrame(bytes.NewReader(bad), nil)
+		// A flipped bit in the length field may also read as truncation —
+		// any error is fine, silence is not. (Flipping a length bit to a
+		// LARGER valid length reads as unexpected EOF; to a smaller one,
+		// CRC mismatch.)
+		if err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+}
+
+func TestFrameTruncationDetected(t *testing.T) {
+	frame := AppendFrame(nil, FrameBatch, []byte("payload"))
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, _, err := ReadFrame(bytes.NewReader(frame[:cut]), nil)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d went undetected", cut, len(frame))
+		}
+	}
+}
+
+func TestFrameOversizedLengthRejectedBeforeAllocation(t *testing.T) {
+	// 4 GiB declared length: must fail fast on the bound, not attempt the
+	// allocation (the reader would block forever on a 9-byte input anyway).
+	hdr := []byte{FrameBatch, 0xFF, 0xFF, 0xFF, 0xFF}
+	_, _, _, err := ReadFrame(bytes.NewReader(hdr), nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, keys := range [][]int{
+		{0},
+		{5},
+		{1, 2, 2, 7},
+		{7, 2, 2, 1},               // order-insensitive
+		{0, 0, 0, 0},               // one hot key
+		{999_999},                  // large key
+		{3, 1_000_000, 3, 500_000}, // wide gaps
+	} {
+		payload := EncodeBatch(keys)
+		got, err := DecodeBatch(payload, 1<<16, 0)
+		if err != nil {
+			t.Fatalf("decode %v: %v", keys, err)
+		}
+		want := append([]int(nil), keys...)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %v: got %v, want %v", keys, got, want)
+		}
+	}
+}
+
+func TestBatchRoundTripZipfLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	z := rand.NewZipf(rng, 1.2, 1, 999_999)
+	keys := make([]int, 4096)
+	for i := range keys {
+		keys[i] = int(z.Uint64())
+	}
+	payload := EncodeBatch(keys)
+	got, err := DecodeBatch(payload, len(keys), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), keys...)
+	sort.Ints(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("zipf-like batch did not round-trip")
+	}
+	if len(payload) >= 2*len(keys) {
+		t.Fatalf("skewed 4096-event batch packed to %d bytes — delta+varint packing is not working", len(payload))
+	}
+}
+
+func TestBatchDecodeRejects(t *testing.T) {
+	good := EncodeBatch([]int{1, 2, 2, 7})
+	for _, tc := range []struct {
+		name    string
+		payload []byte
+		maxEv   int
+		maxKey  int
+	}{
+		{"empty payload", nil, 100, 0},
+		{"zero pairs", EncodeBatch(nil), 100, 0},
+		{"truncated", good[:len(good)-1], 100, 0},
+		{"trailing bytes", append(append([]byte(nil), good...), 0), 100, 0},
+		{"over event cap", good, 3, 0},
+		{"key past maxKey", good, 100, 7},
+		{"declared pairs past payload", []byte{200, 200, 1}, 300, 0},
+		{"oversized varint", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, 100, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeBatch(tc.payload, tc.maxEv, tc.maxKey); !errors.Is(err, ErrBadBatch) {
+				t.Fatalf("err %v, want ErrBadBatch", err)
+			}
+		})
+	}
+}
+
+// TestBatchDecodeNeverOverAllocates: a payload claiming huge counts must be
+// rejected by the event cap before the expansion loop materializes them.
+func TestBatchDecodeNeverOverAllocates(t *testing.T) {
+	// pairs=1, events=2^40, key=0, count-1 huge.
+	p := appendUvarints(nil, 1, 1<<40, 0, 1<<40-1)
+	if _, err := DecodeBatch(p, 1<<16, 0); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("err %v, want ErrBadBatch", err)
+	}
+	// Declared events fits the cap but a count tries to blow past it.
+	p = appendUvarints(nil, 2, 100, 0, 98, 1, 1<<40)
+	if _, err := DecodeBatch(p, 1<<16, 0); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("err %v, want ErrBadBatch", err)
+	}
+}
+
+func appendUvarints(dst []byte, vs ...uint64) []byte {
+	for _, v := range vs {
+		var tmp [10]byte
+		n := putUvarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
+	}
+	return dst
+}
+
+func putUvarint(buf []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		buf[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	buf[i] = byte(v)
+	return i + 1
+}
+
+// --- server/client integration over loopback ----------------------------
+
+// tallySink counts events per key; Repl counts are tracked separately.
+type tallySink struct {
+	mu    sync.Mutex
+	tally map[int]int
+	repl  int
+	errOn int // key that triggers a server-fault error (-1 = none)
+}
+
+func newTallySink() *tallySink { return &tallySink{tally: make(map[int]int), errOn: -1} }
+
+func (s *tallySink) apply(keys []int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		if k == s.errOn {
+			return 0, fmt.Errorf("injected fault on key %d", k)
+		}
+		s.tally[k]++
+	}
+	return len(keys), nil
+}
+
+func (s *tallySink) Batch(keys []int) (int, error) { return s.apply(keys) }
+func (s *tallySink) Repl(keys []int) (int, error) {
+	s.mu.Lock()
+	s.repl++
+	s.mu.Unlock()
+	return s.apply(keys)
+}
+
+func startWireServer(t testing.TB, sink Sink, cfg ServerConfig) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sink, cfg)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	return ln.Addr().String(), func() { srv.Close(); <-done }
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	sink := newTallySink()
+	addr, stop := startWireServer(t, sink, ServerConfig{MaxBatch: 1 << 16, MaxKey: 1000})
+	defer stop()
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	applied, err := c.SendBatch([]int{1, 2, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 4 {
+		t.Fatalf("applied %d, want 4", applied)
+	}
+	if applied, err = c.SendRepl([]int{2, 2}); err != nil || applied != 2 {
+		t.Fatalf("repl: applied %d, err %v", applied, err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.tally[2] != 4 || sink.tally[1] != 1 || sink.tally[7] != 1 {
+		t.Fatalf("tally %v", sink.tally)
+	}
+	if sink.repl != 1 {
+		t.Fatalf("repl frames %d, want 1", sink.repl)
+	}
+}
+
+func TestServerRejectsOutOfRangeKeyButKeepsConnection(t *testing.T) {
+	sink := newTallySink()
+	addr, stop := startWireServer(t, sink, ServerConfig{MaxKey: 10})
+	defer stop()
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.SendBatch([]int{3, 99})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != 400 {
+		t.Fatalf("err %v, want RemoteError 400", err)
+	}
+	// The connection survived the semantic error.
+	if applied, err := c.SendBatch([]int{3}); err != nil || applied != 1 {
+		t.Fatalf("after 400: applied %d, err %v", applied, err)
+	}
+}
+
+func TestServerErrorCodeClassifier(t *testing.T) {
+	sink := newTallySink()
+	sink.errOn = 5
+	addr, stop := startWireServer(t, sink, ServerConfig{
+		ErrorCode: func(error) int { return 503 },
+	})
+	defer stop()
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.SendBatch([]int{5})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != 503 {
+		t.Fatalf("err %v, want RemoteError 503", err)
+	}
+}
+
+func TestDialRejectsNonWireServer(t *testing.T) {
+	// A listener that answers garbage: the handshake must fail cleanly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("HTTP/1.1 400 Bad Request\r\n\r\n"))
+		conn.Close()
+	}()
+	if _, err := Dial(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial of a non-wire server succeeded")
+	}
+}
+
+func TestPoolRedialsAfterServerRestart(t *testing.T) {
+	sink := newTallySink()
+	addr, stop := startWireServer(t, sink, ServerConfig{})
+	pool := NewPool(time.Second)
+	defer pool.Close()
+
+	if _, err := pool.SendBatch(addr, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	// Restart on the same address; the pooled conn is now dead and the
+	// pool must redial transparently.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv := NewServer(sink, ServerConfig{})
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	defer func() { srv.Close(); <-done }()
+
+	if _, err := pool.SendBatch(addr, []int{1}); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.tally[1] != 2 {
+		t.Fatalf("tally[1] = %d, want 2", sink.tally[1])
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	sink := newTallySink()
+	addr, stop := startWireServer(t, sink, ServerConfig{})
+	defer stop()
+
+	const workers, batches, batch = 8, 50, 64
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer c.Close()
+			keys := make([]int, batch)
+			for b := 0; b < batches; b++ {
+				for i := range keys {
+					keys[i] = (w*batches+b)%97 + i%3
+				}
+				if _, err := c.SendBatch(keys); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	total := 0
+	sink.mu.Lock()
+	for _, c := range sink.tally {
+		total += c
+	}
+	sink.mu.Unlock()
+	if total != workers*batches*batch {
+		t.Fatalf("total %d, want %d", total, workers*batches*batch)
+	}
+}
