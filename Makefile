@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build vet fmt-check doclint test race bench bench-cluster fuzz-smoke ci \
-	counterd serve cluster-smoke cluster-demo windowed-demo wire-smoke
+	counterd serve cluster-smoke cluster-demo windowed-demo wire-smoke grow-smoke
 
 all: build
 
@@ -56,9 +56,16 @@ race:
 	$(GO) test -race ./...
 
 # The cluster integration suite under the race detector: 3-node loopback
-# ring, replication, forwarding, crash/recovery convergence.
+# ring, replication, forwarding, crash/recovery convergence, and the live
+# grow/shrink rebalance test.
 cluster-smoke:
 	$(GO) test -race -v -run 'TestCluster|TestClient' ./internal/cluster ./internal/client
+
+# Live scale-out against real counterd processes: boot a 3-node ring, grow
+# it to 5 under load, decommission one back to 4 — byte-identical owner
+# snapshots and sketch-accurate estimates at every step (tools/growsmoke).
+grow-smoke: counterd
+	$(GO) run ./tools/growsmoke -counterd bin/counterd
 
 # Mirrors the CI bench job: human-readable text plus three machine-readable
 # JSON artifacts (cmd/benchjson) tracking the perf trajectory of the hot

@@ -30,9 +30,15 @@
 // increment is routed to its partition's replicas with durable hinted
 // handoff, and a background anti-entropy loop keeps replicas byte-identical
 // through crashes. The cluster admin API (/cluster/gossip, /cluster/ring,
-// /cluster/repl, /cluster/phash/{p}, /cluster/info) mounts next to the
-// store API, and POST /inc becomes the ring-coordinated write path. See
-// docs/CLUSTER.md and docs/ENGINES.md.
+// /cluster/repl, /cluster/phash/{p}, /cluster/info, /cluster/rebalance,
+// /cluster/handoff/{p}) mounts next to the store API, and POST /inc becomes
+// the ring-coordinated write path. Ring changes hand partitions off through
+// the rebalance subsystem — a joining node pulls its partitions' history
+// before serving them, a leaving one surrenders its copies only after every
+// new owner confirms. SIGTERM drains the replication outboxes before exit;
+// with -decommission it first leaves the ring and streams every held
+// partition to its new owners. See docs/CLUSTER.md, docs/OPERATIONS.md and
+// docs/ENGINES.md.
 //
 // Example (single node):
 //
@@ -108,15 +114,18 @@ type options struct {
 	wireListen    string
 	advertiseWire string
 
-	clusterOn   bool
-	advertise   string
-	join        string
-	rf          int
-	vnodes      int
-	hintDir     string
-	hintFsync   string
-	gossipEvery time.Duration
-	aeEvery     time.Duration
+	clusterOn    bool
+	advertise    string
+	join         string
+	rf           int
+	vnodes       int
+	hintDir      string
+	hintFsync    string
+	gossipEvery  time.Duration
+	aeEvery      time.Duration
+	rebalEvery   time.Duration
+	drainTimeout time.Duration
+	decommission bool
 }
 
 // parseFlags parses the daemon's command line. Both -alg and its legacy
@@ -160,6 +169,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.hintFsync, "hint-fsync", "off", "hinted-handoff log fsync policy: always | interval | off")
 	fs.DurationVar(&o.gossipEvery, "gossip", time.Second, "gossip heartbeat cadence")
 	fs.DurationVar(&o.aeEvery, "antientropy", 5*time.Second, "anti-entropy cadence")
+	fs.DurationVar(&o.rebalEvery, "rebalance", 500*time.Millisecond, "rebalance step cadence (cluster mode)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown budget for flushing outboxes (and the handoff on -decommission)")
+	fs.BoolVar(&o.decommission, "decommission", false, "on SIGTERM/SIGINT, leave the ring and hand every partition off before exiting (cluster mode; see docs/OPERATIONS.md)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -257,6 +269,7 @@ func main() {
 			WireAddr:            advWire,
 			GossipInterval:      o.gossipEvery,
 			AntiEntropyInterval: o.aeEvery,
+			RebalanceInterval:   o.rebalEvery,
 		})
 		if err != nil {
 			log.Fatalf("counterd: %v", err)
@@ -276,10 +289,14 @@ func main() {
 		if node != nil {
 			sink = node.WireSink()
 		}
+		errorCode := server.StatusFor
+		if node != nil {
+			errorCode = cluster.StatusFor // adds the rebalance handoff codes
+		}
 		wireSrv = wire.NewServer(sink, wire.ServerConfig{
 			MaxBatch:  o.maxBatch,
 			MaxKey:    st.Len(),
-			ErrorCode: server.StatusFor,
+			ErrorCode: errorCode,
 			Logf:      log.Printf,
 		})
 		ln, err := net.Listen("tcp", o.wireListen)
@@ -369,6 +386,20 @@ func main() {
 		log.Fatalf("counterd: serve: %v", err)
 	}
 
+	// Decommission runs BEFORE the listeners come down: the node leaves the
+	// ring but keeps answering reads, handoff pulls, and gossip while every
+	// partition it held streams to its new owners.
+	if node != nil && o.decommission {
+		log.Printf("counterd: decommissioning — handing partitions off (budget %v)", o.drainTimeout)
+		dctx, dcancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		if err := node.Decommission(dctx); err != nil {
+			log.Printf("counterd: decommission incomplete: %v (state intact; a restart rejoins)", err)
+		} else {
+			log.Printf("counterd: decommission complete — all partitions handed off")
+		}
+		dcancel()
+	}
+
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
@@ -376,6 +407,16 @@ func main() {
 	}
 	if wireSrv != nil {
 		wireSrv.Close()
+	}
+	if node != nil && !o.decommission {
+		// Graceful drain: writes have stopped (listeners down, in-flight
+		// requests finished), so flush what their fan-out queued — peers get
+		// every acked event now instead of after this node's next start.
+		dctx, dcancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		if err := node.Drain(dctx); err != nil {
+			log.Printf("counterd: outbox drain incomplete: %v (hints stay on disk for the next start)", err)
+		}
+		dcancel()
 	}
 	if node != nil {
 		node.Stop()

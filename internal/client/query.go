@@ -82,6 +82,19 @@ func (c *Client) Query(ctx context.Context, opts QueryOptions) (Result, error) {
 	}
 }
 
+// StatusError is a node's non-200 answer with the status preserved, so
+// routing logic can tell "not the right node" (421, a partition mid-
+// rebalance) from a real fault.
+type StatusError struct {
+	URL  string
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("%s: status %d: %s", e.URL, e.Code, e.Msg)
+}
+
 // getJSON fetches url into out, enforcing ctx and a body cap.
 func (c *Client) getJSON(ctx context.Context, url string, limit int64, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -95,7 +108,7 @@ func (c *Client) getJSON(ctx context.Context, url string, limit int64, out any) 
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+		return &StatusError{URL: url, Code: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
 	}
 	return json.NewDecoder(io.LimitReader(resp.Body, limit)).Decode(out)
 }
@@ -108,16 +121,26 @@ func (c *Client) estimate(ctx context.Context, k int, window string) (float64, e
 	if window != "" {
 		q = "?window=" + url.QueryEscape(window)
 	}
+	// Two passes through the replica set: if the first pass finds no warm
+	// owner (a 421 mid-rebalance, a dead node, a ring that moved under our
+	// cache), refresh the ring and re-route once before giving up.
 	var lastErr error
-	for _, rep := range c.replicasFor(k) {
-		var out struct {
-			Estimate float64 `json:"estimate"`
+	for attempt := 0; attempt < 2; attempt++ {
+		for _, rep := range c.replicasFor(k) {
+			var out struct {
+				Estimate float64 `json:"estimate"`
+			}
+			if err := c.getJSON(ctx, fmt.Sprintf("%s/estimate/%d%s", rep, k, q), 4096, &out); err != nil {
+				lastErr = err
+				continue
+			}
+			return out.Estimate, nil
 		}
-		if err := c.getJSON(ctx, fmt.Sprintf("%s/estimate/%d%s", rep, k, q), 4096, &out); err != nil {
-			lastErr = err
-			continue
+		if attempt == 0 {
+			if err := c.Refresh(); err != nil || k >= c.info.N {
+				break
+			}
 		}
-		return out.Estimate, nil
 	}
 	if lastErr == nil {
 		lastErr = errors.New("empty ring")
@@ -154,19 +177,36 @@ func (c *Client) estimateAll(ctx context.Context, window string) ([]float64, err
 		vectors[rep] = out.Estimates
 		return out.Estimates, nil
 	}
+	refreshed := false
 	for p := 0; p < parts0; p++ {
 		lo, hi := snapcodec.PartitionRange(n0, parts0, p)
 		var lastErr error
 		ok := false
-		for _, rep := range c.reps[p] {
-			v, err := fetch(rep)
-			if err != nil {
-				lastErr = err
-				continue
+		for pass := 0; pass < 2 && !ok; pass++ {
+			for _, rep := range c.reps[p] {
+				v, err := fetch(rep)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				copy(all[lo:hi], v[lo:hi])
+				ok = true
+				break
 			}
-			copy(all[lo:hi], v[lo:hi])
-			ok = true
-			break
+			if ok || refreshed || pass > 0 {
+				break
+			}
+			// Same one-refresh policy as topK: re-route once on a stale
+			// ring, but refuse a reshaped cluster — mixed tilings would
+			// stitch overlapping ranges.
+			if err := c.Refresh(); err != nil {
+				break
+			}
+			refreshed = true
+			if c.info.N != n0 || c.info.Partitions != parts0 {
+				return nil, fmt.Errorf("client: estimates partition %d: cluster reshaped mid-query (%d keys/%d partitions → %d/%d)",
+					p, n0, parts0, c.info.N, c.info.Partitions)
+			}
 		}
 		if !ok {
 			if lastErr == nil {

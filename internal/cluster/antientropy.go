@@ -54,6 +54,13 @@ import (
 // residue is at most one in-flight drain window of a third replica.
 func (n *Node) antiEntropyRound() {
 	ring := n.ring.Load()
+	// Ring flips hand off through the rebalancer, not anti-entropy. Until
+	// this node has reconciled the current ring (pending/frozen partitions
+	// durably classified), its "owned" set is provisional — a round now
+	// could push a cold newly-owned partition to a peer as if it were warm.
+	if !n.reb.reconciledTo(ring.Version()) {
+		return
+	}
 	parts := n.st.Partitions()
 	round := n.aeRounds.Add(1)
 	n.noteRecoveries()
@@ -79,6 +86,13 @@ func (n *Node) antiEntropyRound() {
 			}
 		}
 		if !mine || len(peers) == 0 {
+			continue
+		}
+		if n.st.PendingPartition(p) {
+			// Awaiting a rebalance install: a max-join of a partial pull
+			// would commit a merge record and clear the pending mark with
+			// incomplete data. The rebalancer is the only transfer path for
+			// pending partitions.
 			continue
 		}
 

@@ -76,6 +76,67 @@ func BenchmarkPartitionSnapshot(b *testing.B) {
 	b.ReportMetric(float64(buf.Len())/float64(regs), "bytes/register")
 }
 
+// BenchmarkClusterHandoff measures the rebalance transfer unit — one
+// partition snapshot served by a warm owner and installed by a peer — on a
+// loaded 2-node ring. The setup itself performs a real 1→2 live scale-out,
+// whose handoff totals are reported as metrics (partitions moved, bytes
+// streamed, last cutover latency) so the bench artifact tracks the cost of
+// growing the ring, not just the steady-state hot paths.
+func BenchmarkClusterHandoff(b *testing.B) {
+	cc := defaultClusterConfig()
+	cc.n = 100_000
+	cc.partitions = 32
+	n0 := startNode(b, b.TempDir(), "", cc, nil)
+	defer n0.shutdown()
+	// History worth moving: load the solo node before the joiner appears.
+	src := stream.NewZipf(uint64(cc.n), 1.05, xrand.NewSeeded(9))
+	keys := make([]int, 1024)
+	for round := 0; round < 50; round++ {
+		for i := range keys {
+			keys[i] = int(src.Next())
+		}
+		if _, err := n0.node.Ingest(keys, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n1 := startNode(b, b.TempDir(), "", cc, []string{n0.self})
+	defer n1.shutdown()
+	awaitMembers(b, []*testNode{n0, n1})
+	awaitRebalanced(b, []*testNode{n0, n1})
+
+	ring := n0.node.Ring()
+	ver := ring.Version()
+	var owned []int
+	for p := 0; p < cc.partitions; p++ {
+		if ring.Owns(n0.self, p) {
+			owned = append(owned, p)
+		}
+	}
+	if len(owned) == 0 {
+		b.Fatal("node 0 owns nothing after the grow")
+	}
+	var transferred int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, blob, err := n0.node.reb.serve(owned[i%len(owned)], ver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n1.st.InstallPartition(blob, false); err != nil {
+			b.Fatal(err)
+		}
+		transferred += len(blob)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(transferred)/float64(b.N), "bytes/handoff")
+	// The setup's live 1→2 scale-out, as recorded by the joiner. Reported
+	// after the timed loop because ResetTimer deletes user metrics.
+	s := n1.node.reb.status()
+	b.ReportMetric(float64(s.Moved), "parts-moved")
+	b.ReportMetric(float64(s.BytesStreamed), "grow-bytes-streamed")
+	b.ReportMetric(s.LastCutoverMs, "grow-cutover-ms")
+}
+
 // BenchmarkRingReplicas pins the routing hot path: one partition → replica
 // set lookup.
 func BenchmarkRingReplicas(b *testing.B) {

@@ -107,6 +107,7 @@ func startNode(t testing.TB, dir, addr string, cc testClusterConfig, join []stri
 		GossipInterval:      50 * time.Millisecond,
 		ReplInterval:        25 * time.Millisecond,
 		AntiEntropyInterval: 100 * time.Millisecond,
+		RebalanceInterval:   50 * time.Millisecond,
 		HTTPTimeout:         2 * time.Second,
 		Membership: MembershipConfig{
 			SuspectAfter: 500 * time.Millisecond,
@@ -120,7 +121,7 @@ func startNode(t testing.TB, dir, addr string, cc testClusterConfig, join []stri
 	}
 	if cc.wire {
 		tn.wsrv = wire.NewServer(tn.node.WireSink(), wire.ServerConfig{
-			MaxBatch: 1 << 16, MaxKey: cc.n, ErrorCode: server.StatusFor,
+			MaxBatch: 1 << 16, MaxKey: cc.n, ErrorCode: StatusFor,
 		})
 		go tn.wsrv.Serve(wln)
 		tn.st.SetWireInfo(tn.wire, wire.ProtocolVersion)
@@ -198,7 +199,7 @@ func (tn *testNode) fetch(path string) ([]byte, error) {
 }
 
 // awaitMembers polls until every node sees the whole cluster alive.
-func awaitMembers(t *testing.T, nodes []*testNode) {
+func awaitMembers(t testing.TB, nodes []*testNode) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for {

@@ -106,6 +106,7 @@ type Membership struct {
 
 	mu       sync.Mutex
 	members  map[string]*memberEntry
+	left     bool   // this node announced its own departure (Leave)
 	onChange func() // called (without mu) after any routable-set change
 }
 
@@ -236,6 +237,31 @@ func (m *Membership) State(id string) (Member, bool) {
 	return e.Member, true
 }
 
+// Leave announces this node's intentional departure: its own row goes dead
+// at a bumped incarnation (outbidding every alive rumor in flight), the
+// self-defense refutation is disabled, and the ring rebuilds without it.
+// Gossip keeps running so the departure spreads — the caller decides when
+// to actually stop the node.
+func (m *Membership) Leave() {
+	m.mu.Lock()
+	e := m.members[m.self]
+	alreadyLeft := m.left
+	if !alreadyLeft {
+		m.left = true
+		e.Incarnation++
+		e.State = StateDead
+	}
+	m.mu.Unlock()
+	m.changed(!alreadyLeft)
+}
+
+// Left reports whether Leave was called.
+func (m *Membership) Left() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.left
+}
+
 // MergeFrom folds a remote member table into the local one under the SWIM
 // rules. Returns whether the routable set may have changed.
 func (m *Membership) MergeFrom(remote []Member) {
@@ -248,9 +274,10 @@ func (m *Membership) MergeFrom(remote []Member) {
 		if r.ID == m.self {
 			// Self-defense: someone thinks we are suspect/dead. Refute by
 			// outbidding their incarnation; the next gossip round spreads
-			// the correction.
+			// the correction. A node that announced its own departure
+			// (Leave) wants the rumor to spread, so it never refutes.
 			e := m.members[m.self]
-			if r.State != StateAlive && r.Incarnation >= e.Incarnation {
+			if !m.left && r.State != StateAlive && r.Incarnation >= e.Incarnation {
 				e.Incarnation = r.Incarnation + 1
 				e.State = StateAlive
 				changed = true
@@ -290,9 +317,14 @@ func (m *Membership) MergeFrom(remote []Member) {
 }
 
 // Contact records the outcome of a direct exchange with a member. A success
-// is first-hand evidence of life: the member answered, so it is alive at
-// its current incarnation regardless of rumors. A failure just lets the
-// timeouts run (Tick does the demoting).
+// is first-hand evidence of life: the member answered, so a suspect row
+// recovers to alive at its current incarnation regardless of rumors. A DEAD
+// row does NOT recover on contact — a node that left on purpose keeps
+// gossiping while it hands its partitions off, and resurrecting it would
+// undo the departure. A genuinely returning node rejoins through the
+// incarnation refutation instead (it sees the dead rumor about itself and
+// outbids it), so contact only refreshes the dead row's timestamp. A
+// failure just lets the timeouts run (Tick does the demoting).
 func (m *Membership) Contact(id string, ok bool) {
 	if !ok || id == m.self {
 		return
@@ -308,7 +340,7 @@ func (m *Membership) Contact(id string, ok bool) {
 		changed = true
 	} else {
 		e.lastSeen = time.Now()
-		if e.State != StateAlive {
+		if e.State == StateSuspect {
 			e.State = StateAlive
 			changed = true
 		}

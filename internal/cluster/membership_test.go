@@ -86,10 +86,18 @@ func TestMembershipTimeouts(t *testing.T) {
 	if len(m.RingMembers()) != 1 {
 		t.Fatalf("dead peer still in ring: %v", m.RingMembers())
 	}
-	// A direct contact revives it.
+	// A direct contact does NOT revive a dead row: a departing node keeps
+	// answering handoff requests while it leaves, and contact-revival would
+	// undo the announced departure. Rejoin travels the incarnation
+	// refutation instead.
 	m.Contact("peer", true)
+	if got := stateOf(t, m, "peer"); got.State != StateDead {
+		t.Fatalf("contact resurrected a dead row: %+v", got)
+	}
+	dead := stateOf(t, m, "peer")
+	m.MergeFrom([]Member{{ID: "peer", Incarnation: dead.Incarnation + 1, State: StateAlive}})
 	if got := stateOf(t, m, "peer"); got.State != StateAlive {
-		t.Fatalf("contact did not revive: %+v", got)
+		t.Fatalf("higher-incarnation alive rumor did not revive: %+v", got)
 	}
 	// And total silence eventually drops it from the table.
 	time.Sleep(350 * time.Millisecond)
@@ -100,6 +108,35 @@ func TestMembershipTimeouts(t *testing.T) {
 	}
 	if changes == 0 {
 		t.Fatal("onChange never fired")
+	}
+}
+
+// Leave announces the node's own death at a bumped incarnation and pins it:
+// the departure rumor must survive the node's continued gossiping (no
+// self-defense) so the ring converges away from it while it hands off.
+func TestMembershipLeave(t *testing.T) {
+	m := testMembership("self", nil)
+	before := stateOf(t, m, "self")
+	m.Leave()
+	got := stateOf(t, m, "self")
+	if got.State != StateDead || got.Incarnation != before.Incarnation+1 {
+		t.Fatalf("leave did not announce death at a higher incarnation: %+v", got)
+	}
+	if !m.Left() {
+		t.Fatal("Left() false after Leave")
+	}
+	if len(m.RingMembers()) != 0 {
+		t.Fatalf("departed self still routable: %v", m.RingMembers())
+	}
+	// The departure rumor echoing back must not trigger self-defense.
+	m.MergeFrom([]Member{{ID: "self", Incarnation: got.Incarnation, State: StateDead}})
+	if got := stateOf(t, m, "self"); got.State != StateDead {
+		t.Fatalf("left node refuted its own departure: %+v", got)
+	}
+	// Leave is idempotent: no further incarnation churn.
+	m.Leave()
+	if again := stateOf(t, m, "self"); again.Incarnation != got.Incarnation {
+		t.Fatalf("second Leave bumped incarnation: %+v", again)
 	}
 }
 

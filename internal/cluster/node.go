@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -54,6 +55,7 @@ type Config struct {
 	GossipFanout        int           // peers contacted per round (default 3)
 	ReplInterval        time.Duration // outbox drain cadence (default 200ms)
 	AntiEntropyInterval time.Duration // partition sync cadence (default 5s)
+	RebalanceInterval   time.Duration // rebalance step cadence (default 500ms)
 	HTTPTimeout         time.Duration // per-request deadline (default 5s)
 
 	Membership MembershipConfig
@@ -102,6 +104,9 @@ func (c *Config) defaults() error {
 	if c.AntiEntropyInterval <= 0 {
 		c.AntiEntropyInterval = 5 * time.Second
 	}
+	if c.RebalanceInterval <= 0 {
+		c.RebalanceInterval = 500 * time.Millisecond
+	}
 	if c.HTTPTimeout <= 0 {
 		c.HTTPTimeout = 5 * time.Second
 	}
@@ -126,6 +131,7 @@ type Node struct {
 	cfg Config
 	st  *server.Store
 	mem *Membership
+	reb *rebalancer
 
 	ring   atomic.Pointer[Ring]
 	client *http.Client
@@ -147,11 +153,12 @@ type Node struct {
 	prevStates   map[string]MemberState
 	lastPartVer  []uint64
 
-	aeRounds  atomic.Uint64
-	forwards  atomic.Uint64
-	replSent  atomic.Uint64
-	replWire  atomic.Uint64 // subset of replSent shipped over the wire protocol
-	replRecvd atomic.Uint64
+	aeRounds    atomic.Uint64
+	forwards    atomic.Uint64
+	replSent    atomic.Uint64
+	replWire    atomic.Uint64 // subset of replSent shipped over the wire protocol
+	replRecvd   atomic.Uint64
+	replDropped atomic.Uint64 // repl keys for partitions neither owned nor frozen
 }
 
 // New builds a Node around an open Store. Call Start to join the cluster.
@@ -184,6 +191,7 @@ func New(st *server.Store, cfg Config) (*Node, error) {
 		n.mem.SetSelfWire(cfg.WireAddr)
 	}
 	n.rebuildRing()
+	n.reb = newRebalancer(n)
 	return n, nil
 }
 
@@ -215,6 +223,7 @@ func (n *Node) Start() {
 	})
 	n.runLoop(n.cfg.ReplInterval, n.drainOutboxes)
 	n.runLoop(n.cfg.AntiEntropyInterval, n.antiEntropyRound)
+	n.runLoop(n.cfg.RebalanceInterval, n.reb.step)
 }
 
 func (n *Node) runLoop(every time.Duration, fn func()) {
@@ -268,9 +277,12 @@ type forwardJob struct {
 // can disagree during membership churn, so without a bound two nodes that
 // each believe the other owns a partition would ping-pong the batch in
 // nested HTTP calls until timeout. A forwarded batch is never forwarded
-// again: partitions this node still does not own are applied locally AND
-// queued to every replica in this node's view, so the events land on the
-// real owners through replication while the chain stays one hop.
+// again: partitions this node still does not own are queued durably to
+// EVERY replica in this node's view — normal coordination minus the local
+// apply — so the events land on the real owners through the replication
+// drain while the chain stays one hop. The ack for those keys is the outbox
+// append (durable intent), not a register apply; docs/CLUSTER.md spells out
+// the delivery guarantee.
 //
 // The returned count is the number of keys acknowledged.
 func (n *Node) Ingest(keys []int, forwarded bool) (int, error) {
@@ -284,6 +296,7 @@ func (n *Node) Ingest(keys []int, forwarded bool) (int, error) {
 	// Classify each partition once, then split the batch in key order.
 	type dest struct {
 		local    bool
+		queueAll bool // forwarded here, yet unowned: outbox to every replica
 		replicas []string
 	}
 	dests := make(map[int]*dest)
@@ -300,36 +313,51 @@ func (n *Node) Ingest(keys []int, forwarded bool) (int, error) {
 					d.local = true
 				}
 			}
-			// A forwarded batch stops here regardless of ownership; an
-			// empty replica set (cannot happen, self is always a member)
-			// also needs a home for the keys.
-			if forwarded || len(reps) == 0 {
+			switch {
+			case len(reps) == 0:
+				// An empty ring (a decommissioned last node) still needs a
+				// home for the keys.
 				d.local = true
+			case forwarded && !d.local:
+				// The forwarder's ring view disagreed with ours. Applying
+				// locally would strand the events on a non-owner (evicted at
+				// the next reconcile); re-forwarding could ping-pong. Queue
+				// to the owners instead.
+				d.queueAll = true
 			}
 			dests[p] = d
 		}
 	}
 	var local []int
 	remote := make(map[int]*forwardJob)
+	queued := make(map[int]*forwardJob)
 	fan := make(map[string][]int)
 	for _, k := range keys {
 		p := snapcodec.PartitionOf(k, nKeys, parts)
 		d := dests[p]
-		if d.local {
+		switch {
+		case d.queueAll:
+			job, ok := queued[p]
+			if !ok {
+				job = &forwardJob{partition: p, replicas: d.replicas}
+				queued[p] = job
+			}
+			job.keys = append(job.keys, k)
+		case d.local:
 			local = append(local, k)
 			for _, r := range d.replicas {
 				if r != n.cfg.Self {
 					fan[r] = append(fan[r], k)
 				}
 			}
-			continue
+		default:
+			job, ok := remote[p]
+			if !ok {
+				job = &forwardJob{partition: p, replicas: d.replicas}
+				remote[p] = job
+			}
+			job.keys = append(job.keys, k)
 		}
-		job, ok := remote[p]
-		if !ok {
-			job = &forwardJob{partition: p, replicas: d.replicas}
-			remote[p] = job
-		}
-		job.keys = append(job.keys, k)
 	}
 
 	applied := 0
@@ -351,6 +379,29 @@ func (n *Node) Ingest(keys []int, forwarded bool) (int, error) {
 				n.cfg.Logf("cluster: queueing %d keys for %s: %v", len(g), peer, err)
 			}
 		}
+	}
+	for _, job := range queued {
+		// Coordination minus the local apply: the keys ack once they sit
+		// durably in at least one owner's outbox (ideally all — each owner's
+		// delivery is that replica's copy).
+		ok := false
+		var lastErr error
+		for _, peer := range job.replicas {
+			ob, err := n.outboxFor(peer)
+			if err == nil {
+				err = ob.append(job.keys)
+			}
+			if err != nil {
+				lastErr = err
+				n.cfg.Logf("cluster: queueing %d forwarded keys for %s: %v", len(job.keys), peer, err)
+				continue
+			}
+			ok = true
+		}
+		if !ok {
+			return applied, fmt.Errorf("cluster: queueing forwarded partition %d: %w", job.partition, lastErr)
+		}
+		applied += len(job.keys)
 	}
 	for _, job := range remote {
 		if err := n.forward(job); err != nil {
@@ -523,27 +574,72 @@ func (n *Node) postKeys(peer, path string, keys []int) error {
 // may bundle many coordinator batches (and a peer's MaxForward may exceed
 // ours), so it slices by the store's own batch cap to never be rejected as
 // oversized.
+//
+// Keys land only in partitions this node owns on its current ring, or holds
+// frozen (a surrendered copy absorbing a stale coordinator's late drain —
+// its frozen registers still hand that history to the new owners). Keys for
+// any other partition are DROPPED, deliberately: this node's copy would be
+// evicted or never read, and redirecting the delivery to the current owners
+// would double-count — every replica of the old ring received its own copy
+// of the event, and each redirected copy would land on the same new owners.
+// Dropping is safe because the event's coordinator applied it to its own
+// registers at ack time, and that copy reaches the new owners through the
+// rebalance transfer or anti-entropy.
 func (n *Node) applyRepl(keys []int) (int, error) {
-	for lo := 0; lo < len(keys); lo += n.st.MaxBatch() {
-		hi := min(lo+n.st.MaxBatch(), len(keys))
-		if err := n.st.Apply(keys[lo:hi]); err != nil {
+	ring := n.ring.Load()
+	nKeys := n.st.Len()
+	parts := n.st.Partitions()
+	keep := keys
+	accepts := make(map[int]bool)
+	filtered := false
+	for _, k := range keys {
+		if k < 0 || k >= nKeys {
+			return 0, fmt.Errorf("%w: key %d out of range [0,%d)", server.ErrBadInput, k, nKeys)
+		}
+		p := snapcodec.PartitionOf(k, nKeys, parts)
+		if _, ok := accepts[p]; !ok {
+			accepts[p] = ring.Owns(n.cfg.Self, p) || n.st.FrozenPartition(p)
+		}
+		if !accepts[p] {
+			filtered = true
+		}
+	}
+	if filtered {
+		keep = make([]int, 0, len(keys))
+		for _, k := range keys {
+			if accepts[snapcodec.PartitionOf(k, nKeys, parts)] {
+				keep = append(keep, k)
+			}
+		}
+		n.replDropped.Add(uint64(len(keys) - len(keep)))
+	}
+	for lo := 0; lo < len(keep); lo += n.st.MaxBatch() {
+		hi := min(lo+n.st.MaxBatch(), len(keep))
+		if err := n.st.Apply(keep[lo:hi]); err != nil {
 			return lo, err
 		}
 	}
-	n.replRecvd.Add(uint64(len(keys)))
+	n.replRecvd.Add(uint64(len(keep)))
+	// The sender's chunk is fully handled either way; acknowledging the
+	// drops keeps its outbox moving.
 	return len(keys), nil
 }
 
 // WireSink adapts the node to the wire server's ingest interface: BATCH
 // frames coordinate across the ring exactly like POST /inc, REPL frames
-// replica-apply exactly like POST /cluster/repl. Both transports share the
-// WAL-stage+apply path underneath, so recovery replays them identically.
+// replica-apply exactly like POST /cluster/repl, and FETCH frames serve
+// rebalance partition handoffs exactly like GET /cluster/handoff. All
+// transports share the WAL-stage+apply path underneath, so recovery replays
+// them identically.
 func (n *Node) WireSink() wire.Sink { return nodeSink{n} }
 
 type nodeSink struct{ n *Node }
 
 func (s nodeSink) Batch(keys []int) (int, error) { return s.n.Ingest(keys, false) }
 func (s nodeSink) Repl(keys []int) (int, error)  { return s.n.applyRepl(keys) }
+func (s nodeSink) Fetch(partition int, ringVer uint64) (byte, []byte, error) {
+	return s.n.reb.serve(partition, ringVer)
+}
 
 // --- gossip -------------------------------------------------------------
 
@@ -591,18 +687,22 @@ func (n *Node) gossipWith(peer string) {
 
 // RingInfo is the GET /cluster/ring payload: everything a smart client
 // needs to build the identical ring and route without coordination.
+// Version fingerprints the member set (Ring.Version, hex) so a client can
+// tell at a glance whether its cached ring is stale.
 type RingInfo struct {
 	Self       string   `json:"self"`
 	N          int      `json:"n"`
 	Partitions int      `json:"partitions"`
 	RF         int      `json:"rf"`
 	VNodes     int      `json:"vnodes"`
+	Version    string   `json:"version"`
 	Members    []Member `json:"members"`
 }
 
 // Info is the GET /cluster/info payload.
 type Info struct {
 	Self          string           `json:"self"`
+	RingVersion   string           `json:"ringVersion"`
 	Members       []Member         `json:"members"`
 	OwnedParts    []int            `json:"ownedPartitions"`
 	OutboxPending map[string]int64 `json:"outboxPending"`
@@ -611,26 +711,42 @@ type Info struct {
 	ReplSent      uint64           `json:"replKeysSent"`
 	ReplWire      uint64           `json:"replKeysWire"`
 	ReplReceived  uint64           `json:"replKeysReceived"`
+	ReplDropped   uint64           `json:"replKeysDropped"`
 }
 
 // Handler returns the node's full HTTP surface: the cluster admin API plus
 // the store API (internal/server), with POST /inc re-routed through the
 // cluster write path.
 //
-//	POST /inc             coordinate a batch across the ring (ack = durable
-//	                      on ≥1 replica, queued to the rest)
-//	POST /cluster/repl    replica-apply a batch locally (no re-fan-out)
-//	POST /cluster/gossip  member-table exchange
-//	GET  /cluster/ring    RingInfo for smart clients
-//	GET  /cluster/info    membership/replication introspection
-//	(everything else)     internal/server.Handler
+//	POST /inc                     coordinate a batch across the ring (ack =
+//	                              durable on ≥1 replica, queued to the rest)
+//	POST /cluster/repl            replica-apply a batch locally (no re-fan-out)
+//	POST /cluster/gossip          member-table exchange
+//	GET  /cluster/ring            RingInfo for smart clients
+//	GET  /cluster/info            membership/replication introspection
+//	GET  /cluster/rebalance       RebalanceStatus: per-partition transfer
+//	                              progress and handoff offers
+//	GET  /cluster/handoff/{p}     one partition's snapshot for a rebalance
+//	                              pull (?ring=<hex> fences the puller's view;
+//	                              X-Handoff-Role: owner|frozen)
+//	GET  /estimate/{key}          store read, but 421 while the key's
+//	                              partition awaits its rebalance install
+//	GET  /topk                    store read, but 421 when ?partition= is
+//	                              pending (unscoped top-k is served as-is)
+//	(everything else)             internal/server.Handler
 //
 // Like the store surface, every route is also served under /v1/ — and the
 // cluster's own routes MUST shadow the store's on both prefixes, or a
 // /v1/inc would fall through to the store handler and count locally without
 // ring coordination.
+//
+// GET /snapshot/{p} is deliberately NOT 421-shadowed: anti-entropy repair
+// pulls it peer-to-peer and must keep working mid-rebalance. /estimates is
+// not shadowed either — a cluster-wide register dump is an explicitly
+// approximate merge surface, documented to tolerate in-flight transfers.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
+	storeH := server.Handler(n.st)
 	handle := func(method, path string, h http.HandlerFunc) {
 		mux.HandleFunc(method+" /v1"+path, h)
 		mux.HandleFunc(method+" "+path, h) // legacy unprefixed alias
@@ -690,20 +806,126 @@ func (n *Node) Handler() http.Handler {
 			Partitions: n.st.Partitions(),
 			RF:         n.cfg.RF,
 			VNodes:     n.cfg.VNodes,
+			Version:    fmt.Sprintf("%016x", n.ring.Load().Version()),
 			Members:    n.mem.Snapshot(),
 		})
 	})
 	handle("GET", "/cluster/info", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, n.info())
 	})
-	mux.Handle("/", server.Handler(n.st))
+	handle("GET", "/cluster/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, n.reb.status())
+	})
+	handle("GET", "/cluster/handoff/{partition}", func(w http.ResponseWriter, r *http.Request) {
+		p, err := strconv.Atoi(r.PathValue("partition"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition: %w", err))
+			return
+		}
+		ver, err := strconv.ParseUint(r.URL.Query().Get("ring"), 16, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad ring version: %w", err))
+			return
+		}
+		role, blob, err := n.reb.serve(p, ver)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		roleName := "owner"
+		if role == wire.RoleFrozen {
+			roleName = "frozen"
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Handoff-Role", roleName)
+		w.Write(blob)
+	})
+	// Read shadowing: a partition awaiting its rebalance install answers 421
+	// (Misdirected Request) so smart clients refresh their ring and re-route
+	// to a warm owner instead of reading a cold copy.
+	handle("GET", "/estimate/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if key, err := strconv.Atoi(r.PathValue("key")); err == nil && key >= 0 && key < n.st.Len() {
+			p := snapcodec.PartitionOf(key, n.st.Len(), n.st.Partitions())
+			if n.st.PendingPartition(p) {
+				httpError(w, http.StatusMisdirectedRequest,
+					fmt.Errorf("partition %d is rebalancing onto this node; retry a warm replica", p))
+				return
+			}
+		}
+		storeH.ServeHTTP(w, r)
+	})
+	handle("GET", "/topk", func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("partition"); q != "" {
+			if p, err := strconv.Atoi(q); err == nil && n.st.PendingPartition(p) {
+				httpError(w, http.StatusMisdirectedRequest,
+					fmt.Errorf("partition %d is rebalancing onto this node; retry a warm replica", p))
+				return
+			}
+		}
+		storeH.ServeHTTP(w, r)
+	})
+	mux.Handle("/", storeH)
 	return mux
+}
+
+// Drain flushes every per-peer outbox, returning when all are empty or ctx
+// expires. It does not stop the node: the replication loop keeps running
+// and new writes keep being accepted — callers sequence their own shutdown
+// around it.
+func (n *Node) Drain(ctx context.Context) error {
+	for {
+		n.drainOutboxes()
+		if n.outboxesEmpty() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: drain: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (n *Node) outboxesEmpty() bool {
+	n.obMu.Lock()
+	defer n.obMu.Unlock()
+	for _, o := range n.outboxes {
+		if o.pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decommission removes this node from the ring and hands its state off: it
+// marks itself left (gossip spreads the departure), keeps serving reads and
+// handoff pulls while every surrendered partition transfers to its new
+// owners, then drains the outboxes. The caller keeps the HTTP and wire
+// listeners up until Decommission returns, then stops the node and exits.
+// Returns ctx's error if the handoff cannot finish in time — state is still
+// intact and a restart rejoins cleanly.
+func (n *Node) Decommission(ctx context.Context) error {
+	n.mem.Leave()
+	n.gossipRound() // push the departure now; don't wait a gossip interval
+	for {
+		n.reb.step()
+		if n.reb.idle() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: decommission handoff: %w", ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return n.Drain(ctx)
 }
 
 func (n *Node) info() Info {
 	ring := n.ring.Load()
 	info := Info{
 		Self:          n.cfg.Self,
+		RingVersion:   fmt.Sprintf("%016x", ring.Version()),
 		Members:       n.mem.Snapshot(),
 		OutboxPending: make(map[string]int64),
 		AERounds:      n.aeRounds.Load(),
@@ -711,6 +933,7 @@ func (n *Node) info() Info {
 		ReplSent:      n.replSent.Load(),
 		ReplWire:      n.replWire.Load(),
 		ReplReceived:  n.replRecvd.Load(),
+		ReplDropped:   n.replDropped.Load(),
 	}
 	for p := 0; p < n.st.Partitions(); p++ {
 		if ring.Owns(n.cfg.Self, p) {
@@ -749,9 +972,24 @@ func readKeys(w http.ResponseWriter, r *http.Request) ([]int, bool) {
 	return keys, true
 }
 
-// statusFor delegates to the store surface's classifier so both layers
-// (and the wire transport) share one error taxonomy.
-func statusFor(err error) int { return server.StatusFor(err) }
+// statusFor extends the store surface's classifier with the rebalance
+// handoff errors, so both layers (and the wire transport) share one error
+// taxonomy: not-a-source is 409 (retry after convergence), a malformed
+// handoff request is 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errNotSource):
+		return http.StatusConflict
+	case errors.Is(err, errBadHandoff):
+		return http.StatusBadRequest
+	}
+	return server.StatusFor(err)
+}
+
+// StatusFor is the node-level error classifier, exported for wire-server
+// configuration (ServerConfig.ErrorCode) so ERROR frames carry the same
+// codes the HTTP surface answers.
+func StatusFor(err error) int { return statusFor(err) }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -112,6 +112,29 @@ func NewRing(members []string, rf, vnodes int) *Ring {
 // Members returns the ring's member set, sorted.
 func (r *Ring) Members() []string { return r.members }
 
+// Version returns a stable fingerprint of the ring's routing inputs —
+// member set, rf, vnodes. Because routing is a pure function of those
+// inputs, two nodes (or a node and a client) reporting the same version
+// answer every Replicas/Owns query identically; the rebalance handoff uses
+// that to refuse transfers between nodes whose gossip has not converged
+// yet. The empty ring has version 0.
+func (r *Ring) Version() uint64 {
+	if len(r.members) == 0 {
+		return 0
+	}
+	h := hash64(fmt.Sprintf("ring/%d/%d/%d", r.rf, r.vnodes, len(r.members)))
+	for _, m := range r.members {
+		// Length-prefix each member so concatenations cannot collide.
+		h ^= hash64(fmt.Sprintf("%d:%s", len(m), m))
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	if h == 0 {
+		h = 1 // 0 is reserved for the empty ring
+	}
+	return h
+}
+
 // RF returns the effective replication factor (clamped to the member count
 // at lookup time).
 func (r *Ring) RF() int { return r.rf }

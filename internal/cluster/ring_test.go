@@ -94,6 +94,153 @@ func TestRingStabilityOnMembershipChange(t *testing.T) {
 	}
 }
 
+// The rebalancer routes, fences, and confirms transfers purely from each
+// node's locally built ring, so determinism has to hold for FULL replica
+// sets (not just primaries) across arbitrary member orderings, and the
+// version fingerprint has to agree exactly when routing agrees.
+func TestRingDeterminismAndVersionAcrossPermutations(t *testing.T) {
+	members := []string{
+		"http://10.0.0.1:8347", "http://10.0.0.2:8347", "http://10.0.0.3:8347",
+		"http://10.0.0.4:8347", "http://10.0.0.5:8347", "http://10.0.0.6:8347",
+	}
+	const parts = 256
+	base := NewRing(members, 2, DefaultVNodes)
+	perm := append([]string(nil), members...)
+	for trial := 0; trial < 8; trial++ {
+		// Deterministic shuffle: rotate and swap by a simple schedule.
+		perm = append(perm[1:], perm[0])
+		i, j := trial%len(perm), (trial*3+1)%len(perm)
+		perm[i], perm[j] = perm[j], perm[i]
+		r := NewRing(perm, 2, DefaultVNodes)
+		if r.Version() != base.Version() {
+			t.Fatalf("trial %d: version %016x != %016x for reordered member set", trial, r.Version(), base.Version())
+		}
+		for p := 0; p < parts; p++ {
+			if fmt.Sprint(r.Replicas(p)) != fmt.Sprint(base.Replicas(p)) {
+				t.Fatalf("trial %d partition %d: %v vs %v for reordered member set",
+					trial, p, r.Replicas(p), base.Replicas(p))
+			}
+		}
+	}
+	// Different membership, rf, or vnodes must not collide on version.
+	if NewRing(members[:5], 2, DefaultVNodes).Version() == base.Version() {
+		t.Fatal("version unchanged after dropping a member")
+	}
+	if NewRing(members, 3, DefaultVNodes).Version() == base.Version() {
+		t.Fatal("version unchanged after changing rf")
+	}
+	if got := NewRing(nil, 2, DefaultVNodes).Version(); got != 0 {
+		t.Fatalf("empty ring version = %016x, want 0", got)
+	}
+}
+
+// A single join must behave like consistent hashing promises: every
+// partition's new replica set is a subset of the old set plus the joiner
+// (so at least one continuing owner always exists to serve as a warm
+// handoff source), and the joiner takes roughly its 1/n fair share of
+// ownership slots — not a wholesale reshuffle.
+func TestRingSingleJoinMovementBounded(t *testing.T) {
+	members := []string{
+		"http://10.0.0.1:8347", "http://10.0.0.2:8347", "http://10.0.0.3:8347",
+		"http://10.0.0.4:8347", "http://10.0.0.5:8347",
+	}
+	const joiner = "http://10.0.0.6:8347"
+	const parts, rf = 256, 2
+	before := NewRing(members, rf, DefaultVNodes)
+	after := NewRing(append(append([]string(nil), members...), joiner), rf, DefaultVNodes)
+
+	changed, joinerSlots := 0, 0
+	for p := 0; p < parts; p++ {
+		old := map[string]bool{}
+		for _, m := range before.Replicas(p) {
+			old[m] = true
+		}
+		continuing := 0
+		for _, m := range after.Replicas(p) {
+			switch {
+			case m == joiner:
+				joinerSlots++
+			case old[m]:
+				continuing++
+			default:
+				t.Fatalf("partition %d: replica %s is neither a prior owner nor the joiner (%v -> %v)",
+					p, m, before.Replicas(p), after.Replicas(p))
+			}
+		}
+		if continuing == 0 {
+			t.Fatalf("partition %d lost every continuing owner on a single join (%v -> %v)",
+				p, before.Replicas(p), after.Replicas(p))
+		}
+		if fmt.Sprint(before.Replicas(p)) != fmt.Sprint(after.Replicas(p)) {
+			changed++
+		}
+	}
+	fair := parts * rf / (len(members) + 1) // joiner's fair share of ownership slots
+	if joinerSlots == 0 || joinerSlots > 3*fair {
+		t.Fatalf("joiner took %d ownership slots, fair share is %d", joinerSlots, fair)
+	}
+	// Each changed partition involves the joiner (proved by the subset check
+	// above), so the changed count tracks the joiner's share, not O(parts).
+	if changed > 3*fair {
+		t.Fatalf("%d/%d partitions changed replica sets on a single join (fair share %d)", changed, parts, fair)
+	}
+	t.Logf("single join: %d/%d partitions changed, joiner took %d/%d slots (fair %d)",
+		changed, parts, joinerSlots, parts*rf, fair)
+}
+
+// A single leave is the mirror image: survivors keep every slot they had
+// (replica sets only grow by inheriting the leaver's share), partitions the
+// leaver did not own are untouched, and the movement is the leaver's ≈1/n
+// share.
+func TestRingSingleLeaveMovementBounded(t *testing.T) {
+	members := []string{
+		"http://10.0.0.1:8347", "http://10.0.0.2:8347", "http://10.0.0.3:8347",
+		"http://10.0.0.4:8347", "http://10.0.0.5:8347", "http://10.0.0.6:8347",
+	}
+	leaver := members[2]
+	var survivors []string
+	for _, m := range members {
+		if m != leaver {
+			survivors = append(survivors, m)
+		}
+	}
+	const parts, rf = 256, 2
+	before := NewRing(members, rf, DefaultVNodes)
+	after := NewRing(survivors, rf, DefaultVNodes)
+
+	changed := 0
+	for p := 0; p < parts; p++ {
+		old := before.Replicas(p)
+		now := map[string]bool{}
+		for _, m := range after.Replicas(p) {
+			now[m] = true
+		}
+		hadLeaver := false
+		for _, m := range old {
+			if m == leaver {
+				hadLeaver = true
+				continue
+			}
+			if !now[m] {
+				t.Fatalf("partition %d: surviving replica %s lost its slot on an unrelated leave (%v -> %v)",
+					p, m, old, after.Replicas(p))
+			}
+		}
+		if !hadLeaver {
+			if fmt.Sprint(old) != fmt.Sprint(after.Replicas(p)) {
+				t.Fatalf("partition %d changed without owning the leaver (%v -> %v)", p, old, after.Replicas(p))
+			}
+			continue
+		}
+		changed++
+	}
+	fair := parts * rf / len(members) // the leaver's fair share of ownership slots
+	if changed == 0 || changed > 3*fair {
+		t.Fatalf("%d/%d partitions moved on a single leave, fair share is %d", changed, parts, fair)
+	}
+	t.Logf("single leave: %d/%d partitions inherited a slot (fair %d)", changed, parts, fair)
+}
+
 func firstOwnedBy(r *Ring, m string, parts int) int {
 	for p := 0; p < parts; p++ {
 		if r.Owns(m, p) {

@@ -217,3 +217,9 @@ func (e *BankEngine) Merge(snap *snapcodec.Snapshot) error {
 func (e *BankEngine) MergeMax(snap *snapcodec.Snapshot) error {
 	return e.b.MergeMaxRange(peerRange(snap), snap.Registers)
 }
+
+// ResetRange implements Engine: zeroes the registers of [lo, hi)
+// (shardbank.ResetRange) — the partition evict after a rebalance handoff.
+func (e *BankEngine) ResetRange(lo, hi int) error {
+	return e.b.ResetRange(lo, hi)
+}

@@ -129,6 +129,14 @@ type Engine interface {
 	// MergeMax folds a checked peer snapshot via the engine's idempotent
 	// same-stream replica join. Draws no randomness.
 	MergeMax(snap *snapcodec.Snapshot) error
+
+	// ResetRange zeroes the sketch state of keys [lo, hi) — the partition
+	// evict behind the cluster's rebalance handoff: a surrendered
+	// partition's registers are truncated once its new owners confirm
+	// install, so stale copies can never max-join back in. The range must
+	// be aligned for engines with AlignPartitions > 0. Draws no randomness,
+	// so WAL-logged evicts replay bit-identically.
+	ResetRange(lo, hi int) error
 }
 
 // FromSnapshot reconstructs the engine a snapshot was captured from — the

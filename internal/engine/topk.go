@@ -407,6 +407,24 @@ func (e *TopKEngine) MergeMax(snap *snapcodec.Snapshot) error {
 	return e.merge(snap, false)
 }
 
+// ResetRange implements Engine: replaces each aligned shard's summary with
+// a fresh empty one — the partition evict after a rebalance handoff. The
+// shard generator streams keep their positions (replay determinism: an
+// evict draws nothing).
+func (e *TopKEngine) ResetRange(lo, hi int) error {
+	s0, s1, err := e.checkAligned(lo, hi)
+	if err != nil {
+		return err
+	}
+	for s := s0; s < s1; s++ {
+		sh := e.shards[s]
+		sh.mu.Lock()
+		sh.sum = heavyhitters.NewSummary(e.alg, e.k)
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
 func (e *TopKEngine) merge(snap *snapcodec.Snapshot, disjoint bool) error {
 	pl, err := parseTopKPayload(snap.Payload, e.n, e.parts, e.alg.Width())
 	if err != nil {

@@ -683,6 +683,30 @@ func (e *WindowEngine) MergeMax(snap *snapcodec.Snapshot) error {
 	return e.merge(snap, false)
 }
 
+// ResetRange implements Engine: zeroes every bucket's registers for the
+// aligned shard range — the partition evict after a rebalance handoff. The
+// bucket ring structure (slot epochs, logical clock) and the generator
+// streams are preserved: an emptied shard at epoch e is a valid state, and
+// the evict draws no randomness, so WAL replay is exact.
+func (e *WindowEngine) ResetRange(lo, hi int) error {
+	s0, s1, err := e.checkAligned(lo, hi)
+	if err != nil {
+		return err
+	}
+	for s := s0; s < s1; s++ {
+		sh := e.shards[s]
+		sh.mu.Lock()
+		span := sh.hi - sh.lo
+		for _, arr := range sh.regs {
+			for i := 0; i < span; i++ {
+				arr.Set(i, 0)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
 func (e *WindowEngine) merge(snap *snapcodec.Snapshot, disjoint bool) error {
 	pl, err := parseWindowPayload(snap, e.n, e.parts)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -812,4 +813,102 @@ func TestPartitionMergeScoped(t *testing.T) {
 	if st.Stats().Merges != 1 {
 		t.Fatalf("merges = %d", st.Stats().Merges)
 	}
+}
+
+// Ownership records are the rebalancer's durable memory: the recorded
+// ring/pending/frozen/owned state must survive a restart, an install must
+// clear its pending mark on replay too (so a crashed node never
+// disjoint-merges the same history twice), an evict must stay evicted, and
+// a checkpoint must re-stage the record so WAL truncation cannot lose it.
+func TestOwnershipSurvivesRestartAndCheckpoint(t *testing.T) {
+	cfg := testConfig(t, 500)
+	cfg.Partitions = 8
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, _, _, ok := st.Ownership(); ok {
+		t.Fatal("fresh store claims an ownership epoch")
+	}
+	if !st.Fresh() {
+		t.Fatal("empty store not Fresh")
+	}
+
+	const ring = uint64(0xabcdef0123456789)
+	if err := st.SetOwnership(ring, []int{1, 2}, []int{3}, []int{0, 1, 2, 4}); err != nil {
+		t.Fatalf("set ownership: %v", err)
+	}
+	if !st.PendingPartition(1) || !st.PendingPartition(2) || st.PendingPartition(0) {
+		t.Fatal("pending lookups disagree with the record")
+	}
+	if !st.FrozenPartition(3) || st.FrozenPartition(1) {
+		t.Fatal("frozen lookups disagree with the record")
+	}
+
+	// An install of partition 1 (a disjoint frozen copy from a donor with
+	// the same shape) must clear that partition's pending mark.
+	donorCfg := testConfig(t, cfg.N)
+	donorCfg.Partitions = cfg.Partitions
+	donor, err := Open(donorCfg)
+	if err != nil {
+		t.Fatalf("open donor: %v", err)
+	}
+	lo, hi := snapcodec.PartitionRange(cfg.N, cfg.Partitions, 1)
+	keys := make([]int, 0, 64)
+	for k := lo; k < hi; k++ {
+		keys = append(keys, k)
+	}
+	if err := donor.Apply(keys); err != nil {
+		t.Fatalf("donor apply: %v", err)
+	}
+	var blob bytes.Buffer
+	if err := donor.PartitionSnapshotTo(&blob, 1); err != nil {
+		t.Fatalf("donor snapshot: %v", err)
+	}
+	if err := donor.Close(false); err != nil {
+		t.Fatalf("donor close: %v", err)
+	}
+	if err := st.InstallPartition(blob.Bytes(), true); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if st.PendingPartition(1) {
+		t.Fatal("install did not clear the pending mark")
+	}
+	if err := st.EvictPartition(3); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	if st.FrozenPartition(3) {
+		t.Fatal("evict did not clear the frozen mark")
+	}
+	if err := st.Close(false); err != nil { // no checkpoint: pure WAL replay
+		t.Fatalf("close: %v", err)
+	}
+
+	assertOwnership := func(label string, st *Store) {
+		t.Helper()
+		gotRing, pending, frozen, owned, ok := st.Ownership()
+		if !ok || gotRing != ring {
+			t.Fatalf("%s: ring %016x ok=%v, want %016x", label, gotRing, ok, ring)
+		}
+		if fmt.Sprint(pending) != "[2]" || fmt.Sprint(frozen) != "[]" || fmt.Sprint(owned) != "[0 1 2 4]" {
+			t.Fatalf("%s: pending=%v frozen=%v owned=%v", label, pending, frozen, owned)
+		}
+	}
+	st2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	assertOwnership("after WAL replay", st2)
+	if st2.Fresh() {
+		t.Fatal("recovered store claims Fresh")
+	}
+	if err := st2.Close(true); err != nil { // checkpoint: WAL truncates
+		t.Fatalf("close with checkpoint: %v", err)
+	}
+	st3, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen after checkpoint: %v", err)
+	}
+	defer st3.Close(false)
+	assertOwnership("after checkpoint", st3)
 }

@@ -127,11 +127,24 @@ type Store struct {
 	// should not be force-merged (see internal/cluster).
 	partVer []atomic.Uint64
 
+	// Rebalance ownership state (internal/cluster): the last RecOwn epoch
+	// minus installs observed since (merge records carry the partition they
+	// landed in), plus the partitions still held frozen for surrender.
+	// Mirrors the log both live and on replay, so a crashed node recovers
+	// exactly which transfers it still owes or is owed.
+	ownMu      sync.Mutex
+	ownRing    uint64
+	ownPending map[int]bool
+	ownFrozen  map[int]bool
+	ownOwned   map[int]bool
+	ownLogged  bool
+
 	ckptSeq   atomic.Uint64 // WAL segment tagged by the newest checkpoint
 	batches   atomic.Uint64
 	keys      atomic.Uint64
 	merges    atomic.Uint64
 	mergeMaxs atomic.Uint64
+	evicts    atomic.Uint64
 	ticks     atomic.Uint64
 	lastCkpt  atomic.Int64 // unix nanos of last successful checkpoint
 	recovered wal.ReplayStats
@@ -241,6 +254,9 @@ func Open(cfg Config) (*Store, error) {
 	}
 
 	st.partVer = make([]atomic.Uint64, st.cfg.Partitions)
+	st.ownPending = make(map[int]bool)
+	st.ownFrozen = make(map[int]bool)
+	st.ownOwned = make(map[int]bool)
 
 	st.recovered, err = wal.Replay(cfg.Dir, st.ckptSeq.Load(), st.applyRecord)
 	if err != nil {
@@ -284,6 +300,7 @@ func (st *Store) applyRecord(rec wal.Record) error {
 		if err := st.eng.Merge(snap); err != nil {
 			return fmt.Errorf("server: replayed merge: %w", err)
 		}
+		st.noteInstall(snap)
 		st.merges.Add(1)
 	case wal.RecMergeMax:
 		snap, err := st.decodePeer(rec.Blob, false)
@@ -293,7 +310,38 @@ func (st *Store) applyRecord(rec wal.Record) error {
 		if err := st.eng.MergeMax(snap); err != nil {
 			return fmt.Errorf("server: replayed merge-max: %w", err)
 		}
+		st.noteInstall(snap)
 		st.mergeMaxs.Add(1)
+	case wal.RecOwn:
+		st.ownMu.Lock()
+		st.ownRing = rec.Epoch
+		st.ownPending = make(map[int]bool, len(rec.Keys))
+		for _, p := range rec.Keys {
+			st.ownPending[p] = true
+		}
+		st.ownFrozen = make(map[int]bool, len(rec.Parts))
+		for _, p := range rec.Parts {
+			st.ownFrozen[p] = true
+		}
+		st.ownOwned = make(map[int]bool, len(rec.Owned))
+		for _, p := range rec.Owned {
+			st.ownOwned[p] = true
+		}
+		st.ownLogged = true
+		st.ownMu.Unlock()
+	case wal.RecEvict:
+		p := int(rec.Epoch)
+		if p < 0 || p >= st.cfg.Partitions {
+			return fmt.Errorf("server: replayed evict of partition %d out of [0, %d)", p, st.cfg.Partitions)
+		}
+		lo, hi := snapcodec.PartitionRange(st.eng.Len(), st.cfg.Partitions, p)
+		if err := st.eng.ResetRange(lo, hi); err != nil {
+			return fmt.Errorf("server: replayed evict: %w", err)
+		}
+		st.ownMu.Lock()
+		delete(st.ownFrozen, p)
+		st.ownMu.Unlock()
+		st.evicts.Add(1)
 	case wal.RecTick:
 		if st.windowed == nil {
 			return fmt.Errorf("server: replayed tick to epoch %d on non-windowed engine %q",
@@ -526,7 +574,211 @@ func (st *Store) mergeBlob(blob []byte, rec byte) error {
 	}
 	lo, hi := st.peerSpan(snap)
 	st.bumpRange(lo, hi)
+	st.noteInstall(snap)
 	if rec == wal.RecMerge {
+		st.merges.Add(1)
+	} else {
+		st.mergeMaxs.Add(1)
+	}
+	return st.log.Commit(ticket)
+}
+
+// noteInstall clears a partition's pending-install mark when a merge lands
+// in it. Mirrored on replay, so recovery re-derives the pending set as
+// "last RecOwn minus merges logged after it" — a crashed node never
+// re-pulls (and disjoint-merges twice) a partition whose install already
+// committed.
+func (st *Store) noteInstall(snap *snapcodec.Snapshot) {
+	if !snap.IsPartition() || snap.Parts != st.cfg.Partitions {
+		return
+	}
+	st.ownMu.Lock()
+	delete(st.ownPending, snap.Partition)
+	st.ownMu.Unlock()
+}
+
+// sortedKeys flattens a partition set into a sorted list, so re-logged
+// ownership records are byte-stable.
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SetOwnership durably records the rebalance state at a ring version: the
+// partitions this node still has to install (pending), the partitions it
+// holds frozen for surrender, and the partitions it owns on that ring.
+// Staged under the write lock so the record's position in the log is
+// consistent with the merges and evicts around it.
+func (st *Store) SetOwnership(ring uint64, pending, frozen, owned []int) error {
+	for _, list := range [][]int{pending, frozen, owned} {
+		for _, p := range list {
+			if p < 0 || p >= st.cfg.Partitions {
+				return fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, p, st.cfg.Partitions)
+			}
+		}
+	}
+	st.writeMu.Lock()
+	ticket, err := st.log.Stage(wal.Record{Type: wal.RecOwn, Epoch: ring, Keys: pending, Parts: frozen, Owned: owned})
+	if err == nil {
+		st.ownMu.Lock()
+		st.ownRing = ring
+		st.ownPending = make(map[int]bool, len(pending))
+		for _, p := range pending {
+			st.ownPending[p] = true
+		}
+		st.ownFrozen = make(map[int]bool, len(frozen))
+		for _, p := range frozen {
+			st.ownFrozen[p] = true
+		}
+		st.ownOwned = make(map[int]bool, len(owned))
+		for _, p := range owned {
+			st.ownOwned[p] = true
+		}
+		st.ownLogged = true
+		st.ownMu.Unlock()
+	}
+	st.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return st.log.Commit(ticket)
+}
+
+// Ownership returns the durable rebalance state: the ring version of the
+// last recorded epoch, the partitions still pending install, the partitions
+// held frozen for surrender, and the partitions owned on the recorded ring.
+// ok is false when no ownership epoch was ever logged (a store that has
+// never rebalanced).
+func (st *Store) Ownership() (ring uint64, pending, frozen, owned []int, ok bool) {
+	st.ownMu.Lock()
+	defer st.ownMu.Unlock()
+	if !st.ownLogged {
+		return 0, nil, nil, nil, false
+	}
+	for p := range st.ownPending {
+		pending = append(pending, p)
+	}
+	for p := range st.ownFrozen {
+		frozen = append(frozen, p)
+	}
+	for p := range st.ownOwned {
+		owned = append(owned, p)
+	}
+	sort.Ints(pending)
+	sort.Ints(frozen)
+	sort.Ints(owned)
+	return st.ownRing, pending, frozen, owned, true
+}
+
+// PendingPartition reports whether partition p is still awaiting its
+// rebalance install — the per-read check behind the cluster layer's 421
+// shadowing, so it is a single map lookup.
+func (st *Store) PendingPartition(p int) bool {
+	st.ownMu.Lock()
+	defer st.ownMu.Unlock()
+	return st.ownPending[p]
+}
+
+// FrozenPartition reports whether partition p is a surrendered copy this
+// store still holds for handoff — the per-key check behind the cluster
+// layer's replica-apply routing, so it is a single map lookup.
+func (st *Store) FrozenPartition(p int) bool {
+	st.ownMu.Lock()
+	defer st.ownMu.Unlock()
+	return st.ownFrozen[p]
+}
+
+// EvictPartition truncates partition p's sketch state — the final step of a
+// rebalance surrender, after every new owner confirmed its install. The
+// evict is WAL-logged before the reset (log order = apply order, like every
+// mutation), so recovery replays it at the same point and the truncated
+// registers stay truncated.
+func (st *Store) EvictPartition(p int) error {
+	if p < 0 || p >= st.cfg.Partitions {
+		return fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, p, st.cfg.Partitions)
+	}
+	lo, hi := snapcodec.PartitionRange(st.eng.Len(), st.cfg.Partitions, p)
+	st.writeMu.Lock()
+	ticket, err := st.log.Stage(wal.Record{Type: wal.RecEvict, Epoch: uint64(p)})
+	var resetErr error
+	if err == nil {
+		resetErr = st.eng.ResetRange(lo, hi)
+	}
+	st.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if resetErr != nil {
+		// The range is partition-aligned and in bounds, so this is
+		// unreachable short of a bug; report without poisoning anything.
+		return resetErr
+	}
+	st.ownMu.Lock()
+	delete(st.ownFrozen, p)
+	st.ownMu.Unlock()
+	st.bumpRange(lo, hi)
+	st.evicts.Add(1)
+	return st.log.Commit(ticket)
+}
+
+// Fresh reports whether the store started from nothing: no checkpoint and
+// an empty WAL. The rebalancer uses it to pick its ownership baseline — a
+// fresh node owes itself an install of everything it owns, an existing one
+// only what its ownership records say.
+func (st *Store) Fresh() bool { return !st.fromSnap && st.recovered.Records == 0 }
+
+// InstallPartition folds one pulled partition snapshot into the store — the
+// receive half of a rebalance handoff. With disjoint=false the source was a
+// live owner whose copy absorbed the same logical stream, so the install is
+// the idempotent replica max-join. With disjoint=true the source was a
+// frozen surrendered copy: its stream (everything up to the ownership flip)
+// and the local partition's post-flip absorption are disjoint, so the
+// install is the Remark 2.4 merge ON TOP of the local registers — the local
+// side keeps the post-flip writes it coordinated while pending, and the
+// frozen copy contributes the history. The merge record's replay re-derives
+// both halves in the same order, and because the pending mark clears with
+// the same record (noteInstall), a crashed node can never pull and
+// disjoint-merge the same history twice.
+func (st *Store) InstallPartition(blob []byte, disjoint bool) error {
+	snap, err := st.decodePeer(blob, disjoint)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	if !snap.IsPartition() || snap.Parts != st.cfg.Partitions {
+		return fmt.Errorf("%w: install needs a partition snapshot of the local %d-way split",
+			ErrBadInput, st.cfg.Partitions)
+	}
+	lo, hi := st.peerSpan(snap)
+	rec := wal.RecMergeMax
+	if disjoint {
+		rec = wal.RecMerge
+	}
+	st.writeMu.Lock()
+	ticket, err := st.log.Stage(wal.Record{Type: rec, Blob: blob})
+	var applyErr error
+	if err == nil {
+		if disjoint {
+			applyErr = st.eng.Merge(snap)
+		} else {
+			applyErr = st.eng.MergeMax(snap)
+		}
+	}
+	st.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if applyErr != nil {
+		// decodePeer pre-validated the snapshot and the range is aligned, so
+		// this is unreachable short of a bug; report without poisoning.
+		return applyErr
+	}
+	st.bumpRange(lo, hi)
+	st.noteInstall(snap)
+	if disjoint {
 		st.merges.Add(1)
 	} else {
 		st.mergeMaxs.Add(1)
@@ -696,10 +948,35 @@ func (st *Store) Checkpoint() error {
 		st.writeMu.Unlock()
 		return err
 	}
+	// Re-log the ownership epoch into the fresh segment: the truncation
+	// below drops every older record, and a restart mid-rebalance must still
+	// see which transfers are owed. The engine snapshot taken next already
+	// reflects every record before this one, so replaying it is pure
+	// metadata.
+	var ownTicket uint64
+	var ownStaged bool
+	st.ownMu.Lock()
+	if st.ownLogged {
+		rec := wal.Record{Type: wal.RecOwn, Epoch: st.ownRing,
+			Keys: sortedKeys(st.ownPending), Parts: sortedKeys(st.ownFrozen), Owned: sortedKeys(st.ownOwned)}
+		st.ownMu.Unlock()
+		if ownTicket, err = st.log.Stage(rec); err != nil {
+			st.writeMu.Unlock()
+			return err
+		}
+		ownStaged = true
+	} else {
+		st.ownMu.Unlock()
+	}
 	snap, err := st.eng.Snapshot(0, 0, true)
 	st.writeMu.Unlock()
 	if err != nil {
 		return err
+	}
+	if ownStaged {
+		if err := st.log.Commit(ownTicket); err != nil {
+			return err
+		}
 	}
 
 	path := snapPath(st.cfg.Dir, seq)
@@ -782,6 +1059,7 @@ type Stats struct {
 	Keys            uint64  `json:"keys"`
 	Merges          uint64  `json:"merges"`
 	MergeMaxes      uint64  `json:"mergeMaxes"`
+	Evicts          uint64  `json:"evicts,omitempty"`
 	CheckpointSeq   uint64  `json:"checkpointSeq"`
 	LastCheckpoint  string  `json:"lastCheckpoint,omitempty"`
 	WALSegments     int     `json:"walSegments"`
@@ -809,6 +1087,7 @@ func (st *Store) Stats() Stats {
 		Keys:            st.keys.Load(),
 		Merges:          st.merges.Load(),
 		MergeMaxes:      st.mergeMaxs.Load(),
+		Evicts:          st.evicts.Load(),
 		CheckpointSeq:   st.ckptSeq.Load(),
 		WALSegments:     len(segs),
 		RecoveredFrom:   "seed",

@@ -102,6 +102,34 @@ func (b *Bank) MergeMaxRange(lo int, regs []uint64) error {
 	return nil
 }
 
+// ResetRange zeroes the registers of keys [lo, hi) — the storage half of a
+// partition evict: after a surrendered partition's new owners confirm their
+// installs, the old owner truncates its copy so a later stale max-join
+// cannot ratchet the dead registers back into the cluster. Draws no
+// randomness; WAL-logged evicts replay bit-identically.
+func (b *Bank) ResetRange(lo, hi int) error {
+	if err := b.checkRange(lo, hi); err != nil {
+		return err
+	}
+	if lo == hi {
+		return nil
+	}
+	p := len(b.shards)
+	for si, s := range b.shards {
+		first := b.firstInShard(lo, si)
+		if first >= hi {
+			continue
+		}
+		s.mu.Lock()
+		for k := first; k < hi; k += p {
+			s.arr.Set(k>>b.shift, 0)
+		}
+		s.version.Add(1)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
 // MergeRange folds regs (the registers of keys [lo, lo+len(regs)) from a
 // bank of identical shape that counted a DISJOINT stream) into the bank via
 // the paper's Remark 2.4 merge. The subsampling draws come from the

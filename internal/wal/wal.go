@@ -65,6 +65,19 @@ const (
 	RecMergeMax = byte(3)
 	RecTick     = byte(4)
 
+	// RecOwn and RecEvict are the rebalance subsystem's ownership records
+	// (internal/cluster). RecOwn marks an ownership epoch: the ring version
+	// (Epoch) plus the partitions still pending install (Keys), the
+	// partitions held frozen for surrender (Parts), and the partitions the
+	// node owned on that ring (Owned); replaying to the newest RecOwn —
+	// minus any partitions installed by later merge records — reconstructs
+	// exactly which transfers a crashed node still owes or is owed, and the
+	// owned list tells the next reconcile which partitions were already
+	// warm. RecEvict truncates one surrendered partition's registers
+	// (Epoch = partition id) after its new owners confirm install.
+	RecOwn   = byte(5)
+	RecEvict = byte(6)
+
 	// maxPayload bounds a single record payload (a merge blob of a
 	// MaxRegisters-key snapshot fits comfortably).
 	maxPayload = 1 << 30
@@ -78,9 +91,11 @@ var ErrClosed = errors.New("wal: log closed")
 // Record is one logged operation.
 type Record struct {
 	Type  byte
-	Keys  []int  // RecBatch
+	Keys  []int  // RecBatch: register keys; RecOwn: partitions pending install
 	Blob  []byte // RecMerge / RecMergeMax: snapcodec snapshot bytes
-	Epoch uint64 // RecTick: the logical bucket epoch advanced to
+	Epoch uint64 // RecTick: bucket epoch; RecOwn: ring version; RecEvict: partition
+	Parts []int  // RecOwn: partitions held frozen for surrender
+	Owned []int  // RecOwn: partitions owned on the recorded ring
 }
 
 // SyncPolicy selects when committed records are fsynced — the durability
@@ -325,8 +340,19 @@ func encodeRecord(dst []byte, rec Record) ([]byte, error) {
 		}
 	case RecMerge, RecMergeMax:
 		payload = rec.Blob
-	case RecTick:
+	case RecTick, RecEvict:
 		payload = binary.AppendUvarint(make([]byte, 0, binary.MaxVarintLen64), rec.Epoch)
+	case RecOwn:
+		payload = binary.AppendUvarint(make([]byte, 0, 3+5*(len(rec.Keys)+len(rec.Parts)+len(rec.Owned))), rec.Epoch)
+		for _, list := range [][]int{rec.Keys, rec.Parts, rec.Owned} {
+			payload = binary.AppendUvarint(payload, uint64(len(list)))
+			for _, p := range list {
+				if p < 0 {
+					return nil, fmt.Errorf("wal: negative partition %d", p)
+				}
+				payload = binary.AppendUvarint(payload, uint64(p))
+			}
+		}
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", rec.Type)
 	}
@@ -372,7 +398,7 @@ func decodePayload(typ byte, payload []byte) (Record, error) {
 		return Record{Type: RecBatch, Keys: keys}, nil
 	case RecMerge, RecMergeMax:
 		return Record{Type: typ, Blob: payload}, nil
-	case RecTick:
+	case RecTick, RecEvict:
 		epoch, sz := binary.Uvarint(payload)
 		if sz <= 0 {
 			return Record{}, errors.New("wal: tick record: bad epoch")
@@ -380,7 +406,34 @@ func decodePayload(typ byte, payload []byte) (Record, error) {
 		if len(payload) != sz {
 			return Record{}, fmt.Errorf("wal: tick record: %d trailing bytes", len(payload)-sz)
 		}
-		return Record{Type: RecTick, Epoch: epoch}, nil
+		return Record{Type: typ, Epoch: epoch}, nil
+	case RecOwn:
+		epoch, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return Record{}, errors.New("wal: own record: bad ring version")
+		}
+		rest := payload[sz:]
+		var lists [3][]int
+		for li := range lists {
+			n, nsz := binary.Uvarint(rest)
+			if nsz <= 0 || n > uint64(len(rest)) {
+				return Record{}, errors.New("wal: own record: bad partition count")
+			}
+			rest = rest[nsz:]
+			lists[li] = make([]int, n)
+			for i := range lists[li] {
+				v, vsz := binary.Uvarint(rest)
+				if vsz <= 0 || v > 1<<31-1 {
+					return Record{}, fmt.Errorf("wal: own record: bad partition %d", i)
+				}
+				lists[li][i] = int(v)
+				rest = rest[vsz:]
+			}
+		}
+		if len(rest) != 0 {
+			return Record{}, fmt.Errorf("wal: own record: %d trailing bytes", len(rest))
+		}
+		return Record{Type: RecOwn, Epoch: epoch, Keys: lists[0], Parts: lists[1], Owned: lists[2]}, nil
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d", typ)
 	}

@@ -591,3 +591,52 @@ func TestMergeMaxRecordRoundTrip(t *testing.T) {
 		t.Fatalf("replayed %+v", got)
 	}
 }
+
+// RecOwn carries three partition lists plus the ring version; RecEvict
+// carries one partition in Epoch. Both must survive a replay byte-exactly,
+// including the empty-list cases.
+func TestOwnershipRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Type: RecOwn, Epoch: 0xdeadbeefcafef00d, Keys: []int{1, 5}, Parts: []int{2}, Owned: []int{0, 1, 2, 5, 7}},
+		{Type: RecOwn, Epoch: 7}, // all lists empty: a node owning nothing
+		{Type: RecEvict, Epoch: 3},
+	}
+	for i, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if _, err := Replay(dir, 0, func(r Record) error {
+		got = append(got, Record{
+			Type:  r.Type,
+			Epoch: r.Epoch,
+			Keys:  append([]int(nil), r.Keys...),
+			Parts: append([]int(nil), r.Parts...),
+			Owned: append([]int(nil), r.Owned...),
+		})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Type != w.Type || g.Epoch != w.Epoch ||
+			fmt.Sprint(g.Keys) != fmt.Sprint(w.Keys) ||
+			fmt.Sprint(g.Parts) != fmt.Sprint(w.Parts) ||
+			fmt.Sprint(g.Owned) != fmt.Sprint(w.Owned) {
+			t.Fatalf("record %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}

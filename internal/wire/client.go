@@ -140,6 +140,41 @@ func (c *Conn) send(typ byte, keys []int) (int, error) {
 	}
 }
 
+// Fetch pulls one partition snapshot for the rebalance handoff: a FETCH
+// frame carrying the partition and the puller's ring version, answered by a
+// SNAP frame (role + snapcodec blob) or an ERROR. The returned blob is a
+// copy, safe to hold across further calls. A *RemoteError with code 409
+// means the source's ring has not converged to the puller's version yet —
+// retry later; code 400 means the peer predates the handoff frames — fall
+// back to HTTP.
+func (c *Conn) Fetch(partition int, ringVer uint64) (role byte, blob []byte, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = AppendFrame(c.out[:0], FrameFetch, fetchPayload(partition, ringVer))
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	defer c.conn.SetDeadline(time.Time{})
+	if _, err := c.conn.Write(c.out); err != nil {
+		return 0, nil, err
+	}
+	rtyp, rpayload, scratch, err := ReadFrame(c.br, c.scratch)
+	c.scratch = scratch
+	if err != nil {
+		return 0, nil, err
+	}
+	switch rtyp {
+	case FrameSnap:
+		role, raw, err := parseSnap(rpayload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return role, append([]byte(nil), raw...), nil
+	case FrameError:
+		return 0, nil, parseError(rpayload)
+	default:
+		return 0, nil, fmt.Errorf("wire: unexpected frame type %d to fetch", rtyp)
+	}
+}
+
 // Pool is a lazily-dialed set of persistent connections, one per address —
 // what the smart client and the replica fan-out keep across batches so the
 // hot path never pays a dial or a handshake. Safe for concurrent use; a
@@ -227,6 +262,31 @@ func (p *Pool) send(addr string, keys []int, op func(*Conn, []int) (int, error))
 	p.conns[addr] = c
 	p.mu.Unlock()
 	return op(c, keys)
+}
+
+// Fetch pulls one partition snapshot from addr over the pooled connection,
+// with the same drop+redial-once policy as the send paths.
+func (p *Pool) Fetch(addr string, partition int, ringVer uint64) (byte, []byte, error) {
+	c, err := p.get(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	role, blob, err := c.Fetch(partition, ringVer)
+	if err == nil {
+		return role, blob, nil
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return 0, nil, err
+	}
+	p.drop(addr, c)
+	if c, err = Dial(addr, p.timeout); err != nil {
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	p.conns[addr] = c
+	p.mu.Unlock()
+	return c.Fetch(partition, ringVer)
 }
 
 // Close closes every pooled connection.

@@ -20,6 +20,17 @@ type Sink interface {
 	Repl(keys []int) (applied int, err error)
 }
 
+// HandoffSink is the optional third verb a sink may implement: serving
+// FETCH frames (the rebalance partition pull, see internal/cluster). A sink
+// without it answers FETCH with ERROR 400, exactly like a pre-handoff build
+// — the rebalancer then falls back to the HTTP handoff endpoint. Fetch
+// returns the source's role (RoleOwner for a live owner's copy, RoleFrozen
+// for a surrendered frozen copy) and the snapcodec partition snapshot; an
+// error is mapped through ServerConfig.ErrorCode like every sink error.
+type HandoffSink interface {
+	Fetch(partition int, ringVer uint64) (role byte, blob []byte, err error)
+}
+
 // ServerConfig tunes a wire Server.
 type ServerConfig struct {
 	// MaxBatch caps the events accepted in one BATCH/REPL frame (0 = 1<<16,
@@ -194,6 +205,26 @@ func (s *Server) serveConn(conn net.Conn) {
 				out = AppendFrame(out, FrameError, errorPayload(s.cfg.ErrorCode(err), err.Error()))
 			default:
 				out = AppendFrame(out, FrameAck, ackPayload(applied))
+			}
+		case FrameFetch:
+			hs, ok := s.sink.(HandoffSink)
+			if !ok {
+				out = AppendFrame(out, FrameError, errorPayload(400, "handoff not supported"))
+				break
+			}
+			partition, ringVer, err := parseFetch(payload)
+			var role byte
+			var blob []byte
+			if err == nil {
+				role, blob, err = hs.Fetch(partition, ringVer)
+			}
+			switch {
+			case err != nil:
+				out = AppendFrame(out, FrameError, errorPayload(s.cfg.ErrorCode(err), err.Error()))
+			case len(blob)+1 > MaxFramePayload:
+				out = AppendFrame(out, FrameError, errorPayload(500, "partition snapshot exceeds frame cap"))
+			default:
+				out = AppendFrame(out, FrameSnap, snapPayload(role, blob))
 			}
 		default:
 			out = AppendFrame(out, FrameError, errorPayload(400, fmt.Sprintf("unknown frame type %d", typ)))

@@ -57,6 +57,21 @@ const (
 	FrameError = byte(5) // failure reply: uvarint code + utf-8 message
 	FramePing  = byte(6) // liveness probe
 	FramePong  = byte(7) // liveness reply
+
+	// Rebalance handoff (added in PR 7; a v1 peer that predates them
+	// answers ERROR 400, and the rebalancer falls back to HTTP).
+	FrameFetch = byte(8) // pull one partition snapshot: uvarint partition + uvarint ring version
+	FrameSnap  = byte(9) // fetch reply: role byte + snapcodec partition snapshot
+)
+
+// Handoff source roles carried in the first byte of a SNAP payload: the
+// source tells the puller whether its copy is a live owner's (absorbed the
+// same post-flip stream — join with the idempotent max) or a frozen
+// surrendered copy (disjoint from the puller's post-flip stream — join with
+// the Remark 2.4 merge).
+const (
+	RoleOwner  = byte(1)
+	RoleFrozen = byte(2)
 )
 
 // MaxFramePayload caps one frame's payload. A coalesced 64k-event batch of
@@ -199,6 +214,45 @@ func parseError(payload []byte) error {
 		return &RemoteError{Code: 500, Msg: "undecodable error frame"}
 	}
 	return &RemoteError{Code: int(code), Msg: string(payload[n:])}
+}
+
+// fetchPayload encodes a FETCH frame body: uvarint partition + uvarint ring
+// version.
+func fetchPayload(partition int, ringVer uint64) []byte {
+	p := binary.AppendUvarint(make([]byte, 0, 20), uint64(partition))
+	return binary.AppendUvarint(p, ringVer)
+}
+
+// parseFetch decodes a FETCH frame body.
+func parseFetch(payload []byte) (partition int, ringVer uint64, err error) {
+	p, n := binary.Uvarint(payload)
+	if n <= 0 || p > 1<<31-1 {
+		return 0, 0, errors.New("wire: undecodable fetch frame")
+	}
+	v, m := binary.Uvarint(payload[n:])
+	if m <= 0 || n+m != len(payload) {
+		return 0, 0, errors.New("wire: undecodable fetch frame")
+	}
+	return int(p), v, nil
+}
+
+// snapPayload encodes a SNAP frame body: role byte + snapshot blob.
+func snapPayload(role byte, blob []byte) []byte {
+	p := make([]byte, 0, 1+len(blob))
+	p = append(p, role)
+	return append(p, blob...)
+}
+
+// parseSnap decodes a SNAP frame body.
+func parseSnap(payload []byte) (role byte, blob []byte, err error) {
+	if len(payload) < 1 {
+		return 0, nil, errors.New("wire: empty snap frame")
+	}
+	role = payload[0]
+	if role != RoleOwner && role != RoleFrozen {
+		return 0, nil, fmt.Errorf("wire: unknown handoff role %d", role)
+	}
+	return role, payload[1:], nil
 }
 
 // ackPayload encodes an ACK frame body: the uvarint applied-event count.

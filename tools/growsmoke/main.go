@@ -1,0 +1,473 @@
+// Command growsmoke is the live scale-out smoke test: it launches a real
+// 3-node counterd cluster as separate OS processes, drives Zipf load at it,
+// grows the ring to 5 nodes WHILE the load keeps running, verifies the
+// rebalance moved the partitions' history onto the joiners (byte-identical
+// per-partition snapshots across every owner, estimates within the sketch
+// budget of the acked truth), then SIGTERMs one -decommission node and
+// verifies the shrink hands everything off the same way. It is the
+// process-level twin of TestClusterRebalanceGrowShrink: same protocol, real
+// binaries, real signals. Exits non-zero on any violation.
+//
+// Usage: go run ./tools/growsmoke -counterd bin/counterd
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+const (
+	keys       = 20000
+	partitions = 16
+	rf         = 2
+)
+
+type node struct {
+	idx  int
+	base string // http://127.0.0.1:port
+	dir  string
+	cmd  *exec.Cmd
+	log  *os.File
+}
+
+type smoke struct {
+	counterd string
+	work     string
+	nodes    []*node
+	truthMu  sync.Mutex
+	truth    []uint64
+	hc       *http.Client
+}
+
+func main() {
+	counterd := flag.String("counterd", "bin/counterd", "path to the counterd binary")
+	keep := flag.Bool("keep", false, "keep the work directory on exit")
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	work, err := os.MkdirTemp("", "growsmoke-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &smoke{
+		counterd: *counterd,
+		work:     work,
+		truth:    make([]uint64, keys),
+		hc:       &http.Client{Timeout: 5 * time.Second},
+	}
+	defer func() {
+		for _, n := range s.nodes {
+			if n.cmd.Process != nil {
+				n.cmd.Process.Kill()
+				n.cmd.Wait()
+			}
+			n.log.Close()
+		}
+		if *keep {
+			log.Printf("work dir kept: %s", work)
+		} else {
+			os.RemoveAll(work)
+		}
+	}()
+	if err := s.run(); err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	log.Print("PASS: grow 3->5 and decommission 5->4 kept every acked increment")
+}
+
+func (s *smoke) run() error {
+	// Boot the initial 3-node ring and let membership settle.
+	for i := 0; i < 3; i++ {
+		if err := s.start(i); err != nil {
+			return err
+		}
+	}
+	if err := s.awaitMembers(s.nodes, 3); err != nil {
+		return err
+	}
+	log.Print("3-node ring up")
+	if err := s.load(s.nodes[:3], 30000, 11); err != nil {
+		return err
+	}
+	if err := s.awaitRebalanced(s.nodes); err != nil {
+		return err
+	}
+
+	// Grow to 5 while writers keep hitting the original members.
+	var wg sync.WaitGroup
+	var loadErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		loadErr = s.load(s.nodes[:3], 20000, 23)
+	}()
+	if err := s.start(3); err != nil {
+		return err
+	}
+	if err := s.start(4); err != nil {
+		return err
+	}
+	if err := s.awaitMembers(s.nodes, 5); err != nil {
+		return err
+	}
+	wg.Wait()
+	if loadErr != nil {
+		return fmt.Errorf("load during grow: %w", loadErr)
+	}
+	if err := s.awaitRebalanced(s.nodes); err != nil {
+		return err
+	}
+	moved, streamed, err := s.handoffTotals(s.nodes)
+	if err != nil {
+		return err
+	}
+	if moved == 0 || streamed == 0 {
+		return fmt.Errorf("grow produced no handoff traffic (moved=%d bytes=%d)", moved, streamed)
+	}
+	log.Printf("grow settled: %d partition installs, %d bytes streamed", moved, streamed)
+	if err := s.verify(s.nodes, "after grow"); err != nil {
+		return err
+	}
+
+	// Shrink: SIGTERM the last node (-decommission) while load continues.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		loadErr = s.load(s.nodes[:3], 15000, 37)
+	}()
+	leaver := s.nodes[4]
+	if err := leaver.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal node %d: %w", leaver.idx, err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- leaver.cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("decommissioning node exited: %w", err)
+		}
+	case <-time.After(90 * time.Second):
+		return fmt.Errorf("node %d never exited after SIGTERM", leaver.idx)
+	}
+	log.Print("node 4 decommissioned and exited")
+	wg.Wait()
+	if loadErr != nil {
+		return fmt.Errorf("load during shrink: %w", loadErr)
+	}
+	survivors := s.nodes[:4]
+	s.nodes = survivors // the deferred cleanup must not re-kill the reaped process
+	if err := s.awaitRebalanced(survivors); err != nil {
+		return err
+	}
+	return s.verify(survivors, "after shrink")
+}
+
+// start launches one counterd process on a fresh loopback port.
+func (s *smoke) start(i int) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	dir := filepath.Join(s.work, fmt.Sprintf("node%d", i))
+	logf, err := os.Create(filepath.Join(s.work, fmt.Sprintf("node%d.log", i)))
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"-addr", addr, "-dir", dir,
+		"-n", fmt.Sprint(keys), "-partitions", fmt.Sprint(partitions), "-shards", "8",
+		"-a", "0.001", "-width", "14", "-fsync", "off", "-checkpoint", "0",
+		"-cluster", "-rf", fmt.Sprint(rf),
+		"-gossip", "100ms", "-antientropy", "500ms", "-rebalance", "100ms",
+		"-drain-timeout", "60s", "-decommission",
+	}
+	if i > 0 {
+		args = append(args, "-join", s.nodes[0].base)
+	}
+	cmd := exec.Command(s.counterd, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("start node %d: %w", i, err)
+	}
+	n := &node{idx: i, base: "http://" + addr, dir: dir, cmd: cmd, log: logf}
+	s.nodes = append(s.nodes, n)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if resp, err := s.hc.Get(n.base + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				log.Printf("node %d serving at %s", i, n.base)
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node %d never became healthy", i)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (s *smoke) getJSON(url string, out any) error {
+	resp, err := s.hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<28)).Decode(out)
+}
+
+type memberRow struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+type clusterInfo struct {
+	Self       string `json:"self"`
+	Members    []memberRow
+	OwnedParts []int `json:"ownedPartitions"`
+}
+
+// awaitMembers waits until every node's member table shows want alive rows.
+func (s *smoke) awaitMembers(nodes []*node, want int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := true
+		for _, n := range nodes {
+			var info clusterInfo
+			if err := s.getJSON(n.base+"/v1/cluster/info", &info); err != nil {
+				ok = false
+				break
+			}
+			alive := 0
+			for _, m := range info.Members {
+				if m.State == "alive" {
+					alive++
+				}
+			}
+			if alive != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("membership never converged to %d alive nodes", want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+type rebStatus struct {
+	RingVersion   string  `json:"ringVersion"`
+	Reconciled    bool    `json:"reconciled"`
+	Pending       []int   `json:"pending"`
+	Frozen        []int   `json:"frozen"`
+	Moved         uint64  `json:"partitionsMoved"`
+	BytesStreamed uint64  `json:"bytesStreamed"`
+	LastCutoverMs float64 `json:"lastCutoverMs"`
+}
+
+// awaitRebalanced waits until every node reports the SAME ring version,
+// reconciled, with nothing pending and nothing frozen.
+func (s *smoke) awaitRebalanced(nodes []*node) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ok := true
+		ver := ""
+		for i, n := range nodes {
+			var st rebStatus
+			if err := s.getJSON(n.base+"/v1/cluster/rebalance", &st); err != nil {
+				ok = false
+				break
+			}
+			if !st.Reconciled || len(st.Pending) > 0 || len(st.Frozen) > 0 {
+				ok = false
+				break
+			}
+			if i == 0 {
+				ver = st.RingVersion
+			} else if st.RingVersion != ver {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			for _, n := range nodes {
+				var st rebStatus
+				s.getJSON(n.base+"/v1/cluster/rebalance", &st)
+				log.Printf("node %d: %+v", n.idx, st)
+			}
+			return fmt.Errorf("rebalance never settled across %d nodes", len(nodes))
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func (s *smoke) handoffTotals(nodes []*node) (moved, streamed uint64, err error) {
+	for _, n := range nodes {
+		var st rebStatus
+		if err := s.getJSON(n.base+"/v1/cluster/rebalance", &st); err != nil {
+			return 0, 0, err
+		}
+		moved += st.Moved
+		streamed += st.BytesStreamed
+	}
+	return moved, streamed, nil
+}
+
+// load posts events Zipf-distributed batches round-robin across nodes,
+// failing over on errors, and folds the acked batches into the shared truth.
+func (s *smoke) load(nodes []*node, events int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, keys-1)
+	batch := make([]int, 0, 256)
+	sent := 0
+	for i := 0; sent < events; i++ {
+		batch = batch[:0]
+		for len(batch) < cap(batch) && sent+len(batch) < events {
+			batch = append(batch, int(zipf.Uint64()))
+		}
+		body, _ := json.Marshal(map[string][]int{"keys": batch})
+		var lastErr error
+		acked := false
+		for try := 0; try < len(nodes) && !acked; try++ {
+			n := nodes[(i+try)%len(nodes)]
+			resp, err := s.hc.Post(n.base+"/v1/inc", "application/json", bytes.NewReader(body))
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				acked = true
+			} else {
+				lastErr = fmt.Errorf("inc: status %d", resp.StatusCode)
+			}
+		}
+		if !acked {
+			return fmt.Errorf("no node accepted a batch: %w", lastErr)
+		}
+		s.truthMu.Lock()
+		for _, k := range batch {
+			s.truth[k]++
+		}
+		s.truthMu.Unlock()
+		sent += len(batch)
+	}
+	return nil
+}
+
+// verify checks the two cluster invariants after a membership change has
+// settled: every partition's owners serve byte-identical snapshots, and hot
+// keys' estimates (asked of an owner) track the acked truth.
+func (s *smoke) verify(nodes []*node, label string) error {
+	// Owners by partition, from each node's own /cluster/info claim.
+	owners := make(map[int][]*node)
+	for _, n := range nodes {
+		var info clusterInfo
+		if err := s.getJSON(n.base+"/v1/cluster/info", &info); err != nil {
+			return err
+		}
+		for _, p := range info.OwnedParts {
+			owners[p] = append(owners[p], n)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		diverged := ""
+		for p := 0; p < partitions && diverged == ""; p++ {
+			if len(owners[p]) < rf {
+				return fmt.Errorf("%s: partition %d has %d owners, want >= %d", label, p, len(owners[p]), rf)
+			}
+			var want []byte
+			for _, n := range owners[p] {
+				resp, err := s.hc.Get(fmt.Sprintf("%s/v1/snapshot/%d", n.base, p))
+				if err != nil {
+					diverged = err.Error()
+					break
+				}
+				blob, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					diverged = fmt.Sprintf("partition %d node %d: status %d (%v)", p, n.idx, resp.StatusCode, err)
+					break
+				}
+				if want == nil {
+					want = blob
+				} else if !bytes.Equal(want, blob) {
+					diverged = fmt.Sprintf("partition %d: owner snapshots differ", p)
+				}
+			}
+		}
+		if diverged == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s: snapshots never converged: %s", label, diverged)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	// Hot-key estimates from an owner, against the acked truth. Morris
+	// a=0.001 has ~2.2% per-register std; 10% mean catches lost batches.
+	s.truthMu.Lock()
+	truth := append([]uint64(nil), s.truth...)
+	s.truthMu.Unlock()
+	var sumRel float64
+	hot := 0
+	for k, tr := range truth {
+		if tr < 300 {
+			continue
+		}
+		p := k * partitions / keys
+		n := owners[p][0]
+		var out struct {
+			Estimate float64 `json:"estimate"`
+		}
+		if err := s.getJSON(fmt.Sprintf("%s/v1/estimate/%d", n.base, k), &out); err != nil {
+			return fmt.Errorf("%s: estimate key %d: %w", label, k, err)
+		}
+		d := (out.Estimate - float64(tr)) / float64(tr)
+		if d < 0 {
+			d = -d
+		}
+		sumRel += d
+		hot++
+	}
+	if hot == 0 {
+		return fmt.Errorf("%s: no hot keys to verify", label)
+	}
+	mean := sumRel / float64(hot)
+	log.Printf("%s: %d hot keys, mean |rel err| %.2f%%", label, hot, 100*mean)
+	if mean > 0.10 {
+		return fmt.Errorf("%s: mean relative error %.2f%% exceeds the sketch budget", label, 100*mean)
+	}
+	return nil
+}
