@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build vet fmt-check doclint test race bench bench-cluster fuzz-smoke ci \
-	counterd serve cluster-smoke cluster-demo windowed-demo wire-smoke grow-smoke
+	counterd serve cluster-smoke cluster-demo windowed-demo wire-smoke grow-smoke \
+	metrics-smoke manifest-check
 
 all: build
 
@@ -67,6 +68,19 @@ cluster-smoke:
 grow-smoke: counterd
 	$(GO) run ./tools/growsmoke -counterd bin/counterd
 
+# Observability smoke: boot a real counterd, wait for the /readyz gate,
+# drive traffic, lint the full /metrics exposition with the shared parser,
+# assert the key series from every instrumented layer, and check the
+# embedded ops dashboard is self-contained HTML (tools/metricssmoke).
+metrics-smoke: counterd
+	$(GO) run ./tools/metricssmoke -counterd bin/counterd
+
+# Validate the Kubernetes manifests under deploy/ without kubectl: probe
+# paths, headless-Service gossip wiring, PVC-backed WAL dir, scrape
+# annotations, and the SIGTERM drain budget (tools/manifestcheck).
+manifest-check:
+	$(GO) run ./tools/manifestcheck
+
 # Mirrors the CI bench job: human-readable text plus three machine-readable
 # JSON artifacts (cmd/benchjson) tracking the perf trajectory of the hot
 # paths — core (single-counter + contended shardbank), serve (store, WAL,
@@ -100,4 +114,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSummary -fuzztime=5s ./internal/heavyhitters
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=5s ./internal/wire
 
-ci: build vet fmt-check doclint race fuzz-smoke
+ci: build vet fmt-check doclint manifest-check race metrics-smoke fuzz-smoke

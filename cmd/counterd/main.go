@@ -298,6 +298,7 @@ func main() {
 			MaxKey:    st.Len(),
 			ErrorCode: errorCode,
 			Logf:      log.Printf,
+			Metrics:   st.Metrics(), // counterd_wire_* series on /metrics
 		})
 		ln, err := net.Listen("tcp", o.wireListen)
 		if err != nil {

@@ -57,6 +57,7 @@ func benchClusterMain(args []string) {
 
 	perG := (*events + *goroutines - 1) / *goroutines
 	truths := make([][]uint64, *goroutines)
+	clientStats := make([]client.Stats, *goroutines)
 	errs := make([]error, *goroutines)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -69,6 +70,7 @@ func benchClusterMain(args []string) {
 				errs[g] = err
 				return
 			}
+			defer func() { clientStats[g] = c.Stats() }()
 			truth := make([]uint64, n)
 			truths[g] = truth
 			src := stream.NewZipf(uint64(n), *zipfS, xrand.NewSeeded(*seed+uint64(1000*g+1)))
@@ -94,6 +96,20 @@ func benchClusterMain(args []string) {
 	total := perG * *goroutines
 	fmt.Printf("acked %d events in %v — %.0f events/s (%d goroutines × %d-key batches, %s transport)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *goroutines, *batch, *transport)
+
+	// Routing-health tally across the per-goroutine clients: how much ring
+	// churn and transport recovery the run absorbed to deliver that rate.
+	var cs client.Stats
+	for _, s := range clientStats {
+		cs.RingRefreshes += s.RingRefreshes
+		cs.MisdirectedRetries += s.MisdirectedRetries
+		cs.Failovers += s.Failovers
+		cs.HTTPFallbacks += s.HTTPFallbacks
+		cs.WireDials += s.WireDials
+		cs.WireRedials += s.WireRedials
+	}
+	fmt.Printf("client: %d ring refreshes, %d 421 retries, %d failovers, %d http fallbacks, %d wire dials (%d redials)\n",
+		cs.RingRefreshes, cs.MisdirectedRetries, cs.Failovers, cs.HTTPFallbacks, cs.WireDials, cs.WireRedials)
 
 	if !*verify {
 		return

@@ -81,6 +81,44 @@ type Client struct {
 	wires map[string]string
 	bufs  map[string][]int     // destination → pending keys
 	since map[string]time.Time // destination → first buffered event's arrival
+
+	// stats accumulates the client's routing-health counters (plain fields:
+	// the client is documented single-goroutine; Stats() folds in the wire
+	// pool's own atomic dial counters).
+	stats Stats
+}
+
+// Stats is a snapshot of the client's routing-health counters: how often
+// the ring moved under it, how often reads hit a mid-rebalance 421, and
+// how often the wire transport needed recovery. Load drivers report it so
+// a bench run shows not just throughput but how much routing churn the
+// client absorbed to deliver it.
+type Stats struct {
+	// RingRefreshes counts Refresh calls — the initial bootstrap plus every
+	// re-fetch triggered by a routing failure.
+	RingRefreshes uint64 `json:"ringRefreshes"`
+	// MisdirectedRetries counts 421 (Misdirected Request) answers — a read
+	// routed to a replica whose partition was still rebalancing, retried on
+	// the next replica or after a refresh.
+	MisdirectedRetries uint64 `json:"misdirectedRetries"`
+	// Failovers counts write batches whose primary destination failed and
+	// that were re-offered to the partition's other replicas.
+	Failovers uint64 `json:"failovers"`
+	// HTTPFallbacks counts batches downgraded from the wire transport to
+	// POST /inc after a wire transport-level failure (TransportAuto only).
+	HTTPFallbacks uint64 `json:"httpFallbacks"`
+	// WireDials / WireRedials mirror the wire pool: total connections
+	// dialed, and how many replaced a pooled connection that failed.
+	WireDials   uint64 `json:"wireDials"`
+	WireRedials uint64 `json:"wireRedials"`
+}
+
+// Stats returns a snapshot of the client's routing-health counters.
+func (c *Client) Stats() Stats {
+	s := c.stats
+	s.WireDials = c.pool.Dials()
+	s.WireRedials = c.pool.Redials()
+	return s
 }
 
 // New builds a client and fetches the ring from the first answering seed.
@@ -118,6 +156,7 @@ func New(cfg Config) (*Client, error) {
 // Refresh re-fetches the ring from the seeds (trying live members too, so a
 // client outlives its original seed).
 func (c *Client) Refresh() error {
+	c.stats.RingRefreshes++
 	tried := map[string]bool{}
 	candidates := append([]string(nil), c.cfg.Seeds...)
 	if c.ring != nil {
@@ -250,6 +289,7 @@ func (c *Client) flushDest(dest string) error {
 	// The primary is unreachable: any replica of the batch's partitions can
 	// coordinate (each node re-routes keys it does not own), so fail over
 	// through the other replicas of the first key, then refresh and retry.
+	c.stats.Failovers++
 	reps := c.replicasFor(keys[0])
 	for _, alt := range reps[1:] {
 		if c.send(alt, keys) == nil {
@@ -296,6 +336,7 @@ func (c *Client) send(dest string, keys []int) error {
 	if errors.As(err, &re) {
 		return err
 	}
+	c.stats.HTTPFallbacks++
 	return c.post(dest, keys)
 }
 

@@ -107,6 +107,9 @@ func (c *Client) getJSON(ctx context.Context, url string, limit int64, out any) 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			c.stats.MisdirectedRetries++
+		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return &StatusError{URL: url, Code: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
 	}

@@ -62,7 +62,8 @@ func (n *Node) antiEntropyRound() {
 		return
 	}
 	parts := n.st.Partitions()
-	round := n.aeRounds.Add(1)
+	n.aeRounds.Inc()
+	round := n.aeRounds.Value()
 	n.noteRecoveries()
 	// pairSafe memoizes per-round whether a pair is op-quiescent.
 	safeCache := map[string]bool{}

@@ -384,7 +384,7 @@ func TestClusterReplicationConverges(t *testing.T) {
 	// Replication actually ran (not everything was local).
 	var replicated uint64
 	for _, tn := range nodes {
-		replicated += tn.node.replRecvd.Load()
+		replicated += tn.node.replRecvd.Value()
 	}
 	if replicated == 0 {
 		t.Fatal("no replication traffic observed at RF=2")
@@ -412,7 +412,7 @@ func TestClusterForwarding(t *testing.T) {
 	// All writes enter through node 0 only.
 	truth := driveLoad(t, []*testNode{n0}, cc, 30_000, 256, 11)
 
-	if n0.node.forwards.Load() == 0 {
+	if n0.node.forwards.Value() == 0 {
 		t.Fatal("node0 never forwarded at RF=1 with 3 nodes")
 	}
 	// Each partition's single owner serves sane estimates for its keys.
@@ -652,7 +652,7 @@ func TestClusterMixedTransportCrashRecovery(t *testing.T) {
 
 	var replWire uint64
 	for _, tn := range nodes {
-		replWire += tn.node.replWire.Load()
+		replWire += tn.node.replWire.Value()
 	}
 	if replWire == 0 {
 		t.Fatal("replica fan-out never used the wire transport")

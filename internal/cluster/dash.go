@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+)
+
+// handleDash serves the embedded live ops dashboard: one self-contained
+// HTML page (no external assets — it must render inside an airgapped
+// cluster) that polls /v1/metrics, /v1/cluster/ring, /v1/cluster/info,
+// /v1/cluster/rebalance, and /v1/topk against the node it was loaded from
+// and paints the node map, per-partition ownership/heat, WAL fsync
+// latency, ingest rates, and the live top-k.
+func (n *Node) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, dashHTML)
+}
+
+// dashHTML is the whole dashboard. Plain DOM + fetch, dark theme, 2s poll.
+// Rates and partition heat are client-side deltas between consecutive
+// polls of cumulative counters, so the page needs no server-side state.
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>counterd ops</title>
+<style>
+  :root { --bg:#12151a; --panel:#1a1f27; --line:#2a313c; --fg:#d6dde8; --dim:#7b8794;
+          --ok:#3fb27f; --warn:#e0a83e; --bad:#d96459; --cold:#4d79c7; --accent:#5fb3e4; }
+  * { box-sizing:border-box; }
+  body { margin:0; background:var(--bg); color:var(--fg);
+         font:13px/1.45 ui-monospace,SFMono-Regular,Menlo,Consolas,monospace; }
+  header { display:flex; gap:16px; align-items:baseline; padding:10px 16px;
+           border-bottom:1px solid var(--line); flex-wrap:wrap; }
+  header h1 { font-size:15px; margin:0; font-weight:600; }
+  .badge { padding:1px 8px; border-radius:9px; font-size:11px; background:var(--line); }
+  .badge.ok { background:#1d3a2d; color:var(--ok); }
+  .badge.bad { background:#402421; color:var(--bad); }
+  .badge.warn { background:#3e3420; color:var(--warn); }
+  main { display:grid; grid-template-columns:repeat(auto-fit,minmax(340px,1fr));
+         gap:12px; padding:12px 16px; }
+  section { background:var(--panel); border:1px solid var(--line); border-radius:6px;
+            padding:10px 12px; }
+  section h2 { margin:0 0 8px; font-size:12px; text-transform:uppercase;
+               letter-spacing:.08em; color:var(--dim); font-weight:600; }
+  table { width:100%; border-collapse:collapse; }
+  th, td { text-align:left; padding:2px 8px 2px 0; font-weight:normal; white-space:nowrap; }
+  th { color:var(--dim); font-size:11px; }
+  td.num, th.num { text-align:right; }
+  .wide { grid-column:1 / -1; }
+  #parts { display:flex; flex-wrap:wrap; gap:2px; }
+  .part { width:18px; height:18px; border-radius:2px; background:#242b35;
+          position:relative; font-size:0; }
+  .part.owned { outline:1px solid #55607050; }
+  .part.pending { outline:2px solid var(--warn); }
+  .part.frozen { outline:2px solid var(--cold); }
+  .bars { display:flex; align-items:flex-end; gap:2px; height:72px; }
+  .bar { flex:1; background:var(--accent); min-height:1px; border-radius:1px 1px 0 0; }
+  .bar span { display:none; }
+  .axis { display:flex; justify-content:space-between; color:var(--dim); font-size:10px; }
+  .kv { display:grid; grid-template-columns:auto auto; gap:1px 14px; }
+  .kv div:nth-child(odd) { color:var(--dim); }
+  .kv div:nth-child(even) { text-align:right; }
+  #err { color:var(--bad); padding:0 16px 10px; display:none; }
+  .state-alive { color:var(--ok); } .state-suspect { color:var(--warn); }
+  .state-dead { color:var(--bad); }
+</style>
+</head>
+<body>
+<header>
+  <h1>counterd ops</h1>
+  <span id="self" class="badge"></span>
+  <span id="ring" class="badge"></span>
+  <span id="ready" class="badge"></span>
+  <span id="updated" style="color:var(--dim);font-size:11px"></span>
+</header>
+<div id="err"></div>
+<main>
+  <section>
+    <h2>Nodes</h2>
+    <table><thead><tr><th>member</th><th>state</th><th>wire</th><th class="num">inc</th></tr></thead>
+    <tbody id="nodes"></tbody></table>
+  </section>
+  <section>
+    <h2>Rates (per second)</h2>
+    <div class="kv" id="rates"></div>
+  </section>
+  <section>
+    <h2>Rebalance</h2>
+    <div class="kv" id="reb"></div>
+  </section>
+  <section>
+    <h2>Replication</h2>
+    <div class="kv" id="repl"></div>
+  </section>
+  <section class="wide">
+    <h2>Partitions <span id="plegend" style="text-transform:none;letter-spacing:0"></span></h2>
+    <div id="parts"></div>
+  </section>
+  <section>
+    <h2>WAL fsync latency (cumulative)</h2>
+    <div class="bars" id="fsync"></div>
+    <div class="axis"><span id="fsync-lo"></span><span id="fsync-hi"></span></div>
+    <div class="kv" id="fsync-kv"></div>
+  </section>
+  <section>
+    <h2>Top-k</h2>
+    <table><thead><tr><th class="num">key</th><th class="num">estimate</th></tr></thead>
+    <tbody id="topk"></tbody></table>
+  </section>
+</main>
+<script>
+"use strict";
+var prev = null, prevVers = null, prevTime = 0;
+
+function parseProm(text) {
+  // Minimal 0.0.4 exposition reader: "name{labels} value" -> flat map.
+  var out = {};
+  text.split("\n").forEach(function (line) {
+    if (!line || line[0] === "#") return;
+    var sp = line.lastIndexOf(" ");
+    if (sp < 0) return;
+    out[line.slice(0, sp)] = parseFloat(line.slice(sp + 1));
+  });
+  return out;
+}
+
+function sumBy(m, prefix) {
+  var total = 0, hit = false;
+  for (var k in m) {
+    if (k === prefix || (k.indexOf(prefix + "{") === 0)) { total += m[k]; hit = true; }
+  }
+  return hit ? total : null;
+}
+
+function fmt(v) {
+  if (v === null || v === undefined || isNaN(v)) return "–";
+  if (Math.abs(v) >= 1e9) return (v / 1e9).toFixed(2) + "G";
+  if (Math.abs(v) >= 1e6) return (v / 1e6).toFixed(2) + "M";
+  if (Math.abs(v) >= 1e4) return (v / 1e3).toFixed(1) + "k";
+  return (Math.round(v * 100) / 100).toString();
+}
+
+function kv(el, pairs) {
+  el.innerHTML = pairs.map(function (p) {
+    return "<div>" + p[0] + "</div><div>" + p[1] + "</div>";
+  }).join("");
+}
+
+function badge(el, text, cls) {
+  el.textContent = text;
+  el.className = "badge" + (cls ? " " + cls : "");
+}
+
+function buckets(m, name) {
+  // Collect {le, count} pairs of one (label-less-but-le) histogram family.
+  var out = [];
+  for (var k in m) {
+    if (k.indexOf(name + "_bucket{") !== 0) continue;
+    var le = /le="([^"]+)"/.exec(k);
+    if (le) out.push({ le: le[1] === "+Inf" ? Infinity : parseFloat(le[1]), n: m[k] });
+  }
+  out.sort(function (a, b) { return a.le - b.le; });
+  return out;
+}
+
+function quantile(bks, q) {
+  if (!bks.length) return null;
+  var total = bks[bks.length - 1].n;
+  if (!total) return null;
+  var target = total * q, lo = 0;
+  for (var i = 0; i < bks.length; i++) {
+    if (bks[i].n >= target) {
+      var hi = bks[i].le === Infinity ? lo * 2 : bks[i].le;
+      return hi; // upper bound of the target bucket
+    }
+    lo = bks[i].le;
+  }
+  return null;
+}
+
+function secs(v) {
+  if (v === null) return "–";
+  if (v < 1e-3) return (v * 1e6).toFixed(0) + "µs";
+  if (v < 1) return (v * 1e3).toFixed(1) + "ms";
+  return v.toFixed(2) + "s";
+}
+
+function getJSON(url) {
+  return fetch(url).then(function (r) {
+    if (!r.ok && url.indexOf("readyz") < 0) throw new Error(url + ": " + r.status);
+    return r.json().then(function (j) { j._status = r.status; return j; });
+  });
+}
+
+function refresh() {
+  Promise.all([
+    fetch("/v1/metrics").then(function (r) {
+      if (!r.ok) throw new Error("/v1/metrics: " + r.status);
+      return r.text();
+    }),
+    getJSON("/v1/cluster/ring"),
+    getJSON("/v1/cluster/info"),
+    getJSON("/v1/cluster/rebalance"),
+    getJSON("/v1/topk?k=10"),
+    getJSON("/v1/readyz")
+  ]).then(function (res) {
+    document.getElementById("err").style.display = "none";
+    render(parseProm(res[0]), res[1], res[2], res[3], res[4], res[5]);
+  }).catch(function (e) {
+    var el = document.getElementById("err");
+    el.style.display = "block";
+    el.textContent = "poll failed: " + e.message;
+  });
+}
+
+function render(m, ring, info, reb, topk, ready) {
+  var now = Date.now() / 1000;
+  var dt = prevTime ? now - prevTime : 0;
+  function rate(prefix) {
+    if (!prev || dt <= 0) return null;
+    var cur = sumBy(m, prefix), was = sumBy(prev, prefix);
+    if (cur === null || was === null) return null;
+    return Math.max(0, (cur - was) / dt);
+  }
+
+  badge(document.getElementById("self"), ring.self);
+  badge(document.getElementById("ring"), "ring " + ring.version.slice(-8) +
+    " · " + ring.members.length + " members" + (reb.reconciled ? "" : " · RECONCILING"),
+    reb.reconciled ? "ok" : "warn");
+  badge(document.getElementById("ready"),
+    ready._status === 200 ? "ready" : "not ready",
+    ready._status === 200 ? "ok" : "bad");
+  document.getElementById("updated").textContent = new Date().toLocaleTimeString();
+
+  // Nodes.
+  document.getElementById("nodes").innerHTML = ring.members.map(function (mem) {
+    return "<tr><td>" + mem.id.replace(/^https?:\/\//, "") + "</td>" +
+      "<td class='state-" + mem.state + "'>" + mem.state + "</td>" +
+      "<td>" + (mem.wire || "http") + "</td>" +
+      "<td class='num'>" + mem.incarnation + "</td></tr>";
+  }).join("");
+
+  // Rates from counter deltas.
+  kv(document.getElementById("rates"), [
+    ["keys applied", fmt(rate("counterd_store_apply_keys_total"))],
+    ["batches", fmt(rate("counterd_store_apply_batches_total"))],
+    ["http requests", fmt(rate("counterd_http_requests_total"))],
+    ["wire frames in", fmt(rate("counterd_wire_frames_in_total"))],
+    ["wal bytes", fmt(rate("counterd_wal_staged_bytes_total"))],
+    ["forwards", fmt(rate("counterd_cluster_forwards_total"))]
+  ]);
+
+  // Rebalance.
+  kv(document.getElementById("reb"), [
+    ["pending", (reb.pending || []).length],
+    ["frozen", (reb.frozen || []).length],
+    ["moved", fmt(reb.partitionsMoved)],
+    ["evicted", fmt(reb.partitionsEvicted)],
+    ["bytes streamed", fmt(reb.bytesStreamed)],
+    ["last cutover", reb.lastCutoverMs ? reb.lastCutoverMs.toFixed(1) + "ms" : "–"]
+  ]);
+
+  // Replication.
+  var backlog = 0;
+  for (var peer in (info.outboxPending || {})) backlog += info.outboxPending[peer];
+  kv(document.getElementById("repl"), [
+    ["outbox backlog", fmt(backlog)],
+    ["repl keys sent", fmt(info.replKeysSent)],
+    ["· over wire", fmt(info.replKeysWire)],
+    ["repl keys recvd", fmt(info.replKeysReceived)],
+    ["repl keys dropped", fmt(info.replKeysDropped)],
+    ["anti-entropy rounds", fmt(info.antiEntropyRounds)]
+  ]);
+
+  // Partition strip: ownership + pending/frozen outline, write heat fill.
+  var vers = info.partitionVersions || [];
+  var owned = {}, pend = {}, froz = {};
+  (info.ownedPartitions || []).forEach(function (p) { owned[p] = true; });
+  (reb.pending || []).forEach(function (p) { pend[p] = true; });
+  (reb.frozen || []).forEach(function (p) { froz[p] = true; });
+  var deltas = vers.map(function (v, p) {
+    return prevVers && prevVers.length === vers.length ? Math.max(0, v - prevVers[p]) : 0;
+  });
+  var maxD = Math.max.apply(null, deltas.concat([1]));
+  document.getElementById("parts").innerHTML = vers.map(function (v, p) {
+    var heat = deltas[p] / maxD;
+    var cls = "part" + (owned[p] ? " owned" : "") +
+      (pend[p] ? " pending" : "") + (froz[p] ? " frozen" : "");
+    var bg = heat > 0 ? "background:rgba(95,179,228," + (0.15 + 0.85 * heat).toFixed(2) + ")" : "";
+    return "<div class='" + cls + "' style='" + bg + "' title='partition " + p +
+      (owned[p] ? " · owned" : "") + (pend[p] ? " · pending" : "") +
+      (froz[p] ? " · frozen" : "") + " · +" + deltas[p] + " writes'></div>";
+  }).join("");
+  document.getElementById("plegend").textContent =
+    "— " + vers.length + " total, " + (info.ownedPartitions || []).length +
+    " owned, outline: amber=pending blue=frozen, fill=write heat";
+
+  // WAL fsync histogram (cumulative counts per bucket, log-ish shape).
+  var bks = buckets(m, "counterd_wal_fsync_seconds");
+  var el = document.getElementById("fsync");
+  if (bks.length) {
+    var prevN = 0, maxN = 1, per = bks.map(function (b) {
+      var n = b.n - prevN; prevN = b.n; maxN = Math.max(maxN, n); return n;
+    });
+    el.innerHTML = per.map(function (n, i) {
+      var h = n ? Math.max(3, Math.round(68 * n / maxN)) : 1;
+      return "<div class='bar' style='height:" + h + "px' title='≤" +
+        (bks[i].le === Infinity ? "+Inf" : secs(bks[i].le)) + ": " + n + "'></div>";
+    }).join("");
+    document.getElementById("fsync-lo").textContent = "≤" + secs(bks[0].le);
+    document.getElementById("fsync-hi").textContent = "+Inf";
+    kv(document.getElementById("fsync-kv"), [
+      ["fsyncs", fmt(bks[bks.length - 1].n)],
+      ["p50 ≤", secs(quantile(bks, 0.5))],
+      ["p99 ≤", secs(quantile(bks, 0.99))],
+      ["fsync/s", fmt(rate("counterd_wal_fsync_seconds_count"))]
+    ]);
+  } else {
+    el.innerHTML = "<span style='color:var(--dim)'>no fsyncs yet</span>";
+  }
+
+  // Top-k.
+  document.getElementById("topk").innerHTML = (topk.topk || []).map(function (it) {
+    return "<tr><td class='num'>" + it.key + "</td><td class='num'>" +
+      fmt(it.estimate) + "</td></tr>";
+  }).join("");
+
+  prev = m; prevVers = vers; prevTime = now;
+}
+
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

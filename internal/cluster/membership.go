@@ -108,6 +108,18 @@ type Membership struct {
 	members  map[string]*memberEntry
 	left     bool   // this node announced its own departure (Leave)
 	onChange func() // called (without mu) after any routable-set change
+
+	// onTransition is called (without mu) once per recorded member state
+	// change — the metrics hook behind
+	// counterd_cluster_member_transitions_total.
+	onTransition func(id string, from, to MemberState)
+}
+
+// stateChange is one member state flip collected under mu and reported to
+// the transition hook after unlock.
+type stateChange struct {
+	id       string
+	from, to MemberState
 }
 
 // NewMembership builds a table containing self (alive, incarnation 1).
@@ -128,6 +140,44 @@ func NewMembership(self string, cfg MembershipConfig, onChange func()) *Membersh
 
 // Self returns the local member ID.
 func (m *Membership) Self() string { return m.self }
+
+// OnTransition registers fn to be called, outside the table lock, for every
+// member state change the table records (rumor merges, contact recoveries,
+// failure-detector demotions, the local Leave). Call before gossip starts.
+func (m *Membership) OnTransition(fn func(id string, from, to MemberState)) {
+	m.mu.Lock()
+	m.onTransition = fn
+	m.mu.Unlock()
+}
+
+// notify reports collected state changes to the transition hook.
+func (m *Membership) notify(changes []stateChange) {
+	if len(changes) == 0 {
+		return
+	}
+	m.mu.Lock()
+	fn := m.onTransition
+	m.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, c := range changes {
+		fn(c.id, c.from, c.to)
+	}
+}
+
+// CountState returns how many members the table holds in state s.
+func (m *Membership) CountState(s MemberState) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	count := 0
+	for _, e := range m.members {
+		if e.State == s {
+			count++
+		}
+	}
+	return count
+}
 
 // SetSelfWire records the local node's advertised wire address so gossip
 // spreads it. Call before the first gossip round; the member's own row is
@@ -243,15 +293,18 @@ func (m *Membership) State(id string) (Member, bool) {
 // Gossip keeps running so the departure spreads — the caller decides when
 // to actually stop the node.
 func (m *Membership) Leave() {
+	var changes []stateChange
 	m.mu.Lock()
 	e := m.members[m.self]
 	alreadyLeft := m.left
 	if !alreadyLeft {
 		m.left = true
 		e.Incarnation++
+		changes = append(changes, stateChange{m.self, e.State, StateDead})
 		e.State = StateDead
 	}
 	m.mu.Unlock()
+	m.notify(changes)
 	m.changed(!alreadyLeft)
 }
 
@@ -265,6 +318,7 @@ func (m *Membership) Left() bool {
 // MergeFrom folds a remote member table into the local one under the SWIM
 // rules. Returns whether the routable set may have changed.
 func (m *Membership) MergeFrom(remote []Member) {
+	var changes []stateChange
 	m.mu.Lock()
 	changed := false
 	for _, r := range remote {
@@ -279,6 +333,9 @@ func (m *Membership) MergeFrom(remote []Member) {
 			e := m.members[m.self]
 			if !m.left && r.State != StateAlive && r.Incarnation >= e.Incarnation {
 				e.Incarnation = r.Incarnation + 1
+				if e.State != StateAlive {
+					changes = append(changes, stateChange{m.self, e.State, StateAlive})
+				}
 				e.State = StateAlive
 				changed = true
 			}
@@ -293,6 +350,7 @@ func (m *Membership) MergeFrom(remote []Member) {
 		switch {
 		case r.Incarnation > e.Incarnation:
 			if e.State != r.State {
+				changes = append(changes, stateChange{r.ID, e.State, r.State})
 				changed = true
 			}
 			e.Incarnation = r.Incarnation
@@ -302,6 +360,7 @@ func (m *Membership) MergeFrom(remote []Member) {
 				e.lastSeen = time.Now()
 			}
 		case r.Incarnation == e.Incarnation && r.State > e.State:
+			changes = append(changes, stateChange{r.ID, e.State, r.State})
 			e.State = r.State
 			changed = true
 		}
@@ -313,6 +372,7 @@ func (m *Membership) MergeFrom(remote []Member) {
 		}
 	}
 	m.mu.Unlock()
+	m.notify(changes)
 	m.changed(changed)
 }
 
@@ -329,6 +389,7 @@ func (m *Membership) Contact(id string, ok bool) {
 	if !ok || id == m.self {
 		return
 	}
+	var changes []stateChange
 	m.mu.Lock()
 	changed := false
 	e, found := m.members[id]
@@ -341,11 +402,13 @@ func (m *Membership) Contact(id string, ok bool) {
 	} else {
 		e.lastSeen = time.Now()
 		if e.State == StateSuspect {
+			changes = append(changes, stateChange{id, StateSuspect, StateAlive})
 			e.State = StateAlive
 			changed = true
 		}
 	}
 	m.mu.Unlock()
+	m.notify(changes)
 	m.changed(changed)
 }
 
@@ -353,6 +416,7 @@ func (m *Membership) Contact(id string, ok bool) {
 // suspect → dead → dropped.
 func (m *Membership) Tick() {
 	now := time.Now()
+	var changes []stateChange
 	m.mu.Lock()
 	changed := false
 	for id, e := range m.members {
@@ -365,14 +429,17 @@ func (m *Membership) Tick() {
 			delete(m.members, id)
 			changed = true
 		case idle > m.cfg.DeadAfter && e.State != StateDead:
+			changes = append(changes, stateChange{id, e.State, StateDead})
 			e.State = StateDead
 			changed = true
 		case idle > m.cfg.SuspectAfter && e.State == StateAlive:
+			changes = append(changes, stateChange{id, StateAlive, StateSuspect})
 			e.State = StateSuspect
 			changed = true
 		}
 	}
 	m.mu.Unlock()
+	m.notify(changes)
 	m.changed(changed)
 }
 

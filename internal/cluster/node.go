@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/snapcodec"
 	"repro/internal/wal"
@@ -153,12 +154,17 @@ type Node struct {
 	prevStates   map[string]MemberState
 	lastPartVer  []uint64
 
-	aeRounds    atomic.Uint64
-	forwards    atomic.Uint64
-	replSent    atomic.Uint64
-	replWire    atomic.Uint64 // subset of replSent shipped over the wire protocol
-	replRecvd   atomic.Uint64
-	replDropped atomic.Uint64 // repl keys for partitions neither owned nor frozen
+	// Counters live in the store's metrics registry so /cluster/info and
+	// /metrics read the same atomics (metrics.Counter is an atomic.Uint64
+	// underneath) — one source of truth for both surfaces.
+	aeRounds    *metrics.Counter
+	forwards    *metrics.Counter
+	replSent    *metrics.Counter
+	replWire    *metrics.Counter // subset of replSent shipped over the wire protocol
+	replRecvd   *metrics.Counter
+	replDropped *metrics.Counter // repl keys for partitions neither owned nor frozen
+
+	memTransitions *metrics.CounterVec // failure-detector state flips, by from/to
 }
 
 // New builds a Node around an open Store. Call Start to join the cluster.
@@ -186,7 +192,11 @@ func New(st *server.Store, cfg Config) (*Node, error) {
 	if n.cfg.MaxForward > st.MaxBatch() {
 		n.cfg.MaxForward = st.MaxBatch()
 	}
+	n.initMetrics()
 	n.mem = NewMembership(cfg.Self, cfg.Membership, n.rebuildRing)
+	n.mem.OnTransition(func(id string, from, to MemberState) {
+		n.memTransitions.With(from.String(), to.String()).Inc()
+	})
 	if cfg.WireAddr != "" {
 		n.mem.SetSelfWire(cfg.WireAddr)
 	}
@@ -195,8 +205,74 @@ func New(st *server.Store, cfg Config) (*Node, error) {
 	return n, nil
 }
 
+// initMetrics registers the cluster layer's instruments into the store's
+// registry. The scrape-time gauge funcs close over n and run only once the
+// node is fully built.
+func (n *Node) initMetrics() {
+	reg := n.st.Metrics()
+	n.aeRounds = reg.Counter("counterd_cluster_antientropy_rounds_total",
+		"Anti-entropy rounds started (skipped rounds while unreconciled do not count).")
+	n.forwards = reg.Counter("counterd_cluster_forwards_total",
+		"Batches forwarded to a remote coordinator (partitions this node does not replicate).")
+	n.replSent = reg.Counter("counterd_cluster_repl_keys_sent_total",
+		"Replication keys drained from peer outboxes (all transports).")
+	n.replWire = reg.Counter("counterd_cluster_repl_keys_wire_total",
+		"Subset of sent replication keys shipped over the binary wire protocol.")
+	n.replRecvd = reg.Counter("counterd_cluster_repl_keys_received_total",
+		"Replication keys applied locally from peers.")
+	n.replDropped = reg.Counter("counterd_cluster_repl_keys_dropped_total",
+		"Received replication keys dropped (partition neither owned nor frozen here).")
+	n.memTransitions = reg.CounterVec("counterd_cluster_member_transitions_total",
+		"Member state transitions recorded by the local failure detector.", "from", "to")
+	reg.GaugeFunc("counterd_cluster_outbox_pending_keys",
+		"Replication keys queued across every peer outbox (hinted-handoff backlog).",
+		func() float64 {
+			n.obMu.Lock()
+			defer n.obMu.Unlock()
+			var total int64
+			for _, o := range n.outboxes {
+				total += o.pending()
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("counterd_cluster_outboxes",
+		"Open per-peer outbox logs.",
+		func() float64 {
+			n.obMu.Lock()
+			defer n.obMu.Unlock()
+			return float64(len(n.outboxes))
+		})
+	reg.GaugeFunc("counterd_cluster_ring_members",
+		"Members on the current routing ring (alive + suspect).",
+		func() float64 { return float64(len(n.ring.Load().Members())) })
+	for _, state := range []MemberState{StateAlive, StateSuspect, StateDead} {
+		st := state
+		reg.GaugeFuncVec("counterd_cluster_members",
+			"Members in the local table, by failure-detector state.",
+			[]string{"state"}, []string{st.String()},
+			func() float64 { return float64(n.mem.CountState(st)) })
+	}
+}
+
 // Store returns the node's underlying store.
 func (n *Node) Store() *server.Store { return n.st }
+
+// Ready is the cluster-level readiness check behind /readyz: the store must
+// be durably writable (WAL open and unpoisoned), the node must not have
+// announced its departure, the durable ownership state must reflect the
+// current ring version, and no partition may still await its rebalance
+// install. A joining node therefore reports unready exactly until its
+// partitions are warm — the Kubernetes readiness gate that keeps traffic
+// off cold replicas.
+func (n *Node) Ready() error {
+	if err := n.st.Ready(); err != nil {
+		return err
+	}
+	if n.mem.Left() {
+		return errors.New("cluster: node is decommissioning")
+	}
+	return n.reb.ready(n.ring.Load().Version())
+}
 
 // Ring returns the node's current routing ring.
 func (n *Node) Ring() *Ring { return n.ring.Load() }
@@ -712,6 +788,9 @@ type Info struct {
 	ReplWire      uint64           `json:"replKeysWire"`
 	ReplReceived  uint64           `json:"replKeysReceived"`
 	ReplDropped   uint64           `json:"replKeysDropped"`
+	// PartVersions is each partition's write-version counter — the ops
+	// dashboard diffs consecutive polls to paint per-partition heat.
+	PartVersions []uint64 `json:"partitionVersions"`
 }
 
 // Handler returns the node's full HTTP surface: the cluster admin API plus
@@ -733,7 +812,13 @@ type Info struct {
 //	                              partition awaits its rebalance install
 //	GET  /topk                    store read, but 421 when ?partition= is
 //	                              pending (unscoped top-k is served as-is)
-//	(everything else)             internal/server.Handler
+//	GET  /readyz                  cluster readiness (shadows the store's:
+//	                              WAL healthy AND ring reconciled AND no
+//	                              pending partitions AND not decommissioning)
+//	GET  /cluster/dash            embedded live ops dashboard (HTML, no
+//	                              external assets)
+//	(everything else)             internal/server.Handler (incl. /metrics,
+//	                              /healthz liveness)
 //
 // Like the store surface, every route is also served under /v1/ — and the
 // cluster's own routes MUST shadow the store's on both prefixes, or a
@@ -747,10 +832,19 @@ type Info struct {
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	storeH := server.Handler(n.st)
+	reg := n.st.Metrics()
 	handle := func(method, path string, h http.HandlerFunc) {
+		h = server.Instrument(reg, path, h)
 		mux.HandleFunc(method+" /v1"+path, h)
 		mux.HandleFunc(method+" "+path, h) // legacy unprefixed alias
 	}
+	// Readiness shadows the store's /readyz with the cluster-level check:
+	// WAL health alone is not readiness while a join is still installing
+	// partitions.
+	handle("GET", "/readyz", func(w http.ResponseWriter, r *http.Request) {
+		server.WriteReady(w, n.Ready())
+	})
+	handle("GET", "/cluster/dash", n.handleDash)
 	handle("POST", "/inc", func(w http.ResponseWriter, r *http.Request) {
 		keys, ok := readKeys(w, r)
 		if !ok {
@@ -928,12 +1022,16 @@ func (n *Node) info() Info {
 		RingVersion:   fmt.Sprintf("%016x", ring.Version()),
 		Members:       n.mem.Snapshot(),
 		OutboxPending: make(map[string]int64),
-		AERounds:      n.aeRounds.Load(),
-		Forwards:      n.forwards.Load(),
-		ReplSent:      n.replSent.Load(),
-		ReplWire:      n.replWire.Load(),
-		ReplReceived:  n.replRecvd.Load(),
-		ReplDropped:   n.replDropped.Load(),
+		AERounds:      n.aeRounds.Value(),
+		Forwards:      n.forwards.Value(),
+		ReplSent:      n.replSent.Value(),
+		ReplWire:      n.replWire.Value(),
+		ReplReceived:  n.replRecvd.Value(),
+		ReplDropped:   n.replDropped.Value(),
+	}
+	info.PartVersions = make([]uint64, n.st.Partitions())
+	for p := range info.PartVersions {
+		info.PartVersions[p] = n.st.PartitionVersion(p)
 	}
 	for p := 0; p < n.st.Partitions(); p++ {
 		if ring.Owns(n.cfg.Self, p) {

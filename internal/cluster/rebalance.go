@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -75,10 +76,13 @@ type rebalancer struct {
 	transfers  map[int]*transfer  // pending-partition metadata
 	frozen     map[int]*surrender // frozen-partition metadata
 
-	moved     atomic.Uint64 // partitions installed (pulled or vacuous)
-	evicted   atomic.Uint64 // surrendered partitions evicted after confirm
-	bytes     atomic.Uint64 // snapshot bytes pulled
-	cutoverNs atomic.Int64  // last install's flip-to-warm latency
+	// Counters live in the store's metrics registry so /cluster/rebalance
+	// and /metrics read the same atomics.
+	moved     *metrics.Counter   // partitions installed (pulled or vacuous)
+	evicted   *metrics.Counter   // surrendered partitions evicted after confirm
+	bytes     *metrics.Counter   // snapshot bytes pulled
+	mCutover  *metrics.Histogram // install flip-to-warm latency
+	cutoverNs atomic.Int64       // last install's flip-to-warm latency
 }
 
 // transfer is one pending partition's in-memory progress.
@@ -145,6 +149,23 @@ func newRebalancer(n *Node) *rebalancer {
 		transfers: make(map[int]*transfer),
 		frozen:    make(map[int]*surrender),
 	}
+	reg := n.st.Metrics()
+	rb.moved = reg.Counter("counterd_rebalance_partitions_moved_total",
+		"Partitions installed by the rebalancer (pulled or vacuous).")
+	rb.evicted = reg.Counter("counterd_rebalance_partitions_evicted_total",
+		"Surrendered partitions evicted after every new owner confirmed its install.")
+	rb.bytes = reg.Counter("counterd_rebalance_bytes_streamed_total",
+		"Partition snapshot bytes pulled during rebalance handoffs.")
+	rb.mCutover = reg.Histogram("counterd_rebalance_cutover_seconds",
+		"Per-partition flip-to-warm latency: ring flip (pend) to install commit.",
+		metrics.ExpBuckets(1e-3, 2, 18))
+	reg.GaugeFunc("counterd_rebalance_transfers",
+		"Pending partitions currently awaiting a rebalance install.",
+		func() float64 {
+			rb.mu.Lock()
+			defer rb.mu.Unlock()
+			return float64(len(rb.transfers))
+		})
 	// A restarted node re-adopts its durable state: recorded pendings resume
 	// as transfers, recorded frozen partitions resume as (conservatively
 	// partial) surrenders, and the recorded ring version counts as
@@ -549,6 +570,7 @@ func (rb *rebalancer) finish(p, blobLen int, count bool) {
 	rb.moved.Add(1)
 	if t != nil {
 		rb.cutoverNs.Store(time.Since(t.started).Nanoseconds())
+		rb.mCutover.ObserveSince(t.started)
 	}
 	rb.n.cfg.Logf("cluster: rebalance: installed partition %d (%d bytes)", p, blobLen)
 }
@@ -605,6 +627,22 @@ func (rb *rebalancer) reconciledTo(ver uint64) bool {
 	return rb.reconciled == ver
 }
 
+// ready is the rebalancer's contribution to /readyz: the durable ownership
+// state must reflect ring version ver and no partition may still await its
+// install. Frozen copies do not block readiness — the node serves its owned
+// set fine while surrendered history drains to the new owners.
+func (rb *rebalancer) ready(ver uint64) error {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.reconciled != ver {
+		return fmt.Errorf("cluster: ownership not reconciled to ring %016x", ver)
+	}
+	if n := len(rb.transfers); n > 0 {
+		return fmt.Errorf("cluster: %d partitions awaiting rebalance install", n)
+	}
+	return nil
+}
+
 // idle reports whether the rebalancer owes and is owed nothing at the
 // current ring: reconciled, no pending installs, no frozen copies left to
 // hand off.
@@ -622,9 +660,9 @@ func (rb *rebalancer) status() RebalanceStatus {
 	s := RebalanceStatus{
 		Self:          rb.n.cfg.Self,
 		RingVersion:   fmt.Sprintf("%016x", ver),
-		Moved:         rb.moved.Load(),
-		Evicted:       rb.evicted.Load(),
-		BytesStreamed: rb.bytes.Load(),
+		Moved:         rb.moved.Value(),
+		Evicted:       rb.evicted.Value(),
+		BytesStreamed: rb.bytes.Value(),
 		LastCutoverMs: float64(rb.cutoverNs.Load()) / 1e6,
 	}
 	rb.mu.Lock()

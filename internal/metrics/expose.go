@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// joinValues builds the canonical child key from label values. \x00 is
+// fine as a separator because label values are escaped only at render.
+func joinValues(values []string) string {
+	return strings.Join(values, "\x00")
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func mustValidName(name string) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic("metrics: invalid metric name " + strconv.Quote(name))
+		}
+	}
+}
+
+func mustValidLabel(name string) {
+	if name == "" {
+		panic("metrics: empty label name")
+	}
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic("metrics: invalid label name " + strconv.Quote(name))
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="x",b="y"} for the family's label names and a
+// child's values, plus any extra pairs (used for histogram le). Returns
+// "" when there are no pairs.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in name order as Prometheus text
+// exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		_, cs := f.snapshotChildren()
+		if len(cs) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, c := range cs {
+			switch c := c.(type) {
+			case *Counter:
+				bw.WriteString(f.name)
+				bw.WriteString(labelString(f.labels, c.labels, "", ""))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(c.Value(), 10))
+				bw.WriteByte('\n')
+			case *Gauge:
+				bw.WriteString(f.name)
+				bw.WriteString(labelString(f.labels, c.labels, "", ""))
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(c.Value()))
+				bw.WriteByte('\n')
+			case *gaugeFunc:
+				bw.WriteString(f.name)
+				bw.WriteString(labelString(f.labels, c.labels, "", ""))
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(c.fn()))
+				bw.WriteByte('\n')
+			case *Histogram:
+				// Cumulative buckets. Bucket counts are read before the
+				// total, so under concurrent Observe the rendered +Inf
+				// cumulative count can trail _count by in-flight
+				// observations; both are monotone so scrapes stay sane.
+				var cum uint64
+				for i, ub := range c.bounds {
+					cum += c.counts[i].Load()
+					bw.WriteString(f.name)
+					bw.WriteString("_bucket")
+					bw.WriteString(labelString(f.labels, c.labels, "le", formatFloat(ub)))
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatUint(cum, 10))
+					bw.WriteByte('\n')
+				}
+				cum += c.inf.Load()
+				bw.WriteString(f.name)
+				bw.WriteString("_bucket")
+				bw.WriteString(labelString(f.labels, c.labels, "le", "+Inf"))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(cum, 10))
+				bw.WriteByte('\n')
+
+				bw.WriteString(f.name)
+				bw.WriteString("_sum")
+				bw.WriteString(labelString(f.labels, c.labels, "", ""))
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(math.Float64frombits(c.sumBits.Load())))
+				bw.WriteByte('\n')
+
+				bw.WriteString(f.name)
+				bw.WriteString("_count")
+				bw.WriteString(labelString(f.labels, c.labels, "", ""))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(cum, 10))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,430 @@
+// Package metrics is a dependency-free metrics registry rendering the
+// Prometheus text exposition format (version 0.0.4).
+//
+// The design goals, in order:
+//
+//   - Zero dependencies. The repo's go.mod is empty and stays that way;
+//     everything here is the standard library.
+//   - Per-instance registries. Cluster tests run several nodes in one
+//     process, so there is no package-level default registry — every
+//     server.Store owns a *Registry and everything that serves that store
+//     (WAL, wire listener, cluster node) registers into it.
+//   - Hot-path cheap. Counter.Add is one atomic add; Histogram.Observe is
+//     a branch-free bucket walk plus two atomic adds and a CAS loop for
+//     the sum. No allocation after registration.
+//   - Nil-safe instruments. A nil *Counter / *Gauge / *Histogram is a
+//     no-op, and a nil *Registry hands out nil instruments. Packages like
+//     wal and wire can be instrumented unconditionally and pay nothing
+//     when opened without a registry (tools, benchmarks).
+//
+// Metric and label names are validated at registration ([a-zA-Z_:][a-zA-Z0-9_:]*
+// and [a-zA-Z_][a-zA-Z0-9_]* respectively); violations panic, since they
+// are programmer errors that would otherwise corrupt the exposition.
+// Registration is get-or-create: asking twice for the same name returns
+// the same family, and a kind or label-arity mismatch panics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the exposition type of a metric family.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; call NewRegistry. A nil *Registry is safe to register against
+// and hands out nil (no-op) instruments.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with zero or more labeled children.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string  // label names; empty for unlabeled
+	buckets []float64 // histogram upper bounds, ascending, no +Inf
+
+	mu       sync.Mutex
+	children map[string]child // key: joined label values
+	order    []string         // child keys in registration order
+}
+
+type child interface{}
+
+func (r *Registry) lookup(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered with %d labels (was %d)", name, len(labels), len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %s re-registered with label %q (was %q)", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	mustValidName(name)
+	for _, l := range labels {
+		mustValidLabel(l)
+	}
+	if kind == KindHistogram {
+		if len(buckets) == 0 {
+			panic("metrics: histogram " + name + " needs at least one bucket")
+		}
+		for i := 1; i < len(buckets); i++ {
+			if !(buckets[i] > buckets[i-1]) {
+				panic("metrics: histogram " + name + " buckets not strictly ascending")
+			}
+		}
+		if math.IsInf(buckets[len(buckets)-1], +1) {
+			buckets = buckets[:len(buckets)-1] // +Inf is implicit
+		}
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// childFor returns the child for the given label values, creating it on
+// first use. make builds a fresh child.
+func (f *family) childFor(values []string, make func() child) child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := joinValues(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// snapshotChildren returns (key, child) pairs in registration order.
+func (f *family) snapshotChildren() ([]string, []child) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := append([]string(nil), f.order...)
+	cs := make([]child, len(keys))
+	for i, k := range keys {
+		cs[i] = f.children[k]
+	}
+	return keys, cs
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing uint64. Nil receivers no-op.
+type Counter struct {
+	v      atomic.Uint64
+	labels []string // label values, exposition-ready
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, KindCounter, nil, nil)
+	return f.childFor(nil, func() child { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookup(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.childFor(values, func() child { return &Counter{labels: append([]string(nil), values...)} }).(*Counter)
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a float64 that can go up and down. Nil receivers no-op.
+type Gauge struct {
+	bits   atomic.Uint64 // math.Float64bits
+	labels []string
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, KindGauge, nil, nil)
+	return f.childFor(nil, func() child { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct {
+	f *family
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.lookup(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.childFor(values, func() child { return &Gauge{labels: append([]string(nil), values...)} }).(*Gauge)
+}
+
+// gaugeFunc is a gauge whose value is computed at scrape time.
+type gaugeFunc struct {
+	fn     func() float64
+	labels []string
+}
+
+// GaugeFunc registers a gauge whose value is fn(), evaluated at every
+// scrape. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, KindGauge, nil, nil)
+	f.childFor(nil, func() child { return &gaugeFunc{fn: fn} })
+}
+
+// GaugeFuncVec registers one labeled scrape-time gauge child. Calling it
+// again with the same label values keeps the first fn.
+func (r *Registry) GaugeFuncVec(name, help string, labels []string, values []string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, KindGauge, labels, nil)
+	f.childFor(values, func() child {
+		return &gaugeFunc{fn: fn, labels: append([]string(nil), values...)}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram counts observations into fixed cumulative buckets. Nil
+// receivers no-op.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, no +Inf
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+	labels  []string
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func newHistogram(bounds []float64, labels []string) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)),
+		labels: labels,
+	}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the given
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, KindHistogram, nil, buckets)
+	return f.childFor(nil, func() child { return newHistogram(f.buckets, nil) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct {
+	f *family
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.lookup(name, help, KindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.childFor(values, func() child {
+		return newHistogram(v.f.buckets, append([]string(nil), values...))
+	}).(*Histogram)
+}
+
+// ---------------------------------------------------------------------------
+// Bucket layouts
+
+// ExpBuckets returns n upper bounds starting at start, each factor times
+// the previous. start must be > 0 and factor > 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: bad ExpBuckets arguments")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LatencyBuckets is the fixed layout for request/IO latency histograms:
+// 25µs .. ~1.6s, doubling. Covers sub-ms WAL fsyncs up through slow
+// cross-node partition pulls.
+var LatencyBuckets = ExpBuckets(25e-6, 2, 17)
+
+// SizeBuckets is the fixed layout for batch-size histograms (keys per
+// batch): 1 .. 65536, ×4.
+var SizeBuckets = ExpBuckets(1, 4, 9)

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Total ops.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2.5)
+	r.GaugeFunc("test_live", "Scrape-time value.", func() float64 { return 3 })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Total ops.\n# TYPE test_ops_total counter\ntest_ops_total 42\n",
+		"# TYPE test_depth gauge\ntest_depth 4.5\n",
+		"test_live 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 42 {
+		t.Errorf("Value = %d, want 42", c.Value())
+	}
+}
+
+func TestVecAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_frames_total", "Frames.", "type", "dir")
+	v.With("batch", "in").Add(3)
+	v.With(`we"ird`+"\\\n", "out").Inc()
+
+	out := render(t, r)
+	if !strings.Contains(out, `test_frames_total{type="batch",dir="in"} 3`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+	if !strings.Contains(out, `test_frames_total{type="we\"ird\\\n",dir="out"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+	// Same values → same child.
+	if v.With("batch", "in") != v.With("batch", "in") {
+		t.Error("With not idempotent")
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.5, 1, 2})
+	for _, v := range []float64{0.25, 0.5, 0.75, 1.5, 5} { // exact in binary; sum is exactly 8
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.5"} 2`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="2"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_sum 8`,
+		`test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Boundary value lands in its bucket (le is inclusive).
+	h2 := r.Histogram("test_edge_seconds", "Edge.", []float64{1, 2})
+	h2.Observe(1)
+	if got := render(t, r); !strings.Contains(got, `test_edge_seconds_bucket{le="1"} 1`) {
+		t.Errorf("le should be inclusive:\n%s", got)
+	}
+}
+
+func TestGetOrCreateAndMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_x_total", "x")
+	b := r.Counter("test_x_total", "x")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	mustPanic(t, "kind mismatch", func() { r.Gauge("test_x_total", "x") })
+	mustPanic(t, "label mismatch", func() { r.CounterVec("test_x_total", "x", "l") })
+	mustPanic(t, "bad name", func() { r.Counter("9bad", "x") })
+	mustPanic(t, "bad label", func() { r.CounterVec("test_y_total", "x", "le le") })
+	mustPanic(t, "descending buckets", func() { r.Histogram("test_h", "x", []float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	r.CounterVec("v_total", "x", "l").With("a").Inc()
+	g := r.Gauge("g", "x")
+	g.Set(1)
+	g.Add(1)
+	r.GaugeFunc("gf", "x", func() float64 { return 1 })
+	h := r.Histogram("h", "x", LatencyBuckets)
+	h.Observe(1)
+	r.HistogramVec("hv", "x", LatencyBuckets, "l").With("a").Observe(1)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "x")
+	h := r.Histogram("test_conc_seconds", "x", LatencyBuckets)
+	v := r.CounterVec("test_conc_vec_total", "x", "i")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := string(rune('a' + g))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-5)
+				v.With(lbl).Inc()
+				if i%100 == 0 {
+					render(t, r)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if len(LatencyBuckets) == 0 || len(SizeBuckets) == 0 {
+		t.Fatal("fixed layouts must be non-empty")
+	}
+}
+
+// TestLintOwnExposition is the package-level half of the roundtrip: the
+// renderer's output must satisfy the package's own linter, including a
+// pathological label value and every instrument kind.
+func TestLintOwnExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "a").Add(1)
+	r.GaugeVec("test_b", "b", "node").With(`x"y\z` + "\n").Set(-1.5)
+	hv := r.HistogramVec("test_c_seconds", "c", []float64{0.001, 1}, "op")
+	hv.With("read").Observe(0.5)
+	hv.With("write").Observe(math.Inf(+1) - 1) // +Inf observation goes to the overflow bucket
+	r.GaugeFunc("test_d", "d", func() float64 { return math.NaN() })
+
+	out := render(t, r)
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint of own output failed: %v\n%s", err, out)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":        "# HELP x y\nx 1\n",
+		"no HELP":        "# TYPE x counter\nx 1\n",
+		"bad value":      "# HELP x y\n# TYPE x counter\nx one\n",
+		"negative ctr":   "# HELP x y\n# TYPE x counter\nx -1\n",
+		"bad escape":     "# HELP x y\n# TYPE x gauge\nx{l=\"\\q\"} 1\n",
+		"unquoted":       "# HELP x y\n# TYPE x gauge\nx{l=v} 1\n",
+		"no inf bucket":  "# HELP x y\n# TYPE x histogram\nx_bucket{le=\"1\"} 1\nx_sum 1\nx_count 1\n",
+		"not cumulative": "# HELP x y\n# TYPE x histogram\nx_bucket{le=\"1\"} 5\nx_bucket{le=\"+Inf\"} 3\nx_sum 1\nx_count 3\n",
+		"count mismatch": "# HELP x y\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 3\nx_sum 1\nx_count 4\n",
+	}
+	for name, in := range cases {
+		if err := LintExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", name)
+		}
+	}
+}

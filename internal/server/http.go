@@ -7,8 +7,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 )
 
 // maxMergeBody caps a POST /merge request body. A MaxRegisters-key snapshot
@@ -41,13 +43,19 @@ const maxIncBody = 16 << 20
 //	POST /v1/merge          body = a peer snapshot → disjoint-stream join
 //	                          (Remark 2.4 / SpaceSaving union)
 //	POST /v1/mergemax       body = a peer snapshot → replica max join
-//	GET  /v1/healthz        → Stats JSON
+//	GET  /v1/healthz        → Stats JSON (liveness: 200 whenever serving)
+//	GET  /v1/readyz         → {"ready":true} or 503 (readiness: WAL
+//	                          writable; the cluster layer shadows this
+//	                          route to add ring-reconciliation)
+//	GET  /v1/metrics        → Prometheus text exposition (also /metrics)
 //
 // Increments and merges are durable (WAL group commit) before the 200
 // returns.
 func Handler(st *Store) http.Handler {
 	mux := http.NewServeMux()
+	reg := st.Metrics()
 	handle := func(method, path string, h http.HandlerFunc) {
+		h = Instrument(reg, path, h)
 		mux.HandleFunc(method+" /v1"+path, h)
 		mux.HandleFunc(method+" "+path, h) // legacy unprefixed alias
 	}
@@ -203,10 +211,88 @@ func Handler(st *Store) http.Handler {
 	handle("POST", "/merge", mergeHandler(st.Merge))
 	handle("POST", "/mergemax", mergeHandler(st.MergeMax))
 
+	// Liveness vs readiness: /healthz answers 200 whenever the process can
+	// serve at all (its Stats payload is diagnostic, not a gate); /readyz
+	// answers 200 only when the store can durably accept writes. The
+	// cluster layer shadows /readyz to add ring-reconciliation — see
+	// internal/cluster.Handler and docs/OPERATIONS.md.
 	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, st.Stats())
 	})
+	handle("GET", "/readyz", func(w http.ResponseWriter, r *http.Request) {
+		WriteReady(w, st.Ready())
+	})
+	// Prometheus text exposition of the store's registry (both /metrics
+	// and /v1/metrics, like every endpoint).
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
 	return mux
+}
+
+// WriteReady renders a readiness verdict: 200 {"ready":true} on nil, 503
+// with the unified error envelope plus "ready":false otherwise. Shared by
+// the store-level and cluster-shadowed /readyz.
+func WriteReady(w http.ResponseWriter, err error) {
+	if err == nil {
+		writeJSON(w, map[string]any{"ready": true})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready": false, "error": err.Error(), "code": http.StatusServiceUnavailable,
+	})
+}
+
+// Instrument wraps h with per-endpoint request metrics on reg:
+// counterd_http_request_seconds{endpoint} and
+// counterd_http_requests_total{endpoint,code}. endpoint is the route
+// pattern, not the raw URL, so cardinality stays bounded. The cluster
+// layer reuses it for its /cluster/* routes.
+func Instrument(reg *metrics.Registry, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if reg == nil {
+		return h
+	}
+	lat := reg.HistogramVec("counterd_http_request_seconds",
+		"HTTP request latency by route pattern.", metrics.LatencyBuckets, "endpoint").With(endpoint)
+	codes := reg.CounterVec("counterd_http_requests_total",
+		"HTTP requests by route pattern and status code.", "endpoint", "code")
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		lat.ObserveSince(t0)
+		codes.With(endpoint, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+// statusWriter records the status code a handler wrote. Flush is
+// forwarded; nothing in this API hijacks or pushes.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // StatusFor maps store errors to HTTP codes: caller mistakes are 400,

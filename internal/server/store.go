@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/bank"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/shardbank"
 	"repro/internal/snapcodec"
 	"repro/internal/wal"
@@ -102,6 +103,11 @@ type Config struct {
 	// GET /snapshot/{p} — the unit of cluster replication and anti-entropy
 	// (0 = 1, the whole bank as a single partition).
 	Partitions int
+	// Metrics is the registry this store (and its WAL) instruments; nil
+	// makes the store create its own. Per-instance, never process-global:
+	// cluster tests run several stores in one process and each must scrape
+	// independently.
+	Metrics *metrics.Registry
 }
 
 // Store is the durable sketch service: engine + WAL + checkpoints.
@@ -140,16 +146,25 @@ type Store struct {
 	ownLogged  bool
 
 	ckptSeq   atomic.Uint64 // WAL segment tagged by the newest checkpoint
-	batches   atomic.Uint64
-	keys      atomic.Uint64
-	merges    atomic.Uint64
-	mergeMaxs atomic.Uint64
-	evicts    atomic.Uint64
-	ticks     atomic.Uint64
-	lastCkpt  atomic.Int64 // unix nanos of last successful checkpoint
+	lastCkpt  atomic.Int64  // unix nanos of last successful checkpoint
 	recovered wal.ReplayStats
 	fromSnap  bool
 	started   time.Time
+
+	// Operation counters live in the metrics registry (one atomic each);
+	// Stats() and /metrics read the same values. Replay increments them
+	// too, matching the pre-metrics /healthz semantics: the counts cover
+	// every record applied this process lifetime, recovered or live.
+	metrics   *metrics.Registry
+	batches   *metrics.Counter
+	keys      *metrics.Counter
+	merges    *metrics.Counter
+	mergeMaxs *metrics.Counter
+	evicts    *metrics.Counter
+	ticks     *metrics.Counter
+	mApply    *metrics.Histogram // durable apply latency (stage+apply+commit)
+	mBatchLen *metrics.Histogram // keys per applied batch
+	mCkpt     *metrics.Histogram // checkpoint duration
 
 	// wireAddr/wireProto describe the binary wire listener, when one is up
 	// (set once by SetWireInfo before serving; read by Stats for /healthz).
@@ -257,6 +272,7 @@ func Open(cfg Config) (*Store, error) {
 	st.ownPending = make(map[int]bool)
 	st.ownFrozen = make(map[int]bool)
 	st.ownOwned = make(map[int]bool)
+	st.initMetrics(cfg.Metrics)
 
 	st.recovered, err = wal.Replay(cfg.Dir, st.ckptSeq.Load(), st.applyRecord)
 	if err != nil {
@@ -273,11 +289,86 @@ func Open(cfg Config) (*Store, error) {
 		NoSync:       cfg.NoSync,
 		Policy:       cfg.Sync,
 		Interval:     cfg.SyncInterval,
+		Metrics:      st.metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return st, nil
+}
+
+// initMetrics registers the store's instruments into reg (creating a
+// fresh registry when nil) and wires the scrape-time gauges. Runs before
+// WAL replay so recovered records count like live ones.
+func (st *Store) initMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	st.metrics = reg
+	kind := st.eng.Kind()
+	st.batches = reg.CounterVec("counterd_store_apply_batches_total",
+		"Increment batches applied (live and replayed), by engine.", "engine").With(kind)
+	st.keys = reg.CounterVec("counterd_store_apply_keys_total",
+		"Keys counted across applied batches (live and replayed), by engine.", "engine").With(kind)
+	mv := reg.CounterVec("counterd_store_merges_total",
+		"Peer snapshots folded in, by join kind (disjoint Remark-2.4 merge vs replica max-join).", "kind")
+	st.merges = mv.With("disjoint")
+	st.mergeMaxs = mv.With("max")
+	st.evicts = reg.Counter("counterd_store_evicts_total",
+		"Partitions truncated after a rebalance surrender.")
+	st.ticks = reg.Counter("counterd_store_ticks_total",
+		"Window bucket rotations applied (windowed engines).")
+	st.mApply = reg.HistogramVec("counterd_store_apply_seconds",
+		"Durable apply latency per batch: WAL stage + engine apply + group commit.",
+		metrics.LatencyBuckets, "engine").With(kind)
+	st.mBatchLen = reg.Histogram("counterd_store_batch_keys",
+		"Keys per applied increment batch.", metrics.SizeBuckets)
+	st.mCkpt = reg.Histogram("counterd_checkpoint_seconds",
+		"Checkpoint duration: rotate + snapshot + fsync + GC.", metrics.ExpBuckets(1e-3, 2, 16))
+	reg.Gauge("counterd_store_keyspace_keys",
+		"Keys in the serving key space (engine length).").Set(float64(st.eng.Len()))
+	reg.Gauge("counterd_store_partitions",
+		"Key-space partitions (the replication/handoff unit).").Set(float64(st.cfg.Partitions))
+	reg.GaugeFunc("counterd_store_pending_partitions",
+		"Partitions still awaiting their rebalance install (reads 421-shadow while > 0).",
+		func() float64 {
+			st.ownMu.Lock()
+			defer st.ownMu.Unlock()
+			return float64(len(st.ownPending))
+		})
+	reg.GaugeFunc("counterd_store_frozen_partitions",
+		"Surrendered partition copies held frozen for handoff.",
+		func() float64 {
+			st.ownMu.Lock()
+			defer st.ownMu.Unlock()
+			return float64(len(st.ownFrozen))
+		})
+	reg.GaugeFunc("counterd_checkpoint_seq",
+		"WAL segment tagged by the newest checkpoint.",
+		func() float64 { return float64(st.ckptSeq.Load()) })
+	reg.GaugeFunc("counterd_checkpoint_last_unixtime",
+		"Unix time of the last successful checkpoint (0 before the first).",
+		func() float64 {
+			ns := st.lastCkpt.Load()
+			if ns <= 0 {
+				return 0
+			}
+			return float64(ns) / 1e9
+		})
+	reg.Gauge("counterd_store_start_time_seconds",
+		"Unix time this store opened.").Set(float64(st.started.UnixNano()) / 1e9)
+}
+
+// Metrics returns the store's registry — the one /metrics renders and
+// every layer serving this store (wire listener, cluster node) registers
+// into.
+func (st *Store) Metrics() *metrics.Registry { return st.metrics }
+
+// Ready reports whether the store can durably accept writes: nil while
+// the WAL is open and unpoisoned. The base /readyz check; the cluster
+// layer adds ring-reconciliation on top.
+func (st *Store) Ready() error {
+	return st.log.Healthy()
 }
 
 // applyRecord applies one replayed WAL record to the engine.
@@ -403,6 +494,7 @@ func (st *Store) Apply(keys []int) error {
 			return fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, k, st.eng.Len())
 		}
 	}
+	t0 := time.Now()
 	st.writeMu.Lock()
 	ticked, err := st.tickLocked()
 	var ticket uint64
@@ -422,9 +514,12 @@ func (st *Store) Apply(keys []int) error {
 	st.bumpPartitions(keys)
 	st.batches.Add(1)
 	st.keys.Add(uint64(len(keys)))
+	st.mBatchLen.Observe(float64(len(keys)))
 	// Committing the batch ticket also makes any tick staged before it
 	// durable (group commit flushes in stage order).
-	return st.log.Commit(ticket)
+	err = st.log.Commit(ticket)
+	st.mApply.ObserveSince(t0)
+	return err
 }
 
 // tickLocked advances a windowed engine to the clock's current bucket
@@ -940,6 +1035,8 @@ func (st *Store) PartitionSnapshotTo(w io.Writer, p int) error {
 // older snapshots and segments. Recovery cost after a checkpoint is one
 // snapshot load plus the segments written since.
 func (st *Store) Checkpoint() error {
+	ckptStart := time.Now()
+	defer func() { st.mCkpt.ObserveSince(ckptStart) }()
 	// Rotation and state export happen under writeMu so no write lands
 	// between "records before S" and "engine state at S".
 	st.writeMu.Lock()
@@ -1083,11 +1180,11 @@ func (st *Store) Stats() Stats {
 		BankBytes:       st.eng.SizeBytes(),
 		Partitions:      st.cfg.Partitions,
 		FsyncPolicy:     st.syncPolicy().String(),
-		Batches:         st.batches.Load(),
-		Keys:            st.keys.Load(),
-		Merges:          st.merges.Load(),
-		MergeMaxes:      st.mergeMaxs.Load(),
-		Evicts:          st.evicts.Load(),
+		Batches:         st.batches.Value(),
+		Keys:            st.keys.Value(),
+		Merges:          st.merges.Value(),
+		MergeMaxes:      st.mergeMaxs.Value(),
+		Evicts:          st.evicts.Value(),
 		CheckpointSeq:   st.ckptSeq.Load(),
 		WALSegments:     len(segs),
 		RecoveredFrom:   "seed",
@@ -1099,7 +1196,7 @@ func (st *Store) Stats() Stats {
 		s.WindowBuckets = st.windowed.WindowBuckets()
 		s.BucketNanos = st.windowed.BucketNanos()
 		s.WindowEpoch = st.windowed.Epoch()
-		s.Ticks = st.ticks.Load()
+		s.Ticks = st.ticks.Value()
 	}
 	if st.fromSnap {
 		s.RecoveredFrom = "snapshot"

@@ -43,6 +43,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 const (
@@ -155,6 +157,9 @@ type Options struct {
 	// Interval is the background fsync cadence under SyncInterval (default
 	// 100ms; ignored otherwise).
 	Interval time.Duration
+	// Metrics, when non-nil, receives wal_* instrumentation (append/fsync
+	// latency histograms, staged bytes/records, rotations, segment count).
+	Metrics *metrics.Registry
 }
 
 const (
@@ -186,6 +191,14 @@ type Log struct {
 	stopc     chan struct{}
 	flushDone chan struct{}
 	stopOnce  sync.Once
+
+	// Instrumentation; all nil (no-op) unless Options.Metrics was set.
+	mAppend    *metrics.Histogram // Stage: encode + buffer one record
+	mFsync     *metrics.Histogram // every f.Sync on the active segment
+	mCommit    *metrics.Histogram // Commit: stage-to-durable wait
+	mBytes     *metrics.Counter
+	mRecords   *metrics.Counter
+	mRotations *metrics.Counter
 }
 
 // Open creates or opens the log in dir. It always begins a fresh segment
@@ -214,6 +227,32 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts}
 	l.cond = sync.NewCond(&l.cmu)
+	if m := opts.Metrics; m != nil {
+		l.mAppend = m.Histogram("counterd_wal_append_seconds",
+			"Time to encode and stage one WAL record.", metrics.LatencyBuckets)
+		l.mFsync = m.Histogram("counterd_wal_fsync_seconds",
+			"Duration of fsync calls on the active WAL segment.", metrics.LatencyBuckets)
+		l.mCommit = m.Histogram("counterd_wal_commit_seconds",
+			"Stage-to-durable wait per Commit call (group-commit latency).", metrics.LatencyBuckets)
+		l.mBytes = m.Counter("counterd_wal_staged_bytes_total",
+			"Bytes of encoded records staged to the WAL.")
+		l.mRecords = m.Counter("counterd_wal_staged_records_total",
+			"Records staged to the WAL.")
+		l.mRotations = m.Counter("counterd_wal_rotations_total",
+			"WAL segment rotations (seals).")
+		m.GaugeFunc("counterd_wal_segments",
+			"WAL segment files on disk.", func() float64 {
+				segs, err := listSegments(dir)
+				if err != nil {
+					return -1
+				}
+				return float64(len(segs))
+			})
+		m.GaugeFunc("counterd_wal_active_segment",
+			"Sequence number of the segment being appended.", func() float64 {
+				return float64(l.ActiveSegment())
+			})
+	}
 	if err := l.openSegment(next); err != nil {
 		return nil, err
 	}
@@ -254,13 +293,25 @@ func (l *Log) fsyncNow() error {
 	}
 	err := l.flushLocked()
 	if err == nil {
-		err = l.f.Sync()
+		err = l.syncFile()
 	}
 	l.mu.Unlock()
 	if err != nil {
 		err = fmt.Errorf("wal: sync: %w", err)
 		l.setErr(err)
 	}
+	return err
+}
+
+// syncFile fsyncs the active segment, timing the call when instrumented.
+// Caller holds mu.
+func (l *Log) syncFile() error {
+	if l.mFsync == nil {
+		return l.f.Sync()
+	}
+	t0 := time.Now()
+	err := l.f.Sync()
+	l.mFsync.ObserveSince(t0)
 	return err
 }
 
@@ -446,6 +497,10 @@ func decodePayload(typ byte, payload []byte) (Record, error) {
 // in-memory apply (see internal/server), keeping log order and apply order
 // identical.
 func (l *Log) Stage(rec Record) (uint64, error) {
+	var t0 time.Time
+	if l.mAppend != nil {
+		t0 = time.Now()
+	}
 	frame, err := encodeRecord(nil, rec)
 	if err != nil {
 		return 0, err
@@ -462,10 +517,15 @@ func (l *Log) Stage(rec Record) (uint64, error) {
 	l.segBytes += int64(len(frame))
 	l.staged++
 	ticket := l.staged
+	l.mBytes.Add(uint64(len(frame)))
+	l.mRecords.Inc()
 	if l.segBytes >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
 		}
+	}
+	if l.mAppend != nil {
+		l.mAppend.ObserveSince(t0)
 	}
 	return ticket, nil
 }
@@ -473,6 +533,11 @@ func (l *Log) Stage(rec Record) (uint64, error) {
 // Commit blocks until every record staged at or before ticket is durable
 // (flushed and fsynced), joining any in-flight group commit.
 func (l *Log) Commit(ticket uint64) error {
+	var t0 time.Time
+	if l.mCommit != nil {
+		t0 = time.Now()
+		defer func() { l.mCommit.ObserveSince(t0) }()
+	}
 	l.cmu.Lock()
 	for {
 		if l.err != nil {
@@ -498,7 +563,7 @@ func (l *Log) Commit(ticket uint64) error {
 	target := l.staged
 	err := l.flushLocked()
 	if err == nil && l.opts.Policy == SyncAlways {
-		err = l.f.Sync()
+		err = l.syncFile()
 	}
 	l.mu.Unlock()
 
@@ -578,11 +643,12 @@ func (l *Log) rotateLocked() error {
 	// TruncateBefore may delete its predecessors, so the seal is a
 	// durability boundary.
 	if l.opts.Policy != SyncOff {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(); err != nil {
 			l.setErr(err)
 			return err
 		}
 	}
+	l.mRotations.Inc()
 	if err := l.f.Close(); err != nil {
 		l.setErr(err)
 		return err
@@ -646,6 +712,20 @@ func (l *Log) ActiveSegment() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seg
+}
+
+// Healthy reports whether the log can still accept and durably commit
+// records: nil while open with no sticky error, ErrClosed after Close,
+// or the poisoning write/sync error. /readyz uses this as its
+// "WAL writable" check.
+func (l *Log) Healthy() error {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return l.stickyErr()
 }
 
 // Sync forces everything staged to disk.

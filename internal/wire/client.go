@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -185,6 +186,9 @@ type Pool struct {
 
 	mu    sync.Mutex
 	conns map[string]*Conn
+
+	dials   atomic.Uint64
+	redials atomic.Uint64
 }
 
 // NewPool builds an empty pool. timeout is the per-operation deadline
@@ -204,6 +208,7 @@ func (p *Pool) get(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.dials.Add(1)
 	p.mu.Lock()
 	if prev, ok := p.conns[addr]; ok {
 		// Lost a dial race; keep the established one.
@@ -258,6 +263,8 @@ func (p *Pool) send(addr string, keys []int, op func(*Conn, []int) (int, error))
 	if c, err = Dial(addr, p.timeout); err != nil {
 		return 0, err
 	}
+	p.dials.Add(1)
+	p.redials.Add(1)
 	p.mu.Lock()
 	p.conns[addr] = c
 	p.mu.Unlock()
@@ -283,11 +290,20 @@ func (p *Pool) Fetch(addr string, partition int, ringVer uint64) (byte, []byte, 
 	if c, err = Dial(addr, p.timeout); err != nil {
 		return 0, nil, err
 	}
+	p.dials.Add(1)
+	p.redials.Add(1)
 	p.mu.Lock()
 	p.conns[addr] = c
 	p.mu.Unlock()
 	return c.Fetch(partition, ringVer)
 }
+
+// Dials returns the total connections this pool has dialed.
+func (p *Pool) Dials() uint64 { return p.dials.Load() }
+
+// Redials returns how many of those dials replaced a pooled connection
+// that failed at the transport level (drop + redial-once recovery).
+func (p *Pool) Redials() uint64 { return p.redials.Load() }
 
 // Close closes every pooled connection.
 func (p *Pool) Close() {

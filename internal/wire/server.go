@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Sink is what a wire server feeds: the same two ingest verbs the HTTP
@@ -50,6 +53,9 @@ type ServerConfig struct {
 	IdleTimeout time.Duration
 	// Logf receives per-connection fault lines (default: silent).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives wire_* instrumentation: frames
+	// in/out by type, decode errors, and open/total connection counts.
+	Metrics *metrics.Registry
 }
 
 // Server accepts persistent wire connections and pumps their frames into a
@@ -63,6 +69,13 @@ type Server struct {
 	ln    net.Listener
 	conns map[net.Conn]struct{}
 	done  chan struct{}
+
+	// Instrumentation; all nil (no-op) unless ServerConfig.Metrics was set.
+	mFramesIn   *metrics.CounterVec
+	mFramesOut  *metrics.CounterVec
+	mDecodeErrs *metrics.Counter
+	mConns      *metrics.Gauge
+	mConnsTotal *metrics.Counter
 }
 
 // NewServer builds a wire server over sink.
@@ -76,12 +89,25 @@ func NewServer(sink Sink, cfg ServerConfig) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		sink:  sink,
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
 	}
+	if m := cfg.Metrics; m != nil {
+		s.mFramesIn = m.CounterVec("counterd_wire_frames_in_total",
+			"Wire frames received, by type.", "type")
+		s.mFramesOut = m.CounterVec("counterd_wire_frames_out_total",
+			"Wire frames sent, by type.", "type")
+		s.mDecodeErrs = m.Counter("counterd_wire_decode_errors_total",
+			"Inbound frames rejected at decode (framing or batch payload).")
+		s.mConns = m.Gauge("counterd_wire_connections",
+			"Open wire connections.")
+		s.mConnsTotal = m.Counter("counterd_wire_connections_total",
+			"Wire connections accepted since start.")
+	}
+	return s
 }
 
 // Serve accepts connections on ln until Close. It returns nil after Close,
@@ -126,11 +152,14 @@ func (s *Server) Close() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	s.mConnsTotal.Inc()
+	s.mConns.Add(1)
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.mConns.Add(-1)
 	}()
 
 	fail := func(stage string, err error) {
@@ -159,17 +188,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		fail("handshake read", err)
 		return
 	}
+	s.mFramesIn.With(FrameName(typ)).Inc()
 	if typ != FrameHello {
-		WriteFrame(conn, FrameError, errorPayload(400, "expected HELLO"))
+		s.mDecodeErrs.Inc()
+		s.writeFrame(conn, FrameError, errorPayload(400, "expected HELLO"))
 		fail("handshake", fmt.Errorf("first frame type %d", typ))
 		return
 	}
 	if _, err := parseHello(payload); err != nil {
-		WriteFrame(conn, FrameError, errorPayload(400, err.Error()))
+		s.mDecodeErrs.Inc()
+		s.writeFrame(conn, FrameError, errorPayload(400, err.Error()))
 		fail("handshake", err)
 		return
 	}
-	if err := WriteFrame(conn, FrameHello, helloPayload()); err != nil {
+	if err := s.writeFrame(conn, FrameHello, helloPayload()); err != nil {
 		fail("handshake write", err)
 		return
 	}
@@ -181,34 +213,42 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			// Framing faults poison the stream position; there is no safe
 			// way to answer on a stream we can no longer parse.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) &&
+				!errors.Is(err, os.ErrDeadlineExceeded) {
+				s.mDecodeErrs.Inc()
+			}
 			fail("read", err)
 			return
 		}
+		s.mFramesIn.With(FrameName(typ)).Inc()
 		out = out[:0]
+		var outType byte
 		switch typ {
 		case FramePing:
+			outType = FramePong
 			out = AppendFrame(out, FramePong, nil)
 		case FrameBatch, FrameRepl:
 			keys, err := DecodeBatch(payload, s.cfg.MaxBatch, s.cfg.MaxKey)
 			var applied int
 			if err == nil {
-				if typ == FrameBatch {
-					applied, err = s.sink.Batch(keys)
-				} else {
-					applied, err = s.sink.Repl(keys)
-				}
+				applied, err = s.dispatch(typ, keys)
 			}
 			switch {
 			case errors.Is(err, ErrBadBatch):
+				s.mDecodeErrs.Inc()
+				outType = FrameError
 				out = AppendFrame(out, FrameError, errorPayload(400, err.Error()))
 			case err != nil:
+				outType = FrameError
 				out = AppendFrame(out, FrameError, errorPayload(s.cfg.ErrorCode(err), err.Error()))
 			default:
+				outType = FrameAck
 				out = AppendFrame(out, FrameAck, ackPayload(applied))
 			}
 		case FrameFetch:
 			hs, ok := s.sink.(HandoffSink)
 			if !ok {
+				outType = FrameError
 				out = AppendFrame(out, FrameError, errorPayload(400, "handoff not supported"))
 				break
 			}
@@ -220,18 +260,41 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			switch {
 			case err != nil:
+				outType = FrameError
 				out = AppendFrame(out, FrameError, errorPayload(s.cfg.ErrorCode(err), err.Error()))
 			case len(blob)+1 > MaxFramePayload:
+				outType = FrameError
 				out = AppendFrame(out, FrameError, errorPayload(500, "partition snapshot exceeds frame cap"))
 			default:
+				outType = FrameSnap
 				out = AppendFrame(out, FrameSnap, snapPayload(role, blob))
 			}
 		default:
+			s.mDecodeErrs.Inc()
+			outType = FrameError
 			out = AppendFrame(out, FrameError, errorPayload(400, fmt.Sprintf("unknown frame type %d", typ)))
 		}
 		if _, err := conn.Write(out); err != nil {
 			fail("write", err)
 			return
 		}
+		s.mFramesOut.With(FrameName(outType)).Inc()
 	}
+}
+
+// dispatch routes a decoded batch to the sink verb for typ.
+func (s *Server) dispatch(typ byte, keys []int) (int, error) {
+	if typ == FrameBatch {
+		return s.sink.Batch(keys)
+	}
+	return s.sink.Repl(keys)
+}
+
+// writeFrame writes one frame and counts it when instrumented.
+func (s *Server) writeFrame(conn net.Conn, typ byte, payload []byte) error {
+	err := WriteFrame(conn, typ, payload)
+	if err == nil {
+		s.mFramesOut.With(FrameName(typ)).Inc()
+	}
+	return err
 }

@@ -64,6 +64,32 @@ const (
 	FrameSnap  = byte(9) // fetch reply: role byte + snapcodec partition snapshot
 )
 
+// FrameName returns the lowercase mnemonic of a frame type ("batch",
+// "snap", ...) or "unknown". Metrics label frames by it.
+func FrameName(typ byte) string {
+	switch typ {
+	case FrameHello:
+		return "hello"
+	case FrameBatch:
+		return "batch"
+	case FrameRepl:
+		return "repl"
+	case FrameAck:
+		return "ack"
+	case FrameError:
+		return "error"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
+	case FrameFetch:
+		return "fetch"
+	case FrameSnap:
+		return "snap"
+	}
+	return "unknown"
+}
+
 // Handoff source roles carried in the first byte of a SNAP payload: the
 // source tells the puller whether its copy is a live owner's (absorbed the
 // same post-flip stream — join with the idempotent max) or a frozen

@@ -68,7 +68,7 @@ for md in "${docs[@]}"; do
     path=${path%\`}
     # Only judge things that look like repo paths: known top-level roots.
     case $path in
-    docs/* | internal/* | cmd/* | examples/* | tools/* | bin/*) ;;
+    docs/* | internal/* | cmd/* | examples/* | tools/* | deploy/* | bin/*) ;;
     *) continue ;;
     esac
     # Skip command lines, globs, and placeholders.
