@@ -95,6 +95,9 @@ bench:
 	$(GO) run ./cmd/benchjson < bench-out/bench-serve.txt > bench-out/BENCH_serve.json
 	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/cluster | tee bench-out/bench-cluster.txt
 	$(GO) run ./cmd/benchjson < bench-out/bench-cluster.txt > bench-out/BENCH_cluster.json
+	$(GO) test -run='^$$' -bench='BenchmarkDurability' -benchtime=50x \
+		./internal/server | tee bench-out/bench-durability.txt
+	$(GO) run ./cmd/benchjson < bench-out/bench-durability.txt > bench-out/BENCH_durability.json
 
 # Cluster-focused benchmarks only (ingest fan-out, partition snapshots,
 # ring routing, WAL fsync policies), same JSON artifact.
@@ -111,6 +114,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzIncrementPattern -fuzztime=5s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/snapcodec
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeNeverPanics -fuzztime=5s ./internal/snapcodec
+	$(GO) test -run='^$$' -fuzz=FuzzDeltaSnapshot -fuzztime=5s ./internal/snapcodec
 	$(GO) test -run='^$$' -fuzz=FuzzSummary -fuzztime=5s ./internal/heavyhitters
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=5s ./internal/wire
 

@@ -104,6 +104,8 @@ type options struct {
 	bucket     time.Duration
 	window     time.Duration
 	checkpoint time.Duration
+	deltaFrac  float64
+	deltaChain int
 	segBytes   int64
 	maxBatch   int
 	finalCkpt  bool
@@ -149,6 +151,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.bucket, "bucket", time.Minute, "time-bucket width (window engine)")
 	fs.DurationVar(&o.window, "window", 8*time.Minute, "sliding-window span, rounded up to whole buckets (window engine)")
 	fs.DurationVar(&o.checkpoint, "checkpoint", 30*time.Second, "checkpoint cadence (0 disables the loop)")
+	fs.Float64Var(&o.deltaFrac, "delta-fraction", 0, "max dirty-block fraction for a delta checkpoint (0 = default 0.5; negative = always full)")
+	fs.IntVar(&o.deltaChain, "max-delta-chain", 0, "consecutive delta checkpoints before a forced full (0 = default 8)")
 	fs.Int64Var(&o.segBytes, "segbytes", 64<<20, "WAL segment rotation size")
 	fs.IntVar(&o.maxBatch, "maxbatch", 1<<16, "largest accepted increment batch")
 	fs.BoolVar(&o.finalCkpt, "final-checkpoint", true, "checkpoint on graceful shutdown")
@@ -200,20 +204,22 @@ func openStore(o *options) (*server.Store, error) {
 		buckets = int((o.window + o.bucket - 1) / o.bucket)
 	}
 	return server.Open(server.Config{
-		Dir:          o.dir,
-		N:            o.n,
-		Shards:       o.shards,
-		Alg:          alg,
-		Seed:         o.seed,
-		Engine:       o.engine,
-		TopKCap:      o.topkCap,
-		Buckets:      buckets,
-		BucketDur:    o.bucket,
-		SegmentBytes: o.segBytes,
-		MaxBatch:     o.maxBatch,
-		Sync:         policy,
-		SyncInterval: o.fsyncEvery,
-		Partitions:   o.partitions,
+		Dir:           o.dir,
+		N:             o.n,
+		Shards:        o.shards,
+		Alg:           alg,
+		Seed:          o.seed,
+		Engine:        o.engine,
+		TopKCap:       o.topkCap,
+		Buckets:       buckets,
+		BucketDur:     o.bucket,
+		SegmentBytes:  o.segBytes,
+		MaxBatch:      o.maxBatch,
+		DeltaFraction: o.deltaFrac,
+		MaxDeltaChain: o.deltaChain,
+		Sync:          policy,
+		SyncInterval:  o.fsyncEvery,
+		Partitions:    o.partitions,
 	})
 }
 

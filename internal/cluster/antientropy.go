@@ -3,9 +3,15 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // Anti-entropy: the repair path that makes replicas converge no matter what
@@ -222,9 +228,239 @@ func (n *Node) hashMatches(p int, peer string) (bool, error) {
 	return reply.Hash == fmt.Sprintf("%016x", local), nil
 }
 
-// syncPartition runs one pull-push max-join exchange of partition p with
-// peer.
+// syncPartition converges partition p with peer. It first attempts a block
+// delta exchange — shipping only the registers that actually diverged — and
+// falls back to the full pull-push snapshot exchange when the delta path
+// cannot run (old peer, too many divergent blocks, a version race against
+// concurrent writes, or any transport failure). The fallback is always
+// correct: the full exchange is what the delta path optimizes, not replaces.
 func (n *Node) syncPartition(p int, peer string) error {
+	done, err := n.syncPartitionDelta(p, peer)
+	if done {
+		return nil
+	}
+	if err != nil {
+		n.cfg.Logf("cluster: delta sync partition %d with %s: %v (falling back to full)", p, peer, err)
+	}
+	return n.syncPartitionFull(p, peer)
+}
+
+// syncPartitionDelta runs one block-granular max-join exchange of partition
+// p with peer: compare per-block fingerprints, pull the peer's divergent
+// blocks as a snapcodec delta, max-join them, then push our (now joined)
+// view of the same blocks back. Returns done=false (optionally with an
+// error worth logging) when the caller should run the full exchange
+// instead.
+func (n *Node) syncPartitionDelta(p int, peer string) (done bool, err error) {
+	// Read the local version BEFORE the local hashes: it is the optimistic
+	// guard on the pull merge. If local writes land between the hash diff
+	// and the merge, the version moves, MergeMaxDelta answers ErrConflict,
+	// and we fall back to the full exchange rather than merge against a
+	// stale diff.
+	localVer := n.st.PartitionVersion(p)
+	local, err := n.st.PartitionBlockHashes(p)
+	if err != nil {
+		return false, err
+	}
+	peerVer, remote, err := n.peerBlockHashes(p, peer)
+	if err != nil {
+		return false, err
+	}
+	if len(remote) != len(local) {
+		// Different block geometry (mismatched engine config): only the
+		// full exchange can reconcile that.
+		return false, nil
+	}
+	var diff []uint32
+	for i := range local {
+		if local[i] != remote[i] {
+			diff = append(diff, uint32(i))
+		}
+	}
+	if len(diff) == 0 {
+		// The register hashes diverged (that is why we are here) but every
+		// block matches now — the peer caught up between the hash check and
+		// this exchange. Converged; nothing to ship.
+		n.aeDeltaSyncs.Inc()
+		return true, nil
+	}
+	if len(diff)*2 >= len(local) {
+		// Majority of blocks diverged: the delta framing overhead plus two
+		// hash exchanges would cost more than one full snapshot. Typical
+		// after long partitions or a cold peer.
+		return false, nil
+	}
+
+	// What a full exchange would have shipped, for the bytes-saved counter.
+	// Encoding to a counting writer costs CPU only; delta syncs are rare
+	// (behind the repair/quiescence gates), so this stays off the hot path.
+	var full countingWriter
+	if err := n.st.PartitionSnapshotTo(&full, p); err != nil {
+		return false, err
+	}
+
+	// Pull the peer's divergent blocks and fold them in, guarded by the
+	// version read above.
+	blob, err := n.fetchBlockDelta(p, peer, diff)
+	if err != nil {
+		return false, err
+	}
+	if err := n.st.MergeMaxDelta(blob, localVer); err != nil {
+		if errors.Is(err, server.ErrConflict) {
+			return false, nil // local writes raced the diff; re-diff via full
+		}
+		return false, fmt.Errorf("pull merge: %w", err)
+	}
+	saved := int64(full) - int64(len(blob))
+
+	// Push our joined view of the same blocks back, conditional on the
+	// version the peer reported with its hashes. A 409 means the peer took
+	// writes since; its registers already dominate or will re-diff next
+	// round — push the full snapshot so this exchange still converges it.
+	var buf bytes.Buffer
+	if err := n.st.PartitionDeltaTo(&buf, p, diff); err != nil {
+		return false, err
+	}
+	pushLen := int64(buf.Len())
+	status, err := n.postBlob(fmt.Sprintf("%s/cluster/bdelta/%d?ver=%016x", peer, p, peerVer), &buf)
+	switch {
+	case err != nil:
+		return false, err
+	case status == http.StatusConflict:
+		if err := n.pushFull(p, peer); err != nil {
+			return false, fmt.Errorf("push after version race: %w", err)
+		}
+	case status != http.StatusOK:
+		return false, fmt.Errorf("push: status %d", status)
+	default:
+		saved += int64(full) - pushLen
+	}
+	if saved > 0 {
+		n.aeBytesSaved.Add(uint64(saved))
+	}
+	n.aeDeltaSyncs.Inc()
+	return true, nil
+}
+
+// peerBlockHashes fetches peer's (version, per-block hashes) for partition
+// p: over the pooled wire connection when the peer gossips a wire address,
+// over HTTP otherwise. A wire 400 means the peer predates the BHASH frame —
+// its HTTP surface may still answer (?blocks=1 is ignored by builds that
+// predate it, which the caller detects as a missing blocks field).
+func (n *Node) peerBlockHashes(p int, peer string) (uint64, []uint64, error) {
+	if wa := n.mem.WireAddr(peer); wa != "" {
+		ver, hashes, err := n.pool.BlockHashes(wa, p)
+		if err == nil {
+			return ver, hashes, nil
+		}
+		var re *wire.RemoteError
+		if errors.As(err, &re) && re.Code != 400 {
+			return 0, nil, err
+		}
+	}
+	resp, err := n.client.Get(fmt.Sprintf("%s/cluster/phash/%d?blocks=1", peer, p))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, nil, fmt.Errorf("phash: status %d", resp.StatusCode)
+	}
+	var reply struct {
+		Version string   `json:"version"`
+		Blocks  []string `json:"blocks"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply); err != nil {
+		return 0, nil, err
+	}
+	if reply.Blocks == nil {
+		return 0, nil, errors.New("peer has no block hashes (pre-delta build)")
+	}
+	ver, err := strconv.ParseUint(reply.Version, 16, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad version %q: %w", reply.Version, err)
+	}
+	hashes := make([]uint64, len(reply.Blocks))
+	for i, s := range reply.Blocks {
+		if hashes[i], err = strconv.ParseUint(s, 16, 64); err != nil {
+			return 0, nil, fmt.Errorf("bad block hash %q: %w", s, err)
+		}
+	}
+	return ver, hashes, nil
+}
+
+// fetchBlockDelta pulls a snapcodec delta of the given blocks of partition
+// p from peer, wire first with the usual 400→HTTP fallback.
+func (n *Node) fetchBlockDelta(p int, peer string, blocks []uint32) ([]byte, error) {
+	if wa := n.mem.WireAddr(peer); wa != "" {
+		blob, err := n.pool.BlockDelta(wa, p, blocks)
+		if err == nil {
+			return blob, nil
+		}
+		var re *wire.RemoteError
+		if errors.As(err, &re) && re.Code != 400 {
+			return nil, err
+		}
+	}
+	list := make([]string, len(blocks))
+	for i, b := range blocks {
+		list[i] = strconv.FormatUint(uint64(b), 10)
+	}
+	resp, err := n.client.Get(fmt.Sprintf("%s/cluster/bdelta/%d?blocks=%s", peer, p, strings.Join(list, ",")))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("bdelta: status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+}
+
+// postBlob POSTs an octet-stream body and returns the status code (the
+// caller distinguishes 409 from other failures).
+func (n *Node) postBlob(url string, body io.Reader) (int, error) {
+	resp, err := n.client.Post(url, "application/octet-stream", body)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// pushFull ships our full view of partition p to peer's /mergemax.
+func (n *Node) pushFull(p int, peer string) error {
+	var buf bytes.Buffer
+	if err := n.st.PartitionSnapshotTo(&buf, p); err != nil {
+		return err
+	}
+	pushResp, err := n.client.Post(peer+"/mergemax", "application/octet-stream", &buf)
+	if err != nil {
+		return err
+	}
+	defer pushResp.Body.Close()
+	if pushResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(pushResp.Body, 512))
+		return fmt.Errorf("push: status %d: %s", pushResp.StatusCode, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, pushResp.Body)
+	return nil
+}
+
+// countingWriter measures an encode without keeping the bytes.
+type countingWriter int64
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	*w += countingWriter(len(b))
+	return len(b), nil
+}
+
+// syncPartitionFull runs one pull-push max-join exchange of partition p
+// with peer, full snapshots in both directions.
+func (n *Node) syncPartitionFull(p int, peer string) error {
 	// Pull the peer's view and fold it in.
 	resp, err := n.client.Get(fmt.Sprintf("%s/snapshot/%d", peer, p))
 	if err != nil {
@@ -243,19 +479,5 @@ func (n *Node) syncPartition(p int, peer string) error {
 	}
 
 	// Push our (now joined) view back so one exchange converges both sides.
-	var buf bytes.Buffer
-	if err := n.st.PartitionSnapshotTo(&buf, p); err != nil {
-		return err
-	}
-	pushResp, err := n.client.Post(peer+"/mergemax", "application/octet-stream", &buf)
-	if err != nil {
-		return err
-	}
-	defer pushResp.Body.Close()
-	if pushResp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(pushResp.Body, 512))
-		return fmt.Errorf("push: status %d: %s", pushResp.StatusCode, bytes.TrimSpace(msg))
-	}
-	io.Copy(io.Discard, pushResp.Body)
-	return nil
+	return n.pushFull(p, peer)
 }

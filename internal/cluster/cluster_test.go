@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -47,6 +48,12 @@ type testClusterConfig struct {
 	buckets   int
 	bucketDur time.Duration
 	clock     func() uint64
+
+	// aeInterval overrides the anti-entropy cadence (0 = the fast test
+	// default). Tests that must attribute convergence to a specific path
+	// (hint drains, rebalance pulls) set it to an hour to park the repair
+	// loop.
+	aeInterval time.Duration
 }
 
 func defaultClusterConfig() testClusterConfig {
@@ -106,7 +113,7 @@ func startNode(t testing.TB, dir, addr string, cc testClusterConfig, join []stri
 		HintDir:             filepath.Join(dir, "hints"),
 		GossipInterval:      50 * time.Millisecond,
 		ReplInterval:        25 * time.Millisecond,
-		AntiEntropyInterval: 100 * time.Millisecond,
+		AntiEntropyInterval: cmp.Or(cc.aeInterval, 100*time.Millisecond),
 		RebalanceInterval:   50 * time.Millisecond,
 		HTTPTimeout:         2 * time.Second,
 		Membership: MembershipConfig{

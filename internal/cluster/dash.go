@@ -98,6 +98,10 @@ const dashHTML = `<!doctype html>
     <div id="parts"></div>
   </section>
   <section>
+    <h2>Durability &amp; repair</h2>
+    <div class="kv" id="dura"></div>
+  </section>
+  <section>
     <h2>WAL fsync latency (cumulative)</h2>
     <div class="bars" id="fsync"></div>
     <div class="axis"><span id="fsync-lo"></span><span id="fsync-hi"></span></div>
@@ -295,6 +299,22 @@ function render(m, ring, info, reb, topk, ready) {
   document.getElementById("plegend").textContent =
     "— " + vers.length + " total, " + (info.ownedPartitions || []).length +
     " owned, outline: amber=pending blue=frozen, fill=write heat";
+
+  // Durability & repair: block-level dirty tracking end to end — how much
+  // the incremental checkpoint and delta repair paths are actually saving.
+  function series(name) { var v = sumBy(m, name); return v === null ? null : v; }
+  kv(document.getElementById("dura"), [
+    ["dirty blocks", fmt(series("counterd_store_dirty_blocks"))],
+    ["checkpoint chain", fmt(series("counterd_checkpoint_chain_len"))],
+    ["ckpt full / delta", fmt(m['counterd_checkpoint_total{kind="full"}']) +
+      " / " + fmt(m['counterd_checkpoint_total{kind="delta"}'])],
+    ["ckpt bytes full / delta", fmt(m['counterd_checkpoint_bytes_total{kind="full"}']) +
+      " / " + fmt(m['counterd_checkpoint_bytes_total{kind="delta"}'])],
+    ["AE delta syncs", fmt(series("counterd_antientropy_delta_syncs_total"))],
+    ["AE bytes saved", fmt(series("counterd_antientropy_bytes_saved_total"))],
+    ["delta handoffs", fmt(series("counterd_rebalance_delta_handoffs_total"))],
+    ["stale hint keys", fmt(series("counterd_store_stale_hint_keys_total"))]
+  ]);
 
   // WAL fsync histogram (cumulative counts per bucket, log-ish shape).
   var bks = buckets(m, "counterd_wal_fsync_seconds");

@@ -108,6 +108,9 @@ func TestReadinessGateOnJoin(t *testing.T) {
 		`counterd_cluster_members{state="alive"} 2`,
 		"counterd_rebalance_cutover_seconds_bucket",
 		"counterd_store_pending_partitions 0",
+		"counterd_antientropy_delta_syncs_total",
+		"counterd_antientropy_bytes_saved_total",
+		"counterd_rebalance_delta_handoffs_total",
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("/metrics is missing %q", series)

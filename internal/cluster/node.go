@@ -164,6 +164,10 @@ type Node struct {
 	replRecvd   *metrics.Counter
 	replDropped *metrics.Counter // repl keys for partitions neither owned nor frozen
 
+	aeDeltaSyncs *metrics.Counter // anti-entropy repairs that shipped only divergent blocks
+	aeBytesSaved *metrics.Counter // full-snapshot bytes avoided by those delta repairs
+	rebDeltaPull *metrics.Counter // warm handoffs satisfied by a block delta
+
 	memTransitions *metrics.CounterVec // failure-detector state flips, by from/to
 }
 
@@ -222,6 +226,12 @@ func (n *Node) initMetrics() {
 		"Replication keys applied locally from peers.")
 	n.replDropped = reg.Counter("counterd_cluster_repl_keys_dropped_total",
 		"Received replication keys dropped (partition neither owned nor frozen here).")
+	n.aeDeltaSyncs = reg.Counter("counterd_antientropy_delta_syncs_total",
+		"Anti-entropy partition repairs that transferred only divergent blocks.")
+	n.aeBytesSaved = reg.Counter("counterd_antientropy_bytes_saved_total",
+		"Bytes not transferred because anti-entropy shipped block deltas instead of full partition snapshots.")
+	n.rebDeltaPull = reg.Counter("counterd_rebalance_delta_handoffs_total",
+		"Warm rebalance handoffs satisfied by a block delta instead of a full partition transfer.")
 	n.memTransitions = reg.CounterVec("counterd_cluster_member_transitions_total",
 		"Member state transitions recorded by the local failure detector.", "from", "to")
 	reg.GaugeFunc("counterd_cluster_outbox_pending_keys",
@@ -437,17 +447,24 @@ func (n *Node) Ingest(keys []int, forwarded bool) (int, error) {
 	}
 
 	applied := 0
+	// Epoch-tag every queued hint on a windowed store: the drain may run
+	// after a bucket rotation, and the tag is what lets the receiver heal
+	// the keys into their origin bucket instead of smearing them into its
+	// current one. Read the epoch AFTER the local apply — Apply ticks the
+	// window first, so the keys landed at the post-tick epoch.
+	tagged := n.st.Windowed()
 	if len(local) > 0 {
 		if err := n.st.Apply(local); err != nil {
 			return 0, err
 		}
 		applied += len(local)
+		epoch := n.st.WindowEpoch()
 		// Fan out only after the local (durable) apply: the outbox ships
 		// exactly what was acknowledged.
 		for peer, g := range fan {
 			ob, err := n.outboxFor(peer)
 			if err == nil {
-				err = ob.append(g)
+				err = ob.append(g, epoch, tagged)
 			}
 			if err != nil {
 				// Replication intent lost, data not: the keys are in the
@@ -462,10 +479,11 @@ func (n *Node) Ingest(keys []int, forwarded bool) (int, error) {
 		// delivery is that replica's copy).
 		ok := false
 		var lastErr error
+		epoch := n.st.WindowEpoch()
 		for _, peer := range job.replicas {
 			ob, err := n.outboxFor(peer)
 			if err == nil {
-				err = ob.append(job.keys)
+				err = ob.append(job.keys, epoch, tagged)
 			}
 			if err != nil {
 				lastErr = err
@@ -577,8 +595,8 @@ func (n *Node) drainOutboxes() {
 		if m, ok := n.mem.State(peer); ok && m.State != StateAlive {
 			continue // hinted handoff: hold until the peer returns
 		}
-		if err := o.drain(n.cfg.MaxForward, func(chunk []int) error {
-			if err := n.sendRepl(peer, chunk); err != nil {
+		if err := o.drain(n.cfg.MaxForward, func(chunk []int, epoch uint64, tagged bool) error {
+			if err := n.sendRepl(peer, chunk, epoch, tagged); err != nil {
 				return err
 			}
 			n.replSent.Add(uint64(len(chunk)))
@@ -594,19 +612,29 @@ func (n *Node) drainOutboxes() {
 // HTTP POST /cluster/repl path when it has none or the wire attempt fails
 // at the transport level. A wire *RemoteError is the peer's store rejecting
 // the batch — HTTP would answer the same way, so it is returned, not
-// retried on the other transport.
-func (n *Node) sendRepl(peer string, chunk []int) error {
+// retried on the other transport. The one exception: a 400 to an
+// epoch-tagged REPLAT frame means the peer predates the frame, and the HTTP
+// path (which carries the epoch in JSON) is tried instead.
+func (n *Node) sendRepl(peer string, chunk []int, epoch uint64, tagged bool) error {
 	if wa := n.mem.WireAddr(peer); wa != "" {
-		_, err := n.pool.SendRepl(wa, chunk)
+		var err error
+		if tagged {
+			_, err = n.pool.SendReplAt(wa, chunk, epoch)
+		} else {
+			_, err = n.pool.SendRepl(wa, chunk)
+		}
 		if err == nil {
 			n.replWire.Add(uint64(len(chunk)))
 			return nil
 		}
 		var re *wire.RemoteError
-		if errors.As(err, &re) {
+		if errors.As(err, &re) && !(tagged && re.Code == 400) {
 			return err
 		}
 		n.cfg.Logf("cluster: wire repl to %s (%s) failed, falling back to http: %v", peer, wa, err)
+	}
+	if tagged {
+		return n.postKeysAt(peer, "/cluster/repl", chunk, epoch)
 	}
 	return n.postKeys(peer, "/cluster/repl", chunk)
 }
@@ -624,12 +652,27 @@ func (n *Node) postKeysChunked(peer, path string, keys []int) error {
 	return nil
 }
 
+// postKeysAt POSTs {"keys": [...], "epoch": e} to peer+path — the HTTP
+// spelling of an epoch-tagged replication chunk. A peer that predates the
+// field simply ignores it (the pre-delta smear-into-current behavior).
+func (n *Node) postKeysAt(peer, path string, keys []int, epoch uint64) error {
+	body, err := json.Marshal(map[string]any{"keys": keys, "epoch": epoch})
+	if err != nil {
+		return err
+	}
+	return n.postBody(peer, path, body)
+}
+
 // postKeys POSTs {"keys": [...]} to peer+path, expecting a 2xx.
 func (n *Node) postKeys(peer, path string, keys []int) error {
 	body, err := json.Marshal(map[string][]int{"keys": keys})
 	if err != nil {
 		return err
 	}
+	return n.postBody(peer, path, body)
+}
+
+func (n *Node) postBody(peer, path string, body []byte) error {
 	resp, err := n.client.Post(peer+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -662,6 +705,15 @@ func (n *Node) postKeys(peer, path string, keys []int) error {
 // registers at ack time, and that copy reaches the new owners through the
 // rebalance transfer or anti-entropy.
 func (n *Node) applyRepl(keys []int) (int, error) {
+	return n.applyReplAt(keys, 0, false)
+}
+
+// applyReplAt is applyRepl with an optional origin bucket epoch: tagged
+// chunks land through Store.ApplyAt, which heals the keys into the bucket
+// they were counted in at the sender (or drops the ones whose bucket has
+// rotated out of the local ring) instead of smearing a delayed drain into
+// the current bucket.
+func (n *Node) applyReplAt(keys []int, epoch uint64, tagged bool) (int, error) {
 	ring := n.ring.Load()
 	nKeys := n.st.Len()
 	parts := n.st.Partitions()
@@ -689,15 +741,25 @@ func (n *Node) applyRepl(keys []int) (int, error) {
 		}
 		n.replDropped.Add(uint64(len(keys) - len(keep)))
 	}
+	received := 0
 	for lo := 0; lo < len(keep); lo += n.st.MaxBatch() {
 		hi := min(lo+n.st.MaxBatch(), len(keep))
-		if err := n.st.Apply(keep[lo:hi]); err != nil {
-			return lo, err
+		if tagged {
+			applied, err := n.st.ApplyAt(keep[lo:hi], epoch)
+			if err != nil {
+				return lo, err
+			}
+			received += applied
+		} else {
+			if err := n.st.Apply(keep[lo:hi]); err != nil {
+				return lo, err
+			}
+			received += hi - lo
 		}
 	}
-	n.replRecvd.Add(uint64(len(keep)))
+	n.replRecvd.Add(uint64(received))
 	// The sender's chunk is fully handled either way; acknowledging the
-	// drops keeps its outbox moving.
+	// drops (and the expired tagged keys) keeps its outbox moving.
 	return len(keys), nil
 }
 
@@ -715,6 +777,33 @@ func (s nodeSink) Batch(keys []int) (int, error) { return s.n.Ingest(keys, false
 func (s nodeSink) Repl(keys []int) (int, error)  { return s.n.applyRepl(keys) }
 func (s nodeSink) Fetch(partition int, ringVer uint64) (byte, []byte, error) {
 	return s.n.reb.serve(partition, ringVer)
+}
+
+// ReplAt serves REPLAT frames: an epoch-tagged replica apply, exactly like
+// POST /cluster/repl with an "epoch" field.
+func (s nodeSink) ReplAt(keys []int, epoch uint64) (int, error) {
+	return s.n.applyReplAt(keys, epoch, true)
+}
+
+// BlockHashes serves BHASH frames: the partition's write version plus one
+// FNV-1a hash per snapcodec block — the exchange that lets delta
+// anti-entropy transfer only divergent blocks.
+func (s nodeSink) BlockHashes(partition int) (uint64, []uint64, error) {
+	hashes, err := s.n.st.PartitionBlockHashes(partition)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.n.st.PartitionVersion(partition), hashes, nil
+}
+
+// BlockDelta serves BDELTA frames: a snapcodec delta snapshot of the
+// partition restricted to the requested blocks.
+func (s nodeSink) BlockDelta(partition int, blocks []uint32) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.n.st.PartitionDeltaTo(&buf, partition, blocks); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // --- gossip -------------------------------------------------------------
@@ -808,6 +897,11 @@ type Info struct {
 //	GET  /cluster/handoff/{p}     one partition's snapshot for a rebalance
 //	                              pull (?ring=<hex> fences the puller's view;
 //	                              X-Handoff-Role: owner|frozen)
+//	GET  /cluster/phash/{p}       partition hash + write version; ?blocks=1
+//	                              adds per-block hashes for delta repair
+//	GET  /cluster/bdelta/{p}      snapcodec delta of ?blocks=i,j,k (ascending)
+//	POST /cluster/bdelta/{p}      max-join a block delta; ?ver=<hex> makes the
+//	                              merge conditional (409 on version race)
 //	GET  /estimate/{key}          store read, but 421 while the key's
 //	                              partition awaits its rebalance install
 //	GET  /topk                    store read, but 421 when ?partition= is
@@ -846,7 +940,7 @@ func (n *Node) Handler() http.Handler {
 	})
 	handle("GET", "/cluster/dash", n.handleDash)
 	handle("POST", "/inc", func(w http.ResponseWriter, r *http.Request) {
-		keys, ok := readKeys(w, r)
+		keys, _, ok := readKeys(w, r)
 		if !ok {
 			return
 		}
@@ -858,11 +952,17 @@ func (n *Node) Handler() http.Handler {
 		writeJSON(w, map[string]int{"applied": applied})
 	})
 	handle("POST", "/cluster/repl", func(w http.ResponseWriter, r *http.Request) {
-		keys, ok := readKeys(w, r)
+		keys, epoch, ok := readKeys(w, r)
 		if !ok {
 			return
 		}
-		if _, err := n.applyRepl(keys); err != nil {
+		var err error
+		if epoch != nil {
+			_, err = n.applyReplAt(keys, *epoch, true)
+		} else {
+			_, err = n.applyRepl(keys)
+		}
+		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
@@ -891,7 +991,70 @@ func (n *Node) Handler() http.Handler {
 			httpError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, map[string]any{"partition": p, "hash": fmt.Sprintf("%016x", h)})
+		reply := map[string]any{
+			"partition": p,
+			"hash":      fmt.Sprintf("%016x", h),
+			"version":   fmt.Sprintf("%016x", n.st.PartitionVersion(p)),
+		}
+		if r.URL.Query().Get("blocks") == "1" {
+			// Per-block hashes for delta anti-entropy (the HTTP fallback of
+			// the wire BHASH frame). Absent from the reply of a pre-delta
+			// build — the syncing peer then falls back to a full exchange.
+			hashes, err := n.st.PartitionBlockHashes(p)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			hex := make([]string, len(hashes))
+			for i, bh := range hashes {
+				hex[i] = fmt.Sprintf("%016x", bh)
+			}
+			reply["blocks"] = hex
+		}
+		writeJSON(w, reply)
+	})
+	handle("GET", "/cluster/bdelta/{partition}", func(w http.ResponseWriter, r *http.Request) {
+		p, err := strconv.Atoi(r.PathValue("partition"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition: %w", err))
+			return
+		}
+		blocks, err := parseBlockList(r.URL.Query().Get("blocks"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := n.st.PartitionDeltaTo(&buf, p, blocks); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(buf.Bytes())
+	})
+	handle("POST", "/cluster/bdelta/{partition}", func(w http.ResponseWriter, r *http.Request) {
+		p, err := strconv.Atoi(r.PathValue("partition"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition: %w", err))
+			return
+		}
+		wantVer := server.VersionAny
+		if q := r.URL.Query().Get("ver"); q != "" {
+			if wantVer, err = strconv.ParseUint(q, 16, 64); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad version: %w", err))
+				return
+			}
+		}
+		blob, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("reading delta: %w", err))
+			return
+		}
+		if err := n.st.MergeMaxDelta(blob, wantVer); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{"partition": p, "merged": true})
 	})
 	handle("GET", "/cluster/ring", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, RingInfo{
@@ -1047,17 +1210,19 @@ func (n *Node) info() Info {
 }
 
 // readKeys parses the {"key": k} / {"keys": [...]} body shared by /inc and
-// /cluster/repl.
-func readKeys(w http.ResponseWriter, r *http.Request) ([]int, bool) {
+// /cluster/repl, plus the optional "epoch" tag replication drains attach
+// (nil when absent — a peer that predates epoch tagging).
+func readKeys(w http.ResponseWriter, r *http.Request) ([]int, *uint64, bool) {
 	var req struct {
-		Key  *int  `json:"key"`
-		Keys []int `json:"keys"`
+		Key   *int    `json:"key"`
+		Keys  []int   `json:"keys"`
+		Epoch *uint64 `json:"epoch"`
 	}
 	// Same cap as internal/server's maxIncBody, so /inc accepts the same
 	// bodies in cluster and single-node mode.
 	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
-		return nil, false
+		return nil, nil, false
 	}
 	keys := req.Keys
 	if req.Key != nil {
@@ -1065,9 +1230,32 @@ func readKeys(w http.ResponseWriter, r *http.Request) ([]int, bool) {
 	}
 	if len(keys) == 0 {
 		httpError(w, http.StatusBadRequest, errors.New(`need "key" or "keys"`))
-		return nil, false
+		return nil, nil, false
 	}
-	return keys, true
+	return keys, req.Epoch, true
+}
+
+// parseBlockList parses the comma-separated, strictly-ascending block list
+// of a GET /cluster/bdelta request ("3,17,40"). Ascending order is required
+// by the snapcodec delta encoder; rejecting it here keeps a malformed URL a
+// 400 instead of a mid-encode failure.
+func parseBlockList(q string) ([]uint32, error) {
+	if q == "" {
+		return nil, errors.New(`need "blocks" query parameter`)
+	}
+	parts := strings.Split(q, ",")
+	blocks := make([]uint32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad block %q: %w", p, err)
+		}
+		if len(blocks) > 0 && uint32(v) <= blocks[len(blocks)-1] {
+			return nil, fmt.Errorf("block list not strictly ascending at %q", p)
+		}
+		blocks = append(blocks, uint32(v))
+	}
+	return blocks, nil
 }
 
 // statusFor extends the store surface's classifier with the rebalance

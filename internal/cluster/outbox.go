@@ -63,9 +63,18 @@ func openOutbox(dir string, opts wal.Options) (*outbox, bool, error) {
 }
 
 // append queues one batch of keys for the peer, durably per the log's sync
-// policy. Safe for concurrent use.
-func (o *outbox) append(keys []int) error {
-	if err := o.log.AppendBatch(keys); err != nil {
+// policy. Safe for concurrent use. A tagged append records the origin bucket
+// epoch with the keys (RecBatchAt), so a drain delayed across a window
+// rotation still tells the receiver which bucket the events belong to;
+// untagged appends (non-windowed engines) stay plain RecBatch records.
+func (o *outbox) append(keys []int, epoch uint64, tagged bool) error {
+	var err error
+	if tagged {
+		err = o.log.AppendBatchAt(keys, epoch)
+	} else {
+		err = o.log.AppendBatch(keys)
+	}
+	if err != nil {
 		return err
 	}
 	o.activeRecs.Add(1)
@@ -77,10 +86,10 @@ func (o *outbox) append(keys []int) error {
 func (o *outbox) pending() int64 { return o.queued.Load() }
 
 // drain ships every sealed record to the peer via send (called with chunks
-// of at most maxKeys keys) and truncates what shipped. On a send error the
-// records stay queued for the next drain. Concurrent appends are safe: the
-// live segment is never read.
-func (o *outbox) drain(maxKeys int, send func(keys []int) error) error {
+// of at most maxKeys keys, each chunk from records of one epoch tag) and
+// truncates what shipped. On a send error the records stay queued for the
+// next drain. Concurrent appends are safe: the live segment is never read.
+func (o *outbox) drain(maxKeys int, send func(keys []int, epoch uint64, tagged bool) error) error {
 	o.drainMu.Lock()
 	defer o.drainMu.Unlock()
 	if o.queued.Load() == 0 {
@@ -101,21 +110,32 @@ func (o *outbox) drain(maxKeys int, send func(keys []int) error) error {
 	}
 	active := o.log.ActiveSegment()
 	var chunk []int
+	var chunkEpoch uint64
+	var chunkTagged bool
 	var shipped int64
 	flush := func() error {
 		if len(chunk) == 0 {
 			return nil
 		}
-		if err := send(chunk); err != nil {
+		if err := send(chunk, chunkEpoch, chunkTagged); err != nil {
 			return err
 		}
 		chunk = chunk[:0]
 		return nil
 	}
 	_, err := wal.ReplayUpTo(o.dir, 0, active, func(rec wal.Record) error {
-		if rec.Type != wal.RecBatch {
+		if rec.Type != wal.RecBatch && rec.Type != wal.RecBatchAt {
 			return fmt.Errorf("cluster: outbox %s: unexpected record type %d", o.dir, rec.Type)
 		}
+		tagged := rec.Type == wal.RecBatchAt
+		// Coalescing never crosses an epoch boundary: the tag applies to the
+		// whole chunk at the receiver.
+		if len(chunk) > 0 && (tagged != chunkTagged || rec.Epoch != chunkEpoch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		chunkEpoch, chunkTagged = rec.Epoch, tagged
 		keys := rec.Keys
 		for len(keys) > 0 {
 			take := maxKeys - len(chunk)

@@ -18,7 +18,7 @@ func TestOutboxAppendDrainTruncate(t *testing.T) {
 		t.Fatal("fresh outbox reported a reset")
 	}
 	for i := 0; i < 10; i++ {
-		if err := o.append([]int{i, i + 100}); err != nil {
+		if err := o.append([]int{i, i + 100}, 0, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -26,7 +26,7 @@ func TestOutboxAppendDrainTruncate(t *testing.T) {
 		t.Fatalf("pending = %d", o.pending())
 	}
 	var got []int
-	if err := o.drain(3, func(chunk []int) error {
+	if err := o.drain(3, func(chunk []int, _ uint64, _ bool) error {
 		if len(chunk) > 3 {
 			t.Fatalf("chunk of %d keys exceeds max 3", len(chunk))
 		}
@@ -48,7 +48,7 @@ func TestOutboxAppendDrainTruncate(t *testing.T) {
 		}
 	}
 	// Nothing left: a second drain sends nothing.
-	if err := o.drain(3, func([]int) error { t.Fatal("drained empty outbox"); return nil }); err != nil {
+	if err := o.drain(3, func([]int, uint64, bool) error { t.Fatal("drained empty outbox"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if err := o.close(); err != nil {
@@ -65,23 +65,23 @@ func TestOutboxRetainsOnSendFailure(t *testing.T) {
 	}
 	defer o.close()
 	for i := 0; i < 5; i++ {
-		if err := o.append([]int{i}); err != nil {
+		if err := o.append([]int{i}, 0, false); err != nil {
 			t.Fatal(err)
 		}
 	}
 	boom := errors.New("peer down")
-	if err := o.drain(100, func([]int) error { return boom }); !errors.Is(err, boom) {
+	if err := o.drain(100, func([]int, uint64, bool) error { return boom }); !errors.Is(err, boom) {
 		t.Fatalf("drain error = %v", err)
 	}
 	if o.pending() != 5 {
 		t.Fatalf("pending after failed drain = %d", o.pending())
 	}
 	// Append more while the peer is down; the retry ships everything.
-	if err := o.append([]int{99}); err != nil {
+	if err := o.append([]int{99}, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	var got []int
-	if err := o.drain(100, func(chunk []int) error { got = append(got, chunk...); return nil }); err != nil {
+	if err := o.drain(100, func(chunk []int, _ uint64, _ bool) error { got = append(got, chunk...); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if fmt.Sprint(got) != "[0 1 2 3 4 99]" {
@@ -101,7 +101,7 @@ func TestOutboxSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 7; i++ {
-		if err := o.append([]int{i}); err != nil {
+		if err := o.append([]int{i}, 0, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -122,7 +122,7 @@ func TestOutboxSurvivesRestart(t *testing.T) {
 		t.Fatalf("restart counted %d pending, want 7", o2.pending())
 	}
 	var got []int
-	if err := o2.drain(100, func(chunk []int) error { got = append(got, chunk...); return nil }); err != nil {
+	if err := o2.drain(100, func(chunk []int, _ uint64, _ bool) error { got = append(got, chunk...); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if fmt.Sprint(got) != "[0 1 2 3 4 5 6]" {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/server"
 	"repro/internal/wire"
 )
 
@@ -447,13 +448,44 @@ func (rb *rebalancer) pull(cur *Ring, pr *probe) {
 
 		sources := append(append(warm, frozenReady...), frozenPartial...)
 		installed := false
+		// A warm co-owner first offers a block delta: when this node re-owns
+		// a partition it mostly still holds (a bounce, a brief surrender),
+		// only the blocks that moved since transfer. A genuinely cold join
+		// fails the divergence threshold inside pullDelta — every non-empty
+		// block differs — and takes the full snapshot path below. Frozen
+		// sources never delta: their disjoint Remark 2.4 merge has no
+		// block-wise max-join spelling.
+		for _, src := range warm {
+			if !pr.quiesced(src) {
+				// State transfer and op replay carry the same history: a
+				// max-join of src's blocks while the pair still holds queued
+				// replication batches lets the later drain re-apply those
+				// events as increments — the ops-before-state double count
+				// (docs/CLUSTER.md). Skip the delta; a later round (or the
+				// full path's own fences) picks it up.
+				continue
+			}
+			ok, err := rb.pullDelta(src, p)
+			if err != nil {
+				rb.n.cfg.Logf("cluster: rebalance: delta pull of partition %d from %s: %v", p, src, err)
+				continue // transport trouble: another warm source may answer
+			}
+			if ok {
+				installed = true
+			}
+			// ok==false is the threshold verdict; it would repeat against
+			// every warm source, so go straight to the full transfer.
+			break
+		}
 		for _, src := range sources {
+			if installed {
+				break
+			}
 			if err := rb.pullFrom(src, p, ver); err != nil {
 				rb.n.cfg.Logf("cluster: rebalance: pulling partition %d from %s: %v", p, src, err)
 				continue
 			}
 			installed = true
-			break
 		}
 		if installed {
 			continue
@@ -478,6 +510,53 @@ func (rb *rebalancer) pull(cur *Ring, pr *probe) {
 			rb.completeVacuous(p, cur)
 		}
 	}
+}
+
+// pullDelta tries to warm a pending partition by pulling only its divergent
+// blocks from a warm co-owner. Returns (false, nil) when the block diff says
+// a full transfer is cheaper — the caller falls through to pullFrom. The
+// install commits through MergeMaxDelta's merge record, which clears the
+// pending mark exactly like a full InstallPartition; the join is the replica
+// max-join, which is what a warm (RoleOwner) source calls for anyway.
+func (rb *rebalancer) pullDelta(src string, p int) (bool, error) {
+	n := rb.n
+	local, err := n.st.PartitionBlockHashes(p)
+	if err != nil {
+		return false, err
+	}
+	_, remote, err := n.peerBlockHashes(p, src)
+	if err != nil {
+		return false, err
+	}
+	if len(remote) != len(local) {
+		return false, nil
+	}
+	var diff []uint32
+	for i := range local {
+		if local[i] != remote[i] {
+			diff = append(diff, uint32(i))
+		}
+	}
+	if len(diff) == 0 || len(diff)*2 >= len(local) {
+		// Identical copies still need the install record a full pull commits
+		// (a zero-block delta has nothing to hang it on); majority-divergent
+		// copies (cold joins) ship fewer bytes as one full snapshot.
+		return false, nil
+	}
+	blob, err := n.fetchBlockDelta(p, src, diff)
+	if err != nil {
+		return false, err
+	}
+	// No version guard: this node is not serving reads for p (it is
+	// pending), and a max-join of any block subset is safe regardless of
+	// concurrent writes on the source — anti-entropy owns later convergence.
+	if err := n.st.MergeMaxDelta(blob, server.VersionAny); err != nil {
+		return false, err
+	}
+	rb.bytes.Add(uint64(len(blob)))
+	n.rebDeltaPull.Inc()
+	rb.finish(p, len(blob), true)
+	return true, nil
 }
 
 // pullFrom fetches one partition snapshot from src — over the wire protocol

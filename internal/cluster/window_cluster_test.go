@@ -111,11 +111,12 @@ func TestClusterWindowCrashRecovery(t *testing.T) {
 	truth = append(truth, driveDriftLoad(t, []*testNode{n0, n1}, cc, 20_000, batch, offset(2), 1.2, 10))
 
 	// Restart node 2 from its directory: WAL replay (ticks included),
-	// gossip rejoin, hint drain, anti-entropy repair. Let the heal finish
-	// BEFORE the clock moves on: hinted batches drain into the bucket of
-	// their drain-time epoch, so converging now confines the smear to the
-	// epoch-2 bucket and keeps the next bucket clean (the same reason
-	// OPERATIONS.md says to drain handoff before calling a heal complete).
+	// gossip rejoin, hint drain, anti-entropy repair. Hinted batches carry
+	// their origin bucket epoch, so the delayed drain heals the epoch-1/2
+	// buckets they belong to rather than smearing into the drain-time
+	// bucket (TestClusterWindowHintDrainHealsOriginBucket pins that
+	// contract). Converging before the clock moves on still keeps the
+	// epoch-3 bucket free of repair traffic entirely.
 	n2 = startNode(t, dir2, n2.addr, cc, []string{n0.self})
 	defer n2.shutdown()
 	nodes = []*testNode{n0, n1, n2}

@@ -223,3 +223,29 @@ func (e *BankEngine) MergeMax(snap *snapcodec.Snapshot) error {
 func (e *BankEngine) ResetRange(lo, hi int) error {
 	return e.b.ResetRange(lo, hi)
 }
+
+// TakeDirty implements Engine, delegating to the bank's block bitmap: the
+// bank's whole-snapshot register layout is its key order, so shardbank's
+// dirty blocks are snapcodec blocks verbatim.
+func (e *BankEngine) TakeDirty() ([]uint32, bool) { return e.b.TakeDirty(), true }
+
+// MarkDirty implements Engine.
+func (e *BankEngine) MarkDirty(blocks []uint32) { e.b.MarkDirtyBlocks(blocks) }
+
+// DirtyCount implements Engine.
+func (e *BankEngine) DirtyCount() int { return e.b.DirtyBlocks() }
+
+// BlockHashes implements Engine: per-block FNV-1a fingerprints of the
+// partition's register export — the same registers (and the same fold)
+// HashRange digests, cut at snapcodec block boundaries.
+func (e *BankEngine) BlockHashes(part, parts int) ([]uint64, error) {
+	lo, hi := 0, e.b.Len()
+	if parts != 0 {
+		lo, hi = snapcodec.PartitionRange(e.b.Len(), parts, part)
+	}
+	regs, err := e.b.ExportRange(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return blockHashes(regs), nil
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/shardbank"
+	"repro/internal/snapcodec"
+)
+
+// The shardbank bitmap and the snapshot codec must agree on the block
+// granule, or dirty blocks would not map onto splice-able snapshot blocks.
+func TestDirtyBlockLenPinned(t *testing.T) {
+	if shardbank.DirtyBlockLen != snapcodec.BlockLen {
+		t.Fatalf("shardbank.DirtyBlockLen = %d, snapcodec.BlockLen = %d",
+			shardbank.DirtyBlockLen, snapcodec.BlockLen)
+	}
+}
+
+func TestBankEngineDirtyAndBlockHashes(t *testing.T) {
+	e := NewBank(shardbank.New(1000, bank.NewExactAlg(16), 8, 1))
+	before, err := e.BlockHashes(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb := snapcodec.NumBlocks(1000); len(before) != nb {
+		t.Fatalf("BlockHashes returned %d hashes, want %d", len(before), nb)
+	}
+	if _, ok := e.TakeDirty(); !ok {
+		t.Fatal("bank engine reports no dirty tracking")
+	}
+	e.ApplyBatch([]int{130, 131, 700})
+	blocks, ok := e.TakeDirty()
+	if !ok || !reflect.DeepEqual(blocks, []uint32{1, 5}) {
+		t.Fatalf("TakeDirty = %v, %v; want [1 5], true", blocks, ok)
+	}
+	after, err := e.BlockHashes(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range after {
+		changed := i == 1 || i == 5
+		if (after[i] != before[i]) != changed {
+			t.Fatalf("block %d hash changed=%v, want %v", i, after[i] != before[i], changed)
+		}
+	}
+	// Partition hashes cover the partition's own register section.
+	ph, err := e.BlockHashes(1, 4) // keys [250, 500): block 1 of the layout
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph) != snapcodec.NumBlocks(250) {
+		t.Fatalf("partition BlockHashes returned %d hashes, want %d", len(ph), snapcodec.NumBlocks(250))
+	}
+}
+
+func TestWindowEngineDirtyTracking(t *testing.T) {
+	e, err := NewWindow(512, bank.NewExactAlg(16), 2, 4, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks, ok := e.TakeDirty(); !ok || blocks != nil {
+		t.Fatalf("fresh window TakeDirty = %v, %v", blocks, ok)
+	}
+	// Shard 0 covers keys [0, 256): regBase 0; bucket 0 live at epoch 0.
+	// Key 5 lands at layout register 5 → block 0.
+	e.ApplyBatch([]int{5})
+	blocks, _ := e.TakeDirty()
+	if !reflect.DeepEqual(blocks, []uint32{0}) {
+		t.Fatalf("after apply: TakeDirty = %v, want [0]", blocks)
+	}
+	// Rotating past the whole ring zeroes bucket 0 (the only dirty bucket) —
+	// its span [0, 256) covers blocks 0 and 1.
+	e.Advance(10)
+	blocks, _ = e.TakeDirty()
+	if !reflect.DeepEqual(blocks, []uint32{0, 1}) {
+		t.Fatalf("after advance: TakeDirty = %v, want [0 1]", blocks)
+	}
+	if n := e.DirtyCount(); n != 0 {
+		t.Fatalf("DirtyCount after drain = %d", n)
+	}
+	// Block hashes of a shard partition cover its 4×256-register section.
+	ph, err := e.BlockHashes(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph) != snapcodec.NumBlocks(4*256) {
+		t.Fatalf("partition BlockHashes returned %d hashes, want %d", len(ph), snapcodec.NumBlocks(4*256))
+	}
+}
+
+func TestTopKEngineDirtyStubs(t *testing.T) {
+	e, err := NewTopK(1000, bank.NewCsurosAlg(16, 10), 4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.TakeDirty(); ok {
+		t.Fatal("top-k engine claims dirty tracking")
+	}
+	if _, err := e.BlockHashes(0, 0); err == nil {
+		t.Fatal("top-k BlockHashes should error")
+	}
+}

@@ -137,6 +137,31 @@ type Engine interface {
 	// be aligned for engines with AlignPartitions > 0. Draws no randomness,
 	// so WAL-logged evicts replay bit-identically.
 	ResetRange(lo, hi int) error
+
+	// TakeDirty drains the engine's changed-block set: the
+	// snapcodec.BlockLen-register blocks of the WHOLE-snapshot register
+	// layout touched since the previous drain, strictly ascending. ok is
+	// false for engines without block-addressable register sections (top-k);
+	// such engines always checkpoint in full. The store calls this under its
+	// write lock together with Snapshot, so the drained set covers exactly
+	// the state the snapshot captured. Marking may overshoot (a listed block
+	// whose registers are unchanged) but never undershoots.
+	TakeDirty() (blocks []uint32, ok bool)
+	// MarkDirty re-arms blocks drained by TakeDirty — the undo for a
+	// checkpoint that failed after draining, so the next attempt still
+	// covers them. Out-of-range indices are ignored.
+	MarkDirty(blocks []uint32)
+	// DirtyCount returns the current changed-block count without draining —
+	// the observability gauge behind the delta-vs-full checkpoint decision.
+	DirtyCount() int
+
+	// BlockHashes returns per-block FNV-1a fingerprints of the register
+	// section a Snapshot(part, parts, false) call would emit — block i
+	// hashing registers [i·BlockLen, (i+1)·BlockLen) of that section — so
+	// replicas can diff a partition block-wise and ship only divergent
+	// blocks. parts == 0 covers the whole layout. Engines without
+	// block-addressable sections return an error.
+	BlockHashes(part, parts int) ([]uint64, error)
 }
 
 // FromSnapshot reconstructs the engine a snapshot was captured from — the

@@ -425,6 +425,23 @@ func (e *TopKEngine) ResetRange(lo, hi int) error {
 	return nil
 }
 
+// TakeDirty implements Engine: the summary state rides the engine payload
+// (there is no block-addressable register section), so top-k engines have no
+// delta unit — ok is false and every checkpoint is a full snapshot.
+func (e *TopKEngine) TakeDirty() ([]uint32, bool) { return nil, false }
+
+// MarkDirty implements Engine (no-op; see TakeDirty).
+func (e *TopKEngine) MarkDirty([]uint32) {}
+
+// DirtyCount implements Engine (always 0; see TakeDirty).
+func (e *TopKEngine) DirtyCount() int { return 0 }
+
+// BlockHashes implements Engine: not supported — the payload-only snapshot
+// has no register blocks to diff, so callers fall back to full exchange.
+func (e *TopKEngine) BlockHashes(part, parts int) ([]uint64, error) {
+	return nil, fmt.Errorf("engine: %q snapshots carry no register blocks", KindTopK)
+}
+
 func (e *TopKEngine) merge(snap *snapcodec.Snapshot, disjoint bool) error {
 	pl, err := parseTopKPayload(snap.Payload, e.n, e.parts, e.alg.Width())
 	if err != nil {

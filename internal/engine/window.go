@@ -47,6 +47,10 @@ type Windowed interface {
 	// carried for the serving layer's epoch derivation and ?window= parsing;
 	// the engine itself only ever compares epochs).
 	BucketNanos() int64
+	// ApplyBatchEpoch counts keys at the bucket still labelled with epoch,
+	// dropping keys whose origin bucket rotated out — the receive half of
+	// epoch-tagged replication drains. Returns the number of keys applied.
+	ApplyBatchEpoch(keys []int, epoch uint64) int
 	// EstimateWindow returns N̂ for one key over the trailing w buckets
 	// (1 ≤ w ≤ WindowBuckets).
 	EstimateWindow(key, w int) (float64, error)
@@ -92,6 +96,7 @@ type WindowEngine struct {
 
 	clock  atomic.Uint64 // newest epoch advanced/merged to, for Epoch()
 	shards []*windowShard
+	dirty  *dirtySet // changed blocks of the B×n whole-snapshot layout
 }
 
 var _ Windowed = (*WindowEngine)(nil)
@@ -114,6 +119,13 @@ type windowShard struct {
 	regs   []*bitpack.Array
 	xo     *xrand.Xoshiro256
 	rng    *xrand.Rand
+	// Dirty tracking: the shard's bucket registers occupy
+	// [regBase, regBase + B·span) of the whole-snapshot register layout
+	// (regBase = B·lo — partition sections tile in shard order), bucket j at
+	// offset j·span. Rotation marks through ds so advanceLocked, which has
+	// no engine receiver, can reach the bitmap.
+	regBase int
+	ds      *dirtySet
 }
 
 // NewWindow builds a fresh sliding-window engine: n keys striped into parts
@@ -151,16 +163,19 @@ func NewWindow(n int, alg bank.Algorithm, parts, buckets int, bucketNanos int64,
 		shards:      make([]*windowShard, parts),
 	}
 	e.ma, _ = alg.(bank.MergeAlgorithm)
+	e.dirty = newDirtySet(n * buckets)
 	sm := xrand.NewSplitMix64(seed)
 	for s := range e.shards {
 		lo, hi := snapcodec.PartitionRange(n, parts, s)
 		xo := xrand.New(sm.Uint64())
 		sh := &windowShard{
 			lo: lo, hi: hi,
-			epochs: make([]uint64, buckets),
-			regs:   make([]*bitpack.Array, buckets),
-			xo:     xo,
-			rng:    xrand.NewRand(xo),
+			epochs:  make([]uint64, buckets),
+			regs:    make([]*bitpack.Array, buckets),
+			xo:      xo,
+			rng:     xrand.NewRand(xo),
+			regBase: buckets * lo,
+			ds:      e.dirty,
 		}
 		for j := range sh.regs {
 			sh.regs[j] = bitpack.NewArray(hi-lo, alg.Width())
@@ -215,6 +230,10 @@ func WindowFromSnapshot(snap *snapcodec.Snapshot) (*WindowEngine, error) {
 			e.clock.Store(sh.cur)
 		}
 	}
+	// The restore rewrote every bucket bank; conservatively mark the whole
+	// layout so the next checkpoint cannot miss restored state. The store's
+	// recovery path drains the set once it knows the image is durable.
+	e.dirty.markRange(0, e.n*e.buckets)
 	return e, nil
 }
 
@@ -317,7 +336,17 @@ func (sh *windowShard) advanceLocked(b int, e uint64) {
 }
 
 func (sh *windowShard) zeroBucket(j int) {
-	clear(sh.regs[j].Words())
+	words := sh.regs[j].Words()
+	for _, w := range words {
+		if w != 0 {
+			// The rotation changes register bytes, so the bucket's span of
+			// the snapshot layout is dirty; an already-zero bucket is not.
+			span := sh.hi - sh.lo
+			sh.ds.markRange(sh.regBase+j*span, sh.regBase+(j+1)*span)
+			break
+		}
+	}
+	clear(words)
 }
 
 // shardOf returns the shard owning key k.
@@ -362,12 +391,84 @@ func (e *WindowEngine) ApplyBatch(keys []int) {
 
 func (sh *windowShard) applyRun(e *WindowEngine, keys []int) {
 	sh.mu.Lock()
-	arr := sh.regs[int(sh.cur%uint64(e.buckets))]
+	j := int(sh.cur % uint64(e.buckets))
+	arr := sh.regs[j]
+	base := sh.regBase + j*(sh.hi-sh.lo)
 	for _, k := range keys {
 		i := k - sh.lo
-		arr.Set(i, e.alg.Step(arr.Get(i), sh.rng))
+		reg := arr.Get(i)
+		if next := e.alg.Step(reg, sh.rng); next != reg {
+			arr.Set(i, next)
+			sh.ds.mark(base + i)
+		}
 	}
 	sh.mu.Unlock()
+}
+
+// ApplyBatchEpoch counts keys at the ring bucket still labelled with epoch —
+// the receive half of epoch-tagged replication drains. Keys whose origin
+// bucket rotated out are dropped rather than smeared into the current
+// bucket: a late hint must age exactly like the local write it mirrors, so
+// expiry in transit means expiry, not a fresher count. Epochs newer than
+// the clock find no labelled bucket and drop the same way — callers advance
+// the ring first (the store stages a tick) when they mean to honor a
+// fresher origin clock. Returns the number of keys applied; rng draws
+// happen only for applied keys, so the drop decision — a pure function of
+// ring state — keeps replay deterministic.
+func (e *WindowEngine) ApplyBatchEpoch(keys []int, epoch uint64) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	if e.parts == 1 {
+		return e.shards[0].applyRunAt(e, keys, epoch)
+	}
+	counts := make([]int, e.parts+1)
+	for _, k := range keys {
+		counts[snapcodec.PartitionOf(k, e.n, e.parts)+1]++
+	}
+	for s := 1; s <= e.parts; s++ {
+		counts[s] += counts[s-1]
+	}
+	sorted := make([]int, len(keys))
+	offsets := append([]int(nil), counts[:e.parts]...)
+	for _, k := range keys {
+		s := snapcodec.PartitionOf(k, e.n, e.parts)
+		sorted[offsets[s]] = k
+		offsets[s]++
+	}
+	applied := 0
+	for s := 0; s < e.parts; s++ {
+		lo, hi := counts[s], counts[s+1]
+		if lo == hi {
+			continue
+		}
+		applied += e.shards[s].applyRunAt(e, sorted[lo:hi], epoch)
+	}
+	return applied
+}
+
+// applyRunAt steps one shard's bucket for epoch, if the ring still holds
+// it. The slot check (epochs[e%B] == e) is the ground truth for liveness:
+// shards rotate together under Advance, but a shard restored from a merge
+// can sit ahead, and the slot label is right either way.
+func (sh *windowShard) applyRunAt(e *WindowEngine, keys []int, epoch uint64) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j := int(epoch % uint64(e.buckets))
+	if sh.epochs[j] != epoch {
+		return 0
+	}
+	arr := sh.regs[j]
+	base := sh.regBase + j*(sh.hi-sh.lo)
+	for _, k := range keys {
+		i := k - sh.lo
+		reg := arr.Get(i)
+		if next := e.alg.Step(reg, sh.rng); next != reg {
+			arr.Set(i, next)
+			sh.ds.mark(base + i)
+		}
+	}
+	return len(keys)
 }
 
 // queryRand returns the throwaway generator a windowed fold for one key
@@ -697,14 +798,63 @@ func (e *WindowEngine) ResetRange(lo, hi int) error {
 		sh := e.shards[s]
 		sh.mu.Lock()
 		span := sh.hi - sh.lo
-		for _, arr := range sh.regs {
+		for j, arr := range sh.regs {
+			base := sh.regBase + j*span
 			for i := 0; i < span; i++ {
-				arr.Set(i, 0)
+				if arr.Get(i) != 0 {
+					arr.Set(i, 0)
+					sh.ds.mark(base + i)
+				}
 			}
 		}
 		sh.mu.Unlock()
 	}
 	return nil
+}
+
+// TakeDirty implements Engine over the B×n whole-snapshot register layout
+// (shard sections in shard order, bucket banks in slot order within one).
+func (e *WindowEngine) TakeDirty() ([]uint32, bool) { return e.dirty.take(), true }
+
+// MarkDirty implements Engine.
+func (e *WindowEngine) MarkDirty(blocks []uint32) { e.dirty.rearm(blocks) }
+
+// DirtyCount implements Engine.
+func (e *WindowEngine) DirtyCount() int { return e.dirty.count() }
+
+// BlockHashes implements Engine: per-block FNV-1a fingerprints of the
+// register section a partition (or whole) snapshot would carry — the
+// shard's B bucket banks in slot order, key order within a bucket. Slot
+// epochs ride the payload, not the registers, so equal block hashes with
+// divergent clocks still identify which registers need to move.
+func (e *WindowEngine) BlockHashes(part, parts int) ([]uint64, error) {
+	s0, s1 := 0, e.parts
+	if parts != 0 {
+		if parts != e.parts {
+			return nil, fmt.Errorf("engine: %d-way block hashes of a %d-way window engine", parts, e.parts)
+		}
+		if part < 0 || part >= parts {
+			return nil, fmt.Errorf("engine: partition %d out of [0, %d)", part, parts)
+		}
+		s0, s1 = part, part+1
+	}
+	totalSpan := 0
+	for s := s0; s < s1; s++ {
+		totalSpan += e.shards[s].hi - e.shards[s].lo
+	}
+	regs := make([]uint64, 0, e.buckets*totalSpan)
+	for s := s0; s < s1; s++ {
+		sh := e.shards[s]
+		sh.mu.Lock()
+		span := sh.hi - sh.lo
+		for _, arr := range sh.regs {
+			for i := 0; i < span; i++ {
+				regs = append(regs, arr.Get(i))
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return blockHashes(regs), nil
 }
 
 func (e *WindowEngine) merge(snap *snapcodec.Snapshot, disjoint bool) error {
@@ -736,6 +886,7 @@ func (e *WindowEngine) merge(snap *snapcodec.Snapshot, disjoint bool) error {
 			}
 			pregs := st.regs[j*span : (j+1)*span]
 			arr := sh.regs[j]
+			base := sh.regBase + j*span
 			if disjoint {
 				for i, pv := range pregs {
 					lv := arr.Get(i)
@@ -745,14 +896,19 @@ func (e *WindowEngine) merge(snap *snapcodec.Snapshot, disjoint bool) error {
 					case pv == 0:
 					case lv == 0:
 						arr.Set(i, pv)
+						sh.ds.mark(base + i)
 					default:
-						arr.Set(i, e.ma.MergeRegs(lv, pv, sh.rng))
+						if merged := e.ma.MergeRegs(lv, pv, sh.rng); merged != lv {
+							arr.Set(i, merged)
+							sh.ds.mark(base + i)
+						}
 					}
 				}
 			} else {
 				for i, pv := range pregs {
 					if pv > arr.Get(i) {
 						arr.Set(i, pv)
+						sh.ds.mark(base + i)
 					}
 				}
 			}

@@ -304,6 +304,11 @@ func StatusFor(err error) int {
 	if errors.Is(err, ErrBadInput) {
 		return http.StatusBadRequest
 	}
+	if errors.Is(err, ErrConflict) {
+		// An optimistic delta max-join lost its version race: the caller's
+		// block diff is stale, not malformed. 409 tells it to re-diff.
+		return http.StatusConflict
+	}
 	return http.StatusInternalServerError
 }
 

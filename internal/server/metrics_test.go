@@ -129,9 +129,14 @@ func TestMetricNamesPinned(t *testing.T) {
 		{"counterd_store_pending_partitions", "gauge"},
 		{"counterd_store_frozen_partitions", "gauge"},
 		{"counterd_store_start_time_seconds", "gauge"},
+		{"counterd_store_stale_hint_keys_total", "counter"},
+		{"counterd_store_dirty_blocks", "gauge"},
 		{"counterd_checkpoint_seconds", "histogram"},
 		{"counterd_checkpoint_seq", "gauge"},
 		{"counterd_checkpoint_last_unixtime", "gauge"},
+		{"counterd_checkpoint_total", "counter"},
+		{"counterd_checkpoint_bytes_total", "counter"},
+		{"counterd_checkpoint_chain_len", "gauge"},
 		{"counterd_wal_append_seconds", "histogram"},
 		{"counterd_wal_fsync_seconds", "histogram"},
 		{"counterd_wal_commit_seconds", "histogram"},

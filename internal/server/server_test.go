@@ -452,7 +452,7 @@ func TestCheckpointGarbageCollects(t *testing.T) {
 			}
 		}
 	}
-	seqs, _, err := listSnapshots(cfg.Dir)
+	seqs, err := listSeqs(cfg.Dir, snapSuffix)
 	if err != nil {
 		t.Fatal(err)
 	}

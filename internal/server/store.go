@@ -23,12 +23,15 @@
 //     (ingest a peer snapshot via the engine's disjoint-stream join),
 //     POST /mergemax (replica join), GET /healthz.
 //
-// Checkpoints pair a WAL rotation with a snapshot write: rotate (the new
+// Checkpoints pair a WAL rotation with a state write: rotate (the new
 // segment number S becomes the checkpoint tag), export the engine state,
 // write snap-S.nysc atomically (tmp + rename + dir fsync), then delete
-// snapshots and WAL segments older than S. A crash at any point leaves
-// either the old checkpoint plus a longer log, or the new checkpoint plus a
-// shorter one — both replay to the same state.
+// snapshots and WAL segments older than S. When the engine tracks dirty
+// blocks and little changed since the previous checkpoint, the write is a
+// block delta (snap-S.nysd) chained onto it instead — cost proportional to
+// churn — and recovery splices full + deltas + WAL tail. A crash at any
+// point leaves either the old checkpoint plus a longer log, or the new
+// checkpoint plus a shorter one — both replay to the same state.
 package server
 
 import (
@@ -52,8 +55,9 @@ import (
 )
 
 const (
-	snapPrefix = "snap-"
-	snapSuffix = ".nysc"
+	snapPrefix  = "snap-"
+	snapSuffix  = ".nysc"
+	deltaSuffix = ".nysd"
 )
 
 // ErrBadInput marks failures caused by the caller's request (out-of-range
@@ -61,6 +65,16 @@ const (
 // to server faults (WAL write/sync errors). The HTTP layer maps it to 400;
 // everything else becomes 500.
 var ErrBadInput = errors.New("bad input")
+
+// ErrConflict reports that a partition's write version moved between the
+// caller's read and a version-guarded apply — the base state the caller
+// computed against is stale. The HTTP layer maps it to 409; the caller
+// retries from a fresh read.
+var ErrConflict = errors.New("version conflict")
+
+// VersionAny disables MergeMaxDelta's optimistic version guard: the caller
+// accepts materializing against whatever the partition holds now.
+const VersionAny = ^uint64(0)
 
 // Config describes the engine a Store serves and where it persists.
 type Config struct {
@@ -108,6 +122,15 @@ type Config struct {
 	// cluster tests run several stores in one process and each must scrape
 	// independently.
 	Metrics *metrics.Registry
+	// DeltaFraction caps how much of the register layout may be dirty for a
+	// checkpoint to be written as a block delta instead of a full snapshot:
+	// delta when dirtyBlocks ≤ DeltaFraction × totalBlocks (0 = 0.5).
+	// Negative disables delta checkpoints entirely.
+	DeltaFraction float64
+	// MaxDeltaChain bounds consecutive delta checkpoints between full ones
+	// (0 = 8): recovery loads the full snapshot plus at most this many
+	// deltas before replaying the WAL tail.
+	MaxDeltaChain int
 }
 
 // Store is the durable sketch service: engine + WAL + checkpoints.
@@ -146,6 +169,7 @@ type Store struct {
 	ownLogged  bool
 
 	ckptSeq   atomic.Uint64 // WAL segment tagged by the newest checkpoint
+	chainLen  atomic.Int64  // delta checkpoints since the newest full one
 	lastCkpt  atomic.Int64  // unix nanos of last successful checkpoint
 	recovered wal.ReplayStats
 	fromSnap  bool
@@ -162,9 +186,17 @@ type Store struct {
 	mergeMaxs *metrics.Counter
 	evicts    *metrics.Counter
 	ticks     *metrics.Counter
+	deltaMaxs *metrics.Counter
+	stales    *metrics.Counter
 	mApply    *metrics.Histogram // durable apply latency (stage+apply+commit)
 	mBatchLen *metrics.Histogram // keys per applied batch
 	mCkpt     *metrics.Histogram // checkpoint duration
+
+	// Checkpoint accounting by kind (full vs block delta).
+	ckptFull       *metrics.Counter
+	ckptDelta      *metrics.Counter
+	ckptBytesFull  *metrics.Counter
+	ckptBytesDelta *metrics.Counter
 
 	// wireAddr/wireProto describe the binary wire listener, when one is up
 	// (set once by SetWireInfo before serving; read by Stats for /healthz).
@@ -203,13 +235,30 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	if snap != nil {
+		// Replay the delta chain on top of the full snapshot: each delta
+		// splices its changed blocks, landing on the exact state the newest
+		// checkpoint captured. The WAL below that checkpoint is gone, so a
+		// broken chain is a loud error, never a silent fallback.
+		chain, chainSeq, err := applyDeltaChain(cfg.Dir, snapSeq, snap)
+		if err != nil {
+			return nil, err
+		}
 		st.eng, err = engine.FromSnapshot(snap)
 		if err != nil {
-			return nil, fmt.Errorf("server: checkpoint %d: %w", snapSeq, err)
+			return nil, fmt.Errorf("server: checkpoint %d: %w", chainSeq, err)
 		}
-		st.ckptSeq.Store(snapSeq)
+		st.ckptSeq.Store(chainSeq)
+		st.chainLen.Store(int64(chain))
 		st.fromSnap = true
 	} else {
+		// Delta checkpoints without their full base cannot be restored, and
+		// the WAL they tagged was truncated — rebuilding from the seed would
+		// silently lose data.
+		if seqs, err := listSeqs(cfg.Dir, deltaSuffix); err != nil {
+			return nil, err
+		} else if len(seqs) > 0 {
+			return nil, fmt.Errorf("server: delta checkpoint %d present but no full snapshot to base it on", seqs[len(seqs)-1])
+		}
 		if cfg.N <= 0 || cfg.Alg == nil {
 			return nil, errors.New("server: empty store and no engine shape configured")
 		}
@@ -274,6 +323,14 @@ func Open(cfg Config) (*Store, error) {
 	st.ownOwned = make(map[int]bool)
 	st.initMetrics(cfg.Metrics)
 
+	// A snapshot restore marks the whole register layout dirty (the engine
+	// cannot know the image it loaded is the durable checkpoint itself).
+	// Drain that here, BEFORE replay, so the bitmap tracks exactly the
+	// blocks touched since the newest checkpoint: the replay below re-marks
+	// the tail's writes through the ordinary apply paths, and the next
+	// checkpoint's delta covers precisely checkpoint-to-now churn.
+	st.eng.TakeDirty()
+
 	st.recovered, err = wal.Replay(cfg.Dir, st.ckptSeq.Load(), st.applyRecord)
 	if err != nil {
 		return nil, fmt.Errorf("server: recovery: %w", err)
@@ -311,9 +368,12 @@ func (st *Store) initMetrics(reg *metrics.Registry) {
 	st.keys = reg.CounterVec("counterd_store_apply_keys_total",
 		"Keys counted across applied batches (live and replayed), by engine.", "engine").With(kind)
 	mv := reg.CounterVec("counterd_store_merges_total",
-		"Peer snapshots folded in, by join kind (disjoint Remark-2.4 merge vs replica max-join).", "kind")
+		"Peer snapshots folded in, by join kind (disjoint Remark-2.4 merge, replica max-join, block-delta max-join).", "kind")
 	st.merges = mv.With("disjoint")
 	st.mergeMaxs = mv.With("max")
+	st.deltaMaxs = mv.With("delta")
+	st.stales = reg.Counter("counterd_store_stale_hint_keys_total",
+		"Epoch-tagged hint keys dropped because their origin bucket rotated out in transit.")
 	st.evicts = reg.Counter("counterd_store_evicts_total",
 		"Partitions truncated after a rebalance surrender.")
 	st.ticks = reg.Counter("counterd_store_ticks_total",
@@ -325,6 +385,20 @@ func (st *Store) initMetrics(reg *metrics.Registry) {
 		"Keys per applied increment batch.", metrics.SizeBuckets)
 	st.mCkpt = reg.Histogram("counterd_checkpoint_seconds",
 		"Checkpoint duration: rotate + snapshot + fsync + GC.", metrics.ExpBuckets(1e-3, 2, 16))
+	cv := reg.CounterVec("counterd_checkpoint_total",
+		"Checkpoints written, by kind (full snapshot vs block delta).", "kind")
+	st.ckptFull = cv.With("full")
+	st.ckptDelta = cv.With("delta")
+	cb := reg.CounterVec("counterd_checkpoint_bytes_total",
+		"Checkpoint bytes written to disk, by kind (full snapshot vs block delta).", "kind")
+	st.ckptBytesFull = cb.With("full")
+	st.ckptBytesDelta = cb.With("delta")
+	reg.GaugeFunc("counterd_store_dirty_blocks",
+		"Register blocks written since the last checkpoint (the next delta's size, in blocks).",
+		func() float64 { return float64(st.eng.DirtyCount()) })
+	reg.GaugeFunc("counterd_checkpoint_chain_len",
+		"Delta checkpoints since the newest full one (recovery loads the full plus this many deltas).",
+		func() float64 { return float64(st.chainLen.Load()) })
 	reg.Gauge("counterd_store_keyspace_keys",
 		"Keys in the serving key space (engine length).").Set(float64(st.eng.Len()))
 	reg.Gauge("counterd_store_partitions",
@@ -394,15 +468,29 @@ func (st *Store) applyRecord(rec wal.Record) error {
 		st.noteInstall(snap)
 		st.merges.Add(1)
 	case wal.RecMergeMax:
-		snap, err := st.decodePeer(rec.Blob, false)
+		// A max-join blob is either a full peer snapshot or a block delta.
+		// Deltas re-materialize against the engine state at this log
+		// position — byte-identical to the live base (log order = apply
+		// order), so the replayed join lands the same registers.
+		snap, err := snapcodec.DecodeCapped(rec.Blob, st.decodeCap())
 		if err != nil {
 			return fmt.Errorf("server: replayed merge-max: %w", err)
+		}
+		if snap.IsDelta() {
+			if snap, err = st.materializeLocked(snap); err != nil {
+				return fmt.Errorf("server: replayed delta merge-max: %w", err)
+			}
+			st.deltaMaxs.Add(1)
+		} else {
+			if err := st.eng.CheckPeer(snap, false); err != nil {
+				return fmt.Errorf("server: replayed merge-max: %w", err)
+			}
+			st.mergeMaxs.Add(1)
 		}
 		if err := st.eng.MergeMax(snap); err != nil {
 			return fmt.Errorf("server: replayed merge-max: %w", err)
 		}
 		st.noteInstall(snap)
-		st.mergeMaxs.Add(1)
 	case wal.RecOwn:
 		st.ownMu.Lock()
 		st.ownRing = rec.Epoch
@@ -433,6 +521,21 @@ func (st *Store) applyRecord(rec wal.Record) error {
 		delete(st.ownFrozen, p)
 		st.ownMu.Unlock()
 		st.evicts.Add(1)
+	case wal.RecBatchAt:
+		for _, k := range rec.Keys {
+			if k < 0 || k >= st.eng.Len() {
+				return fmt.Errorf("server: replayed key %d out of range [0,%d)", k, st.eng.Len())
+			}
+		}
+		if st.windowed != nil {
+			applied := st.windowed.ApplyBatchEpoch(rec.Keys, rec.Epoch)
+			st.keys.Add(uint64(applied))
+			st.stales.Add(uint64(len(rec.Keys) - applied))
+		} else {
+			st.eng.ApplyBatch(rec.Keys)
+			st.keys.Add(uint64(len(rec.Keys)))
+		}
+		st.batches.Add(1)
 	case wal.RecTick:
 		if st.windowed == nil {
 			return fmt.Errorf("server: replayed tick to epoch %d on non-windowed engine %q",
@@ -453,22 +556,59 @@ func (st *Store) applyRecord(rec wal.Record) error {
 // a record that fails during live apply would fail identically during
 // recovery replay and brick the store.
 func (st *Store) decodePeer(blob []byte, disjoint bool) (*snapcodec.Snapshot, error) {
-	// Cap the decode at the local register count: a hostile header claiming
-	// snapcodec.MaxRegisters would otherwise allocate ~512 MiB before the
-	// engine's shape comparison ever ran. A window engine's snapshots carry
-	// one register per key per bucket, so its cap is B × n.
-	capRegs := st.eng.Len()
-	if st.windowed != nil {
-		capRegs *= st.windowed.WindowBuckets()
-	}
-	snap, err := snapcodec.DecodeCapped(blob, capRegs)
+	snap, err := snapcodec.DecodeCapped(blob, st.decodeCap())
 	if err != nil {
 		return nil, err
+	}
+	// A delta's register section is a scatter of blocks, not the contiguous
+	// range the plain joins splice at the partition offset — feeding one to
+	// Merge/MergeMax would silently corrupt registers. Deltas have their own
+	// ingest path (MergeMaxDelta) that materializes them first.
+	if snap.IsDelta() {
+		return nil, errors.New("server: delta snapshot on a full-snapshot ingest path")
 	}
 	if err := st.eng.CheckPeer(snap, disjoint); err != nil {
 		return nil, err
 	}
 	return snap, nil
+}
+
+// decodeCap returns the register cap for decoding peer blobs: a hostile
+// header claiming snapcodec.MaxRegisters would otherwise allocate ~512 MiB
+// before the engine's shape comparison ever ran. A window engine's
+// snapshots carry one register per key per bucket, so its cap is B × n.
+func (st *Store) decodeCap() int {
+	capRegs := st.eng.Len()
+	if st.windowed != nil {
+		capRegs *= st.windowed.WindowBuckets()
+	}
+	return capRegs
+}
+
+// materializeLocked rebuilds the full partition snapshot a block delta
+// describes: export the partition's live registers, splice the delta's
+// blocks over them, validate the result like any peer snapshot. Sound
+// because the delta's unsent blocks are exactly the ones whose fingerprints
+// matched the local state — where hashes agree the registers are equal (up
+// to collision), so base-filling from local registers reproduces the peer's
+// snapshot. Caller holds writeMu (or is the single-threaded replay), so the
+// base cannot move between export and join.
+func (st *Store) materializeLocked(d *snapcodec.Snapshot) (*snapcodec.Snapshot, error) {
+	if !d.IsPartition() || d.Parts != st.cfg.Partitions {
+		return nil, fmt.Errorf("server: delta join needs a partition snapshot of the local %d-way split", st.cfg.Partitions)
+	}
+	base, err := st.eng.Snapshot(d.Partition, d.Parts, false)
+	if err != nil {
+		return nil, err
+	}
+	full, err := snapcodec.MaterializeDelta(d, base.Registers)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.eng.CheckPeer(full, false); err != nil {
+		return nil, err
+	}
+	return full, nil
 }
 
 // peerSpan returns the key range a peer snapshot covers.
@@ -520,6 +660,71 @@ func (st *Store) Apply(keys []int) error {
 	err = st.log.Commit(ticket)
 	st.mApply.ObserveSince(t0)
 	return err
+}
+
+// ApplyAt durably counts a batch at an explicit origin bucket epoch — the
+// receive half of an epoch-tagged hint drain. On a windowed engine the keys
+// land in the bucket still labelled with epoch (keys whose bucket rotated
+// out in transit are dropped, never smeared into the current bucket); an
+// origin clock ahead of the local one first rotates the ring, WAL-logged as
+// an ordinary tick so replay rotates at the same point. Non-windowed
+// engines have no bucket to target, so the epoch is advisory and the batch
+// applies like Apply. Returns the number of keys actually counted.
+func (st *Store) ApplyAt(keys []int, epoch uint64) (int, error) {
+	if st.windowed == nil {
+		if err := st.Apply(keys); err != nil {
+			return 0, err
+		}
+		return len(keys), nil
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	if len(keys) > st.cfg.MaxBatch {
+		return 0, fmt.Errorf("%w: batch of %d keys exceeds limit %d", ErrBadInput, len(keys), st.cfg.MaxBatch)
+	}
+	for _, k := range keys {
+		if k < 0 || k >= st.eng.Len() {
+			return 0, fmt.Errorf("%w: key %d out of range [0,%d)", ErrBadInput, k, st.eng.Len())
+		}
+	}
+	t0 := time.Now()
+	st.writeMu.Lock()
+	ticked, err := st.tickLocked()
+	if err == nil && epoch > st.windowed.Epoch() {
+		// The origin clock runs ahead of ours: rotate to it (logged) so the
+		// hint is not mistaken for an expired one.
+		if _, err = st.log.Stage(wal.Record{Type: wal.RecTick, Epoch: epoch}); err == nil {
+			st.windowed.Advance(epoch)
+			st.ticks.Add(1)
+			ticked = true
+		}
+	}
+	var ticket uint64
+	applied := 0
+	if err == nil {
+		ticket, err = st.log.Stage(wal.Record{Type: wal.RecBatchAt, Epoch: epoch, Keys: keys})
+	}
+	if err == nil {
+		applied = st.windowed.ApplyBatchEpoch(keys, epoch)
+	}
+	st.writeMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if ticked {
+		st.bumpAll()
+	}
+	if applied > 0 {
+		st.bumpPartitions(keys)
+	}
+	st.batches.Add(1)
+	st.keys.Add(uint64(applied))
+	st.stales.Add(uint64(len(keys) - applied))
+	st.mBatchLen.Observe(float64(len(keys)))
+	err = st.log.Commit(ticket)
+	st.mApply.ObserveSince(t0)
+	return applied, err
 }
 
 // tickLocked advances a windowed engine to the clock's current bucket
@@ -676,6 +881,100 @@ func (st *Store) mergeBlob(blob []byte, rec byte) error {
 		st.mergeMaxs.Add(1)
 	}
 	return st.log.Commit(ticket)
+}
+
+// MergeMaxDelta ingests a block delta of one partition via the replica
+// max-join: the delta's blocks are materialized over the partition's live
+// registers (see materializeLocked) and the resulting full snapshot joins
+// like any MergeMax. The DELTA blob is what gets WAL-logged — replay
+// re-materializes against the byte-identical replayed base, so recovery
+// lands the same registers at a fraction of the log bytes.
+//
+// wantVer guards the materialization against concurrent local writes: when
+// the partition's version no longer equals it, the block fingerprints the
+// caller diffed are stale and the join returns ErrConflict (retry from a
+// fresh hash exchange). VersionAny skips the guard — correct whenever the
+// caller accepts joining over the current state, e.g. a rebalance pull,
+// because the max-join itself is idempotent and monotone.
+func (st *Store) MergeMaxDelta(blob []byte, wantVer uint64) error {
+	d, err := snapcodec.DecodeCapped(blob, st.decodeCap())
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	if !d.IsDelta() {
+		return fmt.Errorf("%w: delta join of a non-delta snapshot", ErrBadInput)
+	}
+	if !d.IsPartition() || d.Parts != st.cfg.Partitions {
+		return fmt.Errorf("%w: delta join needs a partition snapshot of the local %d-way split",
+			ErrBadInput, st.cfg.Partitions)
+	}
+	st.writeMu.Lock()
+	if wantVer != VersionAny && st.partVer[d.Partition].Load() != wantVer {
+		st.writeMu.Unlock()
+		return fmt.Errorf("%w: partition %d moved past version %d", ErrConflict, d.Partition, wantVer)
+	}
+	full, err := st.materializeLocked(d)
+	if err != nil {
+		st.writeMu.Unlock()
+		return fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	ticket, err := st.log.Stage(wal.Record{Type: wal.RecMergeMax, Blob: blob})
+	var applyErr error
+	if err == nil {
+		applyErr = st.eng.MergeMax(full)
+	}
+	st.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if applyErr != nil {
+		// materializeLocked ran the full CheckPeer pass, so this is
+		// unreachable short of a bug; report without poisoning anything.
+		return applyErr
+	}
+	lo, hi := st.peerSpan(full)
+	st.bumpRange(lo, hi)
+	st.noteInstall(full)
+	st.deltaMaxs.Add(1)
+	return st.log.Commit(ticket)
+}
+
+// PartitionBlockHashes returns per-block FNV-1a fingerprints of partition
+// p's snapshot register section — the block-granular refinement of
+// PartitionHash the delta anti-entropy diffs to decide which blocks to
+// ship. Engines without a register block layout (top-k) return ErrBadInput;
+// callers fall back to whole-partition sync.
+func (st *Store) PartitionBlockHashes(p int) ([]uint64, error) {
+	if p < 0 || p >= st.cfg.Partitions {
+		return nil, fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, p, st.cfg.Partitions)
+	}
+	hashes, err := st.eng.BlockHashes(p, st.cfg.Partitions)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	return hashes, nil
+}
+
+// PartitionDeltaTo streams a block delta of partition p restricted to the
+// listed (ascending) blocks — the serve half of delta anti-entropy and warm
+// handoff. The delta's base id is 0: wire deltas are anchored by the block
+// fingerprint exchange that chose the list, not by a checkpoint chain.
+func (st *Store) PartitionDeltaTo(w io.Writer, p int, blocks []uint32) error {
+	if p < 0 || p >= st.cfg.Partitions {
+		return fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, p, st.cfg.Partitions)
+	}
+	snap, err := st.eng.Snapshot(p, st.cfg.Partitions, false)
+	if err != nil {
+		return err
+	}
+	if len(snap.Registers) == 0 {
+		return fmt.Errorf("%w: engine %q snapshots carry no register blocks", ErrBadInput, st.eng.Kind())
+	}
+	d, err := snapcodec.MakeDelta(snap, 0, blocks)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	return snapcodec.EncodeTo(w, d)
 }
 
 // noteInstall clears a partition's pending-install mark when a merge lands
@@ -912,6 +1211,16 @@ func (st *Store) TopK(k, partition int) ([]engine.Entry, error) {
 // Windowed reports whether the store serves a sliding-window engine.
 func (st *Store) Windowed() bool { return st.windowed != nil }
 
+// WindowEpoch returns the windowed engine's current bucket epoch, or 0 on a
+// non-windowed engine. The cluster write path stamps it on replication
+// hints so a delayed drain heals into its origin bucket (ApplyAt).
+func (st *Store) WindowEpoch() uint64 {
+	if st.windowed == nil {
+		return 0
+	}
+	return st.windowed.Epoch()
+}
+
 // ParseWindow resolves a ?window= query value against the windowed
 // engine's ring: a Go duration ("5m", "90s") is rounded up to whole
 // buckets, a bare integer is a bucket count. The result is clamped-checked
@@ -1030,15 +1339,22 @@ func (st *Store) PartitionSnapshotTo(w io.Writer, p int) error {
 	return engine.SnapshotTo(w, st.eng, p, st.cfg.Partitions, false)
 }
 
-// Checkpoint rotates the WAL, writes a snapshot of the engine (with its
-// generator states) tagged with the new segment number, and garbage-collects
-// older snapshots and segments. Recovery cost after a checkpoint is one
-// snapshot load plus the segments written since.
+// Checkpoint rotates the WAL, writes the engine state tagged with the new
+// segment number, and garbage-collects what the tag obsoletes. The state
+// image is a full snapshot (with generator states) — or, when the engine
+// tracks dirty blocks and few enough changed since the previous checkpoint,
+// a block delta chained onto it: only the changed 128-register blocks hit
+// the disk, making checkpoint cost proportional to churn instead of
+// keyspace. Either kind truncates the WAL below its tag; recovery loads the
+// newest full snapshot, splices the delta chain, and replays the tail.
+// Config.DeltaFraction and Config.MaxDeltaChain bound when deltas are used
+// and how long a chain recovery may have to splice.
 func (st *Store) Checkpoint() error {
 	ckptStart := time.Now()
 	defer func() { st.mCkpt.ObserveSince(ckptStart) }()
-	// Rotation and state export happen under writeMu so no write lands
-	// between "records before S" and "engine state at S".
+	// Rotation, state export, and the dirty-block drain happen under
+	// writeMu so no write lands between "records before S", "engine state
+	// at S", and "blocks dirtied before S".
 	st.writeMu.Lock()
 	seq, err := st.log.Rotate()
 	if err != nil {
@@ -1066,55 +1382,134 @@ func (st *Store) Checkpoint() error {
 		st.ownMu.Unlock()
 	}
 	snap, err := st.eng.Snapshot(0, 0, true)
+	var dirty []uint32
+	tracked := false
+	if err == nil {
+		// Drain the bitmap in the same critical section as the snapshot:
+		// these are exactly the blocks that changed since the previous
+		// checkpoint, and post-drain writes re-mark for the next one.
+		dirty, tracked = st.eng.TakeDirty()
+	}
 	st.writeMu.Unlock()
 	if err != nil {
 		return err
 	}
+	// From here on the drained blocks are owed to the next checkpoint: any
+	// failure before the new image is durable must re-arm them, or a later
+	// delta would silently miss churn.
+	rearm := func(e error) error {
+		if tracked {
+			st.eng.MarkDirty(dirty)
+		}
+		return e
+	}
 	if ownStaged {
 		if err := st.log.Commit(ownTicket); err != nil {
-			return err
+			return rearm(err)
 		}
 	}
 
+	base := st.ckptSeq.Load()
+	useDelta := tracked && base > 0 && len(snap.Registers) > 0 &&
+		st.cfg.DeltaFraction >= 0 &&
+		st.chainLen.Load() < int64(st.maxDeltaChain()) &&
+		float64(len(dirty)) <= st.deltaFraction()*float64(snapcodec.NumBlocks(len(snap.Registers)))
 	path := snapPath(st.cfg.Dir, seq)
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if useDelta {
+		d, derr := snapcodec.MakeDelta(snap, base, dirty)
+		if derr != nil {
+			return rearm(derr)
+		}
+		snap = d
+		path = deltaPath(st.cfg.Dir, seq)
+	}
+
+	bytes, err := writeSnapFile(path, snap)
 	if err != nil {
-		return fmt.Errorf("server: checkpoint: %w", err)
-	}
-	if err := snapcodec.EncodeTo(f, snap); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("server: checkpoint: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("server: checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("server: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("server: checkpoint: %w", err)
+		return rearm(err)
 	}
 	syncDir(st.cfg.Dir)
 
 	st.ckptSeq.Store(seq)
 	st.lastCkpt.Store(time.Now().UnixNano())
-
-	// Garbage-collect: older snapshots, then WAL segments below the tag.
-	seqs, _, err := listSnapshots(st.cfg.Dir)
-	if err == nil {
+	if useDelta {
+		st.chainLen.Add(1)
+		st.ckptDelta.Add(1)
+		st.ckptBytesDelta.Add(uint64(bytes))
+		// No snapshot GC: the chain below stays load-bearing until the next
+		// full checkpoint collapses it.
+		return st.log.TruncateBefore(seq)
+	}
+	st.chainLen.Store(0)
+	st.ckptFull.Add(1)
+	st.ckptBytesFull.Add(uint64(bytes))
+	// Garbage-collect: older full snapshots and every delta (all strictly
+	// older than seq, and the new full obsoletes any chain), then WAL
+	// segments below the tag.
+	if seqs, err := listSeqs(st.cfg.Dir, snapSuffix); err == nil {
 		for _, s := range seqs {
 			if s < seq {
 				os.Remove(snapPath(st.cfg.Dir, s))
 			}
 		}
 	}
+	if seqs, err := listSeqs(st.cfg.Dir, deltaSuffix); err == nil {
+		for _, s := range seqs {
+			if s < seq {
+				os.Remove(deltaPath(st.cfg.Dir, s))
+			}
+		}
+	}
 	return st.log.TruncateBefore(seq)
+}
+
+// deltaFraction returns the effective delta-checkpoint dirty threshold.
+func (st *Store) deltaFraction() float64 {
+	if st.cfg.DeltaFraction == 0 {
+		return 0.5
+	}
+	return st.cfg.DeltaFraction
+}
+
+// maxDeltaChain returns the effective delta chain bound.
+func (st *Store) maxDeltaChain() int {
+	if st.cfg.MaxDeltaChain <= 0 {
+		return 8
+	}
+	return st.cfg.MaxDeltaChain
+}
+
+// writeSnapFile writes one snapshot atomically (tmp + fsync + rename),
+// returning the encoded size.
+func writeSnapFile(path string, snap *snapcodec.Snapshot) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := snapcodec.EncodeTo(f, snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("server: checkpoint: %w", err)
+	}
+	size := int64(0)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("server: checkpoint: %w", err)
+	}
+	return size, nil
 }
 
 // Close syncs and closes the WAL. With checkpoint true it writes a final
@@ -1158,6 +1553,8 @@ type Stats struct {
 	MergeMaxes      uint64  `json:"mergeMaxes"`
 	Evicts          uint64  `json:"evicts,omitempty"`
 	CheckpointSeq   uint64  `json:"checkpointSeq"`
+	CheckpointChain int     `json:"checkpointChain,omitempty"`
+	DirtyBlocks     int     `json:"dirtyBlocks,omitempty"`
 	LastCheckpoint  string  `json:"lastCheckpoint,omitempty"`
 	WALSegments     int     `json:"walSegments"`
 	RecoveredFrom   string  `json:"recoveredFrom"`
@@ -1186,6 +1583,8 @@ func (st *Store) Stats() Stats {
 		MergeMaxes:      st.mergeMaxs.Value(),
 		Evicts:          st.evicts.Value(),
 		CheckpointSeq:   st.ckptSeq.Load(),
+		CheckpointChain: int(st.chainLen.Load()),
+		DirtyBlocks:     st.eng.DirtyCount(),
 		WALSegments:     len(segs),
 		RecoveredFrom:   "seed",
 		ReplayedRecords: st.recovered.Records,
@@ -1238,38 +1637,51 @@ func snapPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix))
 }
 
-// listSnapshots returns the checkpoint sequence numbers in dir, ascending.
-func listSnapshots(dir string) ([]uint64, []string, error) {
+func deltaPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", snapPrefix, seq, deltaSuffix))
+}
+
+// listSeqs returns the checkpoint sequence numbers with the given suffix
+// (.nysc fulls or .nysd deltas) in dir, ascending.
+func listSeqs(dir, suffix string) ([]uint64, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: %w", err)
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	var seqs []uint64
-	var names []string
 	for _, e := range ents {
 		name := e.Name()
-		if len(name) <= len(snapPrefix)+len(snapSuffix) ||
-			name[:len(snapPrefix)] != snapPrefix || name[len(name)-len(snapSuffix):] != snapSuffix {
+		if len(name) <= len(snapPrefix)+len(suffix) ||
+			name[:len(snapPrefix)] != snapPrefix || name[len(name)-len(suffix):] != suffix {
 			continue
 		}
 		var seq uint64
-		if _, err := fmt.Sscanf(name[len(snapPrefix):len(name)-len(snapSuffix)], "%d", &seq); err != nil {
+		if _, err := fmt.Sscanf(name[len(snapPrefix):len(name)-len(suffix)], "%d", &seq); err != nil {
 			continue
 		}
 		seqs = append(seqs, seq)
-		names = append(names, name)
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	return seqs, names, nil
+	return seqs, nil
 }
 
-// newestSnapshot loads the highest-sequence checkpoint. Snapshots are
+// loadSnap reads and decodes one checkpoint file.
+func loadSnap(path string) (*snapcodec.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return snapcodec.DecodeFrom(f)
+}
+
+// newestSnapshot loads the highest-sequence FULL checkpoint. Snapshots are
 // written atomically (tmp + rename after fsync), so a listed checkpoint
 // that fails its CRC is bit rot, not a torn write — and because the WAL
 // below it was truncated when it landed, no older checkpoint can be trusted
 // to cover the gap. That is a loud error, not a silent fallback.
 func newestSnapshot(dir string) (uint64, *snapcodec.Snapshot, error) {
-	seqs, _, err := listSnapshots(dir)
+	seqs, err := listSeqs(dir, snapSuffix)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -1277,16 +1689,51 @@ func newestSnapshot(dir string) (uint64, *snapcodec.Snapshot, error) {
 		return 0, nil, nil
 	}
 	seq := seqs[len(seqs)-1]
-	f, err := os.Open(snapPath(dir, seq))
-	if err != nil {
-		return 0, nil, fmt.Errorf("server: checkpoint %d: %w", seq, err)
-	}
-	defer f.Close()
-	snap, err := snapcodec.DecodeFrom(f)
+	snap, err := loadSnap(snapPath(dir, seq))
 	if err != nil {
 		return 0, nil, fmt.Errorf("server: checkpoint %d unreadable: %w", seq, err)
 	}
 	return seq, snap, nil
+}
+
+// applyDeltaChain splices every delta checkpoint above the full snapshot at
+// fullSeq onto snap, in sequence order, verifying the chain links: each
+// delta's base id must name the previous chain element, starting at the
+// full snapshot itself. Deltas at or below fullSeq are leftovers of a
+// crashed GC — obsolete, ignored (and left for the next full checkpoint's
+// GC). A delta above fullSeq that does not link is a hole in the chain;
+// since the WAL below the newest checkpoint is truncated, that is
+// unrecoverable and loudly so. Returns the chain length and the sequence of
+// the newest chain element (fullSeq when no deltas apply).
+func applyDeltaChain(dir string, fullSeq uint64, snap *snapcodec.Snapshot) (int, uint64, error) {
+	seqs, err := listSeqs(dir, deltaSuffix)
+	if err != nil {
+		return 0, 0, err
+	}
+	chain := 0
+	prev := fullSeq
+	for _, seq := range seqs {
+		if seq <= fullSeq {
+			continue
+		}
+		d, err := loadSnap(deltaPath(dir, seq))
+		if err != nil {
+			return 0, 0, fmt.Errorf("server: delta checkpoint %d unreadable: %w", seq, err)
+		}
+		if !d.IsDelta() {
+			return 0, 0, fmt.Errorf("server: delta checkpoint %d is not a delta snapshot", seq)
+		}
+		if d.DeltaBase != prev {
+			return 0, 0, fmt.Errorf("server: delta checkpoint %d chains onto %d, want %d — chain broken",
+				seq, d.DeltaBase, prev)
+		}
+		if err := snapcodec.ApplyDelta(snap, d); err != nil {
+			return 0, 0, fmt.Errorf("server: delta checkpoint %d: %w", seq, err)
+		}
+		prev = seq
+		chain++
+	}
+	return chain, prev, nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file's dirent is durable.

@@ -91,6 +91,7 @@ func (b *Bank) MergeMaxRange(lo int, regs []uint64) error {
 			local := k >> b.shift
 			if v := regs[k-lo]; v > s.arr.Get(local) {
 				s.arr.Set(local, v)
+				b.markDirty(k)
 				changed = true
 			}
 		}
@@ -122,7 +123,11 @@ func (b *Bank) ResetRange(lo, hi int) error {
 		}
 		s.mu.Lock()
 		for k := first; k < hi; k += p {
-			s.arr.Set(k>>b.shift, 0)
+			local := k >> b.shift
+			if s.arr.Get(local) != 0 {
+				s.arr.Set(local, 0)
+				b.markDirty(k)
+			}
 		}
 		s.version.Add(1)
 		s.mu.Unlock()
@@ -161,7 +166,11 @@ func (b *Bank) MergeRange(lo int, regs []uint64) error {
 		s.mu.Lock()
 		for k := first; k < hi; k += p {
 			local := k >> b.shift
-			s.arr.Set(local, ma.MergeRegs(s.arr.Get(local), regs[k-lo], s.rng))
+			old := s.arr.Get(local)
+			if merged := ma.MergeRegs(old, regs[k-lo], s.rng); merged != old {
+				s.arr.Set(local, merged)
+				b.markDirty(k)
+			}
 		}
 		s.version.Add(1)
 		s.mu.Unlock()

@@ -163,9 +163,10 @@ type Bank struct {
 	alg     bank.Algorithm
 	table   stepTable
 	n       int
-	seed    uint64 // construction seed, kept for snapshot provenance
-	mask    uint64 // len(shards) − 1; len is a power of two
-	shift   uint   // log2(len(shards))
+	seed    uint64          // construction seed, kept for snapshot provenance
+	mask    uint64          // len(shards) − 1; len is a power of two
+	shift   uint            // log2(len(shards))
+	dirty   []atomic.Uint64 // changed-block bitmap; see dirty.go
 	cache   atomic.Pointer[estCache]
 	scratch sync.Pool // *batchScratch, reused across IncrementBatch calls
 }
@@ -200,6 +201,7 @@ func New(n int, alg bank.Algorithm, shards int, seed uint64) *Bank {
 		seed:   seed,
 		mask:   uint64(p - 1),
 		shift:  uint(bits.TrailingZeros(uint(p))),
+		dirty:  make([]atomic.Uint64, dirtyWords(n)),
 	}
 	b.scratch.New = func() any { return new(batchScratch) }
 	sm := xrand.NewSplitMix64(seed)
@@ -280,6 +282,7 @@ func (b *Bank) Increment(i int) {
 	if next := b.step(reg, s); next != reg {
 		s.arr.Set(local, next)
 		s.version.Add(1)
+		b.markDirty(i)
 	}
 	s.mu.Unlock()
 }
@@ -296,6 +299,7 @@ func (b *Bank) IncrementBy(i int, k uint64) {
 	if reg != reg0 {
 		s.arr.Set(local, reg)
 		s.version.Add(1)
+		b.markDirty(i)
 	}
 	s.mu.Unlock()
 }
@@ -385,6 +389,7 @@ func applyKeys[K int | int32](b *Bank, s *shard, keys []K) bool {
 			reg := s.arr.Get(local)
 			if next := b.alg.Step(reg, s.rng); next != reg {
 				s.arr.Set(local, next)
+				b.markDirty(int(k))
 				changed = true
 			}
 		}
@@ -409,6 +414,7 @@ func applyKeys[K int | int32](b *Bank, s *shard, keys []K) bool {
 			reg++
 			words[idx] = w0&^(mask<<off) | reg<<off
 			words[idx+1] = w1&^(mask>>(64-off)) | reg>>(64-off)
+			b.markDirty(int(k))
 			changed = true
 		}
 	}
@@ -591,7 +597,11 @@ func (b *Bank) Merge(other *Bank) error {
 		s.mu.Lock()
 		o.mu.Lock()
 		for local := 0; local < s.arr.Len(); local++ {
-			s.arr.Set(local, ma.MergeRegs(s.arr.Get(local), o.arr.Get(local), s.rng))
+			old := s.arr.Get(local)
+			if merged := ma.MergeRegs(old, o.arr.Get(local), s.rng); merged != old {
+				s.arr.Set(local, merged)
+				b.markDirty(local<<b.shift | si)
+			}
 		}
 		s.version.Add(1)
 		o.mu.Unlock()

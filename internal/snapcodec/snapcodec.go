@@ -68,13 +68,15 @@ const (
 	// payload section, version 4 the engine register section (an engine
 	// snapshot may carry block-packed registers next to its opaque payload,
 	// so register-shaped engine state — e.g. the window engine's bucket
-	// banks — rides the same FastPFOR compression as the counter bank);
+	// banks — rides the same FastPFOR compression as the counter bank),
+	// version 5 the delta section (a snapshot may carry only the packed
+	// blocks that changed since a named base snapshot — see delta.go);
 	// older input still decodes, and the encoder stamps the lowest version
 	// whose features the snapshot actually uses — a whole-bank snapshot's
 	// bytes are identical under all versions, so keeping the 1 stamp lets
 	// un-upgraded peers read new whole-bank snapshots during a rolling
 	// upgrade.
-	Version = 4
+	Version = 5
 	// BlockLen is the number of registers per packed block. It must stay
 	// ≤ 256 so exception positions fit one byte.
 	BlockLen = 128
@@ -103,6 +105,7 @@ const (
 	flagRNG    = 1 << 0
 	flagPart   = 1 << 1 // version ≥ 2: partition section present
 	flagEngine = 1 << 2 // version ≥ 3: engine payload section present
+	flagDelta  = 1 << 3 // version ≥ 5: delta section present (changed blocks only)
 )
 
 // ErrChecksum is returned when the CRC32C trailer does not match the
@@ -143,9 +146,21 @@ type Snapshot struct {
 	Engine  string
 	Payload []byte
 
+	// Delta marks a version-5 delta snapshot (see delta.go): Registers then
+	// holds only the blocks listed in DeltaBlocks — concatenated in index
+	// order — out of a full register section of DeltaRegs values, and the
+	// snapshot applies on top of the base identified by DeltaBase
+	// (ApplyDelta). Payload and RNG are always carried whole: only the
+	// register section is differential.
+	Delta       bool
+	DeltaBase   uint64   // caller-defined base snapshot id (checkpoint sequence)
+	DeltaBlocks []uint32 // strictly ascending BlockLen-block indices
+	DeltaRegs   int      // register count of the FULL section the indices address
+
 	// Registers holds n values for a whole-bank snapshot, the partition
 	// range length for a bank partition snapshot, or an engine-defined
 	// count for a version-4 engine snapshot (empty for version-3 engines).
+	// For a delta snapshot it holds only the listed blocks' values.
 	Registers []uint64
 	RNG       [][4]uint64 // len Shards or nil (whole-bank snapshots only)
 }
@@ -157,6 +172,10 @@ func (s *Snapshot) IsEngine() bool { return s.Engine != "" }
 // IsPartition reports whether s carries one partition rather than the whole
 // bank.
 func (s *Snapshot) IsPartition() bool { return s.Parts > 0 }
+
+// IsDelta reports whether s is a delta snapshot: only the register blocks
+// listed in DeltaBlocks are present, relative to the base DeltaBase.
+func (s *Snapshot) IsDelta() bool { return s.Delta }
 
 // PartitionOf returns the partition owning key k in a bank of n registers
 // split into parts contiguous ranges.
@@ -290,15 +309,22 @@ func (s *Snapshot) validate() error {
 			return fmt.Errorf("snapcodec: partition %d out of [0, %d)", s.Partition, s.Parts)
 		}
 		lo, hi := PartitionRange(s.N, s.Parts, s.Partition)
-		if !s.IsEngine() && len(s.Registers) != hi-lo {
+		if !s.IsEngine() && !s.Delta && len(s.Registers) != hi-lo {
 			return fmt.Errorf("snapcodec: partition %d/%d of %d keys spans %d registers, got %d",
 				s.Partition, s.Parts, s.N, hi-lo, len(s.Registers))
 		}
 		if s.RNG != nil {
 			return errors.New("snapcodec: partition snapshots cannot carry rng state")
 		}
-	} else if !s.IsEngine() && s.N != len(s.Registers) {
+	} else if !s.IsEngine() && !s.Delta && s.N != len(s.Registers) {
 		return fmt.Errorf("snapcodec: N = %d but %d registers", s.N, len(s.Registers))
+	}
+	if s.Delta {
+		if err := s.validateDelta(); err != nil {
+			return err
+		}
+	} else if s.DeltaBase != 0 || len(s.DeltaBlocks) != 0 || s.DeltaRegs != 0 {
+		return errors.New("snapcodec: delta fields set without the delta mark")
 	}
 	if s.Shards < 0 || s.Shards > maxShards {
 		return fmt.Errorf("snapcodec: shard count %d out of [0, %d]", s.Shards, maxShards)
@@ -364,8 +390,10 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 	// Stamp the lowest version whose features the snapshot uses: whole-bank
 	// register snapshots keep the version-1 stamp (their layout is
 	// unchanged), the partition section requires 2, the engine section 3,
-	// and the engine register section 4.
+	// the engine register section 4, and the delta section 5.
 	switch {
+	case s.Delta:
+		e.writeByte(5)
 	case s.IsEngine() && len(s.Registers) > 0:
 		e.writeByte(4)
 	case s.IsEngine():
@@ -392,8 +420,29 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 	if s.IsEngine() {
 		flags |= flagEngine
 	}
+	if s.Delta {
+		flags |= flagDelta
+	}
 	e.writeByte(flags)
 	e.writeUvarint(BlockLen)
+	if s.Delta {
+		// Delta section: base id, full-section register count, then the
+		// changed-block index list delta/uvarint-coded (first index, then
+		// gaps ≥ 1 — the PackDelta idiom, which also makes non-ascending or
+		// overlapping lists unrepresentable on the wire).
+		e.writeU64(s.DeltaBase)
+		e.writeUvarint(uint64(s.DeltaRegs))
+		e.writeUvarint(uint64(len(s.DeltaBlocks)))
+		prev := uint32(0)
+		for i, bi := range s.DeltaBlocks {
+			if i == 0 {
+				e.writeUvarint(uint64(bi))
+			} else {
+				e.writeUvarint(uint64(bi - prev))
+			}
+			prev = bi
+		}
+	}
 	if s.IsPartition() {
 		e.writeUvarint(uint64(s.Partition))
 		e.writeUvarint(uint64(s.Parts))
@@ -406,18 +455,28 @@ func EncodeTo(w io.Writer, s *Snapshot) error {
 		// Version 4 only: the engine register count (the register blocks
 		// below hold engine-defined state, not one register per key). A
 		// version-3 engine snapshot has no registers and no count field, so
-		// its bytes are unchanged.
-		if len(s.Registers) > 0 {
+		// its bytes are unchanged. A delta snapshot's count lives in the
+		// delta section instead.
+		if len(s.Registers) > 0 && !s.Delta {
 			e.writeUvarint(uint64(len(s.Registers)))
 		}
 	}
 
-	for lo := 0; lo < len(s.Registers); lo += BlockLen {
-		hi := lo + BlockLen
-		if hi > len(s.Registers) {
-			hi = len(s.Registers)
+	if s.Delta {
+		off := 0
+		for _, bi := range s.DeltaBlocks {
+			sz := blockSpan(s.DeltaRegs, BlockLen, int(bi))
+			e.block(s.Registers[off : off+sz])
+			off += sz
 		}
-		e.block(s.Registers[lo:hi])
+	} else {
+		for lo := 0; lo < len(s.Registers); lo += BlockLen {
+			hi := lo + BlockLen
+			if hi > len(s.Registers) {
+				hi = len(s.Registers)
+			}
+			e.block(s.Registers[lo:hi])
+		}
 	}
 
 	if s.RNG != nil {
@@ -662,7 +721,7 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 	if blockLen < 1 || blockLen > 256 {
 		return nil, fmt.Errorf("snapcodec: block length %d out of [1, 256]", blockLen)
 	}
-	if known := byte(flagRNG | flagPart | flagEngine); flags&^known != 0 {
+	if known := byte(flagRNG | flagPart | flagEngine | flagDelta); flags&^known != 0 {
 		return nil, fmt.Errorf("snapcodec: unknown flag bits %#02x", flags&^known)
 	}
 	if version < 2 && flags&flagPart != 0 {
@@ -671,11 +730,58 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 	if version < 3 && flags&flagEngine != 0 {
 		return nil, fmt.Errorf("snapcodec: version %d snapshot with engine flag", version)
 	}
-	if version >= 4 && flags&flagEngine == 0 {
+	if version == 4 && flags&flagEngine == 0 {
 		return nil, fmt.Errorf("snapcodec: version %d snapshot without engine flag", version)
+	}
+	if version < 5 && flags&flagDelta != 0 {
+		return nil, fmt.Errorf("snapcodec: version %d snapshot with delta flag", version)
+	}
+	if version >= 5 && flags&flagDelta == 0 {
+		return nil, fmt.Errorf("snapcodec: version %d snapshot without delta flag", version)
 	}
 	s.N = int(n)
 	s.Shards = int(shards)
+
+	if flags&flagDelta != 0 {
+		s.Delta = true
+		s.DeltaBase = d.u64()
+		dr := d.uvarint()
+		bc := d.uvarint()
+		if d.err != nil {
+			return nil, d.fail("delta section")
+		}
+		if dr < 1 || dr > uint64(maxRegisters) {
+			return nil, fmt.Errorf("snapcodec: delta register count %d out of [1, %d]", dr, maxRegisters)
+		}
+		s.DeltaRegs = int(dr)
+		nb := uint64((s.DeltaRegs + int(blockLen) - 1) / int(blockLen))
+		if bc > nb {
+			return nil, fmt.Errorf("snapcodec: delta lists %d blocks, section has %d", bc, nb)
+		}
+		s.DeltaBlocks = make([]uint32, 0, min(int(bc), 1<<16))
+		prev := uint64(0)
+		for i := uint64(0); i < bc; i++ {
+			g := d.uvarint()
+			if d.err != nil {
+				return nil, d.fail("delta block list")
+			}
+			idx := g
+			if i > 0 {
+				if g == 0 {
+					return nil, errors.New("snapcodec: delta block list not strictly ascending")
+				}
+				if g > nb { // pre-check so idx can never overflow
+					return nil, fmt.Errorf("snapcodec: delta block gap %d out of range", g)
+				}
+				idx = prev + g
+			}
+			if idx >= nb {
+				return nil, fmt.Errorf("snapcodec: delta block %d out of [0, %d)", idx, nb)
+			}
+			s.DeltaBlocks = append(s.DeltaBlocks, uint32(idx))
+			prev = idx
+		}
+	}
 
 	regCount := s.N
 	if flags&flagPart != 0 {
@@ -735,9 +841,10 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 		}
 		// Version 3: the payload is the whole state, no register blocks.
 		// Version 4: an explicit engine register count follows, and that
-		// many registers ride the ordinary block encoding.
+		// many registers ride the ordinary block encoding. Version 5 deltas
+		// carry the full-section count in the delta section instead.
 		regCount = 0
-		if version >= 4 {
+		if version >= 4 && !s.Delta {
 			rc := d.uvarint()
 			if d.err != nil {
 				return nil, d.fail("engine register count")
@@ -749,18 +856,41 @@ func runDecode(cr *crcReader, maxRegisters int) (*Snapshot, error) {
 		}
 	}
 
+	if s.Delta {
+		// The full-section count claimed by the delta section must agree
+		// with the shape the header derives (engine sections have no
+		// independent count, so the delta section's is authoritative there).
+		if !s.IsEngine() && s.DeltaRegs != regCount {
+			return nil, fmt.Errorf("snapcodec: delta claims %d registers, section spans %d", s.DeltaRegs, regCount)
+		}
+		regCount = 0
+		for _, bi := range s.DeltaBlocks {
+			regCount += blockSpan(s.DeltaRegs, int(blockLen), int(bi))
+		}
+	}
+
 	s.Registers = make([]uint64, 0, min(regCount, 1<<20))
 	var blockVals [256]uint64
-	for got := 0; got < regCount; {
-		cnt := int(blockLen)
-		if rest := regCount - got; rest < cnt {
-			cnt = rest
+	if s.Delta {
+		for _, bi := range s.DeltaBlocks {
+			cnt := blockSpan(s.DeltaRegs, int(blockLen), int(bi))
+			if err := d.block(blockVals[:cnt]); err != nil {
+				return nil, err
+			}
+			s.Registers = append(s.Registers, blockVals[:cnt]...)
 		}
-		if err := d.block(blockVals[:cnt]); err != nil {
-			return nil, err
+	} else {
+		for got := 0; got < regCount; {
+			cnt := int(blockLen)
+			if rest := regCount - got; rest < cnt {
+				cnt = rest
+			}
+			if err := d.block(blockVals[:cnt]); err != nil {
+				return nil, err
+			}
+			s.Registers = append(s.Registers, blockVals[:cnt]...)
+			got += cnt
 		}
-		s.Registers = append(s.Registers, blockVals[:cnt]...)
-		got += cnt
 	}
 	if s.Width < 64 {
 		lim := uint64(1)<<uint(s.Width) - 1

@@ -80,6 +80,13 @@ const (
 	RecOwn   = byte(5)
 	RecEvict = byte(6)
 
+	// RecBatchAt is a batch of register keys applied at an explicit bucket
+	// epoch — a replicated batch that must land in its ORIGIN bucket on a
+	// windowed engine rather than the receiver's current one (the
+	// epoch-tagged hint drain; see docs/ENGINES.md "Replication and heal
+	// time"). Non-windowed engines apply it exactly like RecBatch.
+	RecBatchAt = byte(7)
+
 	// maxPayload bounds a single record payload (a merge blob of a
 	// MaxRegisters-key snapshot fits comfortably).
 	maxPayload = 1 << 30
@@ -93,9 +100,9 @@ var ErrClosed = errors.New("wal: log closed")
 // Record is one logged operation.
 type Record struct {
 	Type  byte
-	Keys  []int  // RecBatch: register keys; RecOwn: partitions pending install
+	Keys  []int  // RecBatch / RecBatchAt: register keys; RecOwn: partitions pending install
 	Blob  []byte // RecMerge / RecMergeMax: snapcodec snapshot bytes
-	Epoch uint64 // RecTick: bucket epoch; RecOwn: ring version; RecEvict: partition
+	Epoch uint64 // RecTick / RecBatchAt: bucket epoch; RecOwn: ring version; RecEvict: partition
 	Parts []int  // RecOwn: partitions held frozen for surrender
 	Owned []int  // RecOwn: partitions owned on the recorded ring
 }
@@ -389,6 +396,15 @@ func encodeRecord(dst []byte, rec Record) ([]byte, error) {
 			}
 			payload = binary.AppendUvarint(payload, uint64(k))
 		}
+	case RecBatchAt:
+		payload = binary.AppendUvarint(make([]byte, 0, 6+5*len(rec.Keys)), rec.Epoch)
+		payload = binary.AppendUvarint(payload, uint64(len(rec.Keys)))
+		for _, k := range rec.Keys {
+			if k < 0 {
+				return nil, fmt.Errorf("wal: negative key %d", k)
+			}
+			payload = binary.AppendUvarint(payload, uint64(k))
+		}
 	case RecMerge, RecMergeMax:
 		payload = rec.Blob
 	case RecTick, RecEvict:
@@ -447,6 +463,36 @@ func decodePayload(typ byte, payload []byte) (Record, error) {
 			return Record{}, fmt.Errorf("wal: batch record: %d trailing bytes", len(rest))
 		}
 		return Record{Type: RecBatch, Keys: keys}, nil
+	case RecBatchAt:
+		epoch, esz := binary.Uvarint(payload)
+		if esz <= 0 {
+			return Record{}, errors.New("wal: batch-at record: bad epoch")
+		}
+		rest := payload[esz:]
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return Record{}, errors.New("wal: batch-at record: bad key count")
+		}
+		if n > uint64(len(rest)) { // each key costs ≥ 1 byte
+			return Record{}, fmt.Errorf("wal: batch-at record: %d keys in %d payload bytes", n, len(rest))
+		}
+		keys := make([]int, n)
+		rest = rest[sz:]
+		for i := range keys {
+			v, ksz := binary.Uvarint(rest)
+			if ksz <= 0 {
+				return Record{}, fmt.Errorf("wal: batch-at record: bad key %d", i)
+			}
+			if v > 1<<31-1 {
+				return Record{}, fmt.Errorf("wal: batch-at record: key %d out of range", v)
+			}
+			keys[i] = int(v)
+			rest = rest[ksz:]
+		}
+		if len(rest) != 0 {
+			return Record{}, fmt.Errorf("wal: batch-at record: %d trailing bytes", len(rest))
+		}
+		return Record{Type: RecBatchAt, Epoch: epoch, Keys: keys}, nil
 	case RecMerge, RecMergeMax:
 		return Record{Type: typ, Blob: payload}, nil
 	case RecTick, RecEvict:
@@ -596,6 +642,13 @@ func (l *Log) Append(rec Record) error {
 // AppendBatch is Append of a RecBatch record.
 func (l *Log) AppendBatch(keys []int) error {
 	return l.Append(Record{Type: RecBatch, Keys: keys})
+}
+
+// AppendBatchAt is Append of a RecBatchAt record: keys tagged with the
+// bucket epoch they were counted at (the durable half of an epoch-tagged
+// replication hint).
+func (l *Log) AppendBatchAt(keys []int, epoch uint64) error {
+	return l.Append(Record{Type: RecBatchAt, Epoch: epoch, Keys: keys})
 }
 
 // AppendMerge is Append of a RecMerge record.

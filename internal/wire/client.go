@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -83,6 +84,45 @@ func (c *Conn) SendBatch(keys []int) (int, error) { return c.send(FrameBatch, ke
 // SendRepl ships keys as a replica-apply REPL frame (no re-fan-out at the
 // receiver) and waits for the ack.
 func (c *Conn) SendRepl(keys []int) (int, error) { return c.send(FrameRepl, keys) }
+
+// SendReplAt ships keys as an epoch-tagged REPLAT frame: the receiver heals
+// them into the bucket still labelled epoch (or drops the ones whose bucket
+// rotated out) instead of counting them in its current bucket. A *RemoteError
+// with code 400 means the peer predates the frame — fall back to the HTTP
+// repl path, which carries the epoch in JSON.
+func (c *Conn) SendReplAt(keys []int, epoch uint64) (int, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.payload = binary.AppendUvarint(c.payload[:0], epoch)
+	c.payload, c.sortBuf = AppendBatch(c.payload, keys, c.sortBuf)
+	if len(c.payload) > MaxFramePayload {
+		return 0, ErrFrameTooLarge
+	}
+	c.out = AppendFrame(c.out[:0], FrameReplAt, c.payload)
+
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	defer c.conn.SetDeadline(time.Time{})
+	if _, err := c.conn.Write(c.out); err != nil {
+		return 0, err
+	}
+	rtyp, rpayload, scratch, err := ReadFrame(c.br, c.scratch)
+	c.scratch = scratch
+	if err != nil {
+		return 0, err
+	}
+	switch rtyp {
+	case FrameAck:
+		return parseAck(rpayload)
+	case FrameError:
+		return 0, parseError(rpayload)
+	default:
+		return 0, fmt.Errorf("wire: unexpected frame type %d to replat", rtyp)
+	}
+}
 
 // Ping round-trips a PING frame — a liveness probe through the full framing
 // path.
@@ -176,6 +216,63 @@ func (c *Conn) Fetch(partition int, ringVer uint64) (role byte, blob []byte, err
 	}
 }
 
+// BlockHashes pulls partition p's per-block register hashes for delta
+// anti-entropy: a BHASH frame answered by a BHASHES frame carrying the
+// partition's write version and one hash per snapcodec block. A *RemoteError
+// with code 400 means the peer predates the delta frames — fall back to the
+// HTTP phash surface or a full-partition exchange.
+func (c *Conn) BlockHashes(partition int) (version uint64, hashes []uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = AppendFrame(c.out[:0], FrameBHash, bhashPayload(partition))
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	defer c.conn.SetDeadline(time.Time{})
+	if _, err := c.conn.Write(c.out); err != nil {
+		return 0, nil, err
+	}
+	rtyp, rpayload, scratch, err := ReadFrame(c.br, c.scratch)
+	c.scratch = scratch
+	if err != nil {
+		return 0, nil, err
+	}
+	switch rtyp {
+	case FrameBHashes:
+		return parseBHashes(rpayload)
+	case FrameError:
+		return 0, nil, parseError(rpayload)
+	default:
+		return 0, nil, fmt.Errorf("wire: unexpected frame type %d to bhash", rtyp)
+	}
+}
+
+// BlockDelta pulls a snapcodec delta snapshot of partition p carrying only
+// the listed blocks (strictly ascending) — the divergent-block transfer of
+// delta anti-entropy. The returned blob is a copy, safe to hold across
+// further calls.
+func (c *Conn) BlockDelta(partition int, blocks []uint32) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = AppendFrame(c.out[:0], FrameBDelta, bdeltaPayload(partition, blocks))
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	defer c.conn.SetDeadline(time.Time{})
+	if _, err := c.conn.Write(c.out); err != nil {
+		return nil, err
+	}
+	rtyp, rpayload, scratch, err := ReadFrame(c.br, c.scratch)
+	c.scratch = scratch
+	if err != nil {
+		return nil, err
+	}
+	switch rtyp {
+	case FrameDelta:
+		return append([]byte(nil), rpayload...), nil
+	case FrameError:
+		return nil, parseError(rpayload)
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame type %d to bdelta", rtyp)
+	}
+}
+
 // Pool is a lazily-dialed set of persistent connections, one per address —
 // what the smart client and the replica fan-out keep across batches so the
 // hot path never pays a dial or a handshake. Safe for concurrent use; a
@@ -242,6 +339,75 @@ func (p *Pool) SendBatch(addr string, keys []int) (int, error) {
 // SendRepl ships a replica-apply batch to addr over the pooled connection.
 func (p *Pool) SendRepl(addr string, keys []int) (int, error) {
 	return p.send(addr, keys, (*Conn).SendRepl)
+}
+
+// SendReplAt ships an epoch-tagged replica-apply batch to addr over the
+// pooled connection.
+func (p *Pool) SendReplAt(addr string, keys []int, epoch uint64) (int, error) {
+	return p.send(addr, keys, func(c *Conn, k []int) (int, error) {
+		return c.SendReplAt(k, epoch)
+	})
+}
+
+// BlockHashes pulls partition p's per-block hashes from addr over the pooled
+// connection, with the same drop+redial-once policy as the send paths.
+func (p *Pool) BlockHashes(addr string, partition int) (uint64, []uint64, error) {
+	c, err := p.get(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	ver, hashes, err := c.BlockHashes(partition)
+	if err == nil {
+		return ver, hashes, nil
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return 0, nil, err
+	}
+	c, err = p.redial(addr, c)
+	if err != nil {
+		return 0, nil, err
+	}
+	return c.BlockHashes(partition)
+}
+
+// BlockDelta pulls a divergent-block delta snapshot from addr over the
+// pooled connection, with the same drop+redial-once policy as the send paths.
+func (p *Pool) BlockDelta(addr string, partition int, blocks []uint32) ([]byte, error) {
+	c, err := p.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := c.BlockDelta(partition, blocks)
+	if err == nil {
+		return blob, nil
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return nil, err
+	}
+	c, err = p.redial(addr, c)
+	if err != nil {
+		return nil, err
+	}
+	return c.BlockDelta(partition, blocks)
+}
+
+// redial drops a pooled connection that failed at the transport level and
+// dials its replacement — the shared second half of every drop+redial-once
+// recovery path.
+func (p *Pool) redial(addr string, old *Conn) (*Conn, error) {
+	p.drop(addr, old)
+	c, err := Dial(addr, p.timeout)
+	if err != nil {
+		return nil, err
+	}
+	p.dials.Add(1)
+	p.redials.Add(1)
+	p.mu.Lock()
+	p.conns[addr] = c
+	p.mu.Unlock()
+	return c, nil
 }
 
 func (p *Pool) send(addr string, keys []int, op func(*Conn, []int) (int, error)) (int, error) {

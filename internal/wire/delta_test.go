@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBDeltaPayloadRoundTrip(t *testing.T) {
+	for _, blocks := range [][]uint32{
+		nil,
+		{0},
+		{7},
+		{0, 1, 2, 3},
+		{3, 900, 901, 100_000},
+	} {
+		payload := bdeltaPayload(42, blocks)
+		p, got, err := parseBDelta(payload)
+		if err != nil {
+			t.Fatalf("parse %v: %v", blocks, err)
+		}
+		if p != 42 {
+			t.Fatalf("partition %d, want 42", p)
+		}
+		if len(blocks) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("blocks %v, want empty", got)
+			}
+		} else if !reflect.DeepEqual(got, blocks) {
+			t.Fatalf("blocks %v, want %v", got, blocks)
+		}
+	}
+}
+
+func TestBDeltaPayloadRejects(t *testing.T) {
+	good := bdeltaPayload(1, []uint32{2, 5})
+	for name, payload := range map[string][]byte{
+		"empty":          nil,
+		"truncated":      good[:len(good)-1],
+		"trailing":       append(append([]byte(nil), good...), 0),
+		"zero gap":       appendUvarints(nil, 1, 2, 4, 0), // duplicate block index
+		"count past end": appendUvarints(nil, 1, 200, 3),
+	} {
+		if _, _, err := parseBDelta(payload); err == nil {
+			t.Errorf("%s payload parsed", name)
+		}
+	}
+}
+
+func TestBHashesPayloadRoundTrip(t *testing.T) {
+	hashes := []uint64{0, 1, 0xDEADBEEF_00112233, ^uint64(0)}
+	ver, got, err := parseBHashes(bhashesPayload(99, hashes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 99 || !reflect.DeepEqual(got, hashes) {
+		t.Fatalf("ver %d hashes %v", ver, got)
+	}
+	if _, _, err := parseBHashes(bhashesPayload(99, hashes)[:5]); err == nil {
+		t.Fatal("truncated bhashes payload parsed")
+	}
+}
+
+// deltaSink extends the tally sink with the delta and epoch verbs.
+type deltaSink struct {
+	*tallySink
+	mu       sync.Mutex
+	ver      uint64
+	hashes   []uint64
+	blob     []byte
+	gotPart  int
+	gotBlock []uint32
+	gotEpoch uint64
+}
+
+func (s *deltaSink) BlockHashes(partition int) (uint64, []uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gotPart = partition
+	return s.ver, s.hashes, nil
+}
+
+func (s *deltaSink) BlockDelta(partition int, blocks []uint32) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gotPart = partition
+	s.gotBlock = blocks
+	return s.blob, nil
+}
+
+func (s *deltaSink) ReplAt(keys []int, epoch uint64) (int, error) {
+	s.mu.Lock()
+	s.gotEpoch = epoch
+	s.mu.Unlock()
+	return s.apply(keys)
+}
+
+// TestDeltaFramesRoundTrip drives BHASH, BDELTA, and REPLAT through a real
+// loopback server into a sink implementing the optional verbs.
+func TestDeltaFramesRoundTrip(t *testing.T) {
+	sink := &deltaSink{
+		tallySink: newTallySink(),
+		ver:       7,
+		hashes:    []uint64{11, 22, 33},
+		blob:      []byte("delta-blob"),
+	}
+	addr, stop := startWireServer(t, sink, ServerConfig{MaxBatch: 1 << 16, MaxKey: 1000})
+	defer stop()
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ver, hashes, err := c.BlockHashes(3)
+	if err != nil {
+		t.Fatalf("bhash: %v", err)
+	}
+	if ver != 7 || !reflect.DeepEqual(hashes, sink.hashes) || sink.gotPart != 3 {
+		t.Fatalf("bhash reply ver=%d hashes=%v part=%d", ver, hashes, sink.gotPart)
+	}
+
+	blob, err := c.BlockDelta(3, []uint32{1, 4, 9})
+	if err != nil {
+		t.Fatalf("bdelta: %v", err)
+	}
+	if string(blob) != "delta-blob" || !reflect.DeepEqual(sink.gotBlock, []uint32{1, 4, 9}) {
+		t.Fatalf("bdelta reply %q blocks=%v", blob, sink.gotBlock)
+	}
+
+	applied, err := c.SendReplAt([]int{5, 5, 8}, 42)
+	if err != nil {
+		t.Fatalf("replat: %v", err)
+	}
+	if applied != 3 || sink.gotEpoch != 42 {
+		t.Fatalf("replat applied=%d epoch=%d", applied, sink.gotEpoch)
+	}
+	sink.tallySink.mu.Lock()
+	defer sink.tallySink.mu.Unlock()
+	if sink.tally[5] != 2 || sink.tally[8] != 1 {
+		t.Fatalf("tally %v", sink.tally)
+	}
+}
+
+// TestDeltaFramesUnsupportedSinkAnswers400: a sink without the optional
+// verbs answers ERROR 400 — the signal callers use to fall back to HTTP —
+// and the connection stays healthy.
+func TestDeltaFramesUnsupportedSinkAnswers400(t *testing.T) {
+	sink := newTallySink()
+	addr, stop := startWireServer(t, sink, ServerConfig{})
+	defer stop()
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var re *RemoteError
+	if _, _, err := c.BlockHashes(0); !errors.As(err, &re) || re.Code != 400 {
+		t.Fatalf("bhash on plain sink: %v, want RemoteError 400", err)
+	}
+	if _, err := c.BlockDelta(0, nil); !errors.As(err, &re) || re.Code != 400 {
+		t.Fatalf("bdelta on plain sink: %v, want RemoteError 400", err)
+	}
+	if _, err := c.SendReplAt([]int{1}, 9); !errors.As(err, &re) || re.Code != 400 {
+		t.Fatalf("replat on plain sink: %v, want RemoteError 400", err)
+	}
+	// The stream survived all three rejections.
+	if applied, err := c.SendBatch([]int{1}); err != nil || applied != 1 {
+		t.Fatalf("after 400s: applied %d, err %v", applied, err)
+	}
+}

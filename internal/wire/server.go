@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +33,28 @@ type Sink interface {
 // error is mapped through ServerConfig.ErrorCode like every sink error.
 type HandoffSink interface {
 	Fetch(partition int, ringVer uint64) (role byte, blob []byte, err error)
+}
+
+// DeltaSink is the optional pair of verbs behind delta anti-entropy: BHASH
+// frames call BlockHashes (the partition's write version plus one FNV-1a
+// hash per snapcodec block of its register section), BDELTA frames call
+// BlockDelta (a snapcodec delta snapshot carrying only the requested
+// blocks). A sink without it answers both with ERROR 400, and the syncing
+// peer falls back to the HTTP block-delta endpoints (or to a full-partition
+// exchange against a pre-delta build).
+type DeltaSink interface {
+	BlockHashes(partition int) (version uint64, hashes []uint64, err error)
+	BlockDelta(partition int, blocks []uint32) (blob []byte, err error)
+}
+
+// EpochSink is the optional epoch-tagged spelling of Repl: REPLAT frames
+// carry the origin node's bucket epoch so a windowed receiver heals the
+// hinted keys into the bucket they were counted in (or drops them once that
+// bucket rotated out) instead of smearing them into the current one. A sink
+// without it answers ERROR 400 and the drainer falls back to the HTTP repl
+// path, which carries the same epoch in JSON.
+type EpochSink interface {
+	ReplAt(keys []int, epoch uint64) (applied int, err error)
 }
 
 // ServerConfig tunes a wire Server.
@@ -268,6 +291,81 @@ func (s *Server) serveConn(conn net.Conn) {
 			default:
 				outType = FrameSnap
 				out = AppendFrame(out, FrameSnap, snapPayload(role, blob))
+			}
+		case FrameReplAt:
+			es, ok := s.sink.(EpochSink)
+			if !ok {
+				outType = FrameError
+				out = AppendFrame(out, FrameError, errorPayload(400, "epoch-tagged repl not supported"))
+				break
+			}
+			epoch, n := binary.Uvarint(payload)
+			var keys []int
+			var applied int
+			var err error
+			if n <= 0 {
+				err = fmt.Errorf("%w: bad epoch prefix", ErrBadBatch)
+			} else {
+				keys, err = DecodeBatch(payload[n:], s.cfg.MaxBatch, s.cfg.MaxKey)
+			}
+			if err == nil {
+				applied, err = es.ReplAt(keys, epoch)
+			}
+			switch {
+			case errors.Is(err, ErrBadBatch):
+				s.mDecodeErrs.Inc()
+				outType = FrameError
+				out = AppendFrame(out, FrameError, errorPayload(400, err.Error()))
+			case err != nil:
+				outType = FrameError
+				out = AppendFrame(out, FrameError, errorPayload(s.cfg.ErrorCode(err), err.Error()))
+			default:
+				outType = FrameAck
+				out = AppendFrame(out, FrameAck, ackPayload(applied))
+			}
+		case FrameBHash:
+			ds, ok := s.sink.(DeltaSink)
+			if !ok {
+				outType = FrameError
+				out = AppendFrame(out, FrameError, errorPayload(400, "block hashes not supported"))
+				break
+			}
+			partition, err := parseBHash(payload)
+			var ver uint64
+			var hashes []uint64
+			if err == nil {
+				ver, hashes, err = ds.BlockHashes(partition)
+			}
+			switch {
+			case err != nil:
+				outType = FrameError
+				out = AppendFrame(out, FrameError, errorPayload(s.cfg.ErrorCode(err), err.Error()))
+			default:
+				outType = FrameBHashes
+				out = AppendFrame(out, FrameBHashes, bhashesPayload(ver, hashes))
+			}
+		case FrameBDelta:
+			ds, ok := s.sink.(DeltaSink)
+			if !ok {
+				outType = FrameError
+				out = AppendFrame(out, FrameError, errorPayload(400, "block deltas not supported"))
+				break
+			}
+			partition, blocks, err := parseBDelta(payload)
+			var blob []byte
+			if err == nil {
+				blob, err = ds.BlockDelta(partition, blocks)
+			}
+			switch {
+			case err != nil:
+				outType = FrameError
+				out = AppendFrame(out, FrameError, errorPayload(s.cfg.ErrorCode(err), err.Error()))
+			case len(blob) > MaxFramePayload:
+				outType = FrameError
+				out = AppendFrame(out, FrameError, errorPayload(500, "block delta exceeds frame cap"))
+			default:
+				outType = FrameDelta
+				out = AppendFrame(out, FrameDelta, blob)
 			}
 		default:
 			s.mDecodeErrs.Inc()

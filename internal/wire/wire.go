@@ -62,6 +62,15 @@ const (
 	// answers ERROR 400, and the rebalancer falls back to HTTP).
 	FrameFetch = byte(8) // pull one partition snapshot: uvarint partition + uvarint ring version
 	FrameSnap  = byte(9) // fetch reply: role byte + snapcodec partition snapshot
+
+	// Delta anti-entropy and epoch-tagged replication (added with the v5
+	// delta snapshot codec; a peer that predates them answers ERROR 400 and
+	// the caller falls back to the HTTP surface).
+	FrameBHash   = byte(10) // pull per-block hashes: uvarint partition
+	FrameBHashes = byte(11) // bhash reply: uvarint version + uvarint count + count × u64 FNV-1a hashes
+	FrameBDelta  = byte(12) // pull divergent blocks: uvarint partition + uvarint count + gap-coded block list
+	FrameDelta   = byte(13) // bdelta reply: snapcodec delta snapshot blob
+	FrameReplAt  = byte(14) // replica-apply at an origin bucket epoch: uvarint epoch + packed batch
 )
 
 // FrameName returns the lowercase mnemonic of a frame type ("batch",
@@ -86,6 +95,16 @@ func FrameName(typ byte) string {
 		return "fetch"
 	case FrameSnap:
 		return "snap"
+	case FrameBHash:
+		return "bhash"
+	case FrameBHashes:
+		return "bhashes"
+	case FrameBDelta:
+		return "bdelta"
+	case FrameDelta:
+		return "delta"
+	case FrameReplAt:
+		return "replat"
 	}
 	return "unknown"
 }
@@ -279,6 +298,108 @@ func parseSnap(payload []byte) (role byte, blob []byte, err error) {
 		return 0, nil, fmt.Errorf("wire: unknown handoff role %d", role)
 	}
 	return role, payload[1:], nil
+}
+
+// bhashPayload encodes a BHASH frame body: the uvarint partition whose
+// per-block register hashes the caller wants.
+func bhashPayload(partition int) []byte {
+	return binary.AppendUvarint(make([]byte, 0, 10), uint64(partition))
+}
+
+// parseBHash decodes a BHASH frame body.
+func parseBHash(payload []byte) (partition int, err error) {
+	p, n := binary.Uvarint(payload)
+	if n <= 0 || n != len(payload) || p > 1<<31-1 {
+		return 0, errors.New("wire: undecodable bhash frame")
+	}
+	return int(p), nil
+}
+
+// bhashesPayload encodes a BHASHES reply body: the partition's write version
+// (uvarint), the block count (uvarint), then one little-endian u64 FNV-1a
+// hash per snapcodec block of the partition's register section.
+func bhashesPayload(version uint64, hashes []uint64) []byte {
+	p := binary.AppendUvarint(make([]byte, 0, 20+8*len(hashes)), version)
+	p = binary.AppendUvarint(p, uint64(len(hashes)))
+	for _, h := range hashes {
+		p = binary.LittleEndian.AppendUint64(p, h)
+	}
+	return p
+}
+
+// parseBHashes decodes a BHASHES reply body.
+func parseBHashes(payload []byte) (version uint64, hashes []uint64, err error) {
+	v, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, errors.New("wire: undecodable bhashes frame")
+	}
+	count, m := binary.Uvarint(payload[n:])
+	rest := payload[n+m:]
+	if m <= 0 || uint64(len(rest)) != 8*count {
+		return 0, nil, errors.New("wire: undecodable bhashes frame")
+	}
+	hashes = make([]uint64, count)
+	for i := range hashes {
+		hashes[i] = binary.LittleEndian.Uint64(rest[8*i:])
+	}
+	return v, hashes, nil
+}
+
+// bdeltaPayload encodes a BDELTA frame body: uvarint partition, uvarint
+// block count, then the strictly-ascending block list gap-coded exactly like
+// snapcodec's delta section (first index absolute, then gaps ≥ 1).
+func bdeltaPayload(partition int, blocks []uint32) []byte {
+	p := binary.AppendUvarint(make([]byte, 0, 20+2*len(blocks)), uint64(partition))
+	p = binary.AppendUvarint(p, uint64(len(blocks)))
+	prev := uint64(0)
+	for i, b := range blocks {
+		if i == 0 {
+			p = binary.AppendUvarint(p, uint64(b))
+		} else {
+			p = binary.AppendUvarint(p, uint64(b)-prev)
+		}
+		prev = uint64(b)
+	}
+	return p
+}
+
+// parseBDelta decodes a BDELTA frame body, enforcing the strictly-ascending
+// block order the gap coding implies.
+func parseBDelta(payload []byte) (partition int, blocks []uint32, err error) {
+	bad := errors.New("wire: undecodable bdelta frame")
+	p, n := binary.Uvarint(payload)
+	if n <= 0 || p > 1<<31-1 {
+		return 0, nil, bad
+	}
+	rest := payload[n:]
+	count, m := binary.Uvarint(rest)
+	if m <= 0 || count > uint64(len(rest)) { // each block costs ≥ 1 byte
+		return 0, nil, bad
+	}
+	rest = rest[m:]
+	blocks = make([]uint32, count)
+	prev := uint64(0)
+	for i := range blocks {
+		v, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return 0, nil, bad
+		}
+		rest = rest[sz:]
+		if i > 0 {
+			if v == 0 || prev+v > 1<<31-1 {
+				return 0, nil, bad
+			}
+			v += prev
+		} else if v > 1<<31-1 {
+			return 0, nil, bad
+		}
+		blocks[i] = uint32(v)
+		prev = v
+	}
+	if len(rest) != 0 {
+		return 0, nil, bad
+	}
+	return int(p), blocks, nil
 }
 
 // ackPayload encodes an ACK frame body: the uvarint applied-event count.
