@@ -2,6 +2,7 @@ GO ?= go
 
 .PHONY: all build vet fmt-check doclint test race bench bench-cluster fuzz-smoke ci \
 	counterd serve cluster-smoke cluster-demo windowed-demo wire-smoke grow-smoke \
+	distinct-smoke \
 	metrics-smoke manifest-check
 
 all: build
@@ -68,6 +69,13 @@ cluster-smoke:
 grow-smoke: counterd
 	$(GO) run ./tools/growsmoke -counterd bin/counterd
 
+# Live unique counting against real counterd processes: boot a 3-node RF=3
+# distinct ring, drive Zipf load with an exact truth set, kill -9 a node and
+# restart it — byte-identical whole-engine snapshots and a /distinct answer
+# inside the HLL error bound at every step (tools/distinctsmoke).
+distinct-smoke: counterd
+	$(GO) run ./tools/distinctsmoke -counterd bin/counterd
+
 # Observability smoke: boot a real counterd, wait for the /readyz gate,
 # drive traffic, lint the full /metrics exposition with the shared parser,
 # assert the key series from every instrumented layer, and check the
@@ -117,5 +125,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDeltaSnapshot -fuzztime=5s ./internal/snapcodec
 	$(GO) test -run='^$$' -fuzz=FuzzSummary -fuzztime=5s ./internal/heavyhitters
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=5s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDistinctSnapshot -fuzztime=5s ./internal/engine
+	$(GO) test -run='^$$' -fuzz=FuzzF2Snapshot -fuzztime=5s ./internal/engine
 
 ci: build vet fmt-check doclint manifest-check race metrics-smoke fuzz-smoke

@@ -2,8 +2,12 @@
 // motivating analytics system (millions of approximate counters in a few
 // bits each) as a restartable network daemon, with the engine pluggable —
 // the Morris/Csűrös/exact register bank by default, the cluster-wide
-// heavy-hitters (top-k) engine with -engine topk, or the sliding-window
-// engine with -engine window (bucket width -bucket, span -window).
+// heavy-hitters (top-k) engine with -engine topk, the sliding-window
+// engine with -engine window (bucket width -bucket, span -window), the
+// HLL-style unique-count engine with -engine distinct (precision
+// -distinct-precision; add -window for "uniques in the last N minutes"),
+// or the AMS second-frequency-moment engine with -engine f2 (-f2-rows,
+// -f2-cols, same optional -window).
 //
 // Every increment batch is WAL-logged before it is applied and acknowledged,
 // so a kill -9 at any moment loses nothing that was acked: on restart the
@@ -19,6 +23,9 @@
 //	GET  /estimates      (&window=5m on the window engine)
 //	GET  /topk?k=10      ranked heavy hitters (&partition=p for one partition,
 //	                     &window=5m on the window engine)
+//	GET  /distinct       unique-key cardinality (distinct engine; &partition=p,
+//	                     &window=5m on the windowed flavor)
+//	GET  /f2             second frequency moment (f2 engine; same parameters)
 //	GET  /snapshot       compressed snapshot stream (feed to a peer's /merge)
 //	GET  /snapshot/{p}   one partition's compressed snapshot
 //	POST /merge          ingest a peer snapshot (disjoint-stream join)
@@ -56,6 +63,12 @@
 //	counterd -addr :8347 -dir ./win-data -n 1000000 -engine window -bucket 1m -window 10m
 //	curl 'localhost:8347/topk?k=10&window=5m'
 //	curl 'localhost:8347/estimate/2?window=1m'
+//
+// Example (unique counting, 10-minute sliding window):
+//
+//	counterd -addr :8347 -dir ./uniq-data -n 1000000 -engine distinct -window 10m
+//	curl localhost:8347/distinct
+//	curl 'localhost:8347/distinct?window=5m'
 //
 // Example (local 3-node ring, replication factor 2):
 //
@@ -101,8 +114,12 @@ type options struct {
 	seed       uint64
 	engine     string
 	topkCap    int
+	distinctP  int
+	f2Rows     int
+	f2Cols     int
 	bucket     time.Duration
 	window     time.Duration
+	windowSet  bool // -window or -bucket given explicitly (windowed distinct/f2)
 	checkpoint time.Duration
 	deltaFrac  float64
 	deltaChain int
@@ -146,10 +163,13 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.width, "width", 14, "register width in bits")
 	fs.IntVar(&o.mantissa, "mantissa", 8, "Csűrös mantissa bits")
 	fs.Uint64Var(&o.seed, "seed", 42, "deterministic replay seed")
-	fs.StringVar(&o.engine, "engine", "bank", "sketch engine: bank | topk | window (see docs/ENGINES.md)")
+	fs.StringVar(&o.engine, "engine", "bank", "sketch engine: bank | topk | window | distinct | f2 (see docs/ENGINES.md)")
 	fs.IntVar(&o.topkCap, "topk-cap", 64, "top-k slots per partition (topk engine)")
-	fs.DurationVar(&o.bucket, "bucket", time.Minute, "time-bucket width (window engine)")
-	fs.DurationVar(&o.window, "window", 8*time.Minute, "sliding-window span, rounded up to whole buckets (window engine)")
+	fs.IntVar(&o.distinctP, "distinct-precision", 12, "HLL precision p: 2^p registers per partition (distinct engine)")
+	fs.IntVar(&o.f2Rows, "f2-rows", 5, "AMS estimator rows — the median arity (f2 engine)")
+	fs.IntVar(&o.f2Cols, "f2-cols", 64, "AMS estimator columns — the mean arity (f2 engine)")
+	fs.DurationVar(&o.bucket, "bucket", time.Minute, "time-bucket width (windowed engines)")
+	fs.DurationVar(&o.window, "window", 8*time.Minute, "sliding-window span, rounded up to whole buckets (window engine always; distinct/f2 become windowed when -window or -bucket is given)")
 	fs.DurationVar(&o.checkpoint, "checkpoint", 30*time.Second, "checkpoint cadence (0 disables the loop)")
 	fs.Float64Var(&o.deltaFrac, "delta-fraction", 0, "max dirty-block fraction for a delta checkpoint (0 = default 0.5; negative = always full)")
 	fs.IntVar(&o.deltaChain, "max-delta-chain", 0, "consecutive delta checkpoints before a forced full (0 = default 8)")
@@ -179,6 +199,13 @@ func parseFlags(args []string) (*options, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	// The window flags have non-zero defaults, so "windowed distinct/f2"
+	// needs explicit-set detection rather than a zero-value sentinel.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "window" || f.Name == "bucket" {
+			o.windowSet = true
+		}
+	})
 	return o, nil
 }
 
@@ -193,8 +220,11 @@ func openStore(o *options) (*server.Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The window engine is always windowed; distinct and f2 become windowed
+	// ("uniques in the last N minutes") only when the operator asked for a
+	// window explicitly — their flags default to the cumulative flavor.
 	buckets := 0
-	if o.engine == "window" {
+	if o.engine == "window" || ((o.engine == "distinct" || o.engine == "f2") && o.windowSet) {
 		if o.bucket <= 0 {
 			return nil, fmt.Errorf("counterd: non-positive -bucket %v", o.bucket)
 		}
@@ -204,22 +234,25 @@ func openStore(o *options) (*server.Store, error) {
 		buckets = int((o.window + o.bucket - 1) / o.bucket)
 	}
 	return server.Open(server.Config{
-		Dir:           o.dir,
-		N:             o.n,
-		Shards:        o.shards,
-		Alg:           alg,
-		Seed:          o.seed,
-		Engine:        o.engine,
-		TopKCap:       o.topkCap,
-		Buckets:       buckets,
-		BucketDur:     o.bucket,
-		SegmentBytes:  o.segBytes,
-		MaxBatch:      o.maxBatch,
-		DeltaFraction: o.deltaFrac,
-		MaxDeltaChain: o.deltaChain,
-		Sync:          policy,
-		SyncInterval:  o.fsyncEvery,
-		Partitions:    o.partitions,
+		Dir:               o.dir,
+		N:                 o.n,
+		Shards:            o.shards,
+		Alg:               alg,
+		Seed:              o.seed,
+		Engine:            o.engine,
+		TopKCap:           o.topkCap,
+		DistinctPrecision: o.distinctP,
+		F2Rows:            o.f2Rows,
+		F2Cols:            o.f2Cols,
+		Buckets:           buckets,
+		BucketDur:         o.bucket,
+		SegmentBytes:      o.segBytes,
+		MaxBatch:          o.maxBatch,
+		DeltaFraction:     o.deltaFrac,
+		MaxDeltaChain:     o.deltaChain,
+		Sync:              policy,
+		SyncInterval:      o.fsyncEvery,
+		Partitions:        o.partitions,
 	})
 }
 

@@ -17,6 +17,7 @@
 //	countertool bench-cluster -nodes http://localhost:8347 -events 1000000
 //	countertool topk -nodes http://localhost:8347 -events 1000000 -zipf 1.1
 //	countertool windowed -nodes http://localhost:8347 -events 300000 -phases 3
+//	countertool distinct -nodes http://localhost:8347 -events 1000000 -zipf 1.2
 //
 // The bench-serve subcommand (benchserve.go) drives a running counterd
 // daemon over HTTP; bench-cluster (benchcluster.go) drives a whole counterd
@@ -24,7 +25,9 @@
 // Zipf heavy-hitters workload against the topk engine and reports how well
 // the cluster recovered the true top-k; windowed (windowed.go) drives a
 // Zipf-with-drift workload against the window engine and verifies the
-// trailing-window top-k tracks the shifting hot set.
+// trailing-window top-k tracks the shifting hot set; distinct (distinct.go)
+// drives a Zipf workload against the distinct engine and reports the
+// cluster's cardinality estimate against the exact unique count.
 package main
 
 import (
@@ -55,6 +58,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "windowed" {
 		windowedMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "distinct" {
+		distinctMain(os.Args[2:])
 		return
 	}
 	var (

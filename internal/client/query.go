@@ -29,6 +29,15 @@ const (
 	// partition's replicas report their partition-local top k, and the
 	// disjoint reports merge client-side by concatenate-sort-truncate.
 	KindTopK QueryKind = "topk"
+	// KindDistinct answers the cluster-wide unique-key count
+	// (Result.Estimate) on distinct-engine clusters: partitions tile
+	// disjoint key ranges, so each partition's cardinality comes from a
+	// replica that owns it and the disjoint scalars sum client-side.
+	KindDistinct QueryKind = "distinct"
+	// KindF2 answers the cluster-wide second frequency moment
+	// (Result.Estimate) on f2-engine clusters, summed per partition the
+	// same way.
+	KindF2 QueryKind = "f2"
 )
 
 // QueryOptions parameterizes a Query. Zero values mean "not set"; which
@@ -77,6 +86,12 @@ func (c *Client) Query(ctx context.Context, opts QueryOptions) (Result, error) {
 	case KindTopK:
 		top, err := c.topK(ctx, opts.K, opts.Window)
 		return Result{TopK: top}, err
+	case KindDistinct:
+		est, err := c.scalarSum(ctx, "distinct", opts.Window)
+		return Result{Estimate: est}, err
+	case KindF2:
+		est, err := c.scalarSum(ctx, "f2", opts.Window)
+		return Result{Estimate: est}, err
 	default:
 		return Result{}, fmt.Errorf("client: unknown query kind %q", opts.Kind)
 	}
@@ -257,6 +272,57 @@ func (c *Client) topK(ctx context.Context, k int, window string) ([]engine.Entry
 		all = all[:k]
 	}
 	return all, nil
+}
+
+// scalarSum computes a cluster-wide scalar (distinct cardinality, F2
+// moment) by summing per-partition answers: partitions tile disjoint key
+// ranges, so per-partition scalars are additive, and each comes from a
+// replica that owns the range. Same one-refresh reshape guard as topK —
+// a mid-query retiling would sum overlapping ranges.
+func (c *Client) scalarSum(ctx context.Context, path, window string) (float64, error) {
+	var total float64
+	n0, parts0 := c.info.N, c.info.Partitions
+	for p := 0; p < parts0; p++ {
+		v, err := c.partitionScalar(ctx, path, p, window, c.reps[p])
+		if err != nil {
+			if rerr := c.Refresh(); rerr == nil {
+				if c.info.N != n0 || c.info.Partitions != parts0 {
+					return 0, fmt.Errorf("client: %s partition %d: cluster reshaped mid-query (%d keys/%d partitions → %d/%d)",
+						path, p, n0, parts0, c.info.N, c.info.Partitions)
+				}
+				v, err = c.partitionScalar(ctx, path, p, window, c.reps[p])
+			}
+			if err != nil {
+				return 0, fmt.Errorf("client: %s partition %d: %w", path, p, err)
+			}
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// partitionScalar asks p's replicas (primary first) for the partition's
+// scalar estimate, optionally window-scoped.
+func (c *Client) partitionScalar(ctx context.Context, path string, p int, window string, reps []string) (float64, error) {
+	q := ""
+	if window != "" {
+		q = "&window=" + url.QueryEscape(window)
+	}
+	var lastErr error
+	for _, rep := range reps {
+		var out struct {
+			Estimate float64 `json:"estimate"`
+		}
+		if err := c.getJSON(ctx, fmt.Sprintf("%s/%s?partition=%d%s", rep, path, p, q), 4096, &out); err != nil {
+			lastErr = err
+			continue
+		}
+		return out.Estimate, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("empty replica set")
+	}
+	return 0, lastErr
 }
 
 // partitionTopK asks p's replicas (primary first) for the partition's top

@@ -41,6 +41,8 @@ type testClusterConfig struct {
 	alg                       bank.Algorithm
 	engine                    string // "" = bank
 	topkCap                   int
+	distinctPrecision         int  // distinct engine only: HLL 2^p registers
+	f2Rows, f2Cols            int  // f2 engine only: sign-sketch grid
 	wire                      bool // also serve the binary wire protocol
 
 	// Window engine only: ring length, bucket width, and the shared
@@ -79,18 +81,21 @@ func startNode(t testing.TB, dir, addr string, cc testClusterConfig, join []stri
 		done: make(chan struct{}),
 	}
 	tn.st, err = server.Open(server.Config{
-		Dir:        dir,
-		N:          cc.n,
-		Shards:     cc.shards,
-		Alg:        cc.alg,
-		Seed:       42, // same seed everywhere: converged snapshots byte-match
-		Partitions: cc.partitions,
-		Engine:     cc.engine,
-		TopKCap:    cc.topkCap,
-		Buckets:    cc.buckets,
-		BucketDur:  cc.bucketDur,
-		Clock:      cc.clock,
-		NoSync:     true, // process-crash durability (page cache), fast tests
+		Dir:               dir,
+		N:                 cc.n,
+		Shards:            cc.shards,
+		Alg:               cc.alg,
+		Seed:              42, // same seed everywhere: converged snapshots byte-match
+		Partitions:        cc.partitions,
+		Engine:            cc.engine,
+		TopKCap:           cc.topkCap,
+		DistinctPrecision: cc.distinctPrecision,
+		F2Rows:            cc.f2Rows,
+		F2Cols:            cc.f2Cols,
+		Buckets:           cc.buckets,
+		BucketDur:         cc.bucketDur,
+		Clock:             cc.clock,
+		NoSync:            true, // process-crash durability (page cache), fast tests
 	})
 	if err != nil {
 		t.Fatalf("open store: %v", err)

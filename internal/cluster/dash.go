@@ -109,6 +109,7 @@ const dashHTML = `<!doctype html>
   </section>
   <section>
     <h2>Top-k</h2>
+    <div class="kv" id="uniq" style="display:none"></div>
     <table><thead><tr><th class="num">key</th><th class="num">estimate</th></tr></thead>
     <tbody id="topk"></tbody></table>
   </section>
@@ -207,10 +208,15 @@ function refresh() {
     getJSON("/v1/cluster/info"),
     getJSON("/v1/cluster/rebalance"),
     getJSON("/v1/topk?k=10"),
-    getJSON("/v1/readyz")
+    getJSON("/v1/readyz"),
+    // Scalar engines only: a bank/topk/window node answers 400 here, which
+    // tolerantly renders as "no uniques line" rather than a poll failure.
+    fetch("/v1/distinct").then(function (r) {
+      return r.ok ? r.json() : null;
+    }).catch(function () { return null; })
   ]).then(function (res) {
     document.getElementById("err").style.display = "none";
-    render(parseProm(res[0]), res[1], res[2], res[3], res[4], res[5]);
+    render(parseProm(res[0]), res[1], res[2], res[3], res[4], res[5], res[6]);
   }).catch(function (e) {
     var el = document.getElementById("err");
     el.style.display = "block";
@@ -218,7 +224,7 @@ function refresh() {
   });
 }
 
-function render(m, ring, info, reb, topk, ready) {
+function render(m, ring, info, reb, topk, ready, distinct) {
   var now = Date.now() / 1000;
   var dt = prevTime ? now - prevTime : 0;
   function rate(prefix) {
@@ -338,6 +344,15 @@ function render(m, ring, info, reb, topk, ready) {
     ]);
   } else {
     el.innerHTML = "<span style='color:var(--dim)'>no fsyncs yet</span>";
+  }
+
+  // Uniques (distinct engine only; this node's local cardinality).
+  var uniq = document.getElementById("uniq");
+  if (distinct && typeof distinct.estimate === "number") {
+    uniq.style.display = "";
+    kv(uniq, [["uniques ≈", fmt(distinct.estimate)]]);
+  } else {
+    uniq.style.display = "none";
   }
 
   // Top-k.

@@ -136,6 +136,95 @@ func BenchmarkWindowSnapshotEncode(b *testing.B) {
 	b.ReportMetric(float64(buf)/float64(n*8), "bytes/register")
 }
 
+func BenchmarkDistinctApplyBatch(b *testing.B) {
+	const n = 100_000
+	e, err := NewDistinct(n, 16, 12, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := benchBatch(n, 1024)
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ApplyBatch(batch)
+	}
+	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+// The cardinality read path: a full-range register scan plus the harmonic
+// sum and small-range correction.
+func BenchmarkDistinctEstimate(b *testing.B) {
+	const n = 100_000
+	e, err := NewDistinct(n, 16, 12, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches(zipfKeys(n, 200_000, 1.1, 3), 4096) {
+		e.ApplyBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RangeEstimate(0, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistinctSnapshotEncode(b *testing.B) {
+	const n = 100_000
+	e, err := NewDistinct(n, 16, 12, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches(zipfKeys(n, 200_000, 1.1, 3), 4096) {
+		e.ApplyBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SnapshotTo(io.Discard, e, 0, 0, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf countingWriter
+	if err := SnapshotTo(&buf, e, 0, 0, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(buf)/float64(16*4096), "bytes/register")
+}
+
+func BenchmarkF2ApplyBatch(b *testing.B) {
+	const n = 100_000
+	e, err := NewF2(n, 16, 5, 64, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := benchBatch(n, 1024)
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ApplyBatch(batch)
+	}
+	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+// The moment read path: a median-of-means fold over rows × cols cells.
+func BenchmarkF2Estimate(b *testing.B) {
+	const n = 100_000
+	e, err := NewF2(n, 16, 5, 64, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches(zipfKeys(n, 200_000, 1.1, 3), 4096) {
+		e.ApplyBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RangeEstimate(0, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // countingWriter counts bytes written (snapshot size metric).
 type countingWriter int64
 

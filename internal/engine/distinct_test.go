@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/snapcodec"
+)
+
+func snapBytes(t *testing.T, e Engine) []byte {
+	t.Helper()
+	snap, err := e.Snapshot(0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snapcodec.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func wholeSnap(t *testing.T, e Engine) *snapcodec.Snapshot {
+	t.Helper()
+	snap, err := e.Snapshot(0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the codec so merges see decoder output, not the
+	// engine's own in-memory snapshot.
+	blob, err := snapcodec.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := snapcodec.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decoded
+}
+
+// The HLL estimator stays within its theoretical relative standard error
+// 1.04/√m of the true cardinality (3σ margin, fixed seed), across register
+// counts, and duplicates never move the estimate — applying the same keys
+// twice is a no-op on a cardinality sketch.
+func TestDistinctErrorBound(t *testing.T) {
+	const n, parts, uniques, seed = 60_000, 8, 50_000, 42
+	for _, precision := range []int{8, 10, 12} {
+		t.Run(fmt.Sprintf("p=%d", precision), func(t *testing.T) {
+			e, err := NewDistinct(n, parts, precision, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := make([]int, uniques)
+			for i := range keys {
+				keys[i] = i
+			}
+			for _, b := range batches(keys, 997) {
+				e.ApplyBatch(b)
+			}
+			est, err := e.RangeEstimate(0, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := 1 << precision
+			// Per-partition banks are independent; summing parts estimates
+			// scales the variance like one bank of parts·m registers.
+			bound := 3 * 1.04 / math.Sqrt(float64(parts*m))
+			relErr := math.Abs(est-uniques) / uniques
+			t.Logf("p=%d m=%d est=%.0f true=%d relErr=%.4f bound=%.4f", precision, m, est, uniques, relErr, bound)
+			if relErr > bound {
+				t.Fatalf("relative error %.4f exceeds 3σ bound %.4f (est %.0f, true %d)", relErr, bound, est, uniques)
+			}
+			// Idempotence: the same stream again changes nothing.
+			before := snapBytes(t, e)
+			for _, b := range batches(keys, 1009) {
+				e.ApplyBatch(b)
+			}
+			if !bytes.Equal(before, snapBytes(t, e)) {
+				t.Fatal("re-applying an already-seen stream changed the sketch")
+			}
+		})
+	}
+}
+
+// The distinct joins are order-invariant and idempotent:
+// merge(A,B) == merge(B,A) byte-for-byte, MergeMax is a fixed point on the
+// second application, and the merged estimate covers the union.
+func TestDistinctMergeOrderInvariance(t *testing.T) {
+	const n, parts, precision, seed = 40_000, 8, 10, 7
+	mk := func() *DistinctEngine {
+		e, err := NewDistinct(n, parts, precision, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	keysA := make([]int, 15_000)
+	for i := range keysA {
+		keysA[i] = i
+	}
+	keysB := make([]int, 15_000)
+	for i := range keysB {
+		keysB[i] = 20_000 + i
+	}
+	for _, batch := range batches(keysA, 911) {
+		a.ApplyBatch(batch)
+	}
+	for _, batch := range batches(keysB, 911) {
+		b.ApplyBatch(batch)
+	}
+	snapA, snapB := wholeSnap(t, a), wholeSnap(t, b)
+
+	ab, ba := mk(), mk()
+	for _, step := range []struct {
+		e     *DistinctEngine
+		order []*snapcodec.Snapshot
+	}{{ab, []*snapcodec.Snapshot{snapA, snapB}}, {ba, []*snapcodec.Snapshot{snapB, snapA}}} {
+		for _, s := range step.order {
+			if err := step.e.CheckPeer(s, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := step.e.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !bytes.Equal(snapBytes(t, ab), snapBytes(t, ba)) {
+		t.Fatal("merge(A,B) and merge(B,A) diverge byte-wise")
+	}
+	est, err := ab.RangeEstimate(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(len(keysA) + len(keysB))
+	if rel := math.Abs(est-want) / want; rel > 3*1.04/math.Sqrt(float64(parts*(1<<precision))) {
+		t.Fatalf("merged estimate %.0f too far from union cardinality %.0f (rel %.4f)", est, want, rel)
+	}
+	// MergeMax is idempotent: a second application of the same snapshot is
+	// a byte-level fixed point.
+	before := snapBytes(t, ab)
+	if err := ab.MergeMax(snapA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ab.MergeMax(snapA); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, snapBytes(t, ab)) {
+		t.Fatal("MergeMax of an already-absorbed replica changed the sketch")
+	}
+}
+
+// A windowed distinct engine forgets: a unique cohort counted w buckets
+// ago drops out of the trailing-window estimate once the ring rotates past
+// it, and the window=1 estimate only ever sees the current bucket's cohort.
+func TestDistinctWindowExpiry(t *testing.T) {
+	const n, parts, precision, buckets, seed = 10_000, 4, 12, 4, 11
+	e, err := NewDistinctWindow(n, parts, precision, buckets, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohort := func(lo, size int) []int {
+		out := make([]int, size)
+		for i := range out {
+			out[i] = lo + i
+		}
+		return out
+	}
+	tol := func(want float64) float64 {
+		return 3 * 1.04 / math.Sqrt(float64(1<<precision)) * want * float64(parts)
+	}
+	// Epoch 0: cohort A (1000 uniques); epoch 1: cohort B (disjoint 1000).
+	e.ApplyBatch(cohort(0, 1000))
+	e.Advance(1)
+	e.ApplyBatch(cohort(1000, 1000))
+
+	full, err := e.RangeEstimateWindow(0, n, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-2000) > tol(2000) {
+		t.Fatalf("full window sees %.0f uniques, want ≈ 2000", full)
+	}
+	last, err := e.RangeEstimateWindow(0, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(last-1000) > tol(1000) {
+		t.Fatalf("trailing bucket sees %.0f uniques, want ≈ 1000 (cohort B only)", last)
+	}
+	// Rotate cohort A out (epoch 0 leaves a 4-bucket ring at epoch 4).
+	e.Advance(buckets)
+	full, err = e.RangeEstimateWindow(0, n, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-1000) > tol(1000) {
+		t.Fatalf("after rotation the window sees %.0f uniques, want ≈ 1000 (cohort A expired)", full)
+	}
+	// Rotate everything out: the window must read empty again.
+	e.Advance(buckets + 1)
+	full, err = e.RangeEstimateWindow(0, n, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 0 {
+		t.Fatalf("fully rotated window still reports %.0f uniques", full)
+	}
+}
+
+// CheckPeer rejects every way a distinct snapshot can fail to join:
+// cross-engine kinds, foreign hash seeds, different precisions, and
+// windowed/cumulative flavor mismatches. Validate-before-stage demands the
+// rejection happens here, never at merge time.
+func TestDistinctCheckPeerRejects(t *testing.T) {
+	const n, parts, precision, seed = 4000, 4, 8, 5
+	e, err := NewDistinct(n, parts, precision, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mk := range map[string]func() (*snapcodec.Snapshot, error){
+		"cross-engine": func() (*snapcodec.Snapshot, error) {
+			o, err := NewTopK(n, e.Algorithm(), parts, 16, seed)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+		"seed-mismatch": func() (*snapcodec.Snapshot, error) {
+			o, err := NewDistinct(n, parts, precision, seed+1)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+		"precision-mismatch": func() (*snapcodec.Snapshot, error) {
+			o, err := NewDistinct(n, parts, precision+1, seed)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+		"windowed-mismatch": func() (*snapcodec.Snapshot, error) {
+			o, err := NewDistinctWindow(n, parts, precision, 4, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+		"shape-mismatch": func() (*snapcodec.Snapshot, error) {
+			o, err := NewDistinct(n, parts*2, precision, seed)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			snap, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.CheckPeer(snap, false); err == nil {
+				t.Fatal("CheckPeer accepted an incompatible peer")
+			}
+			if err := e.CheckPeer(snap, true); err == nil {
+				t.Fatal("CheckPeer(disjoint) accepted an incompatible peer")
+			}
+		})
+	}
+}

@@ -6,7 +6,7 @@
 // Everything above this interface (internal/server's WAL + checkpoint
 // store, internal/cluster's ring/outbox/anti-entropy, internal/client,
 // cmd/counterd) speaks only Engine; everything below it is a concrete
-// sketch. Three engines ship today:
+// sketch. Five engines ship today:
 //
 //   - BankEngine ("bank", the default): the Morris/Csűrös/exact register
 //     bank (internal/shardbank) — one approximate counter per key. Its
@@ -21,6 +21,17 @@
 //     carried in WAL tick records (never a wall clock on replay), with
 //     windowed estimates, windowed top-k, and epoch-aligned merges. See
 //     the Windowed interface.
+//   - DistinctEngine ("distinct"): cardinality — "how many unique keys" —
+//     via HLL-style rank registers, one 2^p-register bank per partition.
+//     Draw-free: the register-wise maximum is the exact union for disjoint
+//     streams and replicas alike, so Merge == MergeMax and anti-entropy
+//     gets its idempotent join natively. DistinctWindowEngine rides the
+//     window bucket ring for "uniques in the last N minutes".
+//   - F2Engine ("f2"): the second frequency moment Σ f_k² via AMS
+//     Tug-of-War sign sketches (the servable promotion of the
+//     internal/freqmoments experiment) — rows × cols signed cells per
+//     partition, median-of-means estimation, cell-wise addition as the
+//     disjoint join. F2WindowEngine is the windowed flavor.
 //
 // The contract an Engine signs up for, in exchange for durability and
 // replication "for free":
@@ -164,6 +175,33 @@ type Engine interface {
 	BlockHashes(part, parts int) ([]uint64, error)
 }
 
+// RangeEstimator is an optional Engine extension for sketches whose
+// natural answer is a scalar over a key range rather than per-key counts —
+// a distinct engine's "uniques in [lo, hi)", an F2 engine's moment. The
+// range must be aligned for engines with AlignPartitions > 0; partitions
+// tile disjoint key ranges, so the scalars are additive across partitions
+// (and across a cluster).
+type RangeEstimator interface {
+	RangeEstimate(lo, hi int) (float64, error)
+}
+
+// WindowRangeEstimator is the windowed companion of RangeEstimator: the
+// scalar over [lo, hi) restricted to the trailing w buckets.
+type WindowRangeEstimator interface {
+	RangeEstimateWindow(lo, hi, w int) (float64, error)
+}
+
+// PeerRegisterCapper is an optional Engine extension declaring the decode
+// cap for peer snapshot blobs. The store sizes it from Len() by default,
+// which undershoots for engines whose register sections are not
+// key-proportional — a distinct engine's layout is shards × buckets × 2^p,
+// possibly far larger than Len(). The codec applies the cap to the
+// header's key-space field as well as the register count, so
+// implementations return at least Len().
+type PeerRegisterCapper interface {
+	PeerRegisterCap() int
+}
+
 // FromSnapshot reconstructs the engine a snapshot was captured from — the
 // checkpoint-restore dispatch: the engine kind in the header picks the
 // implementation, and the header plus payload rebuild its exact state.
@@ -175,6 +213,10 @@ func FromSnapshot(snap *snapcodec.Snapshot) (Engine, error) {
 		return TopKFromSnapshot(snap)
 	case KindWindow:
 		return WindowFromSnapshot(snap)
+	case KindDistinct:
+		return DistinctFromSnapshot(snap)
+	case KindF2:
+		return F2FromSnapshot(snap)
 	default:
 		return nil, fmt.Errorf("engine: unknown engine kind %q", snap.Engine)
 	}

@@ -113,6 +113,34 @@ func TestFromSnapshotRoundTrip(t *testing.T) {
 			}
 			return e
 		}},
+		{"distinct", func() Engine {
+			e, err := NewDistinct(n, 8, 10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"distinct-window", func() Engine {
+			e, err := NewDistinctWindow(n, 8, 10, 4, int64(0), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"f2", func() Engine {
+			e, err := NewF2(n, 8, 5, 16, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"f2-window", func() Engine {
+			e, err := NewF2Window(n, 8, 5, 16, 4, int64(0), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			orig := tc.mk()

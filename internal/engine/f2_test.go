@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/snapcodec"
+)
+
+// exactF2 tallies Σ f_k² of a key stream.
+func exactF2(keys []int) float64 {
+	counts := map[int]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	total := 0.0
+	for _, c := range counts {
+		total += float64(c) * float64(c)
+	}
+	return total
+}
+
+// The AMS median-of-means estimator lands within its theoretical deviation
+// bound on three stream shapes — adversarial (one key carries the whole
+// moment), uniform (the anti-adversarial flat case), and Zipf — with a
+// fixed seed. One row's mean of cols squared sign-projections has standard
+// deviation ≤ √(2/cols) · F₂; the median over rows concentrates, so 3σ of
+// a single row is a conservative deterministic-seed bound.
+func TestF2ErrorBound(t *testing.T) {
+	const n, parts, rows, cols, seed = 8192, 4, 5, 256, 42
+	bound := 3 * math.Sqrt(2/float64(cols))
+	for name, keys := range map[string][]int{
+		"adversarial": func() []int {
+			out := make([]int, 20_000)
+			for i := range out {
+				out[i] = 17
+			}
+			return out
+		}(),
+		"uniform": func() []int {
+			out := make([]int, n)
+			for i := range out {
+				out[i] = i
+			}
+			return out
+		}(),
+		"zipf": zipfKeys(n, 100_000, 1.2, 9),
+	} {
+		t.Run(name, func(t *testing.T) {
+			e, err := NewF2(n, parts, rows, cols, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range batches(keys, 1013) {
+				e.ApplyBatch(b)
+			}
+			est, err := e.RangeEstimate(0, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := exactF2(keys)
+			relErr := math.Abs(est-truth) / truth
+			t.Logf("%s: est=%.0f true=%.0f relErr=%.4f bound=%.4f", name, est, truth, relErr, bound)
+			if relErr > bound {
+				t.Fatalf("relative error %.4f exceeds bound %.4f (est %.0f, true %.0f)", relErr, bound, est, truth)
+			}
+		})
+	}
+}
+
+// The AMS sketch is a linear projection of the frequency vector, so
+// merging the sketch of a disjoint stream must yield byte-identical state
+// to one engine that absorbed the concatenated stream — not just a close
+// estimate, the exact same cells.
+func TestF2MergeDisjointIsConcatenation(t *testing.T) {
+	const n, parts, rows, cols, seed = 4096, 4, 5, 64, 3
+	mk := func() *F2Engine {
+		e, err := NewF2(n, parts, rows, cols, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	s1 := zipfKeys(n, 40_000, 1.3, 1)
+	s2 := zipfKeys(n, 30_000, 1.1, 2)
+	a, b, c := mk(), mk(), mk()
+	for _, batch := range batches(s1, 701) {
+		a.ApplyBatch(batch)
+		c.ApplyBatch(batch)
+	}
+	for _, batch := range batches(s2, 701) {
+		b.ApplyBatch(batch)
+		c.ApplyBatch(batch)
+	}
+	snapB := wholeSnap(t, b)
+	if err := a.CheckPeer(snapB, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(snapB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBytes(t, a), snapBytes(t, c)) {
+		t.Fatal("merge of a disjoint stream's sketch diverges from the concatenated stream's sketch")
+	}
+}
+
+// MergeMax is the idempotent replica join: a stale replica takes over the
+// freshest copy wholesale, converging byte-identically, and re-applying an
+// already-absorbed snapshot is a fixed point (never double-counts).
+func TestF2MergeMaxConvergesIdempotently(t *testing.T) {
+	const n, parts, rows, cols, seed = 4096, 4, 5, 64, 8
+	mk := func() *F2Engine {
+		e, err := NewF2(n, parts, rows, cols, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	stream := zipfKeys(n, 50_000, 1.2, 4)
+	full, stale := mk(), mk()
+	for i, batch := range batches(stream, 503) {
+		full.ApplyBatch(batch)
+		if i%2 == 0 { // the stale replica missed half the stream
+			stale.ApplyBatch(batch)
+		}
+	}
+	snapFull := wholeSnap(t, full)
+	if err := stale.CheckPeer(snapFull, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.MergeMax(snapFull); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBytes(t, stale), snapBytes(t, full)) {
+		t.Fatal("stale replica did not converge to the freshest copy")
+	}
+	// Idempotence, both directions: the absorbed snapshot again, and the
+	// (now superseded) stale state into the fresh replica.
+	before := snapBytes(t, stale)
+	if err := stale.MergeMax(snapFull); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, snapBytes(t, stale)) {
+		t.Fatal("MergeMax of an already-absorbed snapshot changed the sketch")
+	}
+	snapStale := wholeSnap(t, stale)
+	if err := full.CheckPeer(snapStale, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.MergeMax(snapStale); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBytes(t, full), before) {
+		t.Fatal("pull-push exchange did not leave both replicas identical")
+	}
+}
+
+// A windowed f2 engine forgets: a skew cohort's moment drops out of the
+// trailing window after the ring rotates past its bucket.
+func TestF2WindowExpiry(t *testing.T) {
+	const n, parts, rows, cols, buckets, seed = 2048, 2, 5, 64, 4, 13
+	e, err := NewF2Window(n, parts, rows, cols, buckets, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0: a heavily skewed cohort (F₂ = 10_000²). Epoch 1: a flat
+	// cohort of 512 singletons (F₂ = 512).
+	skew := make([]int, 10_000)
+	for i := range skew {
+		skew[i] = 5
+	}
+	e.ApplyBatch(skew)
+	e.Advance(1)
+	flat := make([]int, 512)
+	for i := range flat {
+		flat[i] = 1024 + i
+	}
+	e.ApplyBatch(flat)
+
+	full, err := e.RangeEstimateWindow(0, n, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 1e7 {
+		t.Fatalf("full window F₂ %.0f does not see the skew cohort (want ≈ 1e8)", full)
+	}
+	last, err := e.RangeEstimateWindow(0, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last > 1e6 {
+		t.Fatalf("trailing bucket F₂ %.0f still dominated by the expired-from-window skew cohort", last)
+	}
+	// Rotate the skew bucket out entirely.
+	e.Advance(buckets)
+	full, err = e.RangeEstimateWindow(0, n, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full > 1e6 {
+		t.Fatalf("after rotation the window F₂ is %.0f; the skew cohort should have expired", full)
+	}
+}
+
+// CheckPeer rejects incompatible f2 peers before anything is staged.
+func TestF2CheckPeerRejects(t *testing.T) {
+	const n, parts, rows, cols, seed = 2048, 2, 5, 32, 6
+	e, err := NewF2(n, parts, rows, cols, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mk := range map[string]func() (*snapcodec.Snapshot, error){
+		"cross-engine": func() (*snapcodec.Snapshot, error) {
+			o, err := NewDistinct(n, parts, 8, seed)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+		"seed-mismatch": func() (*snapcodec.Snapshot, error) {
+			o, err := NewF2(n, parts, rows, cols, seed+1)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+		"shape-mismatch": func() (*snapcodec.Snapshot, error) {
+			o, err := NewF2(n, parts, rows, cols*2, seed)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+		"windowed-mismatch": func() (*snapcodec.Snapshot, error) {
+			o, err := NewF2Window(n, parts, rows, cols, 4, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			return o.Snapshot(0, 0, false)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			snap, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.CheckPeer(snap, false); err == nil {
+				t.Fatal("CheckPeer accepted an incompatible peer")
+			}
+			if err := e.CheckPeer(snap, true); err == nil {
+				t.Fatal("CheckPeer(disjoint) accepted an incompatible peer")
+			}
+		})
+	}
+}

@@ -91,6 +91,35 @@ func TestAMSWithApproximateCounters(t *testing.T) {
 	}
 }
 
+func TestAMSVarianceShrinksWithCopies(t *testing.T) {
+	// The estimator averages s i.i.d. copies, so its variance must scale as
+	// 1/s: quadrupling the copies should cut the across-run variance by
+	// about 4×. Assert a factor > 2 to leave room for sampling noise in the
+	// variance estimates themselves.
+	rng := xrand.NewSeeded(9)
+	src := stream.NewZipf(80, 1.2, rng)
+	items := stream.Materialize(src, 5000)
+	const reps = 60
+	variance := func(s int) float64 {
+		var est stats.Summary
+		for rep := 0; rep < reps; rep++ {
+			ams := NewAMS(2, s, ExactCounters(), rng)
+			for _, it := range items {
+				ams.Process(it)
+			}
+			est.Add(ams.Estimate())
+		}
+		return est.Variance()
+	}
+	small, large := variance(64), variance(256)
+	if small <= 0 || large <= 0 {
+		t.Fatalf("degenerate variances: s=64 %v, s=256 %v", small, large)
+	}
+	if ratio := small / large; ratio < 2 {
+		t.Fatalf("variance ratio 64→256 copies = %.2f, want > 2 (ideal 4)", ratio)
+	}
+}
+
 func TestAMSStreamLengthAndCopies(t *testing.T) {
 	rng := xrand.NewSeeded(4)
 	ams := NewAMS(2, 7, ExactCounters(), rng)

@@ -90,6 +90,48 @@ func TestApproxSamplerNearUniform(t *testing.T) {
 	}
 }
 
+func TestReplacementSlotUniform(t *testing.T) {
+	// The other uniformity the algorithm needs: on inclusion, the *slot*
+	// being replaced must be uniform over the k positions, or early fill
+	// items would linger in under-replaced slots. Late stream items (the
+	// final 10%) can only appear via replacement, so their final slot index
+	// is a direct sample of the replacement-slot law — chi-square it against
+	// uniform across the k slots.
+	rng := xrand.NewSeeded(7)
+	const (
+		k         = 16
+		streamLen = 4000
+		trials    = 400
+	)
+	counts := make([]uint64, k)
+	for tr := 0; tr < trials; tr++ {
+		s := NewExact(k, rng)
+		for i := 0; i < streamLen; i++ {
+			s.Offer(uint64(i))
+		}
+		for slot, v := range s.Sample() {
+			if v >= streamLen*9/10 {
+				counts[slot]++
+			}
+		}
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no late items retained across all trials")
+	}
+	expected := make([]float64, k)
+	for i := range expected {
+		expected[i] = float64(total) / float64(k)
+	}
+	x2 := stats.ChiSquare(counts, expected)
+	if p := stats.ChiSquarePValue(x2, k-1); p < 1e-4 {
+		t.Fatalf("replacement slots not uniform: chi2=%v p=%v counts=%v", x2, p, counts)
+	}
+}
+
 func TestApproxSamplerSavesLengthBits(t *testing.T) {
 	rng := xrand.NewSeeded(5)
 	ex := NewExact(5, rng)

@@ -38,6 +38,14 @@ const maxIncBody = 16 << 20
 // bucket count) to scope the answer to the trailing window; other engines
 // reject the parameter with a 400.
 //
+//	GET  /v1/distinct       → {"engine":"distinct", "estimate": 8412.7}
+//	                          (distinct engine only; &partition=p scopes to
+//	                          one partition — partitions tile disjoint key
+//	                          ranges, so the smart client sums them
+//	                          cluster-wide; &window= on the windowed flavor)
+//	GET  /v1/f2             → {"engine":"f2", "estimate": 1.2e9} (f2 engine
+//	                          only; same &partition= and &window= rules)
+//
 //	GET  /v1/snapshot       → snapcodec stream (application/octet-stream)
 //	GET  /v1/snapshot/{p}   → one partition's snapcodec stream
 //	POST /v1/merge          body = a peer snapshot → disjoint-stream join
@@ -163,6 +171,51 @@ func Handler(st *Store) http.Handler {
 		resp["topk"] = top
 		writeJSON(w, resp)
 	})
+
+	// Scalar range-estimate endpoints: /distinct answers the cardinality of
+	// a distinct engine, /f2 the second moment of an f2 engine. The path
+	// names the engine kind so a mis-aimed query (asking /distinct of an f2
+	// node) is a 400, never a silently wrong number.
+	scalarHandler := func(kind string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if st.Engine().Kind() != kind {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("engine %q serves no /%s queries", st.Engine().Kind(), kind))
+				return
+			}
+			part := -1
+			if p := r.URL.Query().Get("partition"); p != "" {
+				var err error
+				if part, err = strconv.Atoi(p); err != nil || part < 0 {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("bad partition %q", p))
+					return
+				}
+			}
+			wn := 0
+			if q := r.URL.Query().Get("window"); q != "" {
+				var err error
+				if wn, err = st.ParseWindow(q); err != nil {
+					httpError(w, statusFor(err), err)
+					return
+				}
+			}
+			est, err := st.RangeEstimate(part, wn)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			resp := map[string]any{"engine": kind, "estimate": est}
+			if part >= 0 {
+				resp["partition"] = part
+			}
+			if wn > 0 {
+				resp["window"] = wn
+			}
+			writeJSON(w, resp)
+		}
+	}
+	handle("GET", "/distinct", scalarHandler(engine.KindDistinct))
+	handle("GET", "/f2", scalarHandler(engine.KindF2))
 
 	handle("GET", "/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/octet-stream")

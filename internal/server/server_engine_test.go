@@ -325,6 +325,8 @@ func TestHTTPErrorStatuses(t *testing.T) {
 		{"topk negative k", "GET", "/topk?k=-3", "", http.StatusBadRequest},
 		{"topk bad partition", "GET", "/topk?k=5&partition=x", "", http.StatusBadRequest},
 		{"topk partition range", "GET", "/topk?k=5&partition=99", "", http.StatusBadRequest},
+		{"distinct wrong engine", "GET", "/distinct", "", http.StatusBadRequest},
+		{"f2 wrong engine", "GET", "/f2", "", http.StatusBadRequest},
 	} {
 		for _, prefix := range []string{"", "/v1"} {
 			name := tc.name

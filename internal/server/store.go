@@ -85,15 +85,26 @@ type Config struct {
 	Seed   uint64
 	// Engine selects the sketch engine: "bank" (default — one register per
 	// key), "topk" (SpaceSaving heavy hitters, one summary per partition),
-	// or "window" (sliding-window bucket banks). Ignored when the data dir
+	// "window" (sliding-window bucket banks), "distinct" (HLL cardinality,
+	// one register bank per partition), or "f2" (AMS second frequency
+	// moment, one sign sketch per partition). Ignored when the data dir
 	// has a checkpoint: the on-disk engine kind is the source of truth for
 	// an existing store.
 	Engine string
 	// TopKCap is the slot capacity per partition summary of the "topk"
 	// engine (0 = 64).
 	TopKCap int
-	// Buckets is the "window" engine's ring length B — the widest queryable
-	// window, in buckets (0 = 8).
+	// DistinctPrecision is the "distinct" engine's register precision p —
+	// 2^p HLL registers per partition bucket, relative error ≈ 1.04/2^(p/2)
+	// (0 = 12, i.e. 4096 registers, ≈ 1.6%).
+	DistinctPrecision int
+	// F2Rows × F2Cols shape the "f2" engine's AMS sketch: cols estimators
+	// averaged per row, median across rows (0 = 5 rows, 64 cols).
+	F2Rows int
+	F2Cols int
+	// Buckets is the ring length B of a windowed engine — the widest
+	// queryable window, in buckets (0 = 8 for the "window" engine). For
+	// "distinct" and "f2", Buckets > 0 selects the windowed flavor.
 	Buckets int
 	// BucketDur is the "window" engine's wall-clock bucket width (0 = 1m);
 	// the serving window spans Buckets × BucketDur. Like every other piece
@@ -291,9 +302,49 @@ func Open(cfg Config) (*Store, error) {
 			if err != nil {
 				return nil, fmt.Errorf("server: %w", err)
 			}
+		case engine.KindDistinct:
+			p := cfg.DistinctPrecision
+			if p <= 0 {
+				p = 12
+			}
+			// Buckets > 0 selects the windowed flavor ("uniques in the last
+			// N minutes"); otherwise the sketch counts uniques forever.
+			if cfg.Buckets > 0 {
+				dur := cfg.BucketDur
+				if dur <= 0 {
+					dur = time.Minute
+				}
+				st.eng, err = engine.NewDistinctWindow(cfg.N, st.cfg.Partitions, p, cfg.Buckets, int64(dur), cfg.Seed)
+			} else {
+				st.eng, err = engine.NewDistinct(cfg.N, st.cfg.Partitions, p, cfg.Seed)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+		case engine.KindF2:
+			rows, cols := cfg.F2Rows, cfg.F2Cols
+			if rows <= 0 {
+				rows = 5
+			}
+			if cols <= 0 {
+				cols = 64
+			}
+			if cfg.Buckets > 0 {
+				dur := cfg.BucketDur
+				if dur <= 0 {
+					dur = time.Minute
+				}
+				st.eng, err = engine.NewF2Window(cfg.N, st.cfg.Partitions, rows, cols, cfg.Buckets, int64(dur), cfg.Seed)
+			} else {
+				st.eng, err = engine.NewF2(cfg.N, st.cfg.Partitions, rows, cols, cfg.Seed)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
 		default:
-			return nil, fmt.Errorf("server: unknown engine %q (want %s | %s | %s)",
-				cfg.Engine, engine.KindBank, engine.KindTopK, engine.KindWindow)
+			return nil, fmt.Errorf("server: unknown engine %q (want %s | %s | %s | %s | %s)",
+				cfg.Engine, engine.KindBank, engine.KindTopK, engine.KindWindow,
+				engine.KindDistinct, engine.KindF2)
 		}
 	}
 	// Windowed engines need an epoch source for the live write path; the
@@ -577,7 +628,12 @@ func (st *Store) decodePeer(blob []byte, disjoint bool) (*snapcodec.Snapshot, er
 // header claiming snapcodec.MaxRegisters would otherwise allocate ~512 MiB
 // before the engine's shape comparison ever ran. A window engine's
 // snapshots carry one register per key per bucket, so its cap is B × n.
+// Engines whose register sections are not key-proportional declare their
+// own cap (distinct: shards × B × 2^p; f2: none at all).
 func (st *Store) decodeCap() int {
+	if pc, ok := st.eng.(engine.PeerRegisterCapper); ok {
+		return pc.PeerRegisterCap()
+	}
 	capRegs := st.eng.Len()
 	if st.windowed != nil {
 		capRegs *= st.windowed.WindowBuckets()
@@ -1301,6 +1357,42 @@ func (st *Store) TopKWindow(k, partition, w int) ([]engine.Entry, error) {
 	return top, nil
 }
 
+// RangeEstimate returns the engine's scalar range estimate — a distinct
+// engine's cardinality, an F2 engine's second moment — for one partition
+// (partition >= 0) or the whole key space (partition < 0). w > 0 restricts
+// the answer to the trailing w buckets of a windowed engine; w == 0 means
+// the cumulative (or full-ring) estimate. Engines without the scalar query
+// surface (bank, topk, window) reject with ErrBadInput.
+func (st *Store) RangeEstimate(partition, w int) (float64, error) {
+	lo, hi := 0, st.eng.Len()
+	if partition >= 0 {
+		if partition >= st.cfg.Partitions {
+			return 0, fmt.Errorf("%w: partition %d out of [0, %d)", ErrBadInput, partition, st.cfg.Partitions)
+		}
+		lo, hi = snapcodec.PartitionRange(st.eng.Len(), st.cfg.Partitions, partition)
+	}
+	if w > 0 {
+		wre, ok := st.eng.(engine.WindowRangeEstimator)
+		if !ok {
+			return 0, fmt.Errorf("%w: engine %q serves no windowed range estimates", ErrBadInput, st.eng.Kind())
+		}
+		v, err := wre.RangeEstimateWindow(lo, hi, w)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %w", ErrBadInput, err)
+		}
+		return v, nil
+	}
+	re, ok := st.eng.(engine.RangeEstimator)
+	if !ok {
+		return 0, fmt.Errorf("%w: engine %q serves no range estimates", ErrBadInput, st.eng.Kind())
+	}
+	v, err := re.RangeEstimate(lo, hi)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	return v, nil
+}
+
 // Engine exposes the serving engine.
 func (st *Store) Engine() engine.Engine { return st.eng }
 
@@ -1546,6 +1638,11 @@ type Stats struct {
 	BucketNanos   int64  `json:"bucketNanos,omitempty"`
 	WindowEpoch   uint64 `json:"windowEpoch,omitempty"`
 	Ticks         uint64 `json:"ticks,omitempty"`
+	// Distinct engine only: HLL register precision (2^p registers per
+	// partition). F2 engine only: sign-sketch grid shape.
+	DistinctPrecision int `json:"distinctPrecision,omitempty"`
+	F2Rows            int `json:"f2Rows,omitempty"`
+	F2Cols            int `json:"f2Cols,omitempty"`
 
 	Batches         uint64  `json:"batches"`
 	Keys            uint64  `json:"keys"`
@@ -1596,6 +1693,16 @@ func (st *Store) Stats() Stats {
 		s.BucketNanos = st.windowed.BucketNanos()
 		s.WindowEpoch = st.windowed.Epoch()
 		s.Ticks = st.ticks.Value()
+	}
+	if de, ok := st.eng.(interface{ Precision() int }); ok {
+		s.DistinctPrecision = de.Precision()
+	}
+	if fe, ok := st.eng.(interface {
+		Rows() int
+		Cols() int
+	}); ok {
+		s.F2Rows = fe.Rows()
+		s.F2Cols = fe.Cols()
 	}
 	if st.fromSnap {
 		s.RecoveredFrom = "snapshot"

@@ -1,0 +1,359 @@
+// Command distinctsmoke is the live unique-counting smoke test: it launches
+// a real 3-node RF=3 counterd ring serving the distinct engine as separate
+// OS processes, drives a Zipf stream at it while tracking the exact set of
+// keys touched, verifies every node answers GET /distinct within the HLL
+// error bound of the truth, then kill -9s one node mid-stream, restarts it
+// from its directory, and verifies the healed ring serves byte-identical
+// whole-engine snapshots and the same cardinality — register-max repair
+// cannot double-count, so the estimate must not drift through the crash.
+// Exits non-zero on any violation.
+//
+// Usage: go run ./tools/distinctsmoke -counterd bin/counterd
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	keys       = 20000
+	partitions = 16
+	rf         = 3
+	precision  = 10
+)
+
+type node struct {
+	idx  int
+	addr string // host:port, stable across restarts
+	base string // http://host:port
+	dir  string
+	cmd  *exec.Cmd
+	log  *os.File
+}
+
+type smoke struct {
+	counterd string
+	work     string
+	nodes    []*node
+	truthMu  sync.Mutex
+	seen     []bool
+	hc       *http.Client
+}
+
+func main() {
+	counterd := flag.String("counterd", "bin/counterd", "path to the counterd binary")
+	keep := flag.Bool("keep", false, "keep the work directory on exit")
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	work, err := os.MkdirTemp("", "distinctsmoke-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &smoke{
+		counterd: *counterd,
+		work:     work,
+		seen:     make([]bool, keys),
+		hc:       &http.Client{Timeout: 5 * time.Second},
+	}
+	defer func() {
+		for _, n := range s.nodes {
+			if n.cmd != nil && n.cmd.Process != nil {
+				n.cmd.Process.Kill()
+				n.cmd.Wait()
+			}
+			n.log.Close()
+		}
+		if *keep {
+			log.Printf("work dir kept: %s", work)
+		} else {
+			os.RemoveAll(work)
+		}
+	}()
+	if err := s.run(); err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	log.Print("PASS: distinct ring survived kill -9 with byte-identical recovery and a stable cardinality")
+}
+
+func (s *smoke) run() error {
+	for i := 0; i < 3; i++ {
+		if err := s.start(i, ""); err != nil {
+			return err
+		}
+	}
+	if err := s.awaitMembers(3); err != nil {
+		return err
+	}
+	log.Print("3-node distinct ring up")
+
+	// Phase 1: Zipf load against the healthy ring, then verify.
+	if err := s.load(s.nodes, 30000, 11); err != nil {
+		return err
+	}
+	if err := s.verify("after load"); err != nil {
+		return err
+	}
+
+	// kill -9 node 2 mid-stream: the survivors keep counting, their fan-out
+	// for node 2 queues as hinted handoff.
+	victim := s.nodes[2]
+	if err := victim.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("kill node 2: %w", err)
+	}
+	victim.cmd.Wait()
+	victim.cmd = nil
+	log.Print("node 2 killed (SIGKILL)")
+	if err := s.load(s.nodes[:2], 20000, 23); err != nil {
+		return err
+	}
+
+	// Restart node 2 from its directory on its old address: WAL replay,
+	// gossip rejoin, hint drain, anti-entropy repair.
+	if err := s.start(2, victim.addr); err != nil {
+		return err
+	}
+	s.nodes[2] = s.nodes[3]
+	s.nodes[2].idx = 2
+	s.nodes = s.nodes[:3]
+	if err := s.awaitMembers(3); err != nil {
+		return err
+	}
+	log.Print("node 2 restarted and rejoined")
+	if err := s.load(s.nodes, 15000, 37); err != nil {
+		return err
+	}
+	return s.verify("after crash recovery")
+}
+
+// start launches one counterd process; addr "" picks a fresh loopback port,
+// otherwise the node reuses its old address (a restart).
+func (s *smoke) start(i int, addr string) error {
+	if addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addr = ln.Addr().String()
+		ln.Close()
+	}
+	dir := filepath.Join(s.work, fmt.Sprintf("node%d", i))
+	logf, err := os.OpenFile(filepath.Join(s.work, fmt.Sprintf("node%d.log", i)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"-addr", addr, "-dir", dir,
+		"-n", fmt.Sprint(keys), "-partitions", fmt.Sprint(partitions), "-shards", "8",
+		"-engine", "distinct", "-distinct-precision", fmt.Sprint(precision),
+		"-fsync", "off", "-checkpoint", "2s",
+		"-cluster", "-rf", fmt.Sprint(rf),
+		"-gossip", "100ms", "-antientropy", "500ms", "-rebalance", "100ms",
+	}
+	if i > 0 {
+		args = append(args, "-join", s.nodes[0].base)
+	}
+	cmd := exec.Command(s.counterd, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("start node %d: %w", i, err)
+	}
+	n := &node{idx: i, addr: addr, base: "http://" + addr, dir: dir, cmd: cmd, log: logf}
+	s.nodes = append(s.nodes, n)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if resp, err := s.hc.Get(n.base + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				log.Printf("node %d serving at %s", i, n.base)
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node %d never became healthy", i)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (s *smoke) getJSON(url string, out any) error {
+	resp, err := s.hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<26)).Decode(out)
+}
+
+type memberRow struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// awaitMembers waits until every node's member table shows want alive rows.
+func (s *smoke) awaitMembers(want int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := true
+		for _, n := range s.nodes[:want] {
+			var info struct {
+				Members []memberRow
+			}
+			if err := s.getJSON(n.base+"/v1/cluster/info", &info); err != nil {
+				ok = false
+				break
+			}
+			alive := 0
+			for _, m := range info.Members {
+				if m.State == "alive" {
+					alive++
+				}
+			}
+			if alive != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("membership never converged to %d alive nodes", want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// load posts Zipf batches round-robin across nodes, failing over on errors,
+// and folds the acked keys into the shared truth set.
+func (s *smoke) load(nodes []*node, events int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, keys-1)
+	batch := make([]int, 0, 256)
+	sent := 0
+	for i := 0; sent < events; i++ {
+		batch = batch[:0]
+		for len(batch) < cap(batch) && sent+len(batch) < events {
+			batch = append(batch, int(zipf.Uint64()))
+		}
+		body, _ := json.Marshal(map[string][]int{"keys": batch})
+		var lastErr error
+		acked := false
+		for try := 0; try < len(nodes) && !acked; try++ {
+			n := nodes[(i+try)%len(nodes)]
+			resp, err := s.hc.Post(n.base+"/v1/inc", "application/json", bytes.NewReader(body))
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				acked = true
+			} else {
+				lastErr = fmt.Errorf("inc: status %d", resp.StatusCode)
+			}
+		}
+		if !acked {
+			return fmt.Errorf("no node accepted a batch: %w", lastErr)
+		}
+		s.truthMu.Lock()
+		for _, k := range batch {
+			s.seen[k] = true
+		}
+		s.truthMu.Unlock()
+		sent += len(batch)
+	}
+	return nil
+}
+
+// verify checks the distinct-ring invariants: every node serves a
+// byte-identical whole-engine GET /snapshot (RF = ring size, so all three
+// absorb the same logical stream), and every node's GET /distinct answers
+// the exact truth cardinality within 3 standard errors of the HLL bound.
+func (s *smoke) verify(label string) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		diverged := ""
+		var want []byte
+		for _, n := range s.nodes {
+			resp, err := s.hc.Get(n.base + "/v1/snapshot")
+			if err != nil {
+				diverged = err.Error()
+				break
+			}
+			blob, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				diverged = fmt.Sprintf("node %d: status %d (%v)", n.idx, resp.StatusCode, err)
+				break
+			}
+			if want == nil {
+				want = blob
+			} else if !bytes.Equal(want, blob) {
+				diverged = fmt.Sprintf("node %d: whole-engine snapshot differs", n.idx)
+			}
+		}
+		if diverged == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s: snapshots never converged: %s", label, diverged)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	s.truthMu.Lock()
+	trueCard := 0
+	for _, ok := range s.seen {
+		if ok {
+			trueCard++
+		}
+	}
+	s.truthMu.Unlock()
+	bound := 3 * 1.04 / math.Sqrt(float64(partitions)*math.Pow(2, precision))
+	var first float64
+	for i, n := range s.nodes {
+		var out struct {
+			Estimate float64 `json:"estimate"`
+		}
+		if err := s.getJSON(n.base+"/v1/distinct", &out); err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		if i == 0 {
+			first = out.Estimate
+		} else if out.Estimate != first {
+			return fmt.Errorf("%s: node %d estimate %v != node 0's %v despite identical snapshots",
+				label, i, out.Estimate, first)
+		}
+		rel := math.Abs(out.Estimate-float64(trueCard)) / float64(trueCard)
+		if rel > bound {
+			return fmt.Errorf("%s: node %d estimate %v vs true %d: rel err %.4f > %.4f",
+				label, i, out.Estimate, trueCard, rel, bound)
+		}
+	}
+	log.Printf("%s: true cardinality %d, cluster estimate %.1f (|rel err| %.3f%%, bound %.3f%%)",
+		label, trueCard, first, 100*math.Abs(first-float64(trueCard))/float64(trueCard), 100*bound)
+	return nil
+}
